@@ -1,0 +1,92 @@
+//! E1 — communication overhead (paper §V.C "Communication Overhead").
+//!
+//! The paper: "the signature comprises two elements of 𝔾₁ and five
+//! elements of ℤ_p … the total group signature length is 1,192 bits or 149
+//! bytes … approximately the same as a standard 1024-bit RSA signature,
+//! which is 128 bytes."
+//!
+//! This bench prints the size table for our instantiation next to the
+//! paper's parameterization, and measures serialization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peace_groupsig::{sign, BasesMode, GroupSignature, IssuerKey};
+use peace_wire::{Decode, Encode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn print_size_table() {
+    println!("\n=== E1: signature & message sizes ===");
+    println!("(paper values computed on 170-bit MNT curves; ours on the");
+    println!(" 512-bit supersingular curve — same RSA-1024-equivalent security)\n");
+    println!("{:<44} | paper (B) | ours (B)", "object");
+    println!("{:-<44}-+-----------+---------", "");
+    println!("{:<44} | {:>9} | {:>8}", "group signature (2·G1 + 5·Zq)", 149, GroupSignature::ENCODED_LEN);
+    println!("{:<44} | {:>9} | {:>8}", "RSA-1024 signature (comparison)", 128, "-");
+    println!("{:<44} | {:>9} | {:>8}", "ECDSA-160 signature", 42, peace_ecdsa::Signature::ENCODED_LEN);
+    println!("{:<44} | {:>9} | {:>8}", "G1 element (compressed)", 22, peace_curve::G1::ENCODED_LEN);
+    println!("{:<44} | {:>9} | {:>8}", "Zq scalar", 22, 20);
+
+    // live protocol messages
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut no = peace_protocol::entities::NetworkOperator::new(
+        peace_protocol::ProtocolConfig::default(),
+        &mut rng,
+    );
+    let gid = no.register_group("org", &mut rng);
+    let (gm_b, ttp_b) = no.issue_shares(gid, 1, &mut rng).unwrap();
+    let mut gm = peace_protocol::entities::GroupManager::new(gid);
+    gm.receive_bundle(&gm_b, no.npk()).unwrap();
+    let mut ttp = peace_protocol::entities::Ttp::new();
+    ttp.receive_bundle(&ttp_b, no.npk()).unwrap();
+    let uid = peace_protocol::ids::UserId("u".into());
+    let mut user = peace_protocol::entities::UserClient::new(
+        uid.clone(),
+        *no.gpk(),
+        *no.npk(),
+        *no.config(),
+        &mut rng,
+    );
+    let a = gm.assign(&uid).unwrap();
+    let d = ttp.deliver(a.index, &uid).unwrap();
+    user.enroll(&a, &d).unwrap();
+    let mut router = no.provision_router("MR-1", u64::MAX / 2, &mut rng);
+    let beacon = router.beacon(1_000, &mut rng);
+    let (req, _) = user.process_beacon(&beacon, 1_010, &mut rng).unwrap();
+    let (confirm, _) = router.process_access_request(&req, 1_020).unwrap();
+
+    println!("{:<44} | {:>9} | {:>8}", "beacon M.1 (incl. cert, CRL, URL)", "-", beacon.to_wire().len());
+    println!("{:<44} | {:>9} | {:>8}", "access request M.2", "-", req.to_wire().len());
+    println!("{:<44} | {:>9} | {:>8}", "access confirm M.3", "-", confirm.to_wire().len());
+    println!();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    print_size_table();
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let member = issuer.issue(&grp, &mut rng);
+    let sig = sign(
+        issuer.public_key(),
+        &member,
+        b"bench",
+        BasesMode::PerMessage,
+        &mut rng,
+    );
+    let bytes = sig.to_bytes();
+
+    let mut g = c.benchmark_group("e1_serialization");
+    g.bench_function("groupsig_encode", |b| b.iter(|| sig.to_bytes()));
+    g.bench_function("groupsig_decode", |b| {
+        b.iter(|| GroupSignature::from_wire(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_serialization
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E3 — revocation-check scaling (paper §V.C).
+//!
+//! The paper: "the actual computational cost of signature verification
+//! depends on the size of URL" — linear, 2 pairings per token — and "a far
+//! more efficient revocation check algorithm, whose running time is
+//! independent of |URL|, can be adopted … with a little bit sacrifice on
+//! user privacy."
+//!
+//! Sweeps |URL| for the per-message scan and compares the O(1)-pairings
+//! fixed-bases table lookup (the ablation from DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peace_groupsig::{
+    revocation_index, sign, BasesMode, IssuerKey, RevocationTable, RevocationToken,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_revocation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let member = issuer.issue(&grp, &mut rng);
+    let gpk = *issuer.public_key();
+
+    // Large token pool; the signer is NOT revoked (worst case: full scan).
+    let pool: Vec<RevocationToken> = (0..100)
+        .map(|_| issuer.issue(&grp, &mut rng).revocation_token())
+        .collect();
+
+    let sig_pm = sign(&gpk, &member, b"m", BasesMode::PerMessage, &mut rng);
+    let sig_fb = sign(&gpk, &member, b"m", BasesMode::FixedBases, &mut rng);
+
+    println!("\n=== E3: revocation check vs |URL| ===");
+    println!("paper: per-message check is 2|URL| pairings; fixed-bases variant O(1)\n");
+
+    let mut g = c.benchmark_group("e3_revocation");
+    g.sample_size(10);
+    for url_len in [0usize, 1, 2, 5, 10, 20, 50, 100] {
+        let url = &pool[..url_len];
+        g.bench_with_input(
+            BenchmarkId::new("per_message_scan", url_len),
+            &url_len,
+            |b, _| {
+                b.iter(|| {
+                    assert!(revocation_index(&gpk, b"m", &sig_pm, url, BasesMode::PerMessage)
+                        .is_none())
+                })
+            },
+        );
+    }
+    // Fixed-bases table: lookup cost is flat regardless of table size.
+    for url_len in [1usize, 10, 100] {
+        let table = RevocationTable::build(&gpk, &pool[..url_len]);
+        g.bench_with_input(
+            BenchmarkId::new("fixed_bases_lookup", url_len),
+            &url_len,
+            |b, _| b.iter(|| assert!(table.lookup(&sig_fb).is_none())),
+        );
+    }
+    // Table build cost (amortized once per URL update).
+    g.bench_function("fixed_bases_table_build_100", |b| {
+        b.iter(|| RevocationTable::build(&gpk, &pool))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_revocation
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! E4 — handshake latency and the hybrid session design (paper §V.C).
+//!
+//! The paper: "Both authentication and key agreement protocols require
+//! only three-way communication … the minimal communication rounds", and
+//! the hybrid design runs "expensive group signature operation … only when
+//! establishing a new session; all subsequent data exchanging of the same
+//! session is authenticated through highly efficient MAC-based approach."
+//!
+//! Measures the full 3-way user↔router and user↔user handshakes, per-packet
+//! MAC cost, and the ablation "sign every message vs MAC every message".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peace_protocol::entities::*;
+use peace_protocol::ids::UserId;
+use peace_protocol::ProtocolConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Net {
+    no: NetworkOperator,
+    alice: UserClient,
+    bob: UserClient,
+    router: MeshRouter,
+    rng: StdRng,
+}
+
+fn build() -> Net {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut no = NetworkOperator::new(ProtocolConfig::default(), &mut rng);
+    let gid = no.register_group("org", &mut rng);
+    let (gm_b, ttp_b) = no.issue_shares(gid, 4, &mut rng).unwrap();
+    let mut gm = GroupManager::new(gid);
+    gm.receive_bundle(&gm_b, no.npk()).unwrap();
+    let mut ttp = Ttp::new();
+    ttp.receive_bundle(&ttp_b, no.npk()).unwrap();
+    let enroll = |name: &str, gm: &mut GroupManager, ttp: &mut Ttp, no: &NetworkOperator, rng: &mut StdRng| {
+        let uid = UserId(name.to_owned());
+        let mut u = UserClient::new(uid.clone(), *no.gpk(), *no.npk(), *no.config(), rng);
+        let a = gm.assign(&uid).unwrap();
+        let d = ttp.deliver(a.index, &uid).unwrap();
+        u.enroll(&a, &d).unwrap();
+        u
+    };
+    let alice = enroll("alice", &mut gm, &mut ttp, &no, &mut rng);
+    let bob = enroll("bob", &mut gm, &mut ttp, &no, &mut rng);
+    let router = no.provision_router("MR-1", u64::MAX / 2, &mut rng);
+    Net {
+        no,
+        alice,
+        bob,
+        router,
+        rng,
+    }
+}
+
+fn bench_handshakes(c: &mut Criterion) {
+    let mut net = build();
+    println!("\n=== E4: 3-way handshakes and the hybrid session design ===\n");
+
+    let mut g = c.benchmark_group("e4_handshake");
+    g.sample_size(10);
+
+    // Full user↔router AKA (M.1 generation + M.2 + M.3). The virtual
+    // clock stays fixed so long runs never outlive the CRL max age; fresh
+    // DH state per beacon keeps every iteration a distinct handshake.
+    let t = 10_000u64;
+    g.bench_function("user_router_aka_full", |b| {
+        b.iter(|| {
+            let beacon = net.router.beacon(t, &mut net.rng);
+            let (req, pending) = net.alice.process_beacon(&beacon, t + 1, &mut net.rng).unwrap();
+            let (confirm, _rs) = net.router.process_access_request(&req, t + 2).unwrap();
+            net.alice.finalize_router_session(&pending, &confirm).unwrap()
+        })
+    });
+
+    // Full user↔user AKA (M̃.1–M̃.3).
+    g.bench_function("user_user_aka_full", |b| {
+        b.iter(|| {
+            let beacon = net.router.beacon(t, &mut net.rng);
+            let (hello, ap) = net.alice.peer_hello(&beacon.g, t, &mut net.rng).unwrap();
+            let (resp, bp) = net.bob.process_peer_hello(&hello, t + 1, &mut net.rng).unwrap();
+            let (conf, _a_sess) = net.alice.process_peer_response(&ap, &resp, t + 2).unwrap();
+            net.bob.process_peer_confirm(&bp, &conf).unwrap()
+        })
+    });
+
+    // Established-session per-packet costs: the hybrid design's payoff.
+    let beacon = net.router.beacon(t + 500, &mut net.rng);
+    let (req, pending) = net
+        .alice
+        .process_beacon(&beacon, t + 501, &mut net.rng)
+        .unwrap();
+    let (confirm, router_sess) = net.router.process_access_request(&req, t + 502).unwrap();
+    let mut alice_sess = net.alice.finalize_router_session(&pending, &confirm).unwrap();
+    let payload = vec![0xabu8; 512];
+    // Pristine copies (sequence number 0) for the open benchmark below —
+    // the seal benchmark advances alice_sess by thousands of packets.
+    let pristine_alice = alice_sess.clone();
+    let pristine_router = router_sess.clone();
+
+    g.bench_function("session_seal_512B", |b| {
+        b.iter(|| alice_sess.seal_data(&payload))
+    });
+    // Opening consumes a sequence number, so each measurement gets a fresh
+    // clone of the receiving session (cheap: key material copy).
+    let one_packet = {
+        let mut sender = pristine_alice.clone();
+        sender.seal_data(&payload)
+    };
+    g.bench_function("session_open_512B", |b| {
+        b.iter_batched(
+            || pristine_router.clone(),
+            |mut recv| recv.open_data(&one_packet).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("session_mac_tag_512B", |b| {
+        b.iter(|| alice_sess.tag_packet(7, &payload))
+    });
+
+    // Ablation: naive design signs EVERY packet with the group signature.
+    let cred = net.alice.active_credential().unwrap().clone();
+    let gpk = *net.no.gpk();
+    g.bench_function("ablation_groupsig_per_packet", |b| {
+        b.iter(|| {
+            peace_groupsig::sign(
+                &gpk,
+                &cred.key,
+                &payload,
+                peace_groupsig::BasesMode::PerMessage,
+                &mut net.rng,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_handshakes
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E5 — DoS resilience via client puzzles (paper §V.A).
+//!
+//! The paper: "solving a client puzzle requires a brute-force search in the
+//! solution space, while solution verification is trivial" and with
+//! puzzles, legitimate users "are still able to obtain network accesses
+//! regardless [of] the existence of the attack."
+//!
+//! Measures puzzle solve/verify asymmetry across difficulties and runs the
+//! flood sweep, printing the legit-success table the paper's argument
+//! predicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peace_puzzle::Puzzle;
+use peace_sim::{run_dos_experiment, DosCostModel};
+
+fn print_flood_sweep() {
+    println!("\n=== E5: flood sweep (cost-model simulation) ===");
+    let model = DosCostModel::default();
+    println!(
+        "router {:.0} ms/s budget; verify {:.0} ms; attacker {:.1} Mhash/s\n",
+        model.router_budget_ms_per_s,
+        model.verify_cost_ms,
+        model.attacker_hashes_per_s / 1e6
+    );
+    println!("flood/s | legit OK (no puzzles) | legit OK (puzzles) | shed cheaply");
+    for flood in [0.0, 10.0, 50.0, 100.0, 500.0, 1000.0] {
+        let off = run_dos_experiment(&model, flood, 5.0, 15, false, 7);
+        let on = run_dos_experiment(&model, flood, 5.0, 15, true, 7);
+        println!(
+            "{:>7.0} | {:>20.1}% | {:>17.1}% | {:>12}",
+            flood,
+            100.0 * off.legit_success_rate,
+            100.0 * on.legit_success_rate,
+            on.flood_shed
+        );
+    }
+    println!();
+}
+
+fn bench_puzzles(c: &mut Criterion) {
+    print_flood_sweep();
+
+    let mut g = c.benchmark_group("e5_puzzles");
+    g.sample_size(10);
+    for difficulty in [4u8, 8, 12, 16] {
+        let puzzle = Puzzle::new(b"bench-seed", 2, difficulty);
+        g.bench_with_input(
+            BenchmarkId::new("solve", difficulty),
+            &difficulty,
+            |b, _| b.iter(|| puzzle.solve()),
+        );
+        let solution = puzzle.solve();
+        g.bench_with_input(
+            BenchmarkId::new("verify", difficulty),
+            &difficulty,
+            |b, _| b.iter(|| assert!(puzzle.verify(&solution))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_puzzles
+}
+criterion_main!(benches);

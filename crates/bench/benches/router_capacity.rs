@@ -1,0 +1,73 @@
+//! Router verification capacity (extension of E2/E4): how many access
+//! requests per second can the verification stage sustain, single-threaded
+//! and fanned out over worker threads (§V.C notes a mesh router "performs
+//! mutual authentication with every network user within its coverage" —
+//! capacity is the deployment-sizing number a network operator needs).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peace_groupsig::{sign, verify, BasesMode, GroupSignature, IssuerKey};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_batch(n: usize) -> (peace_groupsig::GroupPublicKey, Vec<(Vec<u8>, GroupSignature)>) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let gpk = *issuer.public_key();
+    let batch = (0..n)
+        .map(|i| {
+            let member = issuer.issue(&grp, &mut rng);
+            let msg = format!("access-request-{i}").into_bytes();
+            let sig = sign(&gpk, &member, &msg, BasesMode::PerMessage, &mut rng);
+            (msg, sig)
+        })
+        .collect();
+    (gpk, batch)
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let (gpk, batch) = make_batch(16);
+    // Sanity: all verify.
+    for (msg, sig) in &batch {
+        verify(&gpk, msg, sig, BasesMode::PerMessage).expect("batch is honest");
+    }
+
+    println!("\n=== router verification capacity (16-request batch) ===");
+    let mut g = c.benchmark_group("router_capacity");
+    g.sample_size(10);
+
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("verify_batch16", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let next = AtomicUsize::new(0);
+                    crossbeam::scope(|scope| {
+                        for _ in 0..workers {
+                            scope.spawn(|_| loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some((msg, sig)) = batch.get(i) else {
+                                    break;
+                                };
+                                verify(&gpk, msg, sig, BasesMode::PerMessage)
+                                    .expect("verifies");
+                            });
+                        }
+                    })
+                    .expect("workers do not panic");
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_capacity
+}
+criterion_main!(benches);

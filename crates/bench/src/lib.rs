@@ -1,0 +1,6 @@
+//! Benchmark harness for the PEACE reproduction.
+//!
+//! The library target is empty; all content lives in `benches/` — one
+//! criterion bench per experiment of EXPERIMENTS.md (E1–E5). Run with
+//! `cargo bench -p peace-bench` or a single target via
+//! `cargo bench -p peace-bench --bench e3_revocation_sweep`.

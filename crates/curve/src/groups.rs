@@ -1,0 +1,163 @@
+//! The bilinear groups 𝔾₁ and 𝔾₂ and the isomorphism ψ.
+//!
+//! The paper works with asymmetric groups `(𝔾₁, 𝔾₂)` linked by an
+//! efficiently computable isomorphism `ψ : 𝔾₂ → 𝔾₁` with `ψ(g₂) = g₁`.
+//! On our supersingular (Type-1) instantiation both groups are the same
+//! order-`q` subgroup of `E(F_p)`, and ψ is the identity on coordinates —
+//! the newtypes below keep the paper's formal distinction so the protocol
+//! code reads exactly like §IV.
+
+use core::fmt;
+
+use peace_field::Fq;
+use rand::RngCore;
+
+use crate::point::{generator, AffinePoint};
+
+/// An element of 𝔾₁ (order-`q` subgroup of `E(F_p)`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct G1(pub(crate) AffinePoint);
+
+/// An element of 𝔾₂. Same underlying group on a Type-1 pairing; kept as a
+/// distinct type so protocol code mirrors the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct G2(pub(crate) AffinePoint);
+
+macro_rules! group_impl {
+    ($name:ident, $gen_doc:literal) => {
+        impl $name {
+            /// The identity element.
+            pub const IDENTITY: Self = Self(AffinePoint::IDENTITY);
+
+            #[doc = $gen_doc]
+            pub fn generator() -> Self {
+                Self(generator())
+            }
+
+            /// Wraps a subgroup point.
+            ///
+            /// Returns `None` if the point is not on the curve or not in the
+            /// order-`q` subgroup.
+            pub fn from_point(p: AffinePoint) -> Option<Self> {
+                if p.is_on_curve() && p.is_in_subgroup() {
+                    Some(Self(p))
+                } else {
+                    None
+                }
+            }
+
+            /// Wraps a point without subgroup checking (trusted internal use).
+            pub fn from_point_unchecked(p: AffinePoint) -> Self {
+                Self(p)
+            }
+
+            /// The underlying curve point.
+            pub fn point(&self) -> &AffinePoint {
+                &self.0
+            }
+
+            /// Whether this is the identity.
+            pub fn is_identity(&self) -> bool {
+                self.0.is_identity()
+            }
+
+            /// Group operation.
+            pub fn add(&self, rhs: &Self) -> Self {
+                Self(self.0.add(&rhs.0))
+            }
+
+            /// Inverse element.
+            pub fn neg(&self) -> Self {
+                Self(self.0.neg())
+            }
+
+            /// Subtraction (`self + (−rhs)`); the paper's `T₂ / A`.
+            pub fn sub(&self, rhs: &Self) -> Self {
+                Self(self.0.add(&rhs.0.neg()))
+            }
+
+            /// Scalar multiplication — the paper's exponentiation `g^k`.
+            pub fn mul(&self, k: &Fq) -> Self {
+                Self(self.0.mul_scalar(k))
+            }
+
+            /// Simultaneous `self^a · other^b` via a shared doubling chain
+            /// (Shamir's trick) — cheaper than two separate exponentiations.
+            pub fn mul_mul(&self, a: &Fq, other: &Self, b: &Fq) -> Self {
+                Self(self.0.double_mul_scalar(a, &other.0, b))
+            }
+
+            /// A uniformly random non-identity element.
+            pub fn random(rng: &mut impl RngCore) -> Self {
+                Self(AffinePoint::random_subgroup(rng))
+            }
+
+            /// Compressed 65-byte encoding.
+            pub fn to_bytes(&self) -> Vec<u8> {
+                self.0.to_compressed()
+            }
+
+            /// Decodes and validates (curve and subgroup membership).
+            pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+                let p = AffinePoint::from_compressed(bytes)?;
+                Self::from_point(p)
+            }
+
+            /// Size of the compressed encoding in bytes.
+            pub const ENCODED_LEN: usize = 65;
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({:?})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+group_impl!(G1, "The fixed generator `g₁ = ψ(g₂)`.");
+group_impl!(G2, "The fixed generator `g₂`.");
+
+/// The isomorphism `ψ : 𝔾₂ → 𝔾₁` with `ψ(g₂) = g₁`.
+///
+/// On this Type-1 instantiation ψ is the identity on coordinates; it exists
+/// as a function so the protocol code matches the paper's notation.
+pub fn psi(q: &G2) -> G1 {
+    G1(q.0)
+}
+
+/// Hashes a message to a 𝔾₁ element (try-and-increment, then cofactor
+/// clearing). Deterministic in `(label, msg)`.
+pub fn hash_to_g1(label: &[u8], msg: &[u8]) -> G1 {
+    G1(hash_to_point(label, msg))
+}
+
+/// Hashes a message to a 𝔾₂ element.
+pub fn hash_to_g2(label: &[u8], msg: &[u8]) -> G2 {
+    G2(hash_to_point(label, msg))
+}
+
+fn hash_to_point(label: &[u8], msg: &[u8]) -> AffinePoint {
+    use peace_field::Fp;
+    let mut ctr: u32 = 0;
+    loop {
+        let mut input = Vec::with_capacity(msg.len() + 4);
+        input.extend_from_slice(&ctr.to_be_bytes());
+        input.extend_from_slice(msg);
+        // 96 bytes -> negligible bias after reduction mod the 64-byte prime.
+        let wide = peace_hash::xof(label, &input, 97);
+        let x = Fp::from_wide_bytes(&wide[..96]);
+        let sign_bit = wide[96] & 1 == 1;
+        let rhs = x.square().mul(&x).add(&x);
+        if let Some(mut y) = rhs.sqrt() {
+            if y.is_odd() != sign_bit {
+                y = y.neg();
+            }
+            let p = AffinePoint::new_unchecked(x, y).clear_cofactor();
+            if !p.is_identity() {
+                return p;
+            }
+        }
+        ctr += 1;
+    }
+}

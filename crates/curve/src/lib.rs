@@ -1,0 +1,299 @@
+//! The PEACE pairing curve: `E : y² = x³ + x` over the 512-bit prime `p`.
+//!
+//! `E` is supersingular with `#E(F_p) = p + 1 = c·q` (`q` a 160-bit prime),
+//! embedding degree 2. This crate provides:
+//!
+//! * [`AffinePoint`] / [`ProjectivePoint`] — raw curve arithmetic;
+//! * [`G1`] / [`G2`] — the paper's bilinear groups (order-`q` subgroup), with
+//!   the isomorphism [`psi`] (`ψ(g₂) = g₁`);
+//! * [`hash_to_g1`] / [`hash_to_g2`] — deterministic hash-to-subgroup;
+//! * compressed 65-byte point encodings.
+//!
+//! # Examples
+//!
+//! ```
+//! use peace_curve::G1;
+//! use peace_field::Fq;
+//!
+//! let g = G1::generator();
+//! let a = Fq::from_u64(3);
+//! let b = Fq::from_u64(5);
+//! // (g^a)^b = g^(ab)
+//! assert_eq!(g.mul(&a).mul(&b), g.mul(&a.mul(&b)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod groups;
+pub mod ops;
+mod point;
+
+pub use groups::{hash_to_g1, hash_to_g2, psi, G1, G2};
+pub use point::{generator, AffinePoint, ProjectivePoint};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peace_bigint::Uint;
+    use peace_field::{params, subgroup_order, Fp, Fq};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn generator_on_curve_and_in_subgroup() {
+        let g = generator();
+        assert!(g.is_on_curve());
+        assert!(g.is_in_subgroup());
+        assert!(g.mul_uint(&subgroup_order()).is_identity());
+    }
+
+    #[test]
+    fn generator_matches_python_reference() {
+        // 2G and 5G computed independently by tools/genparams.py.
+        let g = generator();
+        let g2_expect = AffinePoint::new_unchecked(
+            Fp::from_uint(&Uint::from_limbs(params::GEN2_X)),
+            Fp::from_uint(&Uint::from_limbs(params::GEN2_Y)),
+        );
+        assert_eq!(g.double(), g2_expect);
+        let g5_expect = AffinePoint::new_unchecked(
+            Fp::from_uint(&Uint::from_limbs(params::GEN5_X)),
+            Fp::from_uint(&Uint::from_limbs(params::GEN5_Y)),
+        );
+        assert_eq!(g.mul_scalar(&Fq::from_u64(5)), g5_expect);
+    }
+
+    #[test]
+    fn add_commutative_associative() {
+        let mut r = rng();
+        let a = AffinePoint::random_subgroup(&mut r);
+        let b = AffinePoint::random_subgroup(&mut r);
+        let c = AffinePoint::random_subgroup(&mut r);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn identity_laws() {
+        let mut r = rng();
+        let a = AffinePoint::random_subgroup(&mut r);
+        assert_eq!(a.add(&AffinePoint::IDENTITY), a);
+        assert_eq!(AffinePoint::IDENTITY.add(&a), a);
+        assert!(a.add(&a.neg()).is_identity());
+        assert!(AffinePoint::IDENTITY.double().is_identity());
+    }
+
+    #[test]
+    fn double_equals_add_self() {
+        let mut r = rng();
+        let a = AffinePoint::random_subgroup(&mut r);
+        assert_eq!(a.double(), a.add(&a));
+    }
+
+    #[test]
+    fn scalar_mult_distributes() {
+        let mut r = rng();
+        let g = generator();
+        let a = Fq::random(&mut r);
+        let b = Fq::random(&mut r);
+        // g^(a+b) = g^a · g^b
+        assert_eq!(g.mul_scalar(&a.add(&b)), g.mul_scalar(&a).add(&g.mul_scalar(&b)));
+        // (g^a)^b = g^(ab)
+        assert_eq!(
+            g.mul_scalar(&a).mul_scalar(&b),
+            g.mul_scalar(&a.mul(&b))
+        );
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let g = generator();
+        assert!(g.mul_scalar(&Fq::ZERO).is_identity());
+        assert_eq!(g.mul_scalar(&Fq::ONE), g);
+    }
+
+    #[test]
+    fn mul_order_minus_one_is_neg() {
+        let g = generator();
+        let qm1 = Fq::ZERO.sub(&Fq::ONE);
+        assert_eq!(g.mul_scalar(&qm1), g.neg());
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let a = AffinePoint::random_subgroup(&mut r);
+            let bytes = a.to_compressed();
+            assert_eq!(bytes.len(), 65);
+            assert_eq!(AffinePoint::from_compressed(&bytes).unwrap(), a);
+        }
+        // identity
+        let id = AffinePoint::IDENTITY.to_compressed();
+        assert_eq!(AffinePoint::from_compressed(&id).unwrap(), AffinePoint::IDENTITY);
+    }
+
+    #[test]
+    fn compression_rejects_garbage() {
+        assert!(AffinePoint::from_compressed(&[]).is_none());
+        assert!(AffinePoint::from_compressed(&[9u8; 65]).is_none());
+        let mut bad_inf = vec![0u8; 65];
+        bad_inf[10] = 1;
+        assert!(AffinePoint::from_compressed(&bad_inf).is_none());
+        // x = p (non-canonical)
+        let mut enc = vec![2u8];
+        enc.extend_from_slice(&peace_field::base_modulus().to_be_bytes());
+        assert!(AffinePoint::from_compressed(&enc).is_none());
+    }
+
+    #[test]
+    fn new_rejects_off_curve() {
+        assert!(AffinePoint::new(Fp::from_u64(1), Fp::from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn hash_to_g1_deterministic_and_valid() {
+        let a = hash_to_g1(b"test", b"message");
+        let b = hash_to_g1(b"test", b"message");
+        assert_eq!(a, b);
+        assert!(a.point().is_on_curve());
+        assert!(a.point().is_in_subgroup());
+        assert!(!a.is_identity());
+        let c = hash_to_g1(b"test", b"other message");
+        assert_ne!(a, c);
+        let d = hash_to_g1(b"other label", b"message");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn psi_maps_g2_generator_to_g1_generator() {
+        assert_eq!(psi(&G2::generator()), G1::generator());
+        let mut r = rng();
+        let x = Fq::random(&mut r);
+        assert_eq!(psi(&G2::generator().mul(&x)), G1::generator().mul(&x));
+    }
+
+    #[test]
+    fn g1_wrapper_bytes_roundtrip() {
+        let mut r = rng();
+        let a = G1::random(&mut r);
+        assert_eq!(G1::from_bytes(&a.to_bytes()).unwrap(), a);
+        assert_eq!(G1::ENCODED_LEN, 65);
+    }
+
+    #[test]
+    fn g1_sub_is_add_neg() {
+        let mut r = rng();
+        let a = G1::random(&mut r);
+        let b = G1::random(&mut r);
+        assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn from_point_rejects_non_subgroup() {
+        // Find an on-curve point not in the subgroup: hash to curve WITHOUT
+        // cofactor clearing.
+        use peace_field::Fp;
+        let mut ctr = 0u64;
+        loop {
+            let wide = peace_hash::xof(b"nsg", &ctr.to_be_bytes(), 96);
+            let x = Fp::from_wide_bytes(&wide);
+            let rhs = x.square().mul(&x).add(&x);
+            if let Some(y) = rhs.sqrt() {
+                let p = AffinePoint::new_unchecked(x, y);
+                if !p.is_in_subgroup() {
+                    assert!(G1::from_point(p).is_none());
+                    return;
+                }
+            }
+            ctr += 1;
+        }
+    }
+
+    #[test]
+    fn ops_counter_increments() {
+        ops::reset_g1_mul_count();
+        let g = generator();
+        let _ = g.mul_scalar(&Fq::from_u64(3));
+        let _ = g.mul_scalar(&Fq::from_u64(4));
+        assert!(ops::g1_mul_count() >= 2);
+    }
+
+    #[test]
+    fn windowed_matches_binary_mul() {
+        let mut r = rng();
+        let g = generator();
+        for _ in 0..6 {
+            let k = Fq::random(&mut r).to_uint();
+            assert_eq!(
+                g.to_projective().mul_uint(&k).to_affine(),
+                g.to_projective().mul_uint_binary(&k).to_affine()
+            );
+        }
+        // edge scalars
+        for k in [0u64, 1, 2, 15, 16, 17] {
+            let k = Uint::<3>::from_u64(k);
+            assert_eq!(
+                g.to_projective().mul_uint(&k).to_affine(),
+                g.to_projective().mul_uint_binary(&k).to_affine()
+            );
+        }
+    }
+
+    #[test]
+    fn double_mul_matches_separate() {
+        let mut r = rng();
+        let p = AffinePoint::random_subgroup(&mut r);
+        let q = AffinePoint::random_subgroup(&mut r);
+        for _ in 0..4 {
+            let a = Fq::random(&mut r);
+            let b = Fq::random(&mut r);
+            let fused = p.double_mul_scalar(&a, &q, &b);
+            let separate = p.mul_scalar(&a).add(&q.mul_scalar(&b));
+            assert_eq!(fused, separate);
+        }
+        // degenerate cases
+        assert_eq!(
+            p.double_mul_scalar(&Fq::ZERO, &q, &Fq::ZERO),
+            AffinePoint::IDENTITY
+        );
+        assert_eq!(p.double_mul_scalar(&Fq::ONE, &q, &Fq::ZERO), p);
+        // P == Q (the shared-chain precompute must handle doubling)
+        let a = Fq::from_u64(3);
+        let b = Fq::from_u64(4);
+        assert_eq!(
+            p.double_mul_scalar(&a, &p, &b),
+            p.mul_scalar(&Fq::from_u64(7))
+        );
+    }
+
+    #[test]
+    fn g1_mul_mul_matches() {
+        let mut r = rng();
+        let x = G1::random(&mut r);
+        let y = G1::random(&mut r);
+        let a = Fq::random(&mut r);
+        let b = Fq::random(&mut r);
+        assert_eq!(x.mul_mul(&a, &y, &b), x.mul(&a).add(&y.mul(&b)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn prop_scalar_mul_small_matches_repeated_add(k in 0u64..40) {
+            let g = generator();
+            let mut expect = AffinePoint::IDENTITY;
+            for _ in 0..k {
+                expect = expect.add(&g);
+            }
+            prop_assert_eq!(g.mul_scalar(&Fq::from_u64(k)), expect);
+        }
+    }
+}

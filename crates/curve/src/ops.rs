@@ -1,0 +1,27 @@
+//! Global operation counters for the E2 experiment (§V.C computational
+//! overhead: "signature generation requires about 8 exponentiations … and 2
+//! bilinear map computations").
+//!
+//! Counters are process-wide atomics — cheap, and adequate for the
+//! single-threaded benchmark harness that reads them. `reset` + `snapshot`
+//! bracket a measured region.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static G1_MULS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one scalar multiplication in 𝔾₁/𝔾₂ (the paper's "exponentiation").
+#[inline]
+pub fn record_g1_mul() {
+    G1_MULS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Current count of group exponentiations since the last reset.
+pub fn g1_mul_count() -> u64 {
+    G1_MULS.load(Ordering::Relaxed)
+}
+
+/// Resets the exponentiation counter.
+pub fn reset_g1_mul_count() {
+    G1_MULS.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,317 @@
+//! Prime-field arithmetic for the PEACE pairing group.
+//!
+//! Three fields are exposed:
+//!
+//! * [`Fp`] — the 512-bit base field of the supersingular curve
+//!   `E: y² = x³ + x` (with `p ≡ 3 (mod 4)`, `p + 1 = c·q`).
+//! * [`Fq`] — the 160-bit scalar field (the order of the pairing subgroup);
+//!   this is the paper's `ℤ_p` exponent ring.
+//! * [`Fp2`] — the quadratic extension, target field of the Tate pairing.
+//!
+//! All arithmetic is Montgomery-form with CIOS multiplication, built on
+//! [`peace_bigint::Uint`]. Parameters are generated deterministically by
+//! `tools/genparams.py` and committed in [`params`].
+//!
+//! # Examples
+//!
+//! ```
+//! use peace_field::Fq;
+//!
+//! let a = Fq::from_u64(42);
+//! let inv = a.invert().expect("nonzero");
+//! assert_eq!(a.mul(&inv), Fq::ONE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod params;
+
+mod fp2;
+mod monty;
+
+pub use fp2::Fp2;
+pub use monty::{Fe, FieldParams};
+
+use peace_bigint::Uint;
+
+/// Marker type carrying the base-field (`p`) parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PMod;
+
+impl FieldParams<8> for PMod {
+    const MODULUS: Uint<8> = Uint::from_limbs(params::P_LIMBS);
+    const R: Uint<8> = Uint::from_limbs(params::P_R);
+    const R2: Uint<8> = Uint::from_limbs(params::P_R2);
+    const INV: u64 = params::P_INV;
+    const NUM_BITS: u32 = 512;
+    const NUM_BYTES: usize = 64;
+    const NAME: &'static str = "Fp";
+}
+
+/// Marker type carrying the scalar-field (`q`) parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QMod;
+
+impl FieldParams<3> for QMod {
+    const MODULUS: Uint<3> = Uint::from_limbs(params::Q_LIMBS);
+    const R: Uint<3> = Uint::from_limbs(params::Q_R);
+    const R2: Uint<3> = Uint::from_limbs(params::Q_R2);
+    const INV: u64 = params::Q_INV;
+    const NUM_BITS: u32 = 160;
+    const NUM_BYTES: usize = 20;
+    const NAME: &'static str = "Fq";
+}
+
+/// The 512-bit base field of the pairing curve.
+pub type Fp = Fe<PMod, 8>;
+
+/// The 160-bit scalar field (order of the pairing subgroup). This plays the
+/// role of the paper's exponent ring `ℤ_p`.
+pub type Fq = Fe<QMod, 3>;
+
+/// The subgroup order `q` as an integer.
+pub const fn subgroup_order() -> Uint<3> {
+    Uint::from_limbs(params::Q_LIMBS)
+}
+
+/// The base-field modulus `p` as an integer.
+pub const fn base_modulus() -> Uint<8> {
+    Uint::from_limbs(params::P_LIMBS)
+}
+
+/// The cofactor `c = (p + 1) / q` as an integer (352 bits).
+pub const fn cofactor() -> Uint<6> {
+    Uint::from_limbs(params::COFACTOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn fp_one_times_one() {
+        assert_eq!(Fp::ONE.mul(&Fp::ONE), Fp::ONE);
+        assert_eq!(Fp::ONE.to_uint(), Uint::ONE);
+    }
+
+    #[test]
+    fn fp_add_neg_is_zero() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let a = Fp::random(&mut r);
+            assert!(a.add(&a.neg()).is_zero());
+        }
+    }
+
+    #[test]
+    fn fp_mul_inverse() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp::random_nonzero(&mut r);
+            assert_eq!(a.mul(&a.invert().unwrap()), Fp::ONE);
+        }
+        assert!(Fp::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn fq_mul_inverse() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fq::random_nonzero(&mut r);
+            assert_eq!(a.mul(&a.invert().unwrap()), Fq::ONE);
+        }
+        assert!(Fq::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn fp_sqrt_roundtrip() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp::random(&mut r);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == a.neg());
+        }
+    }
+
+    #[test]
+    fn fp_nonresidue_has_no_root() {
+        // -1 is a non-residue since p ≡ 3 (mod 4)
+        let minus_one = Fp::ONE.neg();
+        assert_eq!(minus_one.legendre(), -1);
+        assert!(minus_one.sqrt().is_none());
+    }
+
+    #[test]
+    fn fp_legendre_of_squares() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp::random_nonzero(&mut r);
+            assert_eq!(a.square().legendre(), 1);
+        }
+        assert_eq!(Fp::ZERO.legendre(), 0);
+    }
+
+    #[test]
+    fn fq_fermat() {
+        // a^(q-1) = 1
+        let mut r = rng();
+        let a = Fq::random_nonzero(&mut r);
+        let qm1 = subgroup_order().wrapping_sub(&Uint::ONE);
+        assert_eq!(a.pow(&qm1), Fq::ONE);
+    }
+
+    #[test]
+    fn fp_fermat() {
+        let mut r = rng();
+        let a = Fp::random_nonzero(&mut r);
+        let pm1 = base_modulus().wrapping_sub(&Uint::ONE);
+        assert_eq!(a.pow(&pm1), Fp::ONE);
+    }
+
+    #[test]
+    fn canonical_bytes_roundtrip() {
+        let mut r = rng();
+        let a = Fp::random(&mut r);
+        let b = a.to_canonical_bytes();
+        assert_eq!(b.len(), 64);
+        assert_eq!(Fp::from_canonical_bytes(&b).unwrap(), a);
+
+        let x = Fq::random(&mut r);
+        let xb = x.to_canonical_bytes();
+        assert_eq!(xb.len(), 20);
+        assert_eq!(Fq::from_canonical_bytes(&xb).unwrap(), x);
+    }
+
+    #[test]
+    fn canonical_bytes_reject_modulus() {
+        let m = base_modulus().to_be_bytes();
+        assert!(Fp::from_canonical_bytes(&m).is_none());
+        let q = subgroup_order().to_be_bytes();
+        assert!(Fq::from_canonical_bytes(&q[4..]).is_none());
+        assert!(Fq::from_canonical_bytes(&[0u8; 19]).is_none());
+    }
+
+    #[test]
+    fn from_wide_bytes_reduces() {
+        let wide = [0xFFu8; 40];
+        let a = Fq::from_wide_bytes(&wide);
+        // Must equal the value mod q computed through Uint reduction.
+        let mut full = [0u8; 48];
+        full[8..].copy_from_slice(&wide);
+        let hi = Uint::<3>::from_be_bytes(&full[..24]).unwrap();
+        let lo = Uint::<3>::from_be_bytes(&full[24..]).unwrap();
+        let expect = Fq::from_uint(&Uint::reduce_wide(&lo, &hi, &subgroup_order()));
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn fp2_mul_commutes_and_inverts() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let b = Fp2::random(&mut r);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        let ai = a.invert().unwrap();
+        assert_eq!(a.mul(&ai), Fp2::ONE);
+        assert!(Fp2::ZERO.invert().is_none());
+    }
+
+    #[test]
+    fn fp2_square_matches_mul() {
+        let mut r = rng();
+        for _ in 0..10 {
+            let a = Fp2::random(&mut r);
+            assert_eq!(a.square(), a.mul(&a));
+        }
+    }
+
+    #[test]
+    fn fp2_i_squared_is_minus_one() {
+        let i = Fp2::new(Fp::ZERO, Fp::ONE);
+        assert_eq!(i.square(), Fp2::from_base(Fp::ONE.neg()));
+    }
+
+    #[test]
+    fn fp2_conjugate_is_frobenius() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let frob = a.pow(&base_modulus());
+        assert_eq!(frob, a.conjugate());
+    }
+
+    #[test]
+    fn fp2_norm_multiplicative() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let b = Fp2::random(&mut r);
+        assert_eq!(a.mul(&b).norm(), a.norm().mul(&b.norm()));
+    }
+
+    #[test]
+    fn fp2_bytes_roundtrip() {
+        let mut r = rng();
+        let a = Fp2::random(&mut r);
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), 128);
+        assert_eq!(Fp2::from_bytes(&bytes).unwrap(), a);
+        assert!(Fp2::from_bytes(&bytes[1..]).is_none());
+    }
+
+    #[test]
+    fn p_plus_one_is_cofactor_times_q() {
+        // sanity-check the generated parameters: c * q == p + 1
+        let c = cofactor();
+        let q = subgroup_order();
+        // widen both to 8 limbs and multiply
+        let mut cl = [0u64; 8];
+        cl[..6].copy_from_slice(c.as_limbs());
+        let mut ql = [0u64; 8];
+        ql[..3].copy_from_slice(q.as_limbs());
+        let (lo, hi) = Uint::<8>::from_limbs(cl).mul_wide(&Uint::from_limbs(ql));
+        assert!(hi.is_zero());
+        assert_eq!(lo, base_modulus().wrapping_add(&Uint::ONE));
+    }
+
+    #[test]
+    fn p_is_3_mod_4() {
+        assert_eq!(base_modulus().as_limbs()[0] & 3, 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn prop_fq_ring_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let (a, b, c) = (Fq::from_u64(a), Fq::from_u64(b), Fq::from_u64(c));
+            prop_assert_eq!(a.add(&b), b.add(&a));
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn prop_fp_sub_add_inverse(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (Fp::from_u64(a), Fp::from_u64(b));
+            prop_assert_eq!(a.sub(&b).add(&b), a);
+        }
+
+        #[test]
+        fn prop_fq_pow_small(a in 1u64..1000, e in 0u32..16) {
+            let base = Fq::from_u64(a);
+            let mut expect = Fq::ONE;
+            for _ in 0..e {
+                expect = expect.mul(&base);
+            }
+            prop_assert_eq!(base.pow(&Uint::<3>::from_u64(e as u64)), expect);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Generic Montgomery-form prime-field elements.
+//!
+//! [`Fe<P, N>`] is an element of the prime field defined by the parameter
+//! type `P` (an implementation of [`FieldParams`]), stored in Montgomery
+//! form over `N` 64-bit limbs. Multiplication uses the CIOS algorithm.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::marker::PhantomData;
+
+use peace_bigint::{adc, mac, Uint};
+use rand::RngCore;
+
+/// Compile-time parameters describing a prime field.
+///
+/// This trait is sealed in spirit: it is implemented only by the parameter
+/// marker types in this crate ([`PMod`](crate::PMod), [`QMod`](crate::QMod)).
+pub trait FieldParams<const N: usize>: Copy + Clone + Eq + Send + Sync + 'static {
+    /// The field modulus (an odd prime).
+    const MODULUS: Uint<N>;
+    /// `2^(64·N) mod MODULUS` — the Montgomery form of 1.
+    const R: Uint<N>;
+    /// `R² mod MODULUS` — used to enter Montgomery form.
+    const R2: Uint<N>;
+    /// `-MODULUS⁻¹ mod 2^64`.
+    const INV: u64;
+    /// Bit length of the modulus.
+    const NUM_BITS: u32;
+    /// Canonical byte-encoding length: `ceil(NUM_BITS / 8)`.
+    const NUM_BYTES: usize;
+    /// Short human-readable field name used in `Debug` output.
+    const NAME: &'static str;
+}
+
+/// A prime-field element in Montgomery form.
+pub struct Fe<P: FieldParams<N>, const N: usize> {
+    mont: Uint<N>,
+    _p: PhantomData<P>,
+}
+
+impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
+    /// The additive identity.
+    pub const ZERO: Self = Self {
+        mont: Uint::ZERO,
+        _p: PhantomData,
+    };
+
+    /// The multiplicative identity.
+    pub const ONE: Self = Self {
+        mont: P::R,
+        _p: PhantomData,
+    };
+
+    #[inline]
+    const fn from_mont(mont: Uint<N>) -> Self {
+        Self {
+            mont,
+            _p: PhantomData,
+        }
+    }
+
+    /// Montgomery reduction of the product accumulator (CIOS main loop).
+    #[allow(clippy::needless_range_loop)]
+    fn mont_mul(a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let al = a.as_limbs();
+        let bl = b.as_limbs();
+        let ml = P::MODULUS.as_limbs();
+        let mut t = [0u64; N];
+        let mut t_n = 0u64;
+        for i in 0..N {
+            // t += a * b[i]
+            let mut carry = 0u64;
+            for j in 0..N {
+                let (v, c) = mac(t[j], al[j], bl[i], carry);
+                t[j] = v;
+                carry = c;
+            }
+            let (v, t_np1) = adc(t_n, carry, 0);
+            t_n = v;
+            // m = t[0] * INV mod 2^64; t += m * MODULUS; t >>= 64
+            let m = t[0].wrapping_mul(P::INV);
+            let (_, mut carry) = mac(t[0], m, ml[0], 0);
+            for j in 1..N {
+                let (v, c) = mac(t[j], m, ml[j], carry);
+                t[j - 1] = v;
+                carry = c;
+            }
+            let (v, c) = adc(t_n, carry, 0);
+            t[N - 1] = v;
+            t_n = t_np1.wrapping_add(c);
+        }
+        // Final conditional subtraction.
+        let mut res = Uint::from_limbs(t);
+        let (sub, borrow) = res.overflowing_sub(&P::MODULUS);
+        if t_n != 0 || !borrow {
+            res = sub;
+        }
+        res
+    }
+
+    /// Constructs a field element from an integer, reducing mod the modulus.
+    pub fn from_uint(v: &Uint<N>) -> Self {
+        let reduced = if *v < P::MODULUS {
+            *v
+        } else {
+            v.rem(&P::MODULUS)
+        };
+        Self::from_mont(Self::mont_mul(&reduced, &P::R2))
+    }
+
+    /// Constructs from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        Self::from_uint(&Uint::from_u64(v))
+    }
+
+    /// Returns the canonical integer representative in `[0, MODULUS)`.
+    pub fn to_uint(&self) -> Uint<N> {
+        Self::mont_mul(&self.mont, &Uint::ONE)
+    }
+
+    /// Whether this is the additive identity.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.mont.is_zero()
+    }
+
+    /// Whether the canonical representative is odd (used for point-compression signs).
+    pub fn is_odd(&self) -> bool {
+        self.to_uint().is_odd()
+    }
+
+    /// Field addition.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Self::from_mont(self.mont.add_mod(&rhs.mont, &P::MODULUS))
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Self::from_mont(self.mont.sub_mod(&rhs.mont, &P::MODULUS))
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Self {
+        if self.is_zero() {
+            *self
+        } else {
+            Self::from_mont(P::MODULUS.wrapping_sub(&self.mont))
+        }
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Self::from_mont(Self::mont_mul(&self.mont, &rhs.mont))
+    }
+
+    /// Squaring (delegates to multiplication; adequate for this workload).
+    pub fn square(&self) -> Self {
+        self.mul(self)
+    }
+
+    /// Doubling.
+    pub fn double(&self) -> Self {
+        self.add(self)
+    }
+
+    /// Exponentiation by a little-endian limb slice (left-to-right binary).
+    pub fn pow_limbs(&self, exp: &[u64]) -> Self {
+        // Find the highest set bit.
+        let mut top = None;
+        for (i, &l) in exp.iter().enumerate().rev() {
+            if l != 0 {
+                top = Some(64 * i as u32 + 63 - l.leading_zeros());
+                break;
+            }
+        }
+        let Some(top) = top else { return Self::ONE };
+        let mut acc = Self::ONE;
+        for i in (0..=top).rev() {
+            acc = acc.square();
+            if (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Exponentiation by a `Uint` of any width.
+    pub fn pow<const M: usize>(&self, exp: &Uint<M>) -> Self {
+        self.pow_limbs(exp.as_limbs())
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// Returns `None` for zero.
+    pub fn invert(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        let exp = P::MODULUS.wrapping_sub(&Uint::from_u64(2));
+        Some(self.pow(&exp))
+    }
+
+    /// Legendre symbol: `1` for quadratic residues, `-1` for non-residues,
+    /// `0` for zero.
+    pub fn legendre(&self) -> i8 {
+        if self.is_zero() {
+            return 0;
+        }
+        // (p-1)/2
+        let exp = P::MODULUS.wrapping_sub(&Uint::ONE).shr1();
+        let r = self.pow(&exp);
+        if r == Self::ONE {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Square root for moduli `≡ 3 (mod 4)`: `self^((p+1)/4)`, verified.
+    ///
+    /// Returns `None` if `self` is not a quadratic residue.
+    pub fn sqrt(&self) -> Option<Self> {
+        debug_assert!(
+            P::MODULUS.as_limbs()[0] & 3 == 3,
+            "sqrt shortcut requires p ≡ 3 (mod 4)"
+        );
+        let exp = P::MODULUS.wrapping_add(&Uint::ONE).shr1().shr1();
+        let r = self.pow(&exp);
+        if r.square() == *self {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Uniformly random field element.
+    pub fn random(rng: &mut impl RngCore) -> Self {
+        // Sample double-width and reduce: bias is 2^-(64N), negligible.
+        let mut bytes = vec![0u8; 16 * N];
+        rng.fill_bytes(&mut bytes);
+        let lo = Uint::from_be_bytes(&bytes[..8 * N]).expect("exact length");
+        let hi = Uint::from_be_bytes(&bytes[8 * N..]).expect("exact length");
+        Self::from_uint(&Uint::reduce_wide(&lo, &hi, &P::MODULUS))
+    }
+
+    /// Uniformly random *nonzero* field element.
+    pub fn random_nonzero(rng: &mut impl RngCore) -> Self {
+        loop {
+            let v = Self::random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+
+    /// Derives a field element from a byte string of any length
+    /// (≥ `2·NUM_BYTES` recommended for negligible bias), interpreting it as
+    /// a big-endian integer reduced mod the modulus.
+    pub fn from_wide_bytes(bytes: &[u8]) -> Self {
+        if bytes.len() <= 16 * N {
+            let mut full = vec![0u8; 16 * N];
+            full[16 * N - bytes.len()..].copy_from_slice(bytes);
+            let hi = Uint::from_be_bytes(&full[..8 * N]).expect("exact length");
+            let lo = Uint::from_be_bytes(&full[8 * N..]).expect("exact length");
+            return Self::from_uint(&Uint::reduce_wide(&lo, &hi, &P::MODULUS));
+        }
+        // Longer inputs: Horner evaluation base 2^(64·N) over N-limb chunks.
+        let chunk_bytes = 8 * N;
+        // 2^(64·N) mod m in Montgomery form is mont(R) = R·R mod m = mont_mul(R2, R)…
+        // simplest correct route: R as a plain integer equals 2^(64N) mod m.
+        let shift = Self::from_uint(&P::R);
+        let mut acc = Self::ZERO;
+        let mut rest = bytes;
+        // Leading partial chunk first.
+        let lead = rest.len() % chunk_bytes;
+        if lead != 0 {
+            acc = Self::from_uint(
+                &Uint::from_be_bytes_padded(&rest[..lead]).expect("fits in N limbs"),
+            );
+            rest = &rest[lead..];
+        }
+        while !rest.is_empty() {
+            let chunk = Uint::from_be_bytes(&rest[..chunk_bytes]).expect("exact length");
+            acc = acc.mul(&shift).add(&Self::from_uint(&chunk));
+            rest = &rest[chunk_bytes..];
+        }
+        acc
+    }
+
+    /// Canonical big-endian encoding, `P::NUM_BYTES` long.
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        let full = self.to_uint().to_be_bytes();
+        full[full.len() - P::NUM_BYTES..].to_vec()
+    }
+
+    /// Parses a canonical encoding (exactly `P::NUM_BYTES`, value < modulus).
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != P::NUM_BYTES {
+            return None;
+        }
+        let v = Uint::from_be_bytes_padded(bytes)?;
+        if v.cmp(&P::MODULUS) == Ordering::Less {
+            Some(Self::from_uint(&v))
+        } else {
+            None
+        }
+    }
+}
+
+impl<P: FieldParams<N>, const N: usize> Clone for Fe<P, N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P: FieldParams<N>, const N: usize> Copy for Fe<P, N> {}
+
+impl<P: FieldParams<N>, const N: usize> PartialEq for Fe<P, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.mont == other.mont
+    }
+}
+impl<P: FieldParams<N>, const N: usize> Eq for Fe<P, N> {}
+
+impl<P: FieldParams<N>, const N: usize> core::hash::Hash for Fe<P, N> {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.mont.hash(state);
+    }
+}
+
+impl<P: FieldParams<N>, const N: usize> Default for Fe<P, N> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<P: FieldParams<N>, const N: usize> fmt::Debug for Fe<P, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({:?})", P::NAME, self.to_uint())
+    }
+}
+
+impl<P: FieldParams<N>, const N: usize> fmt::Display for Fe<P, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<P: FieldParams<N>, const N: usize> core::ops::Add for Fe<P, N> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fe::add(&self, &rhs)
+    }
+}
+impl<P: FieldParams<N>, const N: usize> core::ops::Sub for Fe<P, N> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fe::sub(&self, &rhs)
+    }
+}
+impl<P: FieldParams<N>, const N: usize> core::ops::Mul for Fe<P, N> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Fe::mul(&self, &rhs)
+    }
+}
+impl<P: FieldParams<N>, const N: usize> core::ops::Neg for Fe<P, N> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fe::neg(&self)
+    }
+}

@@ -1,0 +1,400 @@
+//! The PEACE short group signature — a variation of Boneh–Shacham
+//! verifier-local-revocation group signatures (CCS 2004) with the key
+//! generation modified per the paper (ICDCS 2008, §IV):
+//!
+//! * the SDH exponent splits into `grp_i + x_j`, binding every member key to
+//!   a *user group*;
+//! * signatures are anonymous and unlinkable (per-message H₀ bases);
+//! * the network operator can *open* a signature to its revocation token —
+//!   which identifies only the user group, realizing privacy-preserving
+//!   accountability;
+//! * verifier-local revocation: a signature can be tested against a
+//!   revocation list `URL` without contacting the signer.
+//!
+//! # Examples
+//!
+//! ```
+//! use peace_groupsig::{sign, verify, BasesMode, IssuerKey};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let issuer = IssuerKey::generate(&mut rng);
+//! let grp = issuer.new_group_secret(&mut rng);
+//! let member = issuer.issue(&grp, &mut rng);
+//!
+//! let sig = sign(issuer.public_key(), &member, b"msg", BasesMode::PerMessage, &mut rng);
+//! assert!(verify(issuer.public_key(), b"msg", &sig, BasesMode::PerMessage).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod keys;
+mod sig;
+
+pub use keys::{GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken};
+pub use sig::{
+    h0_bases, open, revocation_index, sign, token_matches, verify, BasesMode, GroupSignature,
+    PreparedGpk, RevocationTable, VerifyError,
+};
+
+// Re-export the op-counter snapshot for the E2 benchmark.
+pub use peace_pairing::OpSnapshot;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peace_wire::{Decode, Encode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        issuer: IssuerKey,
+        grp_a: GroupSecret,
+        grp_b: GroupSecret,
+        alice: MemberKey,
+        bob: MemberKey,
+        carol_b: MemberKey,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(42);
+        let issuer = IssuerKey::generate(&mut rng);
+        let grp_a = issuer.new_group_secret(&mut rng);
+        let grp_b = issuer.new_group_secret(&mut rng);
+        let alice = issuer.issue(&grp_a, &mut rng);
+        let bob = issuer.issue(&grp_a, &mut rng);
+        let carol_b = issuer.issue(&grp_b, &mut rng);
+        Fixture {
+            issuer,
+            grp_a,
+            grp_b,
+            alice,
+            bob,
+            carol_b,
+            rng,
+        }
+    }
+
+    #[test]
+    fn member_keys_satisfy_sdh_relation() {
+        let f = fixture();
+        for k in [&f.alice, &f.bob, &f.carol_b] {
+            assert!(k.is_valid_for(f.issuer.public_key()));
+        }
+    }
+
+    #[test]
+    fn corrupted_member_key_detected() {
+        let mut f = fixture();
+        let mut bad = f.alice;
+        bad.x = peace_field::Fq::random(&mut f.rng);
+        assert!(!bad.is_valid_for(f.issuer.public_key()));
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        for mode in [BasesMode::PerMessage, BasesMode::FixedBases] {
+            let sig = sign(&gpk, &f.alice, b"hello mesh", mode, &mut f.rng);
+            assert!(verify(&gpk, b"hello mesh", &sig, mode).is_ok());
+        }
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let sig = sign(&gpk, &f.alice, b"msg-a", BasesMode::PerMessage, &mut f.rng);
+        assert_eq!(
+            verify(&gpk, b"msg-b", &sig, BasesMode::PerMessage),
+            Err(VerifyError::BadChallenge)
+        );
+    }
+
+    #[test]
+    fn wrong_mode_rejected() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        assert!(verify(&gpk, b"m", &sig, BasesMode::FixedBases).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        let mut bad = sig;
+        bad.s_x = bad.s_x.add(&peace_field::Fq::ONE);
+        assert!(verify(&gpk, b"m", &bad, BasesMode::PerMessage).is_err());
+        let mut bad2 = sig;
+        bad2.t2 = bad2.t2.add(&gpk.g1);
+        assert!(verify(&gpk, b"m", &bad2, BasesMode::PerMessage).is_err());
+    }
+
+    #[test]
+    fn outsider_cannot_forge() {
+        // A key for a *different* gpk (different γ) must not verify.
+        let mut f = fixture();
+        let other_issuer = IssuerKey::generate(&mut f.rng);
+        let other_grp = other_issuer.new_group_secret(&mut f.rng);
+        let outsider = other_issuer.issue(&other_grp, &mut f.rng);
+        let sig = sign(
+            f.issuer.public_key(),
+            &outsider,
+            b"m",
+            BasesMode::PerMessage,
+            &mut f.rng,
+        );
+        assert!(verify(f.issuer.public_key(), b"m", &sig, BasesMode::PerMessage).is_err());
+    }
+
+    #[test]
+    fn signatures_unlinkable_via_commitments() {
+        // Two signatures by the same key share nothing observable:
+        // (T1, T2, r, c, s_*) all differ.
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let s1 = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        let s2 = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        assert_ne!(s1.t1, s2.t1);
+        assert_ne!(s1.t2, s2.t2);
+        assert_ne!(s1.r, s2.r);
+        assert_ne!(s1.c, s2.c);
+    }
+
+    #[test]
+    fn revocation_scan_finds_revoked_signer_only() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let sig_alice = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        let sig_bob = sign(&gpk, &f.bob, b"m", BasesMode::PerMessage, &mut f.rng);
+
+        let url = vec![f.alice.revocation_token()];
+        assert_eq!(
+            revocation_index(&gpk, b"m", &sig_alice, &url, BasesMode::PerMessage),
+            Some(0)
+        );
+        assert_eq!(
+            revocation_index(&gpk, b"m", &sig_bob, &url, BasesMode::PerMessage),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_url_never_matches() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        assert_eq!(
+            revocation_index(&gpk, b"m", &sig, &[], BasesMode::PerMessage),
+            None
+        );
+    }
+
+    #[test]
+    fn open_identifies_correct_key_across_groups() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let grt = vec![
+            f.alice.revocation_token(),
+            f.bob.revocation_token(),
+            f.carol_b.revocation_token(),
+        ];
+        for (i, key) in [&f.alice, &f.bob, &f.carol_b].iter().enumerate() {
+            let sig = sign(&gpk, key, b"audit-me", BasesMode::PerMessage, &mut f.rng);
+            assert_eq!(
+                open(&gpk, b"audit-me", &sig, &grt, BasesMode::PerMessage),
+                Some(i)
+            );
+        }
+    }
+
+    #[test]
+    fn open_reveals_group_not_member_semantics() {
+        // Two members of the same group have distinct tokens; the binding
+        // token → group is what NO keeps (keys.rs docs). Check tokens differ.
+        let f = fixture();
+        assert_ne!(f.alice.revocation_token(), f.bob.revocation_token());
+        assert_eq!(f.alice.grp, f.bob.grp);
+        assert_ne!(f.alice.grp, f.carol_b.grp);
+        let _ = (f.grp_a, f.grp_b);
+    }
+
+    #[test]
+    fn fixed_bases_table_lookup() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let tokens = vec![
+            f.alice.revocation_token(),
+            f.bob.revocation_token(),
+            f.carol_b.revocation_token(),
+        ];
+        let table = RevocationTable::build(&gpk, &tokens);
+        assert_eq!(table.len(), 3);
+
+        let sig = sign(&gpk, &f.bob, b"m", BasesMode::FixedBases, &mut f.rng);
+        assert!(verify(&gpk, b"m", &sig, BasesMode::FixedBases).is_ok());
+        assert_eq!(table.lookup(&sig), Some(1));
+
+        // A non-listed signer... all three are listed; build a partial table.
+        let partial = RevocationTable::build(&gpk, &tokens[..1]);
+        assert_eq!(partial.lookup(&sig), None);
+    }
+
+    #[test]
+    fn prepared_verification_matches_and_saves_a_pairing() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let prepared = PreparedGpk::new(&gpk);
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+
+        OpSnapshot::reset_all();
+        let before = OpSnapshot::capture();
+        prepared.verify(b"m", &sig, BasesMode::PerMessage).unwrap();
+        let cost = OpSnapshot::capture().since(&before);
+        assert_eq!(cost.pairings, 2, "prepared verify uses 2 pairings");
+
+        // Same acceptance/rejection behaviour as the plain verifier.
+        assert!(prepared.verify(b"other", &sig, BasesMode::PerMessage).is_err());
+        assert_eq!(prepared.gpk(), &gpk);
+    }
+
+    #[test]
+    fn revocation_table_incremental_maintenance() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let mut table = RevocationTable::build(&gpk, &[f.alice.revocation_token()]);
+        let sig_bob = sign(&gpk, &f.bob, b"m", BasesMode::FixedBases, &mut f.rng);
+        assert_eq!(table.lookup(&sig_bob), None);
+        // Revoke bob incrementally.
+        let bob_idx = table.insert(&f.bob.revocation_token());
+        assert_eq!(table.lookup(&sig_bob), Some(bob_idx));
+        assert_eq!(table.len(), 2);
+        // Lift the revocation.
+        assert!(table.remove(&f.bob.revocation_token()));
+        assert_eq!(table.lookup(&sig_bob), None);
+        assert!(!table.remove(&f.bob.revocation_token()));
+        // Alice remains listed throughout.
+        let sig_alice = sign(&gpk, &f.alice, b"m", BasesMode::FixedBases, &mut f.rng);
+        assert_eq!(table.lookup(&sig_alice), Some(0));
+    }
+
+    #[test]
+    fn signature_encoding_is_stable_golden() {
+        // Regression guard: with a fixed RNG the signature encoding must be
+        // byte-identical across releases (the wire format is a protocol
+        // contract). The digest pins the full pipeline: keygen, H0, H,
+        // point compression, scalar encoding.
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let issuer = IssuerKey::generate(&mut rng);
+        let grp = issuer.new_group_secret(&mut rng);
+        let member = issuer.issue(&grp, &mut rng);
+        let sig = sign(
+            issuer.public_key(),
+            &member,
+            b"golden message",
+            BasesMode::PerMessage,
+            &mut rng,
+        );
+        assert!(verify(issuer.public_key(), b"golden message", &sig, BasesMode::PerMessage).is_ok());
+        let digest = peace_hash::sha256(&sig.to_bytes());
+        let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+        // If this changes, the wire format changed: bump the protocol
+        // version strings and update this vector deliberately.
+        assert_eq!(
+            hex,
+            golden_signature_digest(),
+            "group-signature wire format drifted"
+        );
+    }
+
+    fn golden_signature_digest() -> String {
+        // Computed once from the pinned RNG stream above (see test).
+        include_str!("golden_sig_digest.txt").trim().to_string()
+    }
+
+    #[test]
+    fn fixed_bases_consistent_with_scan() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let tokens = vec![f.alice.revocation_token(), f.bob.revocation_token()];
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::FixedBases, &mut f.rng);
+        assert_eq!(
+            revocation_index(&gpk, b"m", &sig, &tokens, BasesMode::FixedBases),
+            Some(0)
+        );
+        let table = RevocationTable::build(&gpk, &tokens);
+        assert_eq!(table.lookup(&sig), Some(0));
+    }
+
+    #[test]
+    fn signature_encoding_roundtrip_and_size() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        let bytes = sig.to_bytes();
+        assert_eq!(bytes.len(), GroupSignature::ENCODED_LEN);
+        assert_eq!(GroupSignature::from_wire(&bytes).unwrap(), sig);
+        // E1: 2·|G1| + 5·|Zq| = 2·65 + 5·20 = 230 bytes on our curve.
+        assert_eq!(GroupSignature::ENCODED_LEN, 230);
+    }
+
+    #[test]
+    fn gpk_and_token_encoding_roundtrip() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        assert_eq!(
+            GroupPublicKey::from_wire(&gpk.to_wire()).unwrap(),
+            gpk
+        );
+        let t = f.alice.revocation_token();
+        assert_eq!(RevocationToken::from_wire(&t.to_wire()).unwrap(), t);
+        let _ = &mut f.rng;
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_signature() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        let mut bytes = sig.to_bytes();
+        bytes[20] = 9; // invalid point tag for t1
+        assert!(GroupSignature::from_wire(&bytes).is_err());
+        assert!(GroupSignature::from_wire(&bytes[..100]).is_err());
+    }
+
+    #[test]
+    fn op_counts_match_paper_shape() {
+        // §V.C: signing ≈ 8 exponentiations + 2 pairing-ish computations
+        // (our instantiation evaluates each pairing explicitly), verification
+        // uses a bounded number of pairings + 2 per URL entry.
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        OpSnapshot::reset_all();
+        let before = OpSnapshot::capture();
+        let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        let after_sign = OpSnapshot::capture();
+        let sign_cost = after_sign.since(&before);
+        assert!(sign_cost.pairings <= 3, "sign pairings: {sign_cost:?}");
+        assert!(sign_cost.total_exps() >= 6 && sign_cost.total_exps() <= 24);
+
+        let before_v = OpSnapshot::capture();
+        verify(&gpk, b"m", &sig, BasesMode::PerMessage).unwrap();
+        let verify_cost = OpSnapshot::capture().since(&before_v);
+        assert!(verify_cost.pairings <= 6, "verify pairings: {verify_cost:?}");
+
+        // revocation: 2 pairings per token (one product evaluation)
+        let url: Vec<_> = (0..4)
+            .map(|_| f.issuer.issue(&f.grp_a, &mut f.rng).revocation_token())
+            .collect();
+        let before_r = OpSnapshot::capture();
+        let _ = revocation_index(&gpk, b"m", &sig, &url, BasesMode::PerMessage);
+        let rev_cost = OpSnapshot::capture().since(&before_r);
+        assert_eq!(rev_cost.pairings, 2 * url.len() as u64);
+    }
+}

@@ -1,0 +1,396 @@
+//! Sign / verify / revocation-check / open for the PEACE group signature
+//! (paper §IV.B steps 2.2 and 3.2–3.3, §IV.D audit protocol).
+
+use core::fmt;
+
+use peace_curve::{psi, G1, G2};
+use peace_field::Fq;
+use peace_pairing::{pairing, pairing_product, Gt};
+use peace_wire::{Decode, Encode, Reader, Writer};
+use rand::RngCore;
+
+use crate::keys::{GroupPublicKey, MemberKey, RevocationToken};
+
+/// How the per-signature bases `(û, v̂)` are derived.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BasesMode {
+    /// Paper default (Eq.1): `(û, v̂) ← H₀(gpk, msg, r)` — fresh bases per
+    /// signature, full unlinkability, revocation check is `O(|URL|)`
+    /// pairings.
+    #[default]
+    PerMessage,
+    /// BS04's speed-up mentioned in §V.C: fixed system-wide bases
+    /// `(û, v̂) ← H₀(gpk)`, enabling a precomputed revocation table with
+    /// `O(1)` pairings per check "with a little bit sacrifice on user
+    /// privacy" (signatures by one key share `ê(A, û)`, so a *revoked* key
+    /// becomes linkable across sessions; unrevoked keys remain anonymous).
+    FixedBases,
+}
+
+/// The group signature
+/// `SIG = (r, T₁, T₂, c, s_α, s_x, s_δ)` (paper step 2.2.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GroupSignature {
+    /// Freshness scalar `r` mixed into the H₀ bases.
+    pub r: Fq,
+    /// `T₁ = u^α`.
+    pub t1: G1,
+    /// `T₂ = A·v^α`.
+    pub t2: G1,
+    /// Fiat–Shamir challenge `c`.
+    pub c: Fq,
+    /// Response `s_α = r_α + c·α`.
+    pub s_alpha: Fq,
+    /// Response `s_x = r_x + c·(grp + x)`.
+    pub s_x: Fq,
+    /// Response `s_δ = r_δ + c·δ`.
+    pub s_delta: Fq,
+}
+
+impl GroupSignature {
+    /// Encoded size: 2 𝔾₁ elements (65 B compressed) + 5 ℤ_q scalars (20 B).
+    pub const ENCODED_LEN: usize = 2 * G1::ENCODED_LEN + 5 * 20;
+
+    /// Canonical encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_wire()
+    }
+}
+
+impl Encode for GroupSignature {
+    fn encode(&self, w: &mut Writer) {
+        w.put_fixed(&self.r.to_canonical_bytes());
+        w.put_fixed(&self.t1.to_bytes());
+        w.put_fixed(&self.t2.to_bytes());
+        w.put_fixed(&self.c.to_canonical_bytes());
+        w.put_fixed(&self.s_alpha.to_canonical_bytes());
+        w.put_fixed(&self.s_x.to_canonical_bytes());
+        w.put_fixed(&self.s_delta.to_canonical_bytes());
+    }
+}
+
+impl Decode for GroupSignature {
+    fn decode(rd: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        let inv = peace_wire::WireError::Invalid("group signature");
+        let r = Fq::from_canonical_bytes(rd.get_fixed(20)?).ok_or(inv)?;
+        let t1 = G1::from_bytes(rd.get_fixed(G1::ENCODED_LEN)?).ok_or(inv)?;
+        let t2 = G1::from_bytes(rd.get_fixed(G1::ENCODED_LEN)?).ok_or(inv)?;
+        let c = Fq::from_canonical_bytes(rd.get_fixed(20)?).ok_or(inv)?;
+        let s_alpha = Fq::from_canonical_bytes(rd.get_fixed(20)?).ok_or(inv)?;
+        let s_x = Fq::from_canonical_bytes(rd.get_fixed(20)?).ok_or(inv)?;
+        let s_delta = Fq::from_canonical_bytes(rd.get_fixed(20)?).ok_or(inv)?;
+        Ok(Self {
+            r,
+            t1,
+            t2,
+            c,
+            s_alpha,
+            s_x,
+            s_delta,
+        })
+    }
+}
+
+/// Verification failure reasons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The Fiat–Shamir challenge did not match (forged/corrupted signature).
+    BadChallenge,
+    /// `T₁` or `T₂` is the identity (degenerate, never produced by `sign`).
+    DegenerateCommitment,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadChallenge => write!(f, "group signature challenge mismatch"),
+            VerifyError::DegenerateCommitment => write!(f, "degenerate signature commitment"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Derives the bases `(û, v̂) ∈ 𝔾₂²` per Eq.1 (or the fixed variant).
+pub fn h0_bases(gpk: &GroupPublicKey, msg: &[u8], r: &Fq, mode: BasesMode) -> (G2, G2) {
+    let mut input = gpk.to_bytes();
+    if mode == BasesMode::PerMessage {
+        input.extend_from_slice(msg);
+        input.extend_from_slice(&r.to_canonical_bytes());
+    }
+    let u_hat = peace_curve::hash_to_g2(b"peace-H0-u", &input);
+    let v_hat = peace_curve::hash_to_g2(b"peace-H0-v", &input);
+    (u_hat, v_hat)
+}
+
+/// The challenge hash `H : … → ℤ_q` (paper step 2.2.3).
+#[allow(clippy::too_many_arguments)]
+fn challenge(
+    gpk: &GroupPublicKey,
+    msg: &[u8],
+    r: &Fq,
+    t1: &G1,
+    t2: &G1,
+    r1: &G1,
+    r2: &Gt,
+    r3: &G1,
+) -> Fq {
+    let mut w = Writer::with_capacity(1024);
+    w.put_bytes(&gpk.to_bytes());
+    w.put_bytes(msg);
+    w.put_fixed(&r.to_canonical_bytes());
+    w.put_fixed(&t1.to_bytes());
+    w.put_fixed(&t2.to_bytes());
+    w.put_fixed(&r1.to_bytes());
+    w.put_fixed(&r2.to_bytes());
+    w.put_fixed(&r3.to_bytes());
+    Fq::from_wide_bytes(&peace_hash::xof(b"peace-H-challenge", w.as_bytes(), 40))
+}
+
+/// Signs `msg` under `gsk` (paper steps 2.2.1–2.2.4).
+pub fn sign(
+    gpk: &GroupPublicKey,
+    gsk: &MemberKey,
+    msg: &[u8],
+    mode: BasesMode,
+    rng: &mut impl RngCore,
+) -> GroupSignature {
+    let r = Fq::random(rng);
+    let (u_hat, v_hat) = h0_bases(gpk, msg, &r, mode);
+    let u = psi(&u_hat);
+    let v = psi(&v_hat);
+
+    // 2.2.2
+    let alpha = Fq::random(rng);
+    let t1 = u.mul(&alpha);
+    let t2 = gsk.a.add(&v.mul(&alpha));
+    let x_eff = gsk.exponent();
+    let delta = x_eff.mul(&alpha);
+    let r_alpha = Fq::random(rng);
+    let r_x = Fq::random(rng);
+    let r_delta = Fq::random(rng);
+
+    // 2.2.3 helper values. Pairings are merged as in BS04's accounting
+    // ("about 8 exponentiations and 2 bilinear map computations"):
+    //   ê(v,w)^{−r_α} · ê(v,g₂)^{−r_δ} = ê(v, w^{r_α}·g₂^{r_δ})⁻¹
+    let r1 = u.mul(&r_alpha);
+    let e_t2_g2 = pairing(&t2, &gpk.g2);
+    let merged = gpk.w.mul(&r_alpha).add(&gpk.g2.mul(&r_delta));
+    let r2 = e_t2_g2.pow(&r_x).mul(&pairing(&v, &merged).invert());
+    let r3 = t1.mul(&r_x).add(&u.mul(&r_delta).neg());
+    let c = challenge(gpk, msg, &r, &t1, &t2, &r1, &r2, &r3);
+
+    // 2.2.4 responses
+    GroupSignature {
+        r,
+        t1,
+        t2,
+        c,
+        s_alpha: r_alpha.add(&c.mul(&alpha)),
+        s_x: r_x.add(&c.mul(&x_eff)),
+        s_delta: r_delta.add(&c.mul(&delta)),
+    }
+}
+
+/// A group public key with the system-constant pairing `ê(g₁, g₂)`
+/// precomputed — long-lived verifiers (mesh routers) verify with only the
+/// two message-dependent pairings.
+#[derive(Clone, Copy, Debug)]
+pub struct PreparedGpk {
+    gpk: GroupPublicKey,
+    e_g1_g2: Gt,
+}
+
+impl PreparedGpk {
+    /// Precomputes the constant pairing (one-time cost per gpk).
+    pub fn new(gpk: &GroupPublicKey) -> Self {
+        Self {
+            gpk: *gpk,
+            e_g1_g2: pairing(&gpk.g1, &gpk.g2),
+        }
+    }
+
+    /// The underlying public key.
+    pub fn gpk(&self) -> &GroupPublicKey {
+        &self.gpk
+    }
+
+    /// Verifies a signature using the cached constant (2 pairings instead
+    /// of 3).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`verify`].
+    pub fn verify(
+        &self,
+        msg: &[u8],
+        sig: &GroupSignature,
+        mode: BasesMode,
+    ) -> Result<(), VerifyError> {
+        verify_inner(&self.gpk, Some(&self.e_g1_g2), msg, sig, mode)
+    }
+}
+
+/// Verifies a signature against the group public key (paper step 3.2).
+///
+/// # Errors
+///
+/// [`VerifyError`] if the signature is invalid. Revocation is a *separate*
+/// check ([`revocation_index`]) per the paper's step 3.3.
+pub fn verify(
+    gpk: &GroupPublicKey,
+    msg: &[u8],
+    sig: &GroupSignature,
+    mode: BasesMode,
+) -> Result<(), VerifyError> {
+    verify_inner(gpk, None, msg, sig, mode)
+}
+
+fn verify_inner(
+    gpk: &GroupPublicKey,
+    cached_e_g1_g2: Option<&Gt>,
+    msg: &[u8],
+    sig: &GroupSignature,
+    mode: BasesMode,
+) -> Result<(), VerifyError> {
+    if sig.t1.is_identity() || sig.t2.is_identity() {
+        return Err(VerifyError::DegenerateCommitment);
+    }
+    // 3.2.1
+    let (u_hat, v_hat) = h0_bases(gpk, msg, &sig.r, mode);
+    let u = psi(&u_hat);
+    let v = psi(&v_hat);
+    // 3.2.2 — pairings merged as in BS04's accounting ("6 exponentiations
+    // and 3 + 2|URL| computations of the bilinear map"):
+    //   R̃₂ = ê(T₂, g₂^{s_x}·w^{c}) · ê(v, w^{s_α}·g₂^{s_δ})⁻¹ · ê(g₁,g₂)^{−c}
+    let neg_c = sig.c.neg();
+    let r1 = u.mul_mul(&sig.s_alpha, &sig.t1, &neg_c);
+    let t2_side = gpk.g2.mul_mul(&sig.s_x, &gpk.w, &sig.c);
+    let v_side = gpk.w.mul_mul(&sig.s_alpha, &gpk.g2, &sig.s_delta);
+    let e_g1_g2 = match cached_e_g1_g2 {
+        Some(cached) => *cached,
+        None => pairing(&gpk.g1, &gpk.g2),
+    };
+    let r2 = pairing(&sig.t2, &t2_side)
+        .mul(&pairing(&v, &v_side).invert())
+        .mul(&e_g1_g2.pow(&sig.c).invert());
+    let neg_s_delta = sig.s_delta.neg();
+    let r3 = sig.t1.mul_mul(&sig.s_x, &u, &neg_s_delta);
+    // 3.2.3
+    if challenge(gpk, msg, &sig.r, &sig.t1, &sig.t2, &r1, &r2, &r3) == sig.c {
+        Ok(())
+    } else {
+        Err(VerifyError::BadChallenge)
+    }
+}
+
+/// Checks one revocation token against a signature (paper Eq.3):
+/// `ê(T₂/A, û) = ê(T₁, v̂)`.
+pub fn token_matches(
+    sig: &GroupSignature,
+    token: &RevocationToken,
+    u_hat: &G2,
+    v_hat: &G2,
+) -> bool {
+    // ê(T₂/A, û) · ê(T₁, v̂)⁻¹ = 1  — one product, shared final exponentiation.
+    let lhs = sig.t2.sub(&token.0);
+    pairing_product(&[(lhs, *u_hat), (sig.t1.neg(), *v_hat)]).is_one()
+}
+
+/// Scans the URL for a token encoded in `(T₁, T₂)` (paper step 3.3).
+/// Returns the index of the matching token, or `None` if the signer has not
+/// been revoked. Running time: `2·|URL|` pairings.
+pub fn revocation_index(
+    gpk: &GroupPublicKey,
+    msg: &[u8],
+    sig: &GroupSignature,
+    url: &[RevocationToken],
+    mode: BasesMode,
+) -> Option<usize> {
+    let (u_hat, v_hat) = h0_bases(gpk, msg, &sig.r, mode);
+    url.iter()
+        .position(|t| token_matches(sig, t, &u_hat, &v_hat))
+}
+
+/// The NO's audit (paper §IV.D): identical mechanics to the revocation scan
+/// but run over the *full* token set `grt` — the index identifies which
+/// `gsk[i,j]` produced the signature.
+pub fn open(
+    gpk: &GroupPublicKey,
+    msg: &[u8],
+    sig: &GroupSignature,
+    grt: &[RevocationToken],
+    mode: BasesMode,
+) -> Option<usize> {
+    revocation_index(gpk, msg, sig, grt, mode)
+}
+
+/// Precomputed revocation table for [`BasesMode::FixedBases`] (§V.C's
+/// "far more efficient revocation check algorithm, whose running time is
+/// independent of |URL|").
+#[derive(Clone, Debug, Default)]
+pub struct RevocationTable {
+    entries: std::collections::HashMap<Vec<u8>, usize>,
+    u_hat: Option<(G2, G2)>,
+    next_index: usize,
+}
+
+impl RevocationTable {
+    /// Builds the table `{ê(Aᵢ, û) → i}` for fixed bases.
+    pub fn build(gpk: &GroupPublicKey, tokens: &[RevocationToken]) -> Self {
+        let (u_hat, v_hat) = h0_bases(gpk, &[], &Fq::ZERO, BasesMode::FixedBases);
+        let entries: std::collections::HashMap<Vec<u8>, usize> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (pairing(&t.0, &u_hat).to_bytes(), i))
+            .collect();
+        Self {
+            next_index: tokens.len(),
+            entries,
+            u_hat: Some((u_hat, v_hat)),
+        }
+    }
+
+    /// Adds one token incrementally (one pairing) — the operator's URL
+    /// grows by single revocations, so rebuilding the whole table per
+    /// update would waste |URL| pairings. Returns the token's index.
+    pub fn insert(&mut self, token: &RevocationToken) -> usize {
+        let (u_hat, _) = self.u_hat.expect("table built before inserts");
+        let idx = self.next_index;
+        self.next_index += 1;
+        self.entries.insert(pairing(&token.0, &u_hat).to_bytes(), idx);
+        idx
+    }
+
+    /// Removes a token (e.g. after an epoch rotation re-admits nobody, or
+    /// a revocation is lifted by dispute resolution). Returns whether it
+    /// was present.
+    pub fn remove(&mut self, token: &RevocationToken) -> bool {
+        let Some((u_hat, _)) = self.u_hat else {
+            return false;
+        };
+        self.entries
+            .remove(&pairing(&token.0, &u_hat).to_bytes())
+            .is_some()
+    }
+
+    /// Number of tokens in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// O(1)-pairings revocation check: computes
+    /// `D = ê(T₂, û) / ê(T₁, v̂) = ê(A, û)` and looks it up.
+    ///
+    /// Only sound for signatures produced with [`BasesMode::FixedBases`].
+    pub fn lookup(&self, sig: &GroupSignature) -> Option<usize> {
+        let (u_hat, v_hat) = self.u_hat.as_ref()?;
+        let d = pairing(&sig.t2, u_hat).div(&pairing(&sig.t1, v_hat));
+        self.entries.get(&d.to_bytes()).copied()
+    }
+}

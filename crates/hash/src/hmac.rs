@@ -1,0 +1,112 @@
+//! HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869), from scratch.
+
+use crate::sha256::{sha256, Sha256, DIGEST_LEN};
+
+/// Computes HMAC-SHA256 over `data` with `key`.
+///
+/// # Examples
+///
+/// ```
+/// use peace_hash::hmac_sha256;
+///
+/// let tag = hmac_sha256(&[0x0b; 20], b"Hi There");
+/// assert_eq!(tag[0], 0xb0);
+/// ```
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    Hmac::new(key).chain(data).finalize()
+}
+
+/// Incremental HMAC-SHA256.
+#[derive(Clone, Debug)]
+pub struct Hmac {
+    inner: Sha256,
+    opad_key: [u8; 64],
+}
+
+impl Hmac {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; 64];
+        if key.len() > 64 {
+            let d = sha256(key);
+            k[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..64 {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        Self {
+            inner: Sha256::new().chain(&ipad),
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Absorbs `data`, returning `self` for chaining.
+    pub fn chain(mut self, data: &[u8]) -> Self {
+        self.update(data);
+        self
+    }
+
+    /// Finalizes and returns the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        Sha256::new()
+            .chain(&self.opad_key)
+            .chain(&inner_digest)
+            .finalize()
+    }
+}
+
+/// Constant-time equality check for MACs/digests.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// HKDF-Extract (RFC 5869): PRK = HMAC(salt, ikm).
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand (RFC 5869): derives `len` bytes from `prk` and `info`.
+///
+/// # Panics
+///
+/// Panics if `len > 255 * 32`.
+pub fn hkdf_expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut mac = Hmac::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        t = mac.finalize().to_vec();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&t[..take]);
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+    out
+}
+
+/// One-shot HKDF: extract with `salt`, expand with `info` to `len` bytes.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    hkdf_expand(&hkdf_extract(salt, ikm), info, len)
+}

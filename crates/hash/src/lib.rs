@@ -1,0 +1,189 @@
+//! Hash primitives for PEACE: SHA-256, HMAC-SHA256, HKDF, and a
+//! counter-mode XOF used for hash-to-field and hash-to-curve.
+//!
+//! Everything here is implemented from scratch (no external crypto crates)
+//! and validated against published test vectors (FIPS 180-4 examples and
+//! RFC 4231).
+//!
+//! The paper's two hash functions are realized one layer up:
+//! `H : {0,1}* → ℤ_q` and `H₀ : {0,1}* → 𝔾₂²` both build on [`xof`] via
+//! domain-separated labels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hmac;
+mod sha256;
+
+pub use hmac::{ct_eq, hkdf, hkdf_expand, hkdf_extract, hmac_sha256, Hmac};
+pub use sha256::{sha256, Sha256, DIGEST_LEN};
+
+/// Extendable-output function: derives `len` bytes from `(label, data)`
+/// using SHA-256 in counter mode with domain separation.
+///
+/// `XOF(label, data)[i] = SHA256(len_be(label) || label || ctr_be || data)`
+/// blocks concatenated. Deterministic and collision-resistant per block.
+pub fn xof(label: &[u8], data: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut ctr: u32 = 0;
+    while out.len() < len {
+        let block = Sha256::new()
+            .chain(&(label.len() as u32).to_be_bytes())
+            .chain(label)
+            .chain(&ctr.to_be_bytes())
+            .chain(data)
+            .finalize();
+        let take = (len - out.len()).min(DIGEST_LEN);
+        out.extend_from_slice(&block[..take]);
+        ctr = ctr.checked_add(1).expect("xof counter overflow");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // FIPS 180-4 / well-known SHA-256 test vectors.
+    #[test]
+    fn sha256_empty() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha256_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 55, 56, 63, 64, 65, 128, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), sha256(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn sha256_boundary_lengths() {
+        // Exercise the padding edge cases around 55/56/64 bytes.
+        for len in 50..70 {
+            let data = vec![0xa5u8; len];
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update(&[*b]);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "len {len}");
+        }
+    }
+
+    // RFC 4231 HMAC-SHA256 test vectors.
+    #[test]
+    fn hmac_rfc4231_case1() {
+        let tag = hmac_sha256(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn hmac_rfc4231_case3() {
+        let tag = hmac_sha256(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn hmac_long_key_hashed() {
+        // Key longer than block size must be hashed first; just check
+        // consistency between incremental and one-shot.
+        let key = vec![0x11u8; 100];
+        let mut m = Hmac::new(&key);
+        m.update(b"part1");
+        m.update(b"part2");
+        assert_eq!(m.finalize(), hmac_sha256(&key, b"part1part2"));
+    }
+
+    #[test]
+    fn hkdf_lengths_and_determinism() {
+        let a = hkdf(b"salt", b"ikm", b"info", 100);
+        let b = hkdf(b"salt", b"ikm", b"info", 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        let c = hkdf(b"salt", b"ikm", b"other", 100);
+        assert_ne!(a, c);
+        // prefix property: shorter output is a prefix of longer
+        let short = hkdf(b"salt", b"ikm", b"info", 32);
+        assert_eq!(&a[..32], &short[..]);
+    }
+
+    #[test]
+    fn xof_domain_separation() {
+        let a = xof(b"label-a", b"data", 64);
+        let b = xof(b"label-b", b"data", 64);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 64);
+        // prefix property
+        let short = xof(b"label-a", b"data", 10);
+        assert_eq!(&a[..10], &short[..]);
+    }
+
+    #[test]
+    fn xof_label_length_prefixed() {
+        // ("ab", "c…") and ("a", "bc…") must differ thanks to the length prefix.
+        let a = xof(b"ab", b"cd", 32);
+        let b = xof(b"a", b"bcd", 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"sane"));
+        assert!(!ct_eq(b"short", b"longer"));
+        assert!(ct_eq(b"", b""));
+    }
+}

@@ -1,0 +1,100 @@
+//! The pairing target group `𝔾_T` — the order-`q` subgroup of `F_p²*`.
+
+use core::fmt;
+
+use peace_bigint::Uint;
+use peace_field::{Fp2, Fq};
+
+use crate::ops;
+
+/// An element of `𝔾_T`, the order-`q` multiplicative subgroup of `F_p²`.
+///
+/// Elements produced by the reduced Tate pairing are *unitary*
+/// (norm 1), so inversion is conjugation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gt(pub(crate) Fp2);
+
+impl Gt {
+    /// The identity element.
+    pub const ONE: Self = Self(Fp2::ONE);
+
+    /// Wraps a raw `F_p²` element (internal; used by the pairing).
+    pub(crate) fn from_fp2(v: Fp2) -> Self {
+        Self(v)
+    }
+
+    /// The underlying `F_p²` element.
+    pub fn as_fp2(&self) -> &Fp2 {
+        &self.0
+    }
+
+    /// Whether this is the identity.
+    pub fn is_one(&self) -> bool {
+        self.0 == Fp2::ONE
+    }
+
+    /// Group operation (multiplication in `F_p²`).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Self(self.0.mul(&rhs.0))
+    }
+
+    /// Division `self · rhs⁻¹` — the paper's `e(T₂, w)/e(g₁, g₂)`.
+    pub fn div(&self, rhs: &Self) -> Self {
+        self.mul(&rhs.invert())
+    }
+
+    /// Squaring.
+    pub fn square(&self) -> Self {
+        Self(self.0.square())
+    }
+
+    /// Inversion. For unitary elements this is conjugation (cheap).
+    pub fn invert(&self) -> Self {
+        // Pairing outputs satisfy z^(p+1) related norms; conjugate is the
+        // inverse exactly when the norm is 1, which holds for all elements
+        // of the order-q subgroup (q | p+1 divides the norm-1 subgroup
+        // order). Fall back to a field inversion defensively.
+        let conj = self.0.conjugate();
+        if self.0.mul(&conj) == Fp2::ONE {
+            Self(conj)
+        } else {
+            Self(self.0.invert().expect("Gt element is nonzero"))
+        }
+    }
+
+    /// Exponentiation by a scalar — the paper's `e(·,·)^s`.
+    ///
+    /// Increments the 𝔾_T-exponentiation counter used by experiment E2.
+    pub fn pow(&self, k: &Fq) -> Self {
+        ops::record_gt_exp();
+        Self(self.0.pow(&k.to_uint()))
+    }
+
+    /// Exponentiation by an arbitrary-width integer (no counter; internal).
+    pub fn pow_uint<const M: usize>(&self, k: &Uint<M>) -> Self {
+        Self(self.0.pow(k))
+    }
+
+    /// Canonical 128-byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Parses the canonical encoding. Does not check subgroup membership
+    /// (callers compare against pairing outputs, never trust raw Gt input).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        Fp2::from_bytes(bytes).map(Self)
+    }
+}
+
+impl Default for Gt {
+    fn default() -> Self {
+        Self::ONE
+    }
+}
+
+impl fmt::Debug for Gt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gt({:?})", self.0)
+    }
+}

@@ -1,0 +1,225 @@
+//! The bilinear map `ê : 𝔾₁ × 𝔾₂ → 𝔾_T` for PEACE.
+//!
+//! This is the reduced Tate pairing on the supersingular curve
+//! `E: y² = x³ + x` (embedding degree 2) composed with the distortion map
+//! `φ(x,y) = (−x, i·y)` — a Type-1 pairing where the paper's isomorphism
+//! `ψ : 𝔾₂ → 𝔾₁` is the identity. It satisfies the three properties of
+//! §II.A: bilinearity, non-degeneracy, computability.
+//!
+//! # Examples
+//!
+//! ```
+//! use peace_curve::{G1, G2};
+//! use peace_field::Fq;
+//! use peace_pairing::pairing;
+//!
+//! let a = Fq::from_u64(6);
+//! let b = Fq::from_u64(7);
+//! let lhs = pairing(&G1::generator().mul(&a), &G2::generator().mul(&b));
+//! let rhs = pairing(&G1::generator(), &G2::generator()).pow(&a.mul(&b));
+//! assert_eq!(lhs, rhs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gt;
+mod miller;
+pub mod ops;
+
+pub use gt::Gt;
+pub use ops::OpSnapshot;
+
+use peace_curve::{G1, G2};
+
+/// The bilinear pairing `ê(P, Q)`.
+pub fn pairing(p: &G1, q: &G2) -> Gt {
+    miller::tate_pairing(p.point(), q.point())
+}
+
+/// Product of pairings `∏ ê(Pᵢ, Qᵢ)` with a single shared final
+/// exponentiation (cheaper than multiplying individual pairings).
+pub fn pairing_product(pairs: &[(G1, G2)]) -> Gt {
+    let raw: Vec<_> = pairs
+        .iter()
+        .map(|(p, q)| (*p.point(), *q.point()))
+        .collect();
+    miller::tate_pairing_product(&raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peace_field::Fq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn g1() -> G1 {
+        G1::generator()
+    }
+    fn g2() -> G2 {
+        G2::generator()
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let e = pairing(&g1(), &g2());
+        assert!(!e.is_one(), "ê(g1, g2) must not be 1");
+    }
+
+    #[test]
+    fn output_has_order_q() {
+        let e = pairing(&g1(), &g2());
+        assert!(e.pow_uint(&peace_field::subgroup_order()).is_one());
+        // and not smaller order dividing q (q prime, so any non-one element
+        // has exact order q)
+        assert!(!e.is_one());
+    }
+
+    #[test]
+    fn bilinear_in_first_argument() {
+        let mut r = rng();
+        let a = Fq::random(&mut r);
+        let lhs = pairing(&g1().mul(&a), &g2());
+        let rhs = pairing(&g1(), &g2()).pow(&a);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_in_second_argument() {
+        let mut r = rng();
+        let b = Fq::random(&mut r);
+        let lhs = pairing(&g1(), &g2().mul(&b));
+        let rhs = pairing(&g1(), &g2()).pow(&b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_both_arguments() {
+        let mut r = rng();
+        let a = Fq::random(&mut r);
+        let b = Fq::random(&mut r);
+        let lhs = pairing(&g1().mul(&a), &g2().mul(&b));
+        let rhs = pairing(&g1().mul(&b), &g2().mul(&a));
+        assert_eq!(lhs, rhs);
+        assert_eq!(lhs, pairing(&g1(), &g2()).pow(&a.mul(&b)));
+    }
+
+    #[test]
+    fn additive_in_first_argument() {
+        let mut r = rng();
+        let p1 = G1::random(&mut r);
+        let p2 = G1::random(&mut r);
+        let q = G2::random(&mut r);
+        let lhs = pairing(&p1.add(&p2), &q);
+        let rhs = pairing(&p1, &q).mul(&pairing(&p2, &q));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn identity_pairs_to_one() {
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        assert!(pairing(&G1::IDENTITY, &g2()).is_one());
+        assert!(pairing(&p, &G2::IDENTITY).is_one());
+    }
+
+    #[test]
+    fn negation_inverts() {
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        let q = G2::random(&mut r);
+        let e = pairing(&p, &q);
+        assert_eq!(pairing(&p.neg(), &q), e.invert());
+        assert!(pairing(&p, &q).mul(&pairing(&p.neg(), &q)).is_one());
+    }
+
+    #[test]
+    fn symmetric_on_type1() {
+        // ê(aG, bG) = ê(bG, aG) — needed by the paper's revocation check
+        // (Eq.3): ê(v, û) = ê(u, v̂) when u = ψ(û), v = ψ(v̂).
+        let mut r = rng();
+        let a = Fq::random(&mut r);
+        let b = Fq::random(&mut r);
+        let lhs = pairing(&g1().mul(&a), &g2().mul(&b));
+        let rhs = pairing(&g1().mul(&b), &g2().mul(&a));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_product_matches_individual() {
+        let mut r = rng();
+        let pairs: Vec<(G1, G2)> = (0..3)
+            .map(|_| (G1::random(&mut r), G2::random(&mut r)))
+            .collect();
+        let prod = pairing_product(&pairs);
+        let mut expect = Gt::ONE;
+        for (p, q) in &pairs {
+            expect = expect.mul(&pairing(p, q));
+        }
+        assert_eq!(prod, expect);
+    }
+
+    #[test]
+    fn pairing_product_empty_and_identity() {
+        assert!(pairing_product(&[]).is_one());
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        assert!(pairing_product(&[(p, G2::IDENTITY)]).is_one());
+    }
+
+    #[test]
+    fn gt_div_and_pow() {
+        let mut r = rng();
+        let e = pairing(&G1::random(&mut r), &g2());
+        assert!(e.div(&e).is_one());
+        let a = Fq::from_u64(3);
+        assert_eq!(e.pow(&a), e.mul(&e).mul(&e));
+    }
+
+    #[test]
+    fn gt_bytes_roundtrip() {
+        let mut r = rng();
+        let e = pairing(&G1::random(&mut r), &g2());
+        let bytes = e.to_bytes();
+        assert_eq!(bytes.len(), 128);
+        assert_eq!(Gt::from_bytes(&bytes).unwrap(), e);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn prop_bilinearity_small_scalars(a in 1u64..1000, b in 1u64..1000) {
+            let fa = Fq::from_u64(a);
+            let fb = Fq::from_u64(b);
+            let lhs = pairing(&g1().mul(&fa), &g2().mul(&fb));
+            let rhs = pairing(&g1(), &g2()).pow(&fa.mul(&fb));
+            proptest::prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn prop_pairing_product_two(a in 1u64..500, b in 1u64..500) {
+            let p1 = g1().mul(&Fq::from_u64(a));
+            let p2 = g1().mul(&Fq::from_u64(b));
+            let q = g2();
+            // ê(P1,Q)·ê(P2,Q) = ê(P1+P2, Q)
+            let prod = pairing_product(&[(p1, q), (p2, q)]);
+            proptest::prop_assert_eq!(prod, pairing(&p1.add(&p2), &q));
+        }
+    }
+
+    #[test]
+    fn op_counters_track_pairings() {
+        OpSnapshot::reset_all();
+        let before = OpSnapshot::capture();
+        let _ = pairing(&g1(), &g2());
+        let _ = pairing(&g1(), &g2());
+        let after = OpSnapshot::capture();
+        assert_eq!(after.since(&before).pairings, 2);
+    }
+}

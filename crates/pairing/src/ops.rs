@@ -1,0 +1,78 @@
+//! Operation counters for the pairing layer (experiment E2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PAIRINGS: AtomicU64 = AtomicU64::new(0);
+static GT_EXPS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one bilinear-map evaluation.
+#[inline]
+pub fn record_pairing() {
+    PAIRINGS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one exponentiation in `𝔾_T`.
+#[inline]
+pub fn record_gt_exp() {
+    GT_EXPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Pairings evaluated since the last reset.
+pub fn pairing_count() -> u64 {
+    PAIRINGS.load(Ordering::Relaxed)
+}
+
+/// 𝔾_T exponentiations since the last reset.
+pub fn gt_exp_count() -> u64 {
+    GT_EXPS.load(Ordering::Relaxed)
+}
+
+/// Resets both counters.
+pub fn reset() {
+    PAIRINGS.store(0, Ordering::Relaxed);
+    GT_EXPS.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot of every operation counter in the crypto stack, for the E2
+/// experiment ("signature generation requires about 8 exponentiations and 2
+/// bilinear map computations").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Scalar multiplications in 𝔾₁/𝔾₂ (the paper's group exponentiations).
+    pub g1_muls: u64,
+    /// Exponentiations in 𝔾_T.
+    pub gt_exps: u64,
+    /// Bilinear map evaluations.
+    pub pairings: u64,
+}
+
+impl OpSnapshot {
+    /// Captures the current counter values.
+    pub fn capture() -> Self {
+        Self {
+            g1_muls: peace_curve::ops::g1_mul_count(),
+            gt_exps: gt_exp_count(),
+            pairings: pairing_count(),
+        }
+    }
+
+    /// Resets all counters (curve and pairing layers).
+    pub fn reset_all() {
+        peace_curve::ops::reset_g1_mul_count();
+        reset();
+    }
+
+    /// Difference `self − earlier` (counts in a bracketed region).
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            g1_muls: self.g1_muls - earlier.g1_muls,
+            gt_exps: self.gt_exps - earlier.gt_exps,
+            pairings: self.pairings - earlier.pairings,
+        }
+    }
+
+    /// Total "exponentiation-like" operations (group muls + Gt exps).
+    pub fn total_exps(&self) -> u64 {
+        self.g1_muls + self.gt_exps
+    }
+}

@@ -1,0 +1,78 @@
+//! Network logging and the privacy-preserving audit of §IV.D.
+//!
+//! Mesh routers log the authentication message (M.2) of every session and
+//! report it to NO. Given a disputed session identifier, NO scans its full
+//! revocation-token set `grt` with Eq.3 and learns *which user group* the
+//! signer belongs to — nothing more. Full identification requires the group
+//! manager's cooperation (see [`crate::entities::LawAuthority`]).
+
+use std::collections::HashMap;
+
+use peace_groupsig::{GroupSignature, RevocationToken};
+
+use crate::ids::{GroupId, SessionId, ShareIndex};
+
+/// A logged authentication record: everything NO needs to audit a session.
+#[derive(Clone, Debug)]
+pub struct LoggedSession {
+    /// The session identifier `(g^{r_R}, g^{r_j})`.
+    pub session_id: SessionId,
+    /// The exact byte string the group signature covers.
+    pub signed_payload: Vec<u8>,
+    /// The group signature from M.2 / M̃.1.
+    pub gsig: GroupSignature,
+    /// When the session was established (protocol ms).
+    pub established_at: u64,
+}
+
+/// The operator-side log of authentication sessions, keyed by session id.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkLog {
+    entries: HashMap<Vec<u8>, LoggedSession>,
+}
+
+impl NetworkLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a session (overwrites a duplicate id, which cannot occur for
+    /// honest parties since ids contain fresh DH shares).
+    pub fn record(&mut self, entry: LoggedSession) {
+        self.entries.insert(entry.session_id.to_bytes(), entry);
+    }
+
+    /// Looks up a session record.
+    pub fn find(&self, id: &SessionId) -> Option<&LoggedSession> {
+        self.entries.get(&id.to_bytes())
+    }
+
+    /// Number of logged sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> impl Iterator<Item = &LoggedSession> {
+        self.entries.values()
+    }
+}
+
+/// The outcome of NO's audit: the responsible *user group* and the matching
+/// revocation token — the user's nonessential attribute information only.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// The user group the signer belongs to.
+    pub group: GroupId,
+    /// The share index `[i, j]` of the signing key (NO-internal).
+    pub index: ShareIndex,
+    /// The revocation token `A_{i,j}` (forwarded to the group manager for
+    /// law-authority tracing).
+    pub token: RevocationToken,
+}

@@ -1,0 +1,409 @@
+//! The network operator (NO): system key generation, group registration,
+//! router provisioning, revocation-list publication, and the
+//! privacy-preserving audit.
+
+use std::collections::HashMap;
+
+use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
+use peace_groupsig::{
+    open, GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken,
+};
+use rand::RngCore;
+
+use crate::audit::{AuditFinding, LoggedSession, NetworkLog};
+use crate::config::ProtocolConfig;
+use crate::error::{ProtocolError, Result};
+use crate::ids::{GroupId, RouterId, SessionId, ShareIndex};
+use crate::revocation::{SignedCrl, SignedUrl};
+use crate::setup::{blind_a, GmBundle, GmShare, TtpBundle, TtpShare};
+
+use super::router::MeshRouter;
+
+/// The network operator.
+///
+/// Holds the system secret `γ` (inside [`IssuerKey`]), the signing key
+/// `NSK`, the full revocation-token registry `grt` with its
+/// `token → [i,j] → group` mapping, and the session log used for audits.
+pub struct NetworkOperator {
+    issuer: IssuerKey,
+    signing: SigningKey,
+    config: ProtocolConfig,
+    groups: HashMap<GroupId, GroupSecret>,
+    group_names: HashMap<GroupId, String>,
+    next_group: u32,
+    next_slot: HashMap<GroupId, u32>,
+    /// Full registry `grt`: token bytes → share index.
+    grt: HashMap<Vec<u8>, ShareIndex>,
+    grt_order: Vec<RevocationToken>,
+    revoked_tokens: Vec<RevocationToken>,
+    url_version: u64,
+    crl_serials: Vec<u64>,
+    crl_version: u64,
+    next_serial: u64,
+    epoch: u64,
+    gpk_history: Vec<GroupPublicKey>,
+    log: NetworkLog,
+}
+
+impl std::fmt::Debug for NetworkOperator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkOperator")
+            .field("groups", &self.groups.len())
+            .field("grt", &self.grt_order.len())
+            .field("revoked", &self.revoked_tokens.len())
+            .finish()
+    }
+}
+
+impl NetworkOperator {
+    /// Creates a new operator: generates `γ`, `gpk`, and the ECDSA key pair
+    /// `(NPK, NSK)`.
+    pub fn new(config: ProtocolConfig, rng: &mut impl RngCore) -> Self {
+        Self {
+            issuer: IssuerKey::generate(rng),
+            signing: SigningKey::random(rng),
+            config,
+            groups: HashMap::new(),
+            group_names: HashMap::new(),
+            next_group: 0,
+            next_slot: HashMap::new(),
+            grt: HashMap::new(),
+            grt_order: Vec::new(),
+            revoked_tokens: Vec::new(),
+            url_version: 0,
+            crl_serials: Vec::new(),
+            crl_version: 0,
+            next_serial: 1,
+            epoch: 0,
+            gpk_history: Vec::new(),
+            log: NetworkLog::new(),
+        }
+    }
+
+    /// The group public key `gpk`.
+    pub fn gpk(&self) -> &GroupPublicKey {
+        self.issuer.public_key()
+    }
+
+    /// The operator's signature-verification key `NPK`.
+    pub fn npk(&self) -> &VerifyingKey {
+        self.signing.verifying_key()
+    }
+
+    /// The protocol configuration distributed to all entities.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// Registers a user group (a company, university, agency…), picking its
+    /// secret `grp_i` (§IV.A step 2).
+    pub fn register_group(&mut self, name: &str, rng: &mut impl RngCore) -> GroupId {
+        let id = GroupId(self.next_group);
+        self.next_group += 1;
+        self.groups.insert(id, self.issuer.new_group_secret(rng));
+        self.group_names.insert(id, name.to_owned());
+        self.next_slot.insert(id, 0);
+        id
+    }
+
+    /// The registered display name of a group.
+    pub fn group_name(&self, id: GroupId) -> Option<&str> {
+        self.group_names.get(&id).map(String::as_str)
+    }
+
+    /// Issues `count` member-key shares for a group (§IV.A steps 3–7):
+    /// returns the signed GM bundle (scalar parts) and TTP bundle (blinded
+    /// points), and registers all revocation tokens in `grt`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Setup`] if the group is unknown.
+    pub fn issue_shares(
+        &mut self,
+        group: GroupId,
+        count: usize,
+        rng: &mut impl RngCore,
+    ) -> Result<(GmBundle, TtpBundle)> {
+        let secret = *self
+            .groups
+            .get(&group)
+            .ok_or(ProtocolError::Setup("unknown group"))?;
+        let mut gm_shares = Vec::with_capacity(count);
+        let mut ttp_shares = Vec::with_capacity(count);
+        for _ in 0..count {
+            let slot = self.next_slot.get_mut(&group).expect("registered group");
+            let index = ShareIndex {
+                group,
+                slot: *slot,
+            };
+            *slot += 1;
+            let member: MemberKey = self.issuer.issue(&secret, rng);
+            let token = member.revocation_token();
+            self.grt.insert(token.to_bytes(), index);
+            self.grt_order.push(token);
+            gm_shares.push(GmShare {
+                index,
+                grp: member.grp,
+                x: member.x,
+            });
+            ttp_shares.push(TtpShare {
+                index,
+                blinded_a: blind_a(&member.a, &member.x),
+            });
+        }
+        Ok((
+            GmBundle::issue(&self.signing, gm_shares),
+            TtpBundle::issue(&self.signing, ttp_shares),
+        ))
+    }
+
+    /// Provisions a mesh router: fresh ECDSA key pair plus a certificate
+    /// `Cert_k` signed by NO.
+    pub fn provision_router(
+        &mut self,
+        id: &str,
+        expires_at: u64,
+        rng: &mut impl RngCore,
+    ) -> MeshRouter {
+        let router_key = SigningKey::random(rng);
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let cert = Certificate::issue(
+            &self.signing,
+            serial,
+            id,
+            *router_key.verifying_key(),
+            expires_at,
+        );
+        MeshRouter::new(
+            RouterId(id.to_owned()),
+            router_key,
+            cert,
+            *self.gpk(),
+            *self.npk(),
+            self.config,
+            self.publish_crl(0),
+            self.publish_url(0),
+        )
+    }
+
+    /// Publishes the current signed CRL.
+    pub fn publish_crl(&self, now: u64) -> SignedCrl {
+        SignedCrl::issue(&self.signing, self.crl_version, now, self.crl_serials.clone())
+    }
+
+    /// Publishes the current signed URL.
+    pub fn publish_url(&self, now: u64) -> SignedUrl {
+        SignedUrl::issue(
+            &self.signing,
+            self.url_version,
+            now,
+            self.revoked_tokens.clone(),
+        )
+    }
+
+    /// Revokes a member key by its revocation token (dynamic user
+    /// revocation). Returns `false` if the token is not in `grt`.
+    pub fn revoke_member(&mut self, token: &RevocationToken) -> bool {
+        if !self.grt.contains_key(&token.to_bytes()) {
+            return false;
+        }
+        if !self.revoked_tokens.contains(token) {
+            self.revoked_tokens.push(*token);
+            self.url_version += 1;
+        }
+        true
+    }
+
+    /// Revokes a router certificate by serial.
+    pub fn revoke_router(&mut self, serial: u64) {
+        if !self.crl_serials.contains(&serial) {
+            self.crl_serials.push(serial);
+            self.crl_version += 1;
+        }
+    }
+
+    /// Number of revoked member keys (|URL|).
+    pub fn revoked_member_count(&self) -> usize {
+        self.revoked_tokens.len()
+    }
+
+    /// Total issued member keys (|grt|).
+    pub fn issued_member_count(&self) -> usize {
+        self.grt_order.len()
+    }
+
+    /// Records a session reported by a mesh router.
+    pub fn record_session(&mut self, entry: LoggedSession) {
+        self.log.record(entry);
+    }
+
+    /// Ingests all sessions a router has logged since the last report.
+    pub fn ingest_router_log(&mut self, router: &mut MeshRouter) {
+        for entry in router.drain_log() {
+            self.log.record(entry);
+        }
+    }
+
+    /// Number of sessions in the operator log.
+    pub fn logged_session_count(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The session identifiers currently in the operator log.
+    pub fn logged_session_ids(&self) -> Vec<SessionId> {
+        self.log.iter().map(|e| e.session_id.clone()).collect()
+    }
+
+    /// The privacy-preserving audit of §IV.D: given a session id, scan the
+    /// logged M.2 with every token in `grt` (Eq.3) and return the matching
+    /// group — never the user.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Setup`] if the session is not in the log or no
+    /// token matches (signature from outside the registry — impossible for
+    /// sessions that passed verification).
+    pub fn audit(&self, session: &SessionId) -> Result<AuditFinding> {
+        let entry = self
+            .log
+            .find(session)
+            .ok_or(ProtocolError::Setup("session not in log"))?;
+        self.open_against_all_epochs(&entry.signed_payload, &entry.gsig)
+    }
+
+    fn open_against_all_epochs(
+        &self,
+        signed_payload: &[u8],
+        gsig: &peace_groupsig::GroupSignature,
+    ) -> Result<AuditFinding> {
+        let idx = std::iter::once(self.gpk())
+            .chain(self.gpk_history.iter().rev())
+            .find_map(|gpk| {
+                open(
+                    gpk,
+                    signed_payload,
+                    gsig,
+                    &self.grt_order,
+                    self.config.bases_mode,
+                )
+            })
+            .ok_or(ProtocolError::Setup("no grt token matches session"))?;
+        let token = self.grt_order[idx];
+        let index = self.grt[&token.to_bytes()];
+        Ok(AuditFinding {
+            group: index.group,
+            index,
+            token,
+        })
+    }
+
+    /// The current key epoch (bumped by [`Self::rotate_system_key`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Periodic membership renewal (§III.A, §V.A "group public key
+    /// update"): rotates the system secret `γ`, invalidating *every*
+    /// outstanding group private key at once. Revoked keys no longer need
+    /// URL entries — the URL resets to empty, which is the paper's
+    /// mechanism for proactively controlling |URL|.
+    ///
+    /// After rotation the operator must push the new `gpk` to routers
+    /// ([`MeshRouter::install_epoch`](super::MeshRouter::install_epoch))
+    /// and user groups must re-run the share-issuance and enrollment flow.
+    /// The session log is retained: disputes from the previous epoch can
+    /// still be audited against the archived token registry.
+    pub fn rotate_system_key(&mut self, rng: &mut impl RngCore) -> GroupPublicKey {
+        self.epoch += 1;
+        // Old tokens stay in `grt` and the old gpk is archived so that
+        // pre-rotation sessions remain auditable (the H0 bases of a logged
+        // signature depend on the gpk that was current when it was made).
+        self.gpk_history.push(*self.gpk());
+        self.issuer = IssuerKey::generate(rng);
+        // All registered groups get fresh secrets in the new epoch.
+        let group_ids: Vec<GroupId> = self.groups.keys().copied().collect();
+        for gid in group_ids {
+            self.groups.insert(gid, self.issuer.new_group_secret(rng));
+        }
+        // Every old key is dead by construction: empty the URL.
+        self.revoked_tokens.clear();
+        self.url_version += 1;
+        *self.gpk()
+    }
+
+    /// Direct audit of a raw (payload, signature) pair — used when the
+    /// disputed message is available but was never logged.
+    pub fn audit_raw(
+        &self,
+        signed_payload: &[u8],
+        gsig: &peace_groupsig::GroupSignature,
+    ) -> Result<AuditFinding> {
+        self.open_against_all_epochs(signed_payload, gsig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn operator() -> (NetworkOperator, StdRng) {
+        let mut rng = StdRng::seed_from_u64(30);
+        let no = NetworkOperator::new(ProtocolConfig::default(), &mut rng);
+        (no, rng)
+    }
+
+    #[test]
+    fn group_registration_bookkeeping() {
+        let (mut no, mut rng) = operator();
+        let a = no.register_group("Company A", &mut rng);
+        let b = no.register_group("Org B", &mut rng);
+        assert_ne!(a, b);
+        assert_eq!(no.group_name(a), Some("Company A"));
+        assert_eq!(no.group_name(b), Some("Org B"));
+        assert_eq!(no.group_name(GroupId(99)), None);
+    }
+
+    #[test]
+    fn issue_shares_requires_registered_group() {
+        let (mut no, mut rng) = operator();
+        assert!(no.issue_shares(GroupId(7), 1, &mut rng).is_err());
+        let gid = no.register_group("org", &mut rng);
+        let (gm_b, ttp_b) = no.issue_shares(gid, 3, &mut rng).unwrap();
+        assert_eq!(gm_b.shares.len(), 3);
+        assert_eq!(ttp_b.shares.len(), 3);
+        assert_eq!(no.issued_member_count(), 3);
+        // Share indices are sequential per group.
+        let slots: Vec<u32> = gm_b.shares.iter().map(|s| s.index.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn router_serials_increment_and_revoke() {
+        let (mut no, mut rng) = operator();
+        let r1 = no.provision_router("MR-1", 10_000, &mut rng);
+        let r2 = no.provision_router("MR-2", 10_000, &mut rng);
+        assert_ne!(r1.cert().serial, r2.cert().serial);
+        no.revoke_router(r1.cert().serial);
+        let crl = no.publish_crl(100);
+        assert!(crl.contains(r1.cert().serial));
+        assert!(!crl.contains(r2.cert().serial));
+        // idempotent
+        let v = crl.version;
+        no.revoke_router(r1.cert().serial);
+        assert_eq!(no.publish_crl(100).version, v);
+    }
+
+    #[test]
+    fn epoch_counter_and_url_reset() {
+        let (mut no, mut rng) = operator();
+        assert_eq!(no.epoch(), 0);
+        let gpk0 = *no.gpk();
+        let gpk1 = no.rotate_system_key(&mut rng);
+        assert_eq!(no.epoch(), 1);
+        assert_ne!(gpk0.w, gpk1.w, "new system secret");
+        assert_eq!(no.revoked_member_count(), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Mesh routers (`MR_k`): beacon generation and the router side of the
+//! user↔router authentication and key agreement protocol (§IV.B).
+
+use std::collections::HashMap;
+
+use peace_curve::G1;
+use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
+use peace_field::Fq;
+use peace_groupsig::{revocation_index, GroupPublicKey, PreparedGpk};
+use peace_puzzle::Puzzle;
+use peace_symmetric::seal_oneshot;
+use peace_wire::Writer;
+use rand::RngCore;
+
+use crate::audit::LoggedSession;
+use crate::config::ProtocolConfig;
+use crate::error::{ProtocolError, Result};
+use crate::ids::{RouterId, SessionId};
+use crate::messages::{AccessConfirm, AccessRequest, Beacon};
+use crate::revocation::{SignedCrl, SignedUrl};
+use crate::session::{Role, Session};
+
+/// Per-beacon DH state retained until the beacon expires.
+#[derive(Clone, Debug)]
+struct BeaconState {
+    r_r: Fq,
+    ts1: u64,
+    puzzle: Option<Puzzle>,
+}
+
+/// A mesh router.
+pub struct MeshRouter {
+    id: RouterId,
+    signing: SigningKey,
+    cert: Certificate,
+    gpk: GroupPublicKey,
+    prepared_gpk: PreparedGpk,
+    npk: VerifyingKey,
+    config: ProtocolConfig,
+    crl: SignedCrl,
+    url: SignedUrl,
+    active_beacons: HashMap<Vec<u8>, BeaconState>,
+    under_attack: bool,
+    manual_attack_mode: Option<bool>,
+    recent_failures: std::collections::VecDeque<u64>,
+    log_outbox: Vec<LoggedSession>,
+    beacons_sent: u64,
+}
+
+impl std::fmt::Debug for MeshRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeshRouter")
+            .field("id", &self.id)
+            .field("serial", &self.cert.serial)
+            .field("under_attack", &self.under_attack)
+            .finish()
+    }
+}
+
+impl MeshRouter {
+    /// Assembles a provisioned router (see
+    /// [`NetworkOperator::provision_router`](super::NetworkOperator::provision_router)).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: RouterId,
+        signing: SigningKey,
+        cert: Certificate,
+        gpk: GroupPublicKey,
+        npk: VerifyingKey,
+        config: ProtocolConfig,
+        crl: SignedCrl,
+        url: SignedUrl,
+    ) -> Self {
+        Self {
+            id,
+            signing,
+            cert,
+            prepared_gpk: PreparedGpk::new(&gpk),
+            gpk,
+            npk,
+            config,
+            crl,
+            url,
+            active_beacons: HashMap::new(),
+            under_attack: false,
+            manual_attack_mode: None,
+            recent_failures: std::collections::VecDeque::new(),
+            log_outbox: Vec::new(),
+            beacons_sent: 0,
+        }
+    }
+
+    /// The router identifier `MR_k`.
+    pub fn id(&self) -> &RouterId {
+        &self.id
+    }
+
+    /// The router's certificate.
+    pub fn cert(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Forces DoS-defense mode on or off, overriding automatic detection.
+    pub fn set_under_attack(&mut self, on: bool) {
+        self.manual_attack_mode = Some(on);
+        self.under_attack = on;
+    }
+
+    /// Returns control to the automatic flood detector.
+    pub fn clear_attack_override(&mut self) {
+        self.manual_attack_mode = None;
+    }
+
+    /// Whether DoS-defense mode is active.
+    pub fn is_under_attack(&self) -> bool {
+        self.under_attack
+    }
+
+    /// Records a verification failure and re-evaluates the suspected-attack
+    /// state (sliding-window failure counting).
+    fn record_failure(&mut self, now: u64) {
+        self.recent_failures.push_back(now);
+        self.refresh_attack_state(now);
+    }
+
+    fn refresh_attack_state(&mut self, now: u64) {
+        let window = self.config.dos_window;
+        while let Some(&t) = self.recent_failures.front() {
+            if now.saturating_sub(t) > window {
+                self.recent_failures.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let Some(forced) = self.manual_attack_mode {
+            self.under_attack = forced;
+        } else if self.config.dos_auto_defense {
+            self.under_attack = self.recent_failures.len() >= self.config.dos_threshold;
+        }
+    }
+
+    /// Installs fresh revocation lists pushed by NO over the pre-established
+    /// secure channel.
+    pub fn update_lists(&mut self, crl: SignedCrl, url: SignedUrl) {
+        self.crl = crl;
+        self.url = url;
+    }
+
+    /// Installs a new-epoch group public key (after
+    /// [`NetworkOperator::rotate_system_key`](super::NetworkOperator::rotate_system_key)).
+    /// All pending beacon DH state is dropped: in-flight handshakes from
+    /// the old epoch cannot complete against the new key.
+    pub fn install_epoch(&mut self, gpk: GroupPublicKey, crl: SignedCrl, url: SignedUrl) {
+        self.gpk = gpk;
+        self.prepared_gpk = PreparedGpk::new(&gpk);
+        self.crl = crl;
+        self.url = url;
+        self.active_beacons.clear();
+    }
+
+    /// The URL currently broadcast by this router.
+    pub fn current_url(&self) -> &SignedUrl {
+        &self.url
+    }
+
+    /// Emits a beacon (M.1) at time `now`, creating fresh DH state.
+    pub fn beacon(&mut self, now: u64, rng: &mut impl RngCore) -> Beacon {
+        self.prune_beacons(now);
+        self.refresh_attack_state(now);
+        self.beacons_sent += 1;
+        let g = G1::random(rng);
+        let r_r = Fq::random_nonzero(rng);
+        let g_rr = g.mul(&r_r);
+        let sig = self.signing.sign(&Beacon::signed_payload(&g, &g_rr, now));
+        let puzzle = if self.under_attack {
+            let mut seed = Writer::new();
+            seed.put_str(&self.id.0);
+            seed.put_u64(now);
+            seed.put_fixed(&g_rr.to_bytes());
+            Some(Puzzle::new(
+                seed.as_bytes(),
+                self.config.puzzle_params.0,
+                self.config.puzzle_params.1,
+            ))
+        } else {
+            None
+        };
+        self.active_beacons.insert(
+            g_rr.to_bytes(),
+            BeaconState {
+                r_r,
+                ts1: now,
+                puzzle: puzzle.clone(),
+            },
+        );
+        Beacon {
+            g,
+            g_rr,
+            ts1: now,
+            sig,
+            cert: self.cert.clone(),
+            crl: self.crl.clone(),
+            url: self.url.clone(),
+            puzzle,
+        }
+    }
+
+    fn prune_beacons(&mut self, now: u64) {
+        let lifetime = self.config.beacon_lifetime;
+        self.active_beacons
+            .retain(|_, st| now.saturating_sub(st.ts1) <= lifetime);
+    }
+
+    /// Processes an access request (M.2), authenticating the anonymous user
+    /// (§IV.B step 3). On success returns the confirmation (M.3) and the
+    /// established session, and logs the request for NO's audit.
+    ///
+    /// When the router is in DoS-defense mode, the puzzle solution is
+    /// checked *before* any pairing operation (the §V.A client-puzzle
+    /// ordering that makes floods cheap to shed).
+    ///
+    /// # Errors
+    ///
+    /// Every §IV.B check maps to a distinct [`ProtocolError`].
+    pub fn process_access_request(
+        &mut self,
+        req: &AccessRequest,
+        now: u64,
+    ) -> Result<(AccessConfirm, Session)> {
+        // 3.1 freshness and beacon correlation
+        let state = self
+            .active_beacons
+            .get(&req.g_rr.to_bytes())
+            .cloned()
+            .ok_or(ProtocolError::UnknownBeacon)?;
+        if now.saturating_sub(req.ts2) > self.config.timestamp_window
+            || req.ts2.saturating_sub(now) > self.config.timestamp_window
+        {
+            return Err(ProtocolError::StaleTimestamp);
+        }
+        // DoS defense: cheap check first.
+        if let Some(puzzle) = &state.puzzle {
+            let solution = req
+                .puzzle_solution
+                .as_ref()
+                .ok_or(ProtocolError::PuzzleRequired)?;
+            if !puzzle.verify(solution) {
+                return Err(ProtocolError::PuzzleInvalid);
+            }
+        }
+        // 3.2 group-signature verification
+        let payload = AccessRequest::signed_payload(&req.g_rj, &req.g_rr, req.ts2);
+        if self
+            .prepared_gpk
+            .verify(&payload, &req.gsig, self.config.bases_mode)
+            .is_err()
+        {
+            // Failed expensive verification: evidence for the §V.A flood
+            // detector.
+            self.record_failure(now);
+            return Err(ProtocolError::BadGroupSignature);
+        }
+        // 3.3 revocation check against URL
+        if revocation_index(
+            &self.gpk,
+            &payload,
+            &req.gsig,
+            &self.url.tokens,
+            self.config.bases_mode,
+        )
+        .is_some()
+        {
+            return Err(ProtocolError::SignerRevoked);
+        }
+        // 3.4 session key and confirmation
+        let dh_secret = req.g_rj.mul(&state.r_r);
+        let session_id = SessionId::from_points(&req.g_rr, &req.g_rj);
+        let session = Session::establish(&dh_secret, session_id.clone(), Role::Responder);
+        let mut confirm_payload = Writer::new();
+        confirm_payload.put_str(&self.id.0);
+        confirm_payload.put_fixed(&req.g_rj.to_bytes());
+        confirm_payload.put_fixed(&req.g_rr.to_bytes());
+        let ciphertext = seal_oneshot(
+            &dh_secret.to_bytes(),
+            &session_id.to_bytes(),
+            confirm_payload.as_bytes(),
+        );
+        // Log M.2 for audit (§IV.D step 1).
+        self.log_outbox.push(LoggedSession {
+            session_id: session_id.clone(),
+            signed_payload: payload,
+            gsig: req.gsig,
+            established_at: now,
+        });
+        Ok((
+            AccessConfirm {
+                g_rj: req.g_rj,
+                g_rr: req.g_rr,
+                ciphertext,
+            },
+            session,
+        ))
+    }
+
+    /// Drains the session log (router → NO reporting).
+    pub fn drain_log(&mut self) -> Vec<LoggedSession> {
+        std::mem::take(&mut self.log_outbox)
+    }
+
+    /// Total beacons emitted.
+    pub fn beacons_sent(&self) -> u64 {
+        self.beacons_sent
+    }
+
+    /// Number of live beacon DH states.
+    pub fn active_beacon_count(&self) -> usize {
+        self.active_beacons.len()
+    }
+
+    /// Test/simulation helper: forget the DH state of a beacon, as if it
+    /// expired early.
+    pub fn forget_beacon(&mut self, g_rr: &G1) {
+        self.active_beacons.remove(&g_rr.to_bytes());
+    }
+
+    /// Verification key of NO as known to this router.
+    pub fn npk(&self) -> &VerifyingKey {
+        &self.npk
+    }
+}

@@ -1,0 +1,148 @@
+//! The off-line trusted third party (TTP).
+//!
+//! Stores only the *blinded* point shares `A_{i,j} ⊕ pad(x_j)` and the
+//! mapping `uid → index` created when it delivers a share — it can compute
+//! neither `x_j` nor `A_{i,j}` (§IV.A). Required only during setup.
+
+use std::collections::HashMap;
+
+use peace_ecdsa::VerifyingKey;
+
+use crate::error::{ProtocolError, Result};
+use crate::ids::{ShareIndex, UserId};
+use crate::setup::{TtpBundle, TtpShare};
+
+/// A delivered TTP share, sent to the user over the TTP↔user secure channel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TtpDelivery {
+    /// The share index `[i, j]`.
+    pub index: ShareIndex,
+    /// The blinded point `A_{i,j} ⊕ pad(x_j)`.
+    pub blinded_a: Vec<u8>,
+}
+
+/// The trusted third party.
+#[derive(Debug, Default)]
+pub struct Ttp {
+    shares: HashMap<ShareIndex, Vec<u8>>,
+    deliveries: HashMap<ShareIndex, UserId>,
+}
+
+impl Ttp {
+    /// Creates an empty TTP.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests a signed bundle of blinded shares from NO (§IV.A step 7).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Setup`] if the bundle signature fails.
+    pub fn receive_bundle(&mut self, bundle: &TtpBundle, npk: &VerifyingKey) -> Result<()> {
+        bundle.validate(npk)?;
+        for TtpShare { index, blinded_a } in &bundle.shares {
+            self.shares.insert(*index, blinded_a.clone());
+        }
+        Ok(())
+    }
+
+    /// Delivers a blinded share to a user on the group manager's request
+    /// (§IV.A user step 2), recording the `uid ↔ index` mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Setup`] if the index is unknown or the share was
+    /// already delivered to a different user.
+    pub fn deliver(&mut self, index: ShareIndex, uid: &UserId) -> Result<TtpDelivery> {
+        let blinded_a = self
+            .shares
+            .get(&index)
+            .ok_or(ProtocolError::Setup("TTP has no share for index"))?
+            .clone();
+        match self.deliveries.get(&index) {
+            Some(existing) if existing != uid => {
+                return Err(ProtocolError::Setup("share already delivered to another user"))
+            }
+            _ => {}
+        }
+        self.deliveries.insert(index, uid.clone());
+        Ok(TtpDelivery { index, blinded_a })
+    }
+
+    /// Number of stored shares.
+    pub fn share_count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// The user a share was delivered to (TTP's only identity knowledge).
+    pub fn delivered_to(&self, index: ShareIndex) -> Option<&UserId> {
+        self.deliveries.get(&index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::GroupId;
+    use crate::setup::{TtpBundle, TtpShare};
+    use peace_ecdsa::SigningKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn index(slot: u32) -> ShareIndex {
+        ShareIndex {
+            group: GroupId(1),
+            slot,
+        }
+    }
+
+    fn bundle(signer: &SigningKey, slots: &[u32]) -> TtpBundle {
+        TtpBundle::issue(
+            signer,
+            slots
+                .iter()
+                .map(|&s| TtpShare {
+                    index: index(s),
+                    blinded_a: vec![s as u8; 65],
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn receive_and_deliver() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let no_key = SigningKey::random(&mut rng);
+        let mut ttp = Ttp::new();
+        ttp.receive_bundle(&bundle(&no_key, &[0, 1]), no_key.verifying_key())
+            .unwrap();
+        assert_eq!(ttp.share_count(), 2);
+
+        let uid = UserId("alice".into());
+        let d = ttp.deliver(index(0), &uid).unwrap();
+        assert_eq!(d.blinded_a, vec![0u8; 65]);
+        assert_eq!(ttp.delivered_to(index(0)), Some(&uid));
+        // Redelivery to the same user is fine (retransmission)…
+        assert!(ttp.deliver(index(0), &uid).is_ok());
+        // …but not to a different user.
+        assert!(ttp.deliver(index(0), &UserId("eve".into())).is_err());
+    }
+
+    #[test]
+    fn unknown_index_rejected() {
+        let mut ttp = Ttp::new();
+        assert!(ttp.deliver(index(9), &UserId("alice".into())).is_err());
+    }
+
+    #[test]
+    fn forged_bundle_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let no_key = SigningKey::random(&mut rng);
+        let imposter = SigningKey::random(&mut rng);
+        let mut ttp = Ttp::new();
+        let b = bundle(&imposter, &[0]);
+        assert!(ttp.receive_bundle(&b, no_key.verifying_key()).is_err());
+        assert_eq!(ttp.share_count(), 0);
+    }
+}

@@ -1,0 +1,494 @@
+//! Network users (`uid_j`): credential enrollment, the user side of the
+//! user↔router protocol (§IV.B), and both sides of the user↔user protocol
+//! (§IV.C).
+
+use peace_curve::G1;
+use peace_ecdsa::{SigningKey, VerifyingKey};
+use peace_field::Fq;
+use peace_groupsig::{
+    revocation_index, sign as gsig_sign, verify as gsig_verify, GroupPublicKey, MemberKey,
+};
+use peace_symmetric::{open_oneshot, seal_oneshot};
+use peace_wire::{Reader, Writer};
+use rand::RngCore;
+
+use crate::config::ProtocolConfig;
+use crate::error::{ProtocolError, Result};
+use crate::ids::{SessionId, ShareIndex, UserId};
+use crate::messages::{
+    AccessConfirm, AccessRequest, Beacon, PeerConfirm, PeerHello, PeerResponse,
+};
+use crate::revocation::SignedUrl;
+use crate::session::{PendingSession, Role, Session};
+use crate::setup::{unblind_a, Receipt};
+
+use super::gm::GmAssignment;
+use super::ttp::TtpDelivery;
+
+/// One enrolled credential: a group private key plus its share index.
+#[derive(Clone, Debug)]
+pub struct Credential {
+    /// The share index `[i, j]` (user-private bookkeeping).
+    pub index: ShareIndex,
+    /// The assembled group private key `gsk[i,j]`.
+    pub key: MemberKey,
+}
+
+/// Responder-side state between sending M̃.2 and receiving M̃.3.
+#[derive(Clone, Debug)]
+pub struct PeerResponderPending {
+    /// The computed pairwise DH secret.
+    pub dh_secret: G1,
+    /// The session identifier `(g^{r_j}, g^{r_l})`.
+    pub id: SessionId,
+    /// `ts₁` from M̃.1 (echoed inside M̃.3).
+    pub hello_ts: u64,
+    /// `ts₂` of our M̃.2 (echoed inside M̃.3).
+    pub resp_ts: u64,
+}
+
+/// A network user client.
+pub struct UserClient {
+    uid: UserId,
+    receipt_key: SigningKey,
+    gpk: GroupPublicKey,
+    npk: VerifyingKey,
+    config: ProtocolConfig,
+    credentials: Vec<Credential>,
+    active_role: usize,
+    /// Latest URL accepted from a beacon (used for peer revocation checks).
+    current_url: Option<SignedUrl>,
+    highest_crl_version: u64,
+    highest_url_version: u64,
+}
+
+impl std::fmt::Debug for UserClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UserClient")
+            .field("uid", &self.uid)
+            .field("credentials", &self.credentials.len())
+            .finish()
+    }
+}
+
+impl UserClient {
+    /// Creates a client with no credentials yet.
+    pub fn new(
+        uid: UserId,
+        gpk: GroupPublicKey,
+        npk: VerifyingKey,
+        config: ProtocolConfig,
+        rng: &mut impl RngCore,
+    ) -> Self {
+        Self {
+            uid,
+            receipt_key: SigningKey::random(rng),
+            gpk,
+            npk,
+            config,
+            credentials: Vec::new(),
+            active_role: 0,
+            current_url: None,
+            highest_crl_version: 0,
+            highest_url_version: 0,
+        }
+    }
+
+    /// The user's essential identifier (never transmitted).
+    pub fn uid(&self) -> &UserId {
+        &self.uid
+    }
+
+    /// The user's receipt-signing public key.
+    pub fn receipt_vk(&self) -> &VerifyingKey {
+        self.receipt_key.verifying_key()
+    }
+
+    /// Assembles `gsk[i,j]` from the GM and TTP parts (§IV.A user steps
+    /// 1–3), validates it against `gpk`, and returns the signed receipt for
+    /// the GM (non-repudiation).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Setup`] on index mismatch, failed unblinding, or an
+    /// invalid assembled key.
+    pub fn enroll(&mut self, gm: &GmAssignment, ttp: &TtpDelivery) -> Result<Receipt> {
+        if gm.index != ttp.index {
+            return Err(ProtocolError::Setup("GM/TTP share index mismatch"));
+        }
+        let a = unblind_a(&ttp.blinded_a, &gm.x)
+            .ok_or(ProtocolError::Setup("unblinding produced invalid point"))?;
+        let key = MemberKey {
+            a,
+            grp: gm.grp,
+            x: gm.x,
+        };
+        if !key.is_valid_for(&self.gpk) {
+            return Err(ProtocolError::Setup("assembled gsk fails SDH check"));
+        }
+        self.credentials.push(Credential {
+            index: gm.index,
+            key,
+        });
+        // Receipt covers both received parts.
+        let mut payload = Writer::new();
+        gm.index.encode_into(&mut payload);
+        payload.put_fixed(&gm.grp.to_canonical_bytes());
+        payload.put_fixed(&gm.x.to_canonical_bytes());
+        payload.put_bytes(&ttp.blinded_a);
+        Ok(Receipt::sign(
+            &self.receipt_key,
+            "gsk delivery",
+            payload.as_bytes(),
+        ))
+    }
+
+    /// Number of enrolled credentials (group memberships).
+    pub fn credential_count(&self) -> usize {
+        self.credentials.len()
+    }
+
+    /// Adopts a new key epoch: every old credential is dropped (the system
+    /// secret rotated, so they can no longer produce valid signatures) and
+    /// the client must re-enroll through its group managers.
+    pub fn install_epoch(&mut self, gpk: GroupPublicKey) {
+        self.gpk = gpk;
+        self.credentials.clear();
+        self.active_role = 0;
+        self.current_url = None;
+    }
+
+    /// Selects which credential (role/context) signs subsequent sessions —
+    /// the paper's multi-faceted identity in action.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::MissingCredential`] if the index is out of range.
+    pub fn set_active_role(&mut self, role: usize) -> Result<()> {
+        if role >= self.credentials.len() {
+            return Err(ProtocolError::MissingCredential);
+        }
+        self.active_role = role;
+        Ok(())
+    }
+
+    /// The credential currently used for signing.
+    pub fn active_credential(&self) -> Result<&Credential> {
+        self.credentials
+            .get(self.active_role)
+            .ok_or(ProtocolError::MissingCredential)
+    }
+
+    /// The latest URL this client has accepted.
+    pub fn current_url(&self) -> Option<&SignedUrl> {
+        self.current_url.as_ref()
+    }
+
+    /// Validates a beacon (M.1) per §IV.B step 2.1 and, on success, builds
+    /// the access request (M.2) per step 2.2.
+    ///
+    /// # Errors
+    ///
+    /// Each check failure maps to its [`ProtocolError`] variant; the beacon
+    /// is rejected *before* any group-signature work.
+    pub fn process_beacon(
+        &mut self,
+        beacon: &Beacon,
+        now: u64,
+        rng: &mut impl RngCore,
+    ) -> Result<(AccessRequest, PendingSession)> {
+        let cred = self.active_credential()?.clone();
+        // 2.1: timestamp freshness
+        if now.saturating_sub(beacon.ts1) > self.config.timestamp_window
+            || beacon.ts1.saturating_sub(now) > self.config.timestamp_window
+        {
+            return Err(ProtocolError::StaleTimestamp);
+        }
+        // certificate validity
+        beacon
+            .cert
+            .validate(&self.npk, now)
+            .map_err(|_| ProtocolError::CertificateInvalid)?;
+        // CRL: signed by NO, fresh, and not listing this cert
+        beacon
+            .crl
+            .validate(&self.npk, now, self.config.list_max_age)?;
+        if beacon.crl.version < self.highest_crl_version {
+            return Err(ProtocolError::StaleCrl);
+        }
+        if beacon.crl.contains(beacon.cert.serial) {
+            return Err(ProtocolError::CertificateRevoked);
+        }
+        // URL: signed by NO and fresh
+        beacon
+            .url
+            .validate(&self.npk, now, self.config.list_max_age)?;
+        if beacon.url.version < self.highest_url_version {
+            return Err(ProtocolError::StaleUrl);
+        }
+        // beacon signature
+        if !beacon.cert.public_key.verify(
+            &Beacon::signed_payload(&beacon.g, &beacon.g_rr, beacon.ts1),
+            &beacon.sig,
+        ) {
+            return Err(ProtocolError::BadRouterSignature);
+        }
+        // Router is legitimate: adopt its lists.
+        self.highest_crl_version = beacon.crl.version;
+        self.highest_url_version = beacon.url.version;
+        self.current_url = Some(beacon.url.clone());
+
+        // 2.2: build M.2
+        let r_j = Fq::random_nonzero(rng);
+        let g_rj = beacon.g.mul(&r_j);
+        let ts2 = now;
+        let payload = AccessRequest::signed_payload(&g_rj, &beacon.g_rr, ts2);
+        let gsig = gsig_sign(&self.gpk, &cred.key, &payload, self.config.bases_mode, rng);
+        let puzzle_solution = beacon.puzzle.as_ref().map(|p| p.solve());
+        // 2.2.5: session key K = (g^{r_R})^{r_j}
+        let dh_secret = beacon.g_rr.mul(&r_j);
+        let id = SessionId::from_points(&beacon.g_rr, &g_rj);
+        Ok((
+            AccessRequest {
+                g_rj,
+                g_rr: beacon.g_rr,
+                ts2,
+                gsig,
+                puzzle_solution,
+            },
+            PendingSession {
+                local_secret: r_j,
+                dh_secret,
+                id,
+                started_at: now,
+            },
+        ))
+    }
+
+    /// Completes the user↔router handshake by validating M.3.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::DecryptFailed`] / [`ProtocolError::SessionMismatch`]
+    /// when the confirmation is not from the expected router session.
+    pub fn finalize_router_session(
+        &self,
+        pending: &PendingSession,
+        confirm: &AccessConfirm,
+    ) -> Result<Session> {
+        let expect_id = SessionId::from_points(&confirm.g_rr, &confirm.g_rj);
+        if expect_id != pending.id {
+            return Err(ProtocolError::SessionMismatch);
+        }
+        let plain = open_oneshot(
+            &pending.dh_secret.to_bytes(),
+            &pending.id.to_bytes(),
+            &confirm.ciphertext,
+        )
+        .map_err(|_| ProtocolError::DecryptFailed)?;
+        // M.3 must echo (MR_k, g^{r_j}, g^{r_R}).
+        let mut rd = Reader::new(&plain);
+        let _router_id = rd.get_str()?;
+        let g_rj_echo = rd.get_fixed(G1::ENCODED_LEN)?;
+        let g_rr_echo = rd.get_fixed(G1::ENCODED_LEN)?;
+        if g_rj_echo != pending.id.initiator_share.as_slice()
+            || g_rr_echo != pending.id.responder_share.as_slice()
+        {
+            return Err(ProtocolError::SessionMismatch);
+        }
+        Ok(Session::establish(
+            &pending.dh_secret,
+            pending.id.clone(),
+            Role::Initiator,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // User↔user protocol (§IV.C)
+    // ------------------------------------------------------------------
+
+    /// Initiates a peer handshake (M̃.1) using the generator `g` from the
+    /// current service beacon.
+    pub fn peer_hello(
+        &self,
+        g: &G1,
+        now: u64,
+        rng: &mut impl RngCore,
+    ) -> Result<(PeerHello, PendingSession)> {
+        let cred = self.active_credential()?.clone();
+        let r_j = Fq::random_nonzero(rng);
+        let g_rj = g.mul(&r_j);
+        let payload = PeerHello::signed_payload(g, &g_rj, now);
+        let gsig = gsig_sign(&self.gpk, &cred.key, &payload, self.config.bases_mode, rng);
+        Ok((
+            PeerHello {
+                g: *g,
+                g_rj,
+                ts1: now,
+                gsig,
+            },
+            PendingSession {
+                local_secret: r_j,
+                dh_secret: G1::IDENTITY, // filled in on M̃.2
+                id: SessionId::from_points(&g_rj, &G1::IDENTITY),
+                started_at: now,
+            },
+        ))
+    }
+
+    /// Responder side: verifies M̃.1 and answers with M̃.2. The session is
+    /// finalized once M̃.3 arrives ([`Self::process_peer_confirm`]).
+    ///
+    /// # Errors
+    ///
+    /// Per §IV.C step 2: timestamp, group-signature, and URL checks.
+    pub fn process_peer_hello(
+        &self,
+        hello: &PeerHello,
+        now: u64,
+        rng: &mut impl RngCore,
+    ) -> Result<(PeerResponse, PeerResponderPending)> {
+        let cred = self.active_credential()?.clone();
+        if now.saturating_sub(hello.ts1) > self.config.timestamp_window
+            || hello.ts1.saturating_sub(now) > self.config.timestamp_window
+        {
+            return Err(ProtocolError::StaleTimestamp);
+        }
+        let payload = PeerHello::signed_payload(&hello.g, &hello.g_rj, hello.ts1);
+        gsig_verify(&self.gpk, &payload, &hello.gsig, self.config.bases_mode)
+            .map_err(|_| ProtocolError::BadGroupSignature)?;
+        self.check_url(&payload, &hello.gsig)?;
+
+        let r_l = Fq::random_nonzero(rng);
+        let g_rl = hello.g.mul(&r_l);
+        let resp_payload = PeerResponse::signed_payload(&hello.g_rj, &g_rl, now);
+        let gsig = gsig_sign(&self.gpk, &cred.key, &resp_payload, self.config.bases_mode, rng);
+        let dh_secret = hello.g_rj.mul(&r_l);
+        let id = SessionId::from_points(&hello.g_rj, &g_rl);
+        Ok((
+            PeerResponse {
+                g_rj: hello.g_rj,
+                g_rl,
+                ts2: now,
+                gsig,
+            },
+            PeerResponderPending {
+                dh_secret,
+                id,
+                hello_ts: hello.ts1,
+                resp_ts: now,
+            },
+        ))
+    }
+
+    /// Initiator side: verifies M̃.2 and produces the confirmation M̃.3 plus
+    /// its copy of the session.
+    ///
+    /// # Errors
+    ///
+    /// Per §IV.C step 3, including the `ts₂ − ts₁` delay-window check.
+    pub fn process_peer_response(
+        &self,
+        pending: &PendingSession,
+        resp: &PeerResponse,
+        now: u64,
+    ) -> Result<(PeerConfirm, Session)> {
+        if resp.ts2.saturating_sub(pending.started_at) > self.config.handshake_window {
+            return Err(ProtocolError::HandshakeTimeout);
+        }
+        if now.saturating_sub(resp.ts2) > self.config.timestamp_window {
+            return Err(ProtocolError::StaleTimestamp);
+        }
+        let payload = PeerResponse::signed_payload(&resp.g_rj, &resp.g_rl, resp.ts2);
+        gsig_verify(&self.gpk, &payload, &resp.gsig, self.config.bases_mode)
+            .map_err(|_| ProtocolError::BadGroupSignature)?;
+        self.check_url(&payload, &resp.gsig)?;
+
+        let dh_secret = resp.g_rl.mul(&pending.local_secret);
+        let id = SessionId::from_points(&resp.g_rj, &resp.g_rl);
+        let session = Session::establish(&dh_secret, id.clone(), Role::Initiator);
+        let mut confirm_payload = Writer::new();
+        confirm_payload.put_fixed(&resp.g_rj.to_bytes());
+        confirm_payload.put_fixed(&resp.g_rl.to_bytes());
+        confirm_payload.put_u64(pending.started_at);
+        confirm_payload.put_u64(resp.ts2);
+        let ciphertext = seal_oneshot(
+            &dh_secret.to_bytes(),
+            &id.to_bytes(),
+            confirm_payload.as_bytes(),
+        );
+        Ok((
+            PeerConfirm {
+                g_rj: resp.g_rj,
+                g_rl: resp.g_rl,
+                ciphertext,
+            },
+            session,
+        ))
+    }
+
+    /// Responder side: validates the confirmation M̃.3 and finalizes the
+    /// pairwise session.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::DecryptFailed`] / [`ProtocolError::SessionMismatch`]
+    /// when M̃.3 is not a valid confirmation of this handshake.
+    pub fn process_peer_confirm(
+        &self,
+        pending: &PeerResponderPending,
+        confirm: &PeerConfirm,
+    ) -> Result<Session> {
+        let plain = open_oneshot(
+            &pending.dh_secret.to_bytes(),
+            &pending.id.to_bytes(),
+            &confirm.ciphertext,
+        )
+        .map_err(|_| ProtocolError::DecryptFailed)?;
+        let mut rd = Reader::new(&plain);
+        let g_rj = rd.get_fixed(G1::ENCODED_LEN)?;
+        let g_rl = rd.get_fixed(G1::ENCODED_LEN)?;
+        let ts1 = rd.get_u64()?;
+        let ts2 = rd.get_u64()?;
+        if g_rj != pending.id.responder_share.as_slice()
+            || g_rl != pending.id.initiator_share.as_slice()
+            || ts1 != pending.hello_ts
+            || ts2 != pending.resp_ts
+        {
+            return Err(ProtocolError::SessionMismatch);
+        }
+        Ok(Session::establish(
+            &pending.dh_secret,
+            pending.id.clone(),
+            Role::Responder,
+        ))
+    }
+
+    fn check_url(
+        &self,
+        payload: &[u8],
+        gsig: &peace_groupsig::GroupSignature,
+    ) -> Result<()> {
+        if let Some(url) = &self.current_url {
+            if revocation_index(&self.gpk, payload, gsig, &url.tokens, self.config.bases_mode)
+                .is_some()
+            {
+                return Err(ProtocolError::SignerRevoked);
+            }
+        }
+        Ok(())
+    }
+}
+
+// Small helper so `enroll` can encode a ShareIndex without importing Encode
+// at the call site.
+trait EncodeInto {
+    fn encode_into(&self, w: &mut Writer);
+}
+
+impl EncodeInto for ShareIndex {
+    fn encode_into(&self, w: &mut Writer) {
+        use peace_wire::Encode;
+        self.encode(w);
+    }
+}

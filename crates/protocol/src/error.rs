@@ -1,0 +1,90 @@
+//! Protocol error taxonomy.
+//!
+//! Every rejection path of §IV (and the attack filters of §V.A) maps to a
+//! distinct variant so the simulator and tests can assert *why* a message
+//! was dropped.
+
+use core::fmt;
+
+use peace_wire::WireError;
+
+/// Reasons a PEACE protocol step fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A timestamp fell outside the acceptance window (replay defense).
+    StaleTimestamp,
+    /// The router certificate failed signature or expiry validation.
+    CertificateInvalid,
+    /// The router certificate appears on the CRL.
+    CertificateRevoked,
+    /// The CRL attached to a beacon is older than the acceptable age
+    /// (a revoked router replaying a stale CRL — the phishing window).
+    StaleCrl,
+    /// The URL attached to a beacon is older than the acceptable age.
+    StaleUrl,
+    /// The ECDSA beacon signature did not verify.
+    BadRouterSignature,
+    /// The operator signature on the CRL failed.
+    BadCrlSignature,
+    /// The operator signature on the URL failed.
+    BadUrlSignature,
+    /// An access request referenced an unknown or expired beacon exchange.
+    UnknownBeacon,
+    /// The group signature failed verification (illegitimate user).
+    BadGroupSignature,
+    /// The group signature verified but the signer's key is on the URL.
+    SignerRevoked,
+    /// The router demanded a puzzle solution and none was provided.
+    PuzzleRequired,
+    /// The provided puzzle solution is wrong.
+    PuzzleInvalid,
+    /// Symmetric decryption/authentication of a confirmation failed.
+    DecryptFailed,
+    /// A confirmation's contents did not match the pending session.
+    SessionMismatch,
+    /// The peer response arrived outside the allowed handshake delay.
+    HandshakeTimeout,
+    /// A setup-phase consistency check failed (share mismatch, bad receipt…).
+    Setup(&'static str),
+    /// Malformed wire encoding.
+    Wire(WireError),
+    /// The entity does not hold a key/credential required for the operation.
+    MissingCredential,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::StaleTimestamp => write!(f, "timestamp outside acceptance window"),
+            ProtocolError::CertificateInvalid => write!(f, "router certificate invalid"),
+            ProtocolError::CertificateRevoked => write!(f, "router certificate revoked"),
+            ProtocolError::StaleCrl => write!(f, "certificate revocation list too old"),
+            ProtocolError::StaleUrl => write!(f, "user revocation list too old"),
+            ProtocolError::BadRouterSignature => write!(f, "beacon signature invalid"),
+            ProtocolError::BadCrlSignature => write!(f, "CRL signature invalid"),
+            ProtocolError::BadUrlSignature => write!(f, "URL signature invalid"),
+            ProtocolError::UnknownBeacon => write!(f, "access request references unknown beacon"),
+            ProtocolError::BadGroupSignature => write!(f, "group signature invalid"),
+            ProtocolError::SignerRevoked => write!(f, "group private key has been revoked"),
+            ProtocolError::PuzzleRequired => write!(f, "client puzzle solution required"),
+            ProtocolError::PuzzleInvalid => write!(f, "client puzzle solution invalid"),
+            ProtocolError::DecryptFailed => write!(f, "confirmation failed to decrypt"),
+            ProtocolError::SessionMismatch => write!(f, "confirmation does not match session"),
+            ProtocolError::HandshakeTimeout => write!(f, "handshake response too slow"),
+            ProtocolError::Setup(what) => write!(f, "setup failure: {what}"),
+            ProtocolError::Wire(e) => write!(f, "malformed message: {e}"),
+            ProtocolError::MissingCredential => write!(f, "required credential not held"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}
+
+/// Result alias for protocol operations.
+pub type Result<T> = core::result::Result<T, ProtocolError>;

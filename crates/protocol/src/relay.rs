@@ -1,0 +1,120 @@
+//! Layered relaying over established PEACE sessions — the upper-layer
+//! anonymous-communication direction the paper's conclusion points at.
+//!
+//! A source that reaches its destination through a chain of peer relays
+//! (the multi-hop uplink of §III.A) can protect traffic in *layers*:
+//! innermost the end-to-end session with the destination, then one layer
+//! per relay hop. Each relay peels exactly one layer and learns only
+//! ciphertext plus the next hop; the destination never learns the path.
+//!
+//! # Examples
+//!
+//! ```
+//! # use peace_protocol::{relay, ids::SessionId, Role, Session};
+//! # use peace_curve::G1;
+//! # use peace_field::Fq;
+//! # use rand::{rngs::StdRng, SeedableRng};
+//! # fn pair(seed: u64) -> (Session, Session) {
+//! #     let mut rng = StdRng::seed_from_u64(seed);
+//! #     let g = G1::random(&mut rng);
+//! #     let (a, b) = (Fq::random_nonzero(&mut rng), Fq::random_nonzero(&mut rng));
+//! #     let secret = g.mul(&a).mul(&b);
+//! #     let id = SessionId::from_points(&g.mul(&a), &g.mul(&b));
+//! #     (Session::establish(&secret, id.clone(), Role::Initiator),
+//! #      Session::establish(&secret, id, Role::Responder))
+//! # }
+//! // source ↔ relay and source ↔ destination sessions (normally built by
+//! // the M̃.1–M̃.3 and M.1–M.3 handshakes).
+//! let (mut src_relay, mut relay_src) = pair(1);
+//! let (mut src_dst, mut dst_src) = pair(2);
+//!
+//! let onion = relay::wrap(b"payload", &mut src_dst, &mut [&mut src_relay]);
+//! let peeled = relay::peel(&mut relay_src, &onion)?;   // relay sees ciphertext
+//! assert_eq!(dst_src.open_data(&peeled)?, b"payload"); // destination decrypts
+//! # Ok::<(), peace_protocol::ProtocolError>(())
+//! ```
+
+use crate::error::Result;
+use crate::session::Session;
+
+/// Wraps `payload` for transport through `hops` to the far end of
+/// `end_to_end`. `hops[0]` is the first relay after the source (it holds
+/// the *outermost* layer); the innermost layer is the end-to-end session.
+pub fn wrap(payload: &[u8], end_to_end: &mut Session, hops: &mut [&mut Session]) -> Vec<u8> {
+    let mut data = end_to_end.seal_data(payload);
+    for hop in hops.iter_mut().rev() {
+        data = hop.seal_data(&data);
+    }
+    data
+}
+
+/// Peels one layer at a relay (or at the destination when the chain is
+/// empty apart from the end-to-end layer).
+///
+/// # Errors
+///
+/// [`crate::ProtocolError::DecryptFailed`] if the envelope is not the next
+/// in-order message of this hop session.
+pub fn peel(hop_session: &mut Session, envelope: &[u8]) -> Result<Vec<u8>> {
+    hop_session.open_data(envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SessionId;
+    use crate::session::Role;
+    use peace_curve::G1;
+    use peace_field::Fq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair(seed: u64) -> (Session, Session) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = G1::random(&mut rng);
+        let (a, b) = (Fq::random_nonzero(&mut rng), Fq::random_nonzero(&mut rng));
+        let secret = g.mul(&a).mul(&b);
+        let id = SessionId::from_points(&g.mul(&a), &g.mul(&b));
+        (
+            Session::establish(&secret, id.clone(), Role::Initiator),
+            Session::establish(&secret, id, Role::Responder),
+        )
+    }
+
+    #[test]
+    fn two_hop_chain_delivers_and_hides() {
+        // source → relay1 → relay2 → destination
+        let (mut s_r1, mut r1_s) = pair(1);
+        let (mut s_r2, mut r2_s) = pair(2);
+        let (mut s_d, mut d_s) = pair(3);
+
+        let payload = b"metropolitan secret";
+        let onion = wrap(payload, &mut s_d, &mut [&mut s_r1, &mut s_r2]);
+
+        let at_r1 = peel(&mut r1_s, &onion).unwrap();
+        assert!(!at_r1.windows(payload.len()).any(|w| w == payload));
+        let at_r2 = peel(&mut r2_s, &at_r1).unwrap();
+        assert!(!at_r2.windows(payload.len()).any(|w| w == payload));
+        assert_eq!(d_s.open_data(&at_r2).unwrap(), payload);
+    }
+
+    #[test]
+    fn zero_hop_is_plain_session_traffic() {
+        let (mut s_d, mut d_s) = pair(4);
+        let onion = wrap(b"direct", &mut s_d, &mut []);
+        assert_eq!(d_s.open_data(&onion).unwrap(), b"direct");
+    }
+
+    #[test]
+    fn relay_cannot_peel_out_of_order_or_foreign_layers() {
+        let (mut s_r1, mut r1_s) = pair(5);
+        let (mut s_d, _d_s) = pair(6);
+        let onion = wrap(b"x", &mut s_d, &mut [&mut s_r1]);
+        // A different relay session cannot peel it.
+        let (_, mut other_relay) = pair(7);
+        assert!(peel(&mut other_relay, &onion).is_err());
+        // The right relay can, once.
+        let peeled = peel(&mut r1_s, &onion).unwrap();
+        assert!(peel(&mut r1_s, &peeled).is_err()); // inner layer is not his
+    }
+}

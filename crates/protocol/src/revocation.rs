@@ -1,0 +1,237 @@
+//! Signed revocation lists: the router-certificate CRL and the user
+//! revocation list URL (both broadcast in beacons, both signed by NO).
+//!
+//! Each list carries a monotonically increasing `version` and an
+//! `issued_at` timestamp. Clients enforce a maximum age — the paper's §V.A
+//! phishing analysis bounds the window in which a freshly revoked router
+//! can still phish by the CRL update period.
+
+use peace_ecdsa::{Signature, SigningKey, VerifyingKey};
+use peace_groupsig::RevocationToken;
+use peace_wire::{Decode, Encode, Reader, Writer};
+
+use crate::error::{ProtocolError, Result};
+
+/// Signed certificate revocation list (revoked router certificate serials).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedCrl {
+    /// Monotone version number.
+    pub version: u64,
+    /// Issue time (protocol ms).
+    pub issued_at: u64,
+    /// Revoked certificate serials.
+    pub serials: Vec<u64>,
+    /// Operator signature.
+    pub signature: Signature,
+}
+
+impl SignedCrl {
+    fn tbs(version: u64, issued_at: u64, serials: &[u64]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("peace-crl-v1");
+        w.put_u64(version);
+        w.put_u64(issued_at);
+        w.put_seq(serials);
+        w.into_bytes()
+    }
+
+    /// Issues a signed CRL.
+    pub fn issue(signer: &SigningKey, version: u64, issued_at: u64, serials: Vec<u64>) -> Self {
+        let signature = signer.sign(&Self::tbs(version, issued_at, &serials));
+        Self {
+            version,
+            issued_at,
+            serials,
+            signature,
+        }
+    }
+
+    /// Validates signature and freshness at time `now` with maximum age
+    /// `max_age` (the CRL update period).
+    pub fn validate(&self, issuer: &VerifyingKey, now: u64, max_age: u64) -> Result<()> {
+        if !issuer.verify(
+            &Self::tbs(self.version, self.issued_at, &self.serials),
+            &self.signature,
+        ) {
+            return Err(ProtocolError::BadCrlSignature);
+        }
+        if now > self.issued_at.saturating_add(max_age) {
+            return Err(ProtocolError::StaleCrl);
+        }
+        Ok(())
+    }
+
+    /// Whether a certificate serial has been revoked.
+    pub fn contains(&self, serial: u64) -> bool {
+        self.serials.contains(&serial)
+    }
+}
+
+impl Encode for SignedCrl {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.version);
+        w.put_u64(self.issued_at);
+        w.put_seq(&self.serials);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for SignedCrl {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        Ok(Self {
+            version: r.get_u64()?,
+            issued_at: r.get_u64()?,
+            serials: r.get_seq()?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+/// Signed user revocation list — the subset of `grt` whose keys have been
+/// revoked (paper: `URL ⊆ grt`, broadcast in beacons).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedUrl {
+    /// Monotone version number.
+    pub version: u64,
+    /// Issue time (protocol ms).
+    pub issued_at: u64,
+    /// Revocation tokens of revoked group private keys.
+    pub tokens: Vec<RevocationToken>,
+    /// Operator signature.
+    pub signature: Signature,
+}
+
+impl SignedUrl {
+    fn tbs(version: u64, issued_at: u64, tokens: &[RevocationToken]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("peace-url-v1");
+        w.put_u64(version);
+        w.put_u64(issued_at);
+        w.put_seq(tokens);
+        w.into_bytes()
+    }
+
+    /// Issues a signed URL.
+    pub fn issue(
+        signer: &SigningKey,
+        version: u64,
+        issued_at: u64,
+        tokens: Vec<RevocationToken>,
+    ) -> Self {
+        let signature = signer.sign(&Self::tbs(version, issued_at, &tokens));
+        Self {
+            version,
+            issued_at,
+            tokens,
+            signature,
+        }
+    }
+
+    /// Validates signature and freshness.
+    pub fn validate(&self, issuer: &VerifyingKey, now: u64, max_age: u64) -> Result<()> {
+        if !issuer.verify(
+            &Self::tbs(self.version, self.issued_at, &self.tokens),
+            &self.signature,
+        ) {
+            return Err(ProtocolError::BadUrlSignature);
+        }
+        if now > self.issued_at.saturating_add(max_age) {
+            return Err(ProtocolError::StaleUrl);
+        }
+        Ok(())
+    }
+}
+
+impl Encode for SignedUrl {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.version);
+        w.put_u64(self.issued_at);
+        w.put_seq(&self.tokens);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for SignedUrl {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        Ok(Self {
+            version: r.get_u64()?,
+            issued_at: r.get_u64()?,
+            tokens: r.get_seq()?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn signer() -> SigningKey {
+        let mut rng = StdRng::seed_from_u64(3);
+        SigningKey::random(&mut rng)
+    }
+
+    #[test]
+    fn crl_validate_and_lookup() {
+        let sk = signer();
+        let crl = SignedCrl::issue(&sk, 1, 100, vec![5, 9]);
+        assert!(crl.validate(sk.verifying_key(), 150, 1000).is_ok());
+        assert!(crl.contains(5));
+        assert!(!crl.contains(6));
+    }
+
+    #[test]
+    fn crl_stale_rejected() {
+        let sk = signer();
+        let crl = SignedCrl::issue(&sk, 1, 100, vec![]);
+        assert_eq!(
+            crl.validate(sk.verifying_key(), 100 + 1001, 1000),
+            Err(ProtocolError::StaleCrl)
+        );
+        // boundary: exactly max_age old is acceptable
+        assert!(crl.validate(sk.verifying_key(), 1100, 1000).is_ok());
+    }
+
+    #[test]
+    fn crl_tamper_rejected() {
+        let sk = signer();
+        let mut crl = SignedCrl::issue(&sk, 1, 100, vec![5]);
+        crl.serials.push(6);
+        assert_eq!(
+            crl.validate(sk.verifying_key(), 150, 1000),
+            Err(ProtocolError::BadCrlSignature)
+        );
+    }
+
+    #[test]
+    fn crl_wire_roundtrip() {
+        let sk = signer();
+        let crl = SignedCrl::issue(&sk, 7, 100, vec![1, 2, 3]);
+        assert_eq!(SignedCrl::from_wire(&crl.to_wire()).unwrap(), crl);
+    }
+
+    #[test]
+    fn url_validate_tamper_and_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sk = signer();
+        let issuer = peace_groupsig::IssuerKey::generate(&mut rng);
+        let grp = issuer.new_group_secret(&mut rng);
+        let tok = issuer.issue(&grp, &mut rng).revocation_token();
+        let url = SignedUrl::issue(&sk, 2, 50, vec![tok]);
+        assert!(url.validate(sk.verifying_key(), 60, 500).is_ok());
+        assert_eq!(SignedUrl::from_wire(&url.to_wire()).unwrap(), url);
+
+        let mut bad = url.clone();
+        bad.version = 3;
+        assert_eq!(
+            bad.validate(sk.verifying_key(), 60, 500),
+            Err(ProtocolError::BadUrlSignature)
+        );
+        assert_eq!(
+            url.validate(sk.verifying_key(), 551 + 50, 500),
+            Err(ProtocolError::StaleUrl)
+        );
+    }
+}

@@ -1,0 +1,618 @@
+//! End-to-end protocol flows: setup, both AKA protocols, revocation
+//! dynamics, DoS puzzles, audit and tracing (paper §IV complete).
+
+use std::collections::HashMap;
+
+use peace_protocol::entities::*;
+use peace_protocol::ids::{GroupId, UserId};
+use peace_protocol::{ProtocolConfig, ProtocolError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct World {
+    no: NetworkOperator,
+    gms: HashMap<GroupId, GroupManager>,
+    ttp: Ttp,
+    rng: StdRng,
+}
+
+impl World {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let no = NetworkOperator::new(ProtocolConfig::default(), &mut rng);
+        Self {
+            no,
+            gms: HashMap::new(),
+            ttp: Ttp::new(),
+            rng,
+        }
+    }
+
+    fn add_group(&mut self, name: &str, keys: usize) -> GroupId {
+        let gid = self.no.register_group(name, &mut self.rng);
+        let (gm_bundle, ttp_bundle) = self.no.issue_shares(gid, keys, &mut self.rng).unwrap();
+        let mut gm = GroupManager::new(gid);
+        gm.receive_bundle(&gm_bundle, self.no.npk()).unwrap();
+        self.ttp.receive_bundle(&ttp_bundle, self.no.npk()).unwrap();
+        self.gms.insert(gid, gm);
+        gid
+    }
+
+    fn enroll_user(&mut self, name: &str, gid: GroupId) -> UserClient {
+        let uid = UserId(name.to_owned());
+        let mut user = UserClient::new(
+            uid.clone(),
+            *self.no.gpk(),
+            *self.no.npk(),
+            *self.no.config(),
+            &mut self.rng,
+        );
+        let gm = self.gms.get_mut(&gid).unwrap();
+        let assignment = gm.assign(&uid).unwrap();
+        let delivery = self.ttp.deliver(assignment.index, &uid).unwrap();
+        let receipt = user.enroll(&assignment, &delivery).unwrap();
+        gm.store_receipt(&uid, receipt);
+        user
+    }
+
+    fn router(&mut self, name: &str) -> MeshRouter {
+        self.no.provision_router(name, u64::MAX / 2, &mut self.rng)
+    }
+}
+
+#[test]
+fn user_router_full_handshake_and_data() {
+    let mut w = World::new(1);
+    let gid = w.add_group("Company XYZ", 2);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut router = w.router("MR-1");
+
+    let beacon = router.beacon(10_000, &mut w.rng);
+    let (req, pending) = alice.process_beacon(&beacon, 10_100, &mut w.rng).unwrap();
+    let (confirm, mut r_sess) = router.process_access_request(&req, 10_200).unwrap();
+    let mut a_sess = alice.finalize_router_session(&pending, &confirm).unwrap();
+
+    // bidirectional traffic
+    let up = a_sess.seal_data(b"uplink");
+    assert_eq!(r_sess.open_data(&up).unwrap(), b"uplink");
+    let down = r_sess.seal_data(b"downlink");
+    assert_eq!(a_sess.open_data(&down).unwrap(), b"downlink");
+
+    // the session is logged for audit
+    assert_eq!(router.drain_log().len(), 1);
+}
+
+#[test]
+fn user_user_full_handshake() {
+    let mut w = World::new(2);
+    let gid = w.add_group("University Z", 4);
+    let alice = w.enroll_user("alice", gid);
+    let bob = w.enroll_user("bob", gid);
+    let mut router = w.router("MR-1");
+
+    // both get the current beacon (they need g and the URL)
+    let beacon = router.beacon(5_000, &mut w.rng);
+
+    let (hello, a_pending) = alice.peer_hello(&beacon.g, 5_010, &mut w.rng).unwrap();
+    let (resp, b_pending) = bob.process_peer_hello(&hello, 5_020, &mut w.rng).unwrap();
+    let (confirm, mut a_sess) = alice.process_peer_response(&a_pending, &resp, 5_030).unwrap();
+    let mut b_sess = bob.process_peer_confirm(&b_pending, &confirm).unwrap();
+
+    let m = a_sess.seal_data(b"hi bob");
+    assert_eq!(b_sess.open_data(&m).unwrap(), b"hi bob");
+    let m2 = b_sess.seal_data(b"hi alice");
+    assert_eq!(a_sess.open_data(&m2).unwrap(), b"hi alice");
+}
+
+#[test]
+fn outsider_without_credentials_cannot_authenticate() {
+    let mut w = World::new(3);
+    let _gid = w.add_group("Company", 1);
+    let mut router = w.router("MR-1");
+
+    // Outsider: enrolled under a *different* operator entirely.
+    let mut other = World::new(99);
+    let other_gid = other.add_group("Rogue Org", 1);
+    let mut outsider = other.enroll_user("mallory", other_gid);
+
+    let beacon = router.beacon(1_000, &mut w.rng);
+    // The outsider's client refuses the foreign beacon (NPK mismatch) —
+    // and even a hand-crafted request is rejected by the router.
+    assert!(outsider.process_beacon(&beacon, 1_010, &mut w.rng).is_err());
+
+    // Force the outsider to sign anyway against its own gpk:
+    let other_beacon_err = {
+        // craft M.2 against w's router using mallory's (foreign) credential
+        let mut rng = StdRng::seed_from_u64(1234);
+        let cred = outsider.active_credential().unwrap().clone();
+        let r_j = peace_field::Fq::random_nonzero(&mut rng);
+        let g_rj = beacon.g.mul(&r_j);
+        let payload =
+            peace_protocol::AccessRequest::signed_payload(&g_rj, &beacon.g_rr, 1_010);
+        let gsig = peace_groupsig::sign(
+            other.no.gpk(),
+            &cred.key,
+            &payload,
+            peace_groupsig::BasesMode::PerMessage,
+            &mut rng,
+        );
+        let req = peace_protocol::AccessRequest {
+            g_rj,
+            g_rr: beacon.g_rr,
+            ts2: 1_010,
+            gsig,
+            puzzle_solution: None,
+        };
+        router.process_access_request(&req, 1_020).unwrap_err()
+    };
+    assert_eq!(other_beacon_err, ProtocolError::BadGroupSignature);
+}
+
+#[test]
+fn revoked_user_rejected_by_router_and_peers() {
+    let mut w = World::new(4);
+    let gid = w.add_group("Company", 3);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut bob = w.enroll_user("bob", gid);
+    let mut router = w.router("MR-1");
+
+    // Alice misbehaves; NO audits a session and revokes her key.
+    let beacon0 = router.beacon(1_000, &mut w.rng);
+    let (req, _) = alice.process_beacon(&beacon0, 1_010, &mut w.rng).unwrap();
+    let _ = router.process_access_request(&req, 1_020).unwrap();
+    w.no.ingest_router_log(&mut router);
+    let session_id = peace_protocol::SessionId::from_points(&req.g_rr, &req.g_rj);
+    let finding = w.no.audit(&session_id).unwrap();
+    assert!(w.no.revoke_member(&finding.token));
+
+    // NO pushes fresh lists; router beacons carry the new URL.
+    router.update_lists(w.no.publish_crl(2_000), w.no.publish_url(2_000));
+    let beacon = router.beacon(2_000, &mut w.rng);
+
+    // Alice can still *build* a request, but the router rejects it.
+    let (req2, _) = alice.process_beacon(&beacon, 2_010, &mut w.rng).unwrap();
+    assert_eq!(
+        router.process_access_request(&req2, 2_020).unwrap_err(),
+        ProtocolError::SignerRevoked
+    );
+
+    // Bob (who saw the fresh URL from the beacon) also rejects Alice's
+    // peer hello.
+    let (_, _) = bob.process_beacon(&beacon, 2_010, &mut w.rng).unwrap();
+    let (hello, _) = alice.peer_hello(&beacon.g, 2_030, &mut w.rng).unwrap();
+    assert_eq!(
+        bob.process_peer_hello(&hello, 2_040, &mut w.rng).unwrap_err(),
+        ProtocolError::SignerRevoked
+    );
+
+    // Bob himself still authenticates fine.
+    let (req3, pending3) = bob.process_beacon(&beacon, 2_050, &mut w.rng).unwrap();
+    let (confirm3, _) = router.process_access_request(&req3, 2_060).unwrap();
+    assert!(bob.finalize_router_session(&pending3, &confirm3).is_ok());
+}
+
+#[test]
+fn revoked_router_rejected_via_crl() {
+    let mut w = World::new(5);
+    let gid = w.add_group("Company", 1);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut bad_router = w.router("MR-rogue");
+    let serial = bad_router.cert().serial;
+
+    // NO revokes the router; a *fresh* CRL lists it.
+    w.no.revoke_router(serial);
+    let fresh_crl = w.no.publish_crl(3_000);
+    let fresh_url = w.no.publish_url(3_000);
+
+    // The revoked router keeps broadcasting with the fresh lists (it cannot
+    // avoid including the CRL listing itself — any honest copy lists it).
+    bad_router.update_lists(fresh_crl, fresh_url);
+    let beacon = bad_router.beacon(3_010, &mut w.rng);
+    assert_eq!(
+        alice.process_beacon(&beacon, 3_020, &mut w.rng).unwrap_err(),
+        ProtocolError::CertificateRevoked
+    );
+}
+
+#[test]
+fn phishing_with_stale_crl_bounded_by_list_age() {
+    let mut w = World::new(6);
+    let gid = w.add_group("Company", 1);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut rogue = w.router("MR-rogue");
+    let serial = rogue.cert().serial;
+
+    // Rogue keeps the CRL from *before* its revocation.
+    let stale_crl = w.no.publish_crl(1_000);
+    let stale_url = w.no.publish_url(1_000);
+    w.no.revoke_router(serial);
+    rogue.update_lists(stale_crl, stale_url);
+
+    // Within the list_max_age window the phish SUCCEEDS — this is exactly
+    // the §V.A exposure window.
+    let beacon = rogue.beacon(1_500, &mut w.rng);
+    assert!(alice.process_beacon(&beacon, 1_510, &mut w.rng).is_ok());
+
+    // After the window, the stale CRL is rejected.
+    let max_age = w.no.config().list_max_age;
+    let late = 1_000 + max_age + 1_000;
+    let beacon2 = rogue.beacon(late, &mut w.rng);
+    assert_eq!(
+        alice.process_beacon(&beacon2, late + 10, &mut w.rng).unwrap_err(),
+        ProtocolError::StaleCrl
+    );
+}
+
+#[test]
+fn fake_router_without_certificate_rejected() {
+    let mut w = World::new(7);
+    let gid = w.add_group("Company", 1);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut real_router = w.router("MR-1");
+
+    // Adversary creates its own "operator" and router — cert chain breaks.
+    let mut adv = World::new(1000);
+    let mut fake = adv.router("MR-fake");
+    let beacon = fake.beacon(1_000, &mut adv.rng);
+    assert_eq!(
+        alice.process_beacon(&beacon, 1_010, &mut w.rng).unwrap_err(),
+        ProtocolError::CertificateInvalid
+    );
+
+    // Sanity: the real router is accepted at the same instant.
+    let good = real_router.beacon(1_000, &mut w.rng);
+    assert!(alice.process_beacon(&good, 1_010, &mut w.rng).is_ok());
+}
+
+#[test]
+fn replayed_beacon_and_request_rejected() {
+    let mut w = World::new(8);
+    let gid = w.add_group("Company", 2);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut router = w.router("MR-1");
+
+    let beacon = router.beacon(1_000, &mut w.rng);
+    // Much later, the replayed beacon fails the ts check.
+    let window = w.no.config().timestamp_window;
+    assert_eq!(
+        alice
+            .process_beacon(&beacon, 1_000 + window + 1, &mut w.rng)
+            .unwrap_err(),
+        ProtocolError::StaleTimestamp
+    );
+
+    // A valid request replayed past the window also fails.
+    let (req, _) = alice.process_beacon(&beacon, 1_010, &mut w.rng).unwrap();
+    assert_eq!(
+        router
+            .process_access_request(&req, 1_010 + window + 1)
+            .unwrap_err(),
+        ProtocolError::StaleTimestamp
+    );
+
+    // A request against an unknown/forgotten beacon fails.
+    router.forget_beacon(&req.g_rr);
+    assert_eq!(
+        router.process_access_request(&req, 1_020).unwrap_err(),
+        ProtocolError::UnknownBeacon
+    );
+}
+
+#[test]
+fn dos_puzzles_gate_requests() {
+    let mut w = World::new(9);
+    let gid = w.add_group("Company", 1);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut router = w.router("MR-1");
+    router.set_under_attack(true);
+
+    let beacon = router.beacon(1_000, &mut w.rng);
+    assert!(beacon.puzzle.is_some());
+
+    // Honest client solves the puzzle and gets in.
+    let (req, pending) = alice.process_beacon(&beacon, 1_010, &mut w.rng).unwrap();
+    assert!(req.puzzle_solution.is_some());
+    let (confirm, _) = router.process_access_request(&req, 1_020).unwrap();
+    assert!(alice.finalize_router_session(&pending, &confirm).is_ok());
+
+    // A request with the solution stripped is rejected cheaply.
+    let beacon2 = router.beacon(2_000, &mut w.rng);
+    let (mut req2, _) = alice.process_beacon(&beacon2, 2_010, &mut w.rng).unwrap();
+    req2.puzzle_solution = None;
+    assert_eq!(
+        router.process_access_request(&req2, 2_020).unwrap_err(),
+        ProtocolError::PuzzleRequired
+    );
+
+    // A wrong solution is rejected too.
+    let beacon3 = router.beacon(3_000, &mut w.rng);
+    let (mut req3, _) = alice.process_beacon(&beacon3, 3_010, &mut w.rng).unwrap();
+    req3.puzzle_solution = Some(peace_puzzle::Solution {
+        counters: vec![0; beacon3.puzzle.as_ref().unwrap().sub_puzzles as usize],
+    });
+    let res = router.process_access_request(&req3, 3_020);
+    assert!(matches!(
+        res.unwrap_err(),
+        ProtocolError::PuzzleInvalid | ProtocolError::PuzzleRequired
+    ));
+}
+
+#[test]
+fn audit_reveals_group_only_and_trace_reveals_user() {
+    let mut w = World::new(10);
+    let g_company = w.add_group("Company XYZ", 2);
+    let g_university = w.add_group("University Z", 2);
+    let mut alice = w.enroll_user("alice", g_company);
+    let mut carol = w.enroll_user("carol", g_university);
+    let mut router = w.router("MR-1");
+
+    // Two sessions from different groups.
+    let b1 = router.beacon(1_000, &mut w.rng);
+    let (req_a, _) = alice.process_beacon(&b1, 1_010, &mut w.rng).unwrap();
+    router.process_access_request(&req_a, 1_020).unwrap();
+    let b2 = router.beacon(1_100, &mut w.rng);
+    let (req_c, _) = carol.process_beacon(&b2, 1_110, &mut w.rng).unwrap();
+    router.process_access_request(&req_c, 1_120).unwrap();
+    w.no.ingest_router_log(&mut router);
+    assert_eq!(w.no.logged_session_count(), 2);
+
+    // NO's audit: group-level attribution only.
+    let sid_a = peace_protocol::SessionId::from_points(&req_a.g_rr, &req_a.g_rj);
+    let sid_c = peace_protocol::SessionId::from_points(&req_c.g_rr, &req_c.g_rj);
+    let f_a = w.no.audit(&sid_a).unwrap();
+    let f_c = w.no.audit(&sid_c).unwrap();
+    assert_eq!(f_a.group, g_company);
+    assert_eq!(f_c.group, g_university);
+    assert_eq!(w.no.group_name(f_a.group), Some("Company XYZ"));
+
+    // Law authority: full trace with GM cooperation.
+    let law = LawAuthority::new();
+    let t_a = law.trace(&w.no, &w.gms, &sid_a).unwrap();
+    assert_eq!(t_a.uid, UserId("alice".into()));
+    assert_eq!(t_a.group, g_company);
+    let t_c = law.trace(&w.no, &w.gms, &sid_c).unwrap();
+    assert_eq!(t_c.uid, UserId("carol".into()));
+
+    // Unknown session: audit fails cleanly.
+    let bogus = peace_protocol::SessionId::from_points(&req_a.g_rj, &req_a.g_rr);
+    assert!(w.no.audit(&bogus).is_err());
+}
+
+#[test]
+fn multi_role_user_audits_to_different_groups() {
+    let mut w = World::new(11);
+    let g_company = w.add_group("Company XYZ", 2);
+    let g_golf = w.add_group("Golf Club V", 2);
+
+    // One human, two roles.
+    let uid = UserId("dave".into());
+    let mut dave = UserClient::new(
+        uid.clone(),
+        *w.no.gpk(),
+        *w.no.npk(),
+        *w.no.config(),
+        &mut w.rng,
+    );
+    for gid in [g_company, g_golf] {
+        let gm = w.gms.get_mut(&gid).unwrap();
+        let assignment = gm.assign(&uid).unwrap();
+        let delivery = w.ttp.deliver(assignment.index, &uid).unwrap();
+        dave.enroll(&assignment, &delivery).unwrap();
+    }
+    assert_eq!(dave.credential_count(), 2);
+
+    let mut router = w.router("MR-1");
+    let mut session_ids = Vec::new();
+    for role in 0..2 {
+        dave.set_active_role(role).unwrap();
+        let b = router.beacon(1_000 + role as u64 * 100, &mut w.rng);
+        let (req, _) = dave
+            .process_beacon(&b, 1_010 + role as u64 * 100, &mut w.rng)
+            .unwrap();
+        router
+            .process_access_request(&req, 1_020 + role as u64 * 100)
+            .unwrap();
+        session_ids.push(peace_protocol::SessionId::from_points(&req.g_rr, &req.g_rj));
+    }
+    w.no.ingest_router_log(&mut router);
+
+    // The same person audits to different nonessential attributes
+    // depending on which role signed — the paper's sophisticated privacy.
+    let f0 = w.no.audit(&session_ids[0]).unwrap();
+    let f1 = w.no.audit(&session_ids[1]).unwrap();
+    assert_eq!(f0.group, g_company);
+    assert_eq!(f1.group, g_golf);
+
+    // And the law authority maps both back to dave.
+    let law = LawAuthority::new();
+    assert_eq!(law.trace(&w.no, &w.gms, &session_ids[0]).unwrap().uid, uid);
+    assert_eq!(law.trace(&w.no, &w.gms, &session_ids[1]).unwrap().uid, uid);
+}
+
+#[test]
+fn tampered_confirmation_rejected() {
+    let mut w = World::new(12);
+    let gid = w.add_group("Company", 1);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut router = w.router("MR-1");
+
+    let beacon = router.beacon(1_000, &mut w.rng);
+    let (req, pending) = alice.process_beacon(&beacon, 1_010, &mut w.rng).unwrap();
+    let (mut confirm, _) = router.process_access_request(&req, 1_020).unwrap();
+    let n = confirm.ciphertext.len();
+    confirm.ciphertext[n / 2] ^= 0xff;
+    assert_eq!(
+        alice.finalize_router_session(&pending, &confirm).unwrap_err(),
+        ProtocolError::DecryptFailed
+    );
+}
+
+#[test]
+fn gm_share_pool_exhaustion() {
+    let mut w = World::new(13);
+    let gid = w.add_group("Tiny Org", 1);
+    let _user = w.enroll_user("only-member", gid);
+    let gm = w.gms.get_mut(&gid).unwrap();
+    assert_eq!(gm.available_shares(), 0);
+    assert!(gm.assign(&UserId("late-joiner".into())).is_err());
+}
+
+#[test]
+fn peer_handshake_window_enforced() {
+    let mut w = World::new(14);
+    let gid = w.add_group("Company", 2);
+    let alice = w.enroll_user("alice", gid);
+    let bob = w.enroll_user("bob", gid);
+    let mut router = w.router("MR-1");
+    let beacon = router.beacon(1_000, &mut w.rng);
+
+    let (hello, a_pending) = alice.peer_hello(&beacon.g, 1_000, &mut w.rng).unwrap();
+    // Bob answers absurdly late (forged ts2 far in the future).
+    let hw = w.no.config().handshake_window;
+    let late_ts = 1_000 + hw + 5_000;
+    let (resp, _) = bob.process_peer_hello(&hello, 1_010, &mut w.rng).map(|(mut r, p)| {
+        r.ts2 = late_ts; // tamper: claim a late ts2
+        (r, p)
+    }).unwrap();
+    let err = alice
+        .process_peer_response(&a_pending, &resp, late_ts)
+        .unwrap_err();
+    // Either the handshake window or the signature over ts2 catches it.
+    assert!(matches!(
+        err,
+        ProtocolError::HandshakeTimeout | ProtocolError::BadGroupSignature
+    ));
+}
+
+#[test]
+fn roaming_across_routers() {
+    // A mobile user authenticates to three different routers in sequence
+    // (the metropolitan roaming pattern of Fig. 1). Each handshake stands
+    // alone; all sessions audit to the same group.
+    let mut w = World::new(15);
+    let gid = w.add_group("Commuters Inc", 2);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut routers: Vec<MeshRouter> = (0..3).map(|i| w.router(&format!("MR-{i}"))).collect();
+
+    let mut t = 1_000u64;
+    let mut sids = Vec::new();
+    for router in routers.iter_mut() {
+        let beacon = router.beacon(t, &mut w.rng);
+        let (req, pending) = alice.process_beacon(&beacon, t + 5, &mut w.rng).unwrap();
+        let (confirm, mut r_sess) = router.process_access_request(&req, t + 10).unwrap();
+        let mut a_sess = alice.finalize_router_session(&pending, &confirm).unwrap();
+        let pkt = a_sess.seal_data(b"roam");
+        assert!(r_sess.open_data(&pkt).is_ok());
+        w.no.ingest_router_log(router);
+        sids.push(peace_protocol::SessionId::from_points(&req.g_rr, &req.g_rj));
+        t += 500;
+    }
+    // All three sessions attribute to the same group.
+    for sid in &sids {
+        assert_eq!(w.no.audit(sid).unwrap().group, gid);
+    }
+    // Distinct session identifiers (no cross-router linkage material).
+    assert_ne!(sids[0], sids[1]);
+    assert_ne!(sids[1], sids[2]);
+}
+
+#[test]
+fn compromised_router_cannot_identify_or_frame_users() {
+    // §III.B threat model: the adversary "can compromise and control a
+    // small number of … mesh routers". A compromised router sees M.2 and
+    // holds gpk + its own keys, but (a) cannot tell which member signed,
+    // (b) cannot forge a signature that frames another user.
+    let mut w = World::new(16);
+    let gid = w.add_group("org", 3);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut bob = w.enroll_user("bob", gid);
+    let mut rogue = w.router("MR-compromised");
+
+    let beacon = rogue.beacon(1_000, &mut w.rng);
+    let (req_a, _) = alice.process_beacon(&beacon, 1_010, &mut w.rng).unwrap();
+    let (req_b, _) = bob.process_beacon(&beacon, 1_020, &mut w.rng).unwrap();
+    rogue.process_access_request(&req_a, 1_015).unwrap();
+    rogue.process_access_request(&req_b, 1_025).unwrap();
+
+    // (a) the router's complete view of both requests contains no token it
+    // could use for Eq.3: without grt, every value it can derive fails.
+    let payload_a =
+        peace_protocol::AccessRequest::signed_payload(&req_a.g_rj, &req_a.g_rr, req_a.ts2);
+    let (u_hat, v_hat) =
+        peace_groupsig::h0_bases(w.no.gpk(), &payload_a, &req_a.gsig.r, peace_groupsig::BasesMode::PerMessage);
+    for guess in [req_a.gsig.t1, req_a.gsig.t2, req_b.gsig.t1, req_b.gsig.t2, w.no.gpk().g1] {
+        assert!(!peace_groupsig::token_matches(
+            &req_a.gsig,
+            &peace_groupsig::RevocationToken(guess),
+            &u_hat,
+            &v_hat
+        ));
+    }
+
+    // (b) replaying Alice's signature under a different payload fails, so
+    // the router cannot fabricate evidence about a session she never had.
+    let forged_payload =
+        peace_protocol::AccessRequest::signed_payload(&req_b.g_rj, &req_a.g_rr, 9_999);
+    assert!(peace_groupsig::verify(
+        w.no.gpk(),
+        &forged_payload,
+        &req_a.gsig,
+        peace_groupsig::BasesMode::PerMessage
+    )
+    .is_err());
+
+    // NO's audit of the genuine logged sessions still works (the evidence
+    // trail survives router compromise because M.2 is self-authenticating).
+    w.no.ingest_router_log(&mut rogue);
+    let sid = peace_protocol::SessionId::from_points(&req_a.g_rr, &req_a.g_rj);
+    assert_eq!(w.no.audit(&sid).unwrap().group, gid);
+}
+
+#[test]
+fn automatic_dos_detection_toggles_puzzles() {
+    let mut w = World::new(17);
+    let gid = w.add_group("org", 1);
+    let mut alice = w.enroll_user("alice", gid);
+    let mut router = w.router("MR-1");
+    let threshold = w.no.config().dos_threshold;
+    let window = w.no.config().dos_window;
+
+    // Quiet network: no puzzles.
+    let b = router.beacon(1_000, &mut w.rng);
+    assert!(b.puzzle.is_none());
+    assert!(!router.is_under_attack());
+
+    // Flood: bogus requests with garbage signatures referencing a real
+    // beacon (each one fails expensive verification).
+    let beacon = router.beacon(2_000, &mut w.rng);
+    let (template, _) = alice.process_beacon(&beacon, 2_010, &mut w.rng).unwrap();
+    for i in 0..threshold {
+        let mut bogus = template.clone();
+        bogus.ts2 = 2_011 + i as u64; // changed payload → signature fails
+        assert!(router.process_access_request(&bogus, 2_020).is_err());
+    }
+    // Detector trips: the next beacon demands puzzles.
+    let defended = router.beacon(2_500, &mut w.rng);
+    assert!(router.is_under_attack());
+    assert!(defended.puzzle.is_some());
+
+    // Legitimate users still get in (they solve the puzzle).
+    let (req, pending) = alice.process_beacon(&defended, 2_510, &mut w.rng).unwrap();
+    assert!(req.puzzle_solution.is_some());
+    let (confirm, _) = router.process_access_request(&req, 2_520).unwrap();
+    assert!(alice.finalize_router_session(&pending, &confirm).is_ok());
+
+    // After a quiet window the router relaxes automatically.
+    let later = 2_500 + window + 1_000;
+    let relaxed = router.beacon(later, &mut w.rng);
+    assert!(!router.is_under_attack());
+    assert!(relaxed.puzzle.is_none());
+
+    // Manual override pins the mode regardless of traffic.
+    router.set_under_attack(true);
+    let forced = router.beacon(later + 100, &mut w.rng);
+    assert!(forced.puzzle.is_some());
+    router.clear_attack_override();
+    let auto_again = router.beacon(later + window + 5_000, &mut w.rng);
+    assert!(auto_again.puzzle.is_none());
+}

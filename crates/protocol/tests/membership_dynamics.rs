@@ -1,0 +1,217 @@
+//! Membership maintenance (§III.B "Membership Maintenance", §V.A "group
+//! public key update"): periodic renewal via system-key rotation, URL size
+//! control, cross-epoch audit, and session key ratcheting.
+
+use std::collections::HashMap;
+
+use peace_protocol::entities::*;
+use peace_protocol::ids::{GroupId, UserId};
+use peace_protocol::{ProtocolConfig, ProtocolError, SessionId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct World {
+    no: NetworkOperator,
+    gms: HashMap<GroupId, GroupManager>,
+    ttp: Ttp,
+    rng: StdRng,
+}
+
+impl World {
+    fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let no = NetworkOperator::new(ProtocolConfig::default(), &mut rng);
+        Self {
+            no,
+            gms: HashMap::new(),
+            ttp: Ttp::new(),
+            rng,
+        }
+    }
+
+    fn add_group(&mut self, name: &str, keys: usize) -> GroupId {
+        let gid = self.no.register_group(name, &mut self.rng);
+        self.refill_group(gid, keys);
+        gid
+    }
+
+    fn refill_group(&mut self, gid: GroupId, keys: usize) {
+        let (gm_bundle, ttp_bundle) = self.no.issue_shares(gid, keys, &mut self.rng).unwrap();
+        let gm = self
+            .gms
+            .entry(gid)
+            .or_insert_with(|| GroupManager::new(gid));
+        gm.receive_bundle(&gm_bundle, self.no.npk()).unwrap();
+        self.ttp.receive_bundle(&ttp_bundle, self.no.npk()).unwrap();
+    }
+
+    fn enroll(&mut self, user: &mut UserClient, gid: GroupId) {
+        let gm = self.gms.get_mut(&gid).unwrap();
+        let assignment = gm.assign(user.uid()).unwrap();
+        let delivery = self.ttp.deliver(assignment.index, user.uid()).unwrap();
+        let receipt = user.enroll(&assignment, &delivery).unwrap();
+        gm.store_receipt(&user.uid().clone(), receipt);
+    }
+}
+
+#[test]
+fn epoch_rotation_invalidates_all_old_credentials() {
+    let mut w = World::new(1);
+    let gid = w.add_group("org", 3);
+    let uid = UserId("alice".into());
+    let mut alice = UserClient::new(uid, *w.no.gpk(), *w.no.npk(), *w.no.config(), &mut w.rng);
+    w.enroll(&mut alice, gid);
+    let mut router = w.no.provision_router("MR-1", u64::MAX / 2, &mut w.rng);
+
+    // Works before rotation.
+    let b = router.beacon(1_000, &mut w.rng);
+    let (req, _) = alice.process_beacon(&b, 1_010, &mut w.rng).unwrap();
+    assert!(router.process_access_request(&req, 1_020).is_ok());
+
+    // Rotate. Router learns the new gpk; Alice has NOT re-enrolled.
+    assert_eq!(w.no.epoch(), 0);
+    let new_gpk = w.no.rotate_system_key(&mut w.rng);
+    assert_eq!(w.no.epoch(), 1);
+    router.install_epoch(new_gpk, w.no.publish_crl(2_000), w.no.publish_url(2_000));
+
+    // Alice's stale credential signs against the OLD gpk: the router (new
+    // gpk) rejects the signature.
+    let b2 = router.beacon(2_000, &mut w.rng);
+    let (stale_req, _) = alice.process_beacon(&b2, 2_010, &mut w.rng).unwrap();
+    assert_eq!(
+        router.process_access_request(&stale_req, 2_020).unwrap_err(),
+        ProtocolError::BadGroupSignature
+    );
+
+    // After adopting the epoch and re-enrolling, Alice works again.
+    alice.install_epoch(new_gpk);
+    assert_eq!(alice.credential_count(), 0);
+    w.refill_group(gid, 2);
+    w.enroll(&mut alice, gid);
+    let b3 = router.beacon(3_000, &mut w.rng);
+    let (req3, pending3) = alice.process_beacon(&b3, 3_010, &mut w.rng).unwrap();
+    let (confirm3, _) = router.process_access_request(&req3, 3_020).unwrap();
+    assert!(alice.finalize_router_session(&pending3, &confirm3).is_ok());
+}
+
+#[test]
+fn rotation_empties_url() {
+    let mut w = World::new(2);
+    let gid = w.add_group("org", 3);
+    let uid = UserId("mallory".into());
+    let mut mallory =
+        UserClient::new(uid, *w.no.gpk(), *w.no.npk(), *w.no.config(), &mut w.rng);
+    w.enroll(&mut mallory, gid);
+    let mut router = w.no.provision_router("MR-1", u64::MAX / 2, &mut w.rng);
+
+    // Mallory gets revoked the hard way (audit → URL entry).
+    let b = router.beacon(1_000, &mut w.rng);
+    let (req, _) = mallory.process_beacon(&b, 1_010, &mut w.rng).unwrap();
+    router.process_access_request(&req, 1_020).unwrap();
+    w.no.ingest_router_log(&mut router);
+    let sid = SessionId::from_points(&req.g_rr, &req.g_rj);
+    let token = w.no.audit(&sid).unwrap().token;
+    w.no.revoke_member(&token);
+    assert_eq!(w.no.revoked_member_count(), 1);
+    assert_eq!(w.no.publish_url(1_500).tokens.len(), 1);
+
+    // Rotation is the paper's |URL| control: the list resets to empty
+    // because every old key (revoked or not) is dead.
+    w.no.rotate_system_key(&mut w.rng);
+    assert_eq!(w.no.revoked_member_count(), 0);
+    assert!(w.no.publish_url(2_000).tokens.is_empty());
+}
+
+#[test]
+fn old_epoch_sessions_remain_auditable() {
+    let mut w = World::new(3);
+    let gid = w.add_group("Company XYZ", 2);
+    let uid = UserId("alice".into());
+    let mut alice = UserClient::new(uid, *w.no.gpk(), *w.no.npk(), *w.no.config(), &mut w.rng);
+    w.enroll(&mut alice, gid);
+    let mut router = w.no.provision_router("MR-1", u64::MAX / 2, &mut w.rng);
+
+    let b = router.beacon(1_000, &mut w.rng);
+    let (req, _) = alice.process_beacon(&b, 1_010, &mut w.rng).unwrap();
+    router.process_access_request(&req, 1_020).unwrap();
+    w.no.ingest_router_log(&mut router);
+    let sid = SessionId::from_points(&req.g_rr, &req.g_rj);
+
+    // Rotate twice; the pre-rotation session must still audit to the
+    // correct group (disputes can surface long after renewal).
+    w.no.rotate_system_key(&mut w.rng);
+    w.no.rotate_system_key(&mut w.rng);
+    let finding = w.no.audit(&sid).unwrap();
+    assert_eq!(finding.group, gid);
+}
+
+#[test]
+fn session_rekey_lockstep_and_forward_secrecy() {
+    use peace_protocol::{Role, Session};
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = peace_curve::G1::random(&mut rng);
+    let a = peace_field::Fq::random_nonzero(&mut rng);
+    let b = peace_field::Fq::random_nonzero(&mut rng);
+    let secret = g.mul(&a).mul(&b);
+    let id = SessionId::from_points(&g.mul(&a), &g.mul(&b));
+    let mut left = Session::establish(&secret, id.clone(), Role::Responder);
+    let mut right = Session::establish(&secret, id, Role::Initiator);
+
+    // Traffic before rekey.
+    let m0 = left.seal_data(b"gen0");
+    assert_eq!(right.open_data(&m0).unwrap(), b"gen0");
+
+    // Snapshot of the old receiving state (an adversary seizing the device
+    // post-rekey would hold only the NEW state — simulate by cloning the
+    // pre-rekey session to decrypt post-rekey traffic: must fail).
+    let mut old_right = right.clone();
+
+    left.rekey();
+    right.rekey();
+    assert_eq!(left.generation(), 1);
+    let m1 = left.seal_data(b"gen1");
+    assert_eq!(right.open_data(&m1).unwrap(), b"gen1");
+    // Old-generation state cannot read new traffic.
+    assert!(old_right.open_data(&m1).is_err());
+
+    // Unsynchronized rekey breaks the channel (both must ratchet).
+    left.rekey();
+    let m2 = left.seal_data(b"gen2");
+    assert!(right.open_data(&m2).is_err());
+    right.rekey();
+    // open_data does not advance state on failure, so the retransmission
+    // of m2 decrypts once right has caught up.
+    assert_eq!(right.open_data(&m2).unwrap(), b"gen2");
+}
+
+#[test]
+fn renewal_cycle_stress() {
+    // Three epochs, users re-enrolling each time; everything keeps working
+    // and audits stay group-correct within each epoch.
+    let mut w = World::new(5);
+    let gid = w.add_group("org", 4);
+    let uid = UserId("bob".into());
+    let mut bob = UserClient::new(uid, *w.no.gpk(), *w.no.npk(), *w.no.config(), &mut w.rng);
+    w.enroll(&mut bob, gid);
+    let mut router = w.no.provision_router("MR-1", u64::MAX / 2, &mut w.rng);
+
+    let mut t = 1_000u64;
+    for epoch in 0..3 {
+        let b = router.beacon(t, &mut w.rng);
+        let (req, pending) = bob.process_beacon(&b, t + 10, &mut w.rng).unwrap();
+        let (confirm, _) = router.process_access_request(&req, t + 20).unwrap();
+        assert!(bob.finalize_router_session(&pending, &confirm).is_ok());
+        w.no.ingest_router_log(&mut router);
+        let sid = SessionId::from_points(&req.g_rr, &req.g_rj);
+        assert_eq!(w.no.audit(&sid).unwrap().group, gid);
+
+        // renew
+        let new_gpk = w.no.rotate_system_key(&mut w.rng);
+        assert_eq!(w.no.epoch(), epoch + 1);
+        router.install_epoch(new_gpk, w.no.publish_crl(t + 100), w.no.publish_url(t + 100));
+        bob.install_epoch(new_gpk);
+        w.refill_group(gid, 2);
+        w.enroll(&mut bob, gid);
+        t += 1_000;
+    }
+}

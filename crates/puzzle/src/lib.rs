@@ -1,0 +1,284 @@
+//! Juels–Brainard client puzzles for DoS resilience (paper §V.A).
+//!
+//! When a mesh router suspects a connection-depletion attack it attaches a
+//! cryptographic puzzle to each beacon (M.1) and only commits resources to
+//! an access request (M.2) that carries a valid solution. Solving requires
+//! a brute-force search of expected `2^difficulty / 2` hash evaluations per
+//! sub-puzzle; verification is a handful of hashes.
+//!
+//! Following Juels–Brainard, a puzzle is split into `k` independent
+//! sub-puzzles of `d` bits each, which sharpens the concentration of the
+//! solver's work around `k·2^(d−1)` (a single `(k·d)`-bit puzzle has an
+//! exponential work distribution; `k` sub-puzzles approach the mean).
+//!
+//! # Examples
+//!
+//! ```
+//! use peace_puzzle::Puzzle;
+//!
+//! let puzzle = Puzzle::new(b"server-secret-nonce", 2, 8);
+//! let solution = puzzle.solve();
+//! assert!(puzzle.verify(&solution));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use peace_hash::{sha256, xof};
+use peace_wire::{Decode, Encode, Reader, Writer};
+
+/// A client puzzle attached to a beacon.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Puzzle {
+    /// Server-chosen fresh nonce binding the puzzle to one beacon period.
+    pub nonce: Vec<u8>,
+    /// Number of independent sub-puzzles `k`.
+    pub sub_puzzles: u8,
+    /// Difficulty `d` in bits per sub-puzzle (leading zero bits required).
+    pub difficulty: u8,
+}
+
+/// A solution: one 8-byte counter per sub-puzzle.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Solution {
+    /// Counters such that `SHA256(nonce ‖ index ‖ counter)` has
+    /// `difficulty` leading zero bits for each sub-puzzle `index`.
+    pub counters: Vec<u64>,
+}
+
+fn leading_zero_bits(digest: &[u8]) -> u32 {
+    let mut bits = 0;
+    for &b in digest {
+        if b == 0 {
+            bits += 8;
+        } else {
+            bits += b.leading_zeros();
+            break;
+        }
+    }
+    bits
+}
+
+impl Puzzle {
+    /// Creates a puzzle with `sub_puzzles` independent `difficulty`-bit
+    /// sub-puzzles, bound to `seed` (the router mixes its identity and the
+    /// beacon timestamp into the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `difficulty > 30` (a guard against accidental unsolvable
+    /// puzzles) or `sub_puzzles == 0`.
+    pub fn new(seed: &[u8], sub_puzzles: u8, difficulty: u8) -> Self {
+        assert!(difficulty <= 30, "difficulty above 30 bits is unsolvable in practice");
+        assert!(sub_puzzles > 0, "at least one sub-puzzle required");
+        Self {
+            nonce: xof(b"peace-puzzle-nonce", seed, 16),
+            sub_puzzles,
+            difficulty,
+        }
+    }
+
+    fn sub_digest(&self, index: u8, counter: u64) -> [u8; 32] {
+        let mut input = Vec::with_capacity(self.nonce.len() + 9);
+        input.extend_from_slice(&self.nonce);
+        input.push(index);
+        input.extend_from_slice(&counter.to_be_bytes());
+        sha256(&input)
+    }
+
+    /// Brute-force solves all sub-puzzles.
+    pub fn solve(&self) -> Solution {
+        let mut counters = Vec::with_capacity(self.sub_puzzles as usize);
+        for index in 0..self.sub_puzzles {
+            let mut counter = 0u64;
+            loop {
+                if leading_zero_bits(&self.sub_digest(index, counter)) >= self.difficulty as u32 {
+                    counters.push(counter);
+                    break;
+                }
+                counter += 1;
+            }
+        }
+        Solution { counters }
+    }
+
+    /// Solves while counting hash evaluations (for the E5 experiment).
+    pub fn solve_counting(&self) -> (Solution, u64) {
+        let mut work = 0u64;
+        let mut counters = Vec::with_capacity(self.sub_puzzles as usize);
+        for index in 0..self.sub_puzzles {
+            let mut counter = 0u64;
+            loop {
+                work += 1;
+                if leading_zero_bits(&self.sub_digest(index, counter)) >= self.difficulty as u32 {
+                    counters.push(counter);
+                    break;
+                }
+                counter += 1;
+            }
+        }
+        (Solution { counters }, work)
+    }
+
+    /// Verifies a solution (cheap: `sub_puzzles` hashes).
+    pub fn verify(&self, solution: &Solution) -> bool {
+        if solution.counters.len() != self.sub_puzzles as usize {
+            return false;
+        }
+        solution.counters.iter().enumerate().all(|(i, &ctr)| {
+            leading_zero_bits(&self.sub_digest(i as u8, ctr)) >= self.difficulty as u32
+        })
+    }
+
+    /// Expected solver work in hash evaluations: `k · 2^(d−1)`.
+    pub fn expected_work(&self) -> u64 {
+        (self.sub_puzzles as u64) << (self.difficulty.saturating_sub(1))
+    }
+}
+
+impl Encode for Puzzle {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.nonce);
+        w.put_u8(self.sub_puzzles);
+        w.put_u8(self.difficulty);
+    }
+}
+
+impl Decode for Puzzle {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        let nonce = r.get_bytes()?.to_vec();
+        let sub_puzzles = r.get_u8()?;
+        let difficulty = r.get_u8()?;
+        if sub_puzzles == 0 || difficulty > 30 {
+            return Err(peace_wire::WireError::Invalid("puzzle parameters"));
+        }
+        Ok(Self {
+            nonce,
+            sub_puzzles,
+            difficulty,
+        })
+    }
+}
+
+impl Encode for Solution {
+    fn encode(&self, w: &mut Writer) {
+        w.put_seq(&self.counters.iter().map(|c| c.to_be_bytes().to_vec()).collect::<Vec<_>>());
+    }
+}
+
+impl Decode for Solution {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        let raw: Vec<Vec<u8>> = r.get_seq()?;
+        let mut counters = Vec::with_capacity(raw.len());
+        for item in raw {
+            let arr: [u8; 8] = item
+                .as_slice()
+                .try_into()
+                .map_err(|_| peace_wire::WireError::Invalid("solution counter"))?;
+            counters.push(u64::from_be_bytes(arr));
+        }
+        Ok(Self { counters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_and_verify() {
+        let p = Puzzle::new(b"seed-1", 3, 6);
+        let s = p.solve();
+        assert!(p.verify(&s));
+    }
+
+    #[test]
+    fn zero_difficulty_trivial() {
+        let p = Puzzle::new(b"seed", 1, 0);
+        let s = p.solve();
+        assert_eq!(s.counters, vec![0]);
+        assert!(p.verify(&s));
+    }
+
+    #[test]
+    fn wrong_solution_rejected() {
+        let p = Puzzle::new(b"seed-2", 2, 8);
+        let mut s = p.solve();
+        s.counters[0] = s.counters[0].wrapping_add(1);
+        // With 8-bit difficulty a random counter passes with prob 2^-8;
+        // the specific +1 counter was the first failure before the solution
+        // unless the solution was not the minimal counter — re-check honestly:
+        if p.verify(&s) {
+            // astronomically unlikely but tolerate: the counter after the
+            // minimal solution may also solve; perturb more aggressively.
+            s.counters[0] = u64::MAX;
+            assert!(!p.verify(&s));
+        }
+    }
+
+    #[test]
+    fn truncated_solution_rejected() {
+        let p = Puzzle::new(b"seed-3", 2, 4);
+        let s = p.solve();
+        let short = Solution {
+            counters: s.counters[..1].to_vec(),
+        };
+        assert!(!p.verify(&short));
+    }
+
+    #[test]
+    fn solution_not_transferable_between_puzzles() {
+        let p1 = Puzzle::new(b"seed-a", 2, 10);
+        let p2 = Puzzle::new(b"seed-b", 2, 10);
+        let s1 = p1.solve();
+        assert!(!p2.verify(&s1) || p1.nonce == p2.nonce);
+    }
+
+    #[test]
+    fn work_scales_with_difficulty() {
+        let (_, w4) = Puzzle::new(b"w", 1, 4).solve_counting();
+        let (_, w10) = Puzzle::new(b"w", 1, 10).solve_counting();
+        // Work is random but 10-bit should almost surely exceed 4-bit
+        // expected floor; just sanity-check magnitudes.
+        assert!(w4 >= 1);
+        assert!(w10 > w4 / 2);
+        assert_eq!(Puzzle::new(b"w", 2, 11).expected_work(), 2 << 10);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Puzzle::new(b"same", 2, 8);
+        let b = Puzzle::new(b"same", 2, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let p = Puzzle::new(b"wire", 3, 12);
+        let back = Puzzle::from_wire(&p.to_wire()).unwrap();
+        assert_eq!(back, p);
+        let s = Puzzle::new(b"wire", 1, 2).solve();
+        assert_eq!(Solution::from_wire(&s.to_wire()).unwrap(), s);
+    }
+
+    #[test]
+    fn decode_rejects_bad_parameters() {
+        let mut w = Writer::new();
+        w.put_bytes(b"nonce");
+        w.put_u8(0); // zero sub-puzzles
+        w.put_u8(4);
+        assert!(Puzzle::from_wire(&w.into_bytes()).is_err());
+
+        let mut w = Writer::new();
+        w.put_bytes(b"nonce");
+        w.put_u8(1);
+        w.put_u8(31); // too hard
+        assert!(Puzzle::from_wire(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsolvable")]
+    fn new_panics_on_absurd_difficulty() {
+        let _ = Puzzle::new(b"x", 1, 31);
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulation metrics collected across experiments.
+
+use std::collections::BTreeMap;
+
+/// Counters accumulated over a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimMetrics {
+    /// Successful user↔router authentications.
+    pub auth_success: u64,
+    /// Failed authentications by rejection reason.
+    pub auth_fail: BTreeMap<String, u64>,
+    /// Successful user↔user pairwise handshakes.
+    pub peer_success: u64,
+    /// Failed peer handshakes by reason.
+    pub peer_fail: BTreeMap<String, u64>,
+    /// Sessions a phishing router managed to establish with honest users.
+    pub phished_sessions: u64,
+    /// Beacons accepted from rogue routers by honest users.
+    pub phish_beacons_accepted: u64,
+    /// Beacons from rogue routers rejected by honest users.
+    pub phish_beacons_rejected: u64,
+    /// Bogus access requests the router spent full verification effort on.
+    pub flood_requests_verified: u64,
+    /// Bogus access requests shed cheaply (puzzle check failed/missing).
+    pub flood_requests_shed: u64,
+    /// Application payloads delivered end-to-end.
+    pub data_delivered: u64,
+    /// Total relay hops used by delivered uplink traffic.
+    pub relay_hops: u64,
+    /// Users that could not reach any router.
+    pub disconnected_users: u64,
+    /// Virtual router CPU time (ms) spent on verification work.
+    pub router_cpu_ms: f64,
+    /// Virtual attacker CPU time (ms) spent solving puzzles.
+    pub attacker_cpu_ms: f64,
+    /// Successful authentications per router (load distribution).
+    pub auths_by_router: BTreeMap<String, u64>,
+    /// Handshake messages lost to the radio model.
+    pub radio_losses: u64,
+}
+
+impl SimMetrics {
+    /// Records an authentication failure with its reason.
+    pub fn record_auth_fail(&mut self, reason: impl ToString) {
+        *self.auth_fail.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records a peer-handshake failure with its reason.
+    pub fn record_peer_fail(&mut self, reason: impl ToString) {
+        *self.peer_fail.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Total authentication attempts.
+    pub fn auth_attempts(&self) -> u64 {
+        self.auth_success + self.auth_fail.values().sum::<u64>()
+    }
+
+    /// Success rate over all attempts (1.0 when no attempts).
+    pub fn auth_success_rate(&self) -> f64 {
+        let attempts = self.auth_attempts();
+        if attempts == 0 {
+            1.0
+        } else {
+            self.auth_success as f64 / attempts as f64
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Authenticated symmetric encryption for PEACE session traffic.
+//!
+//! The paper's `E_K(·)` (message M.3 and all post-handshake session data)
+//! is realized as encrypt-then-MAC:
+//!
+//! * keystream: HMAC-SHA256 as a PRF in counter mode over a per-message
+//!   nonce (a dedicated encryption subkey is derived via HKDF);
+//! * integrity: HMAC-SHA256 over `nonce ‖ associated-data ‖ ciphertext`
+//!   with an independent MAC subkey.
+//!
+//! The paper's per-packet "highly efficient MAC-based approach" for session
+//! authentication is exposed separately as [`SessionMac`].
+//!
+//! # Examples
+//!
+//! ```
+//! use peace_symmetric::SessionCipher;
+//!
+//! let cipher = SessionCipher::new(b"shared DH secret", b"session-context");
+//! let sealed = cipher.seal(1, b"router-id", b"hello mesh");
+//! let opened = cipher.open(1, b"router-id", &sealed).expect("authentic");
+//! assert_eq!(opened, b"hello mesh");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+use peace_hash::{ct_eq, hkdf, hmac_sha256, Hmac, DIGEST_LEN};
+
+/// Length of the authentication tag appended to every ciphertext.
+pub const TAG_LEN: usize = 32;
+
+/// Length of the per-message nonce prepended to every ciphertext.
+pub const NONCE_LEN: usize = 8;
+
+/// Failure to authenticate or parse a sealed message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenError;
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ciphertext failed authentication")
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// Authenticated encryption bound to one session key.
+///
+/// Nonces are caller-supplied message sequence numbers; reusing a sequence
+/// number for two different plaintexts under the same key leaks their XOR,
+/// exactly as with any stream cipher — the protocol layer guarantees
+/// monotone sequence numbers per direction.
+#[derive(Clone)]
+pub struct SessionCipher {
+    enc_key: [u8; 32],
+    mac_key: [u8; 32],
+}
+
+impl fmt::Debug for SessionCipher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "SessionCipher(..)")
+    }
+}
+
+impl SessionCipher {
+    /// Derives independent encryption and MAC subkeys from the shared
+    /// secret (e.g. the DH value `g^{r_R r_j}`) and a context string
+    /// (e.g. the session identifier `(g^{r_R}, g^{r_j})`).
+    pub fn new(shared_secret: &[u8], context: &[u8]) -> Self {
+        let okm = hkdf(b"peace-session-v1", shared_secret, context, 64);
+        let mut enc_key = [0u8; 32];
+        let mut mac_key = [0u8; 32];
+        enc_key.copy_from_slice(&okm[..32]);
+        mac_key.copy_from_slice(&okm[32..]);
+        Self { enc_key, mac_key }
+    }
+
+    fn keystream(&self, nonce: &[u8; NONCE_LEN], len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut block: u64 = 0;
+        while out.len() < len {
+            let ks = Hmac::new(&self.enc_key)
+                .chain(nonce)
+                .chain(&block.to_be_bytes())
+                .finalize();
+            let take = (len - out.len()).min(DIGEST_LEN);
+            out.extend_from_slice(&ks[..take]);
+            block += 1;
+        }
+        out
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], ad: &[u8], ct: &[u8]) -> [u8; TAG_LEN] {
+        Hmac::new(&self.mac_key)
+            .chain(nonce)
+            .chain(&(ad.len() as u64).to_be_bytes())
+            .chain(ad)
+            .chain(ct)
+            .finalize()
+    }
+
+    /// Encrypts and authenticates `plaintext` under sequence number `seq`
+    /// with associated data `ad`. Output layout: `nonce ‖ ct ‖ tag`.
+    pub fn seal(&self, seq: u64, ad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let nonce = seq.to_be_bytes();
+        let ks = self.keystream(&nonce, plaintext.len());
+        let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len() + TAG_LEN);
+        out.extend_from_slice(&nonce);
+        out.extend(plaintext.iter().zip(ks.iter()).map(|(p, k)| p ^ k));
+        let tag = self.tag(&nonce, ad, &out[NONCE_LEN..]);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Authenticates and decrypts a sealed message, checking that its
+    /// embedded nonce matches the expected sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OpenError`] on truncation, wrong sequence number, or MAC
+    /// failure.
+    pub fn open(&self, expected_seq: u64, ad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if sealed.len() < NONCE_LEN + TAG_LEN {
+            return Err(OpenError);
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        nonce.copy_from_slice(&sealed[..NONCE_LEN]);
+        if u64::from_be_bytes(nonce) != expected_seq {
+            return Err(OpenError);
+        }
+        let ct = &sealed[NONCE_LEN..sealed.len() - TAG_LEN];
+        let tag = &sealed[sealed.len() - TAG_LEN..];
+        let expect = self.tag(&nonce, ad, ct);
+        if !ct_eq(tag, &expect) {
+            return Err(OpenError);
+        }
+        let ks = self.keystream(&nonce, ct.len());
+        Ok(ct.iter().zip(ks.iter()).map(|(c, k)| c ^ k).collect())
+    }
+}
+
+/// Per-packet MAC authentication for established sessions (the paper's
+/// hybrid design: one group signature per session, then cheap MACs).
+#[derive(Clone)]
+pub struct SessionMac {
+    key: [u8; 32],
+}
+
+impl fmt::Debug for SessionMac {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SessionMac(..)")
+    }
+}
+
+impl SessionMac {
+    /// Derives a MAC key from the session secret and context.
+    pub fn new(shared_secret: &[u8], context: &[u8]) -> Self {
+        let okm = hkdf(b"peace-session-mac-v1", shared_secret, context, 32);
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&okm);
+        Self { key }
+    }
+
+    /// Tags a packet with its sequence number.
+    pub fn tag(&self, seq: u64, packet: &[u8]) -> [u8; TAG_LEN] {
+        Hmac::new(&self.key)
+            .chain(&seq.to_be_bytes())
+            .chain(packet)
+            .finalize()
+    }
+
+    /// Verifies a packet tag.
+    pub fn verify(&self, seq: u64, packet: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&self.tag(seq, packet), tag)
+    }
+}
+
+/// Legacy-style one-shot helpers matching the paper's `E_K(m)` notation for
+/// handshake confirmation messages (M.3): key is used directly (no HKDF
+/// context), sequence number fixed to zero.
+pub fn seal_oneshot(key: &[u8], ad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    SessionCipher::new(key, b"oneshot").seal(0, ad, plaintext)
+}
+
+/// Inverse of [`seal_oneshot`].
+pub fn open_oneshot(key: &[u8], ad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
+    SessionCipher::new(key, b"oneshot").open(0, ad, sealed)
+}
+
+/// Derives a MAC over arbitrary data with a raw key (used for beacons etc.).
+pub fn mac_oneshot(key: &[u8], data: &[u8]) -> [u8; TAG_LEN] {
+    hmac_sha256(key, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cipher() -> SessionCipher {
+        SessionCipher::new(b"secret", b"ctx")
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let c = cipher();
+        let sealed = c.seal(42, b"ad", b"the quick brown fox");
+        assert_eq!(c.open(42, b"ad", &sealed).unwrap(), b"the quick brown fox");
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let c = cipher();
+        let sealed = c.seal(0, b"", b"");
+        assert_eq!(sealed.len(), NONCE_LEN + TAG_LEN);
+        assert_eq!(c.open(0, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn wrong_seq_rejected() {
+        let c = cipher();
+        let sealed = c.seal(1, b"", b"msg");
+        assert_eq!(c.open(2, b"", &sealed), Err(OpenError));
+    }
+
+    #[test]
+    fn wrong_ad_rejected() {
+        let c = cipher();
+        let sealed = c.seal(1, b"ad-a", b"msg");
+        assert_eq!(c.open(1, b"ad-b", &sealed), Err(OpenError));
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let c = cipher();
+        let mut sealed = c.seal(1, b"", b"msg!");
+        sealed[NONCE_LEN] ^= 1;
+        assert_eq!(c.open(1, b"", &sealed), Err(OpenError));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let c = cipher();
+        let mut sealed = c.seal(1, b"", b"msg!");
+        let n = sealed.len();
+        sealed[n - 1] ^= 0x80;
+        assert_eq!(c.open(1, b"", &sealed), Err(OpenError));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let c = cipher();
+        let sealed = c.seal(1, b"", b"msg!");
+        assert_eq!(c.open(1, b"", &sealed[..NONCE_LEN + TAG_LEN - 1]), Err(OpenError));
+        assert_eq!(c.open(1, b"", &[]), Err(OpenError));
+    }
+
+    #[test]
+    fn different_keys_incompatible() {
+        let a = SessionCipher::new(b"secret-a", b"ctx");
+        let b = SessionCipher::new(b"secret-b", b"ctx");
+        let sealed = a.seal(1, b"", b"msg");
+        assert_eq!(b.open(1, b"", &sealed), Err(OpenError));
+    }
+
+    #[test]
+    fn different_contexts_incompatible() {
+        let a = SessionCipher::new(b"secret", b"ctx-a");
+        let b = SessionCipher::new(b"secret", b"ctx-b");
+        let sealed = a.seal(1, b"", b"msg");
+        assert_eq!(b.open(1, b"", &sealed), Err(OpenError));
+    }
+
+    #[test]
+    fn ciphertext_differs_across_seq() {
+        let c = cipher();
+        let s1 = c.seal(1, b"", b"same plaintext");
+        let s2 = c.seal(2, b"", b"same plaintext");
+        assert_ne!(s1[NONCE_LEN..], s2[NONCE_LEN..]);
+    }
+
+    #[test]
+    fn session_mac_verifies_and_rejects() {
+        let m = SessionMac::new(b"secret", b"ctx");
+        let tag = m.tag(9, b"packet");
+        assert!(m.verify(9, b"packet", &tag));
+        assert!(!m.verify(10, b"packet", &tag));
+        assert!(!m.verify(9, b"packet!", &tag));
+        assert!(!m.verify(9, b"packet", &tag[..31]));
+    }
+
+    #[test]
+    fn oneshot_helpers() {
+        let sealed = seal_oneshot(b"k", b"ad", b"hello");
+        assert_eq!(open_oneshot(b"k", b"ad", &sealed).unwrap(), b"hello");
+        assert!(open_oneshot(b"other", b"ad", &sealed).is_err());
+        assert_eq!(mac_oneshot(b"k", b"d"), mac_oneshot(b"k", b"d"));
+    }
+
+    #[test]
+    fn debug_does_not_leak_keys() {
+        let c = cipher();
+        let s = format!("{c:?}");
+        assert_eq!(s, "SessionCipher(..)");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_roundtrip(pt in proptest::collection::vec(any::<u8>(), 0..512),
+                          ad in proptest::collection::vec(any::<u8>(), 0..64),
+                          seq in any::<u64>()) {
+            let c = cipher();
+            let sealed = c.seal(seq, &ad, &pt);
+            prop_assert_eq!(c.open(seq, &ad, &sealed).unwrap(), pt);
+        }
+
+        #[test]
+        fn prop_bitflip_rejected(pt in proptest::collection::vec(any::<u8>(), 1..64),
+                                 idx in 0usize..1000) {
+            let c = cipher();
+            let mut sealed = c.seal(3, b"", &pt);
+            let i = idx % sealed.len();
+            sealed[i] ^= 1;
+            // Flipping any bit must break either the nonce check or the MAC.
+            prop_assert!(c.open(3, b"", &sealed).is_err());
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Deterministic binary wire codec for PEACE messages.
+//!
+//! Every protocol message and cryptographic object in PEACE has a canonical
+//! byte encoding produced by this codec. The format is deliberately simple:
+//! big-endian fixed-width integers, `u32`-length-prefixed variable byte
+//! strings, and length-prefixed sequences. Determinism matters because
+//! encodings are hashed (challenges, MACs) and signed.
+//!
+//! # Examples
+//!
+//! ```
+//! use peace_wire::{Decode, Encode, Reader, Writer};
+//!
+//! let mut w = Writer::new();
+//! w.put_u64(7);
+//! w.put_bytes(b"hello");
+//! let buf = w.into_bytes();
+//!
+//! let mut r = Reader::new(&buf);
+//! assert_eq!(r.get_u64()?, 7);
+//! assert_eq!(r.get_bytes()?, b"hello");
+//! r.finish()?;
+//! # Ok::<(), peace_wire::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Errors produced while decoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the expected field.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input or a sanity bound.
+    LengthOutOfRange,
+    /// A decoded value failed validation (bad tag, off-curve point, …).
+    Invalid(&'static str),
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            WireError::LengthOutOfRange => write!(f, "length prefix out of range"),
+            WireError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for decoding.
+pub type Result<T> = core::result::Result<T, WireError>;
+
+/// Append-only encoder.
+#[derive(Clone, Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a boolean as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends raw bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(u32::try_from(v.len()).expect("encoding > 4 GiB"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-width fields).
+    pub fn put_fixed(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string with a `u32` length prefix.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a sequence: `u32` count then each element's encoding.
+    pub fn put_seq<T: Encode>(&mut self, items: &[T]) {
+        self.put_u32(u32::try_from(items.len()).expect("sequence > u32::MAX"));
+        for item in items {
+            item.encode(self);
+        }
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes encoding, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the encoded bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Checked sequential decoder.
+#[derive(Clone, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    /// Reads a boolean byte (strictly 0 or 1).
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool")),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::LengthOutOfRange);
+        }
+        self.take(len)
+    }
+
+    /// Reads exactly `n` bytes (fixed-width field).
+    pub fn get_fixed(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Invalid("utf-8"))
+    }
+
+    /// Reads a sequence of `T`.
+    pub fn get_seq<T: Decode>(&mut self) -> Result<Vec<T>> {
+        let count = self.get_u32()? as usize;
+        // Defensive bound: every element costs ≥ 1 byte.
+        if count > self.remaining() {
+            return Err(WireError::LengthOutOfRange);
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(T::decode(self)?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts all input has been consumed.
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+/// Types with a canonical wire encoding.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// Types decodable from the wire encoding.
+pub trait Decode: Sized {
+    /// Decodes one value, advancing the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self>;
+
+    /// Convenience: decodes a complete buffer (rejects trailing bytes).
+    fn from_wire(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        r.get_u64()
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(self);
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(r.get_bytes()?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(0xab);
+        w.put_u16(0x1234);
+        w.put_u32(0xdeadbeef);
+        w.put_u64(u64::MAX);
+        w.put_bool(true);
+        w.put_bool(false);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0xab);
+        assert_eq!(r.get_u16().unwrap(), 0x1234);
+        assert_eq!(r.get_u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn bytes_and_strings() {
+        let mut w = Writer::new();
+        w.put_bytes(b"");
+        w.put_bytes(b"payload");
+        w.put_str("héllo");
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_bytes().unwrap(), b"");
+        assert_eq!(r.get_bytes().unwrap(), b"payload");
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = Writer::new();
+        w.put_u64(5);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf[..4]);
+        assert_eq!(r.get_u64(), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(1000); // claims 1000 bytes follow
+        w.put_fixed(b"short");
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_bytes(), Err(WireError::LengthOutOfRange));
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut r = Reader::new(&[7]);
+        assert_eq!(r.get_bool(), Err(WireError::Invalid("bool")));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(2);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let _ = r.get_u8().unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn sequences() {
+        let items: Vec<Vec<u8>> = vec![b"a".to_vec(), b"bc".to_vec(), vec![]];
+        let mut w = Writer::new();
+        w.put_seq(&items);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let back: Vec<Vec<u8>> = r.get_seq().unwrap();
+        assert_eq!(back, items);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn seq_count_bound_checked() {
+        let mut w = Writer::new();
+        w.put_u32(u32::MAX); // absurd count
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let res: Result<Vec<Vec<u8>>> = r.get_seq();
+        assert_eq!(res, Err(WireError::LengthOutOfRange));
+    }
+
+    #[test]
+    fn trait_helpers_roundtrip() {
+        let v: Vec<u8> = b"round".to_vec();
+        let enc = v.to_wire();
+        assert_eq!(Vec::<u8>::from_wire(&enc).unwrap(), v);
+        // trailing byte rejected
+        let mut enc2 = enc.clone();
+        enc2.push(0);
+        assert_eq!(Vec::<u8>::from_wire(&enc2), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            WireError::UnexpectedEnd,
+            WireError::LengthOutOfRange,
+            WireError::Invalid("x"),
+            WireError::TrailingBytes,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

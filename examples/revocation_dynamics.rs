@@ -1,0 +1,54 @@
+//! Membership dynamics and the phishing window (paper §V.A, experiments
+//! E6/E7): user revocation propagating through beacons, the bogus-data
+//! injection matrix, and the measured phishing window as a function of the
+//! revocation-list update period.
+//!
+//! Run with: `cargo run --release --example revocation_dynamics`
+
+use peace::sim::{run_injection_matrix, run_phishing_experiment};
+
+fn main() {
+    println!("== PEACE revocation dynamics ==\n");
+
+    // ------- E7: the injection matrix ----------------------------------
+    println!("-- bogus-data injection matrix (real protocol stack) --");
+    println!("{:<16} | {:<8} | rejection", "attacker", "accepted");
+    println!("{:-<16}-+-{:-<8}-+----------", "", "");
+    for outcome in run_injection_matrix(2008) {
+        println!(
+            "{:<16} | {:<8} | {}",
+            outcome.attacker,
+            outcome.accepted,
+            outcome
+                .rejection
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+
+    // ------- E6: phishing window vs update period -----------------------
+    println!("\n-- phishing window vs revocation-list update period --");
+    println!("(a revoked router replays the lists captured at revocation time;");
+    println!(" the paper bounds the cheat window by the update period)\n");
+    println!("update period (s) | measured window (s) | successful phishes");
+    println!("----------------- | ------------------- | ------------------");
+    for max_age_s in [5u64, 10, 20, 40, 80] {
+        let max_age = max_age_s * 1_000;
+        let report = run_phishing_experiment(
+            max_age,
+            100_000,          // revocation time
+            500,              // attempt every 0.5 s
+            100_000 + 6 * max_age.max(10_000), // run long enough
+            7,
+        );
+        let phishes = report.attempts.iter().filter(|&&(_, ok)| ok).count();
+        println!(
+            "{:>17} | {:>19.1} | {:>18}",
+            max_age_s,
+            report.measured_window() as f64 / 1000.0,
+            phishes
+        );
+    }
+    println!("\nthe measured window tracks the update period — matching §V.A's bound.");
+    println!("done.");
+}

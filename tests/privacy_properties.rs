@@ -1,0 +1,224 @@
+//! E8 — the paper's privacy guarantees (§III.C, §IV.D, §V.B), tested as
+//! concrete distinguishing/knowledge experiments against the real stack:
+//!
+//! * anonymity & unlinkability of signatures against outsiders and other
+//!   members;
+//! * the GM's inability to recognize its own members' signatures;
+//! * the TTP's inability to recover key material from blinded shares;
+//! * NO's audit stopping at the group boundary.
+
+use peace::field::Fq;
+use peace::groupsig::{
+    revocation_index, sign, token_matches, verify, BasesMode, h0_bases, IssuerKey,
+};
+use peace::protocol::{entities::*, ids::UserId, ProtocolConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn signature_reveals_nothing_but_membership() {
+    let mut rng = StdRng::seed_from_u64(80);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let alice = issuer.issue(&grp, &mut rng);
+    let bob = issuer.issue(&grp, &mut rng);
+    let gpk = *issuer.public_key();
+
+    // Both members' signatures verify identically; nothing in the public
+    // verification distinguishes them.
+    let sa = sign(&gpk, &alice, b"m", BasesMode::PerMessage, &mut rng);
+    let sb = sign(&gpk, &bob, b"m", BasesMode::PerMessage, &mut rng);
+    assert!(verify(&gpk, b"m", &sa, BasesMode::PerMessage).is_ok());
+    assert!(verify(&gpk, b"m", &sb, BasesMode::PerMessage).is_ok());
+}
+
+#[test]
+fn insider_with_own_key_cannot_link_peer_signatures() {
+    // An adversary controlling Bob's full key material (compromised user,
+    // §III.B threat model) still cannot run the revocation test against
+    // Alice's signatures with any token he can compute.
+    let mut rng = StdRng::seed_from_u64(81);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let alice = issuer.issue(&grp, &mut rng);
+    let bob = issuer.issue(&grp, &mut rng);
+    let gpk = *issuer.public_key();
+
+    let sig = sign(&gpk, &alice, b"m", BasesMode::PerMessage, &mut rng);
+    // Bob tries his own token — no match.
+    let (u_hat, v_hat) = h0_bases(&gpk, b"m", &sig.r, BasesMode::PerMessage);
+    assert!(!token_matches(&sig, &bob.revocation_token(), &u_hat, &v_hat));
+    // Bob's token matches only Bob's own signatures.
+    let sig_b = sign(&gpk, &bob, b"m", BasesMode::PerMessage, &mut rng);
+    let (u2, v2) = h0_bases(&gpk, b"m", &sig_b.r, BasesMode::PerMessage);
+    assert!(token_matches(&sig_b, &bob.revocation_token(), &u2, &v2));
+}
+
+#[test]
+fn two_sessions_by_same_user_share_no_observable_state() {
+    // Unlinkability at the protocol level: two access requests by the same
+    // user have disjoint DH shares, commitments, challenges, and session
+    // ids. (Information-theoretic components are re-randomized per session.)
+    let mut rng = StdRng::seed_from_u64(82);
+    let mut no = NetworkOperator::new(ProtocolConfig::default(), &mut rng);
+    let gid = no.register_group("org", &mut rng);
+    let (gm_b, ttp_b) = no.issue_shares(gid, 2, &mut rng).unwrap();
+    let mut gm = GroupManager::new(gid);
+    gm.receive_bundle(&gm_b, no.npk()).unwrap();
+    let mut ttp = Ttp::new();
+    ttp.receive_bundle(&ttp_b, no.npk()).unwrap();
+    let uid = UserId("alice".into());
+    let mut alice = UserClient::new(uid.clone(), *no.gpk(), *no.npk(), *no.config(), &mut rng);
+    let a = gm.assign(&uid).unwrap();
+    let d = ttp.deliver(a.index, &uid).unwrap();
+    alice.enroll(&a, &d).unwrap();
+    let mut router = no.provision_router("MR-1", u64::MAX / 2, &mut rng);
+
+    let b1 = router.beacon(1_000, &mut rng);
+    let (r1, _) = alice.process_beacon(&b1, 1_010, &mut rng).unwrap();
+    let b2 = router.beacon(1_100, &mut rng);
+    let (r2, _) = alice.process_beacon(&b2, 1_110, &mut rng).unwrap();
+
+    assert_ne!(r1.g_rj, r2.g_rj, "fresh DH share per session");
+    assert_ne!(r1.gsig.t1, r2.gsig.t1);
+    assert_ne!(r1.gsig.t2, r2.gsig.t2);
+    assert_ne!(r1.gsig.c, r2.gsig.c);
+    assert_ne!(r1.gsig.r, r2.gsig.r);
+}
+
+#[test]
+fn group_manager_cannot_recognize_its_members_signatures() {
+    // The GM holds (grp, x) scalars but never A_{i,j}; the revocation test
+    // requires A. Reconstructing A from (grp, x) needs γ. Verify that the
+    // GM's view (scalars only) cannot produce a matching token for a real
+    // signature: try a "token" built from every G1 value the GM could
+    // plausibly derive from its scalars.
+    let mut rng = StdRng::seed_from_u64(83);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let member = issuer.issue(&grp, &mut rng);
+    let gpk = *issuer.public_key();
+    let sig = sign(&gpk, &member, b"m", BasesMode::PerMessage, &mut rng);
+    let (u_hat, v_hat) = h0_bases(&gpk, b"m", &sig.r, BasesMode::PerMessage);
+
+    let x_eff = member.grp.add(&member.x);
+    let guesses = [
+        gpk.g1.mul(&x_eff),                                   // g1^(grp+x)
+        gpk.g1.mul(&x_eff.invert().unwrap()),                 // g1^(1/(grp+x))
+        peace::curve::psi(&gpk.w).mul(&x_eff.invert().unwrap()), // ψ(w)^(1/(grp+x))
+        gpk.g1.mul(&member.x),
+        gpk.g1.mul(&member.grp),
+    ];
+    for guess in guesses {
+        assert!(!token_matches(
+            &sig,
+            &peace::groupsig::RevocationToken(guess),
+            &u_hat,
+            &v_hat
+        ));
+    }
+    // while the true token (held by NO) matches
+    assert!(token_matches(&sig, &member.revocation_token(), &u_hat, &v_hat));
+}
+
+#[test]
+fn ttp_share_alone_reveals_neither_a_nor_x() {
+    // The TTP stores A ⊕ pad(x). Without x the pad is a PRF output; check
+    // that the blinded share is not the encoding of any subgroup point the
+    // TTP could test (it shouldn't even decode), and that two shares for
+    // the same A under different x are unrelated.
+    use peace::curve::G1;
+    use peace::protocol::setup::{blind_a, unblind_a};
+    let mut rng = StdRng::seed_from_u64(84);
+    let a = G1::random(&mut rng);
+    let x1 = Fq::random(&mut rng);
+    let x2 = Fq::random(&mut rng);
+    let b1 = blind_a(&a, &x1);
+    let b2 = blind_a(&a, &x2);
+    assert_ne!(b1, b2);
+    // The blinded bytes are not a valid point encoding (tag byte is
+    // randomized; 253/256 of values are invalid tags).
+    assert_ne!(b1, a.to_bytes());
+    // And unblinding with the wrong scalar fails.
+    assert!(unblind_a(&b1, &x2).is_none());
+    assert_eq!(unblind_a(&b1, &x1).unwrap(), a);
+}
+
+#[test]
+fn operator_audit_stops_at_group_boundary() {
+    // NO's entire post-audit knowledge is (token, share index, group). The
+    // API returns exactly that and nothing user-identifying; the user id
+    // lives only at the GM.
+    let mut rng = StdRng::seed_from_u64(85);
+    let mut no = NetworkOperator::new(ProtocolConfig::default(), &mut rng);
+    let gid = no.register_group("Company XYZ", &mut rng);
+    let (gm_b, ttp_b) = no.issue_shares(gid, 2, &mut rng).unwrap();
+    let mut gm = GroupManager::new(gid);
+    gm.receive_bundle(&gm_b, no.npk()).unwrap();
+    let mut ttp = Ttp::new();
+    ttp.receive_bundle(&ttp_b, no.npk()).unwrap();
+    let uid = UserId("alice".into());
+    let mut alice = UserClient::new(uid.clone(), *no.gpk(), *no.npk(), *no.config(), &mut rng);
+    let assign = gm.assign(&uid).unwrap();
+    let deliver = ttp.deliver(assign.index, &uid).unwrap();
+    alice.enroll(&assign, &deliver).unwrap();
+
+    let mut router = no.provision_router("MR-1", u64::MAX / 2, &mut rng);
+    let beacon = router.beacon(1_000, &mut rng);
+    let (req, _) = alice.process_beacon(&beacon, 1_010, &mut rng).unwrap();
+    router.process_access_request(&req, 1_020).unwrap();
+    no.ingest_router_log(&mut router);
+
+    let sid = peace::protocol::SessionId::from_points(&req.g_rr, &req.g_rj);
+    let finding = no.audit(&sid).unwrap();
+    assert_eq!(finding.group, gid);
+    // The finding maps to the GM's slot — only the GM can resolve it.
+    assert_eq!(gm.identify(finding.index), Some(&uid));
+    // A *different* group's manager cannot resolve it.
+    let other_gm = GroupManager::new(peace::protocol::GroupId(999));
+    assert_eq!(other_gm.identify(finding.index), None);
+}
+
+#[test]
+fn fixed_bases_mode_links_only_revoked_members() {
+    // The §V.C fast-revocation trade-off: under FixedBases, a token allows
+    // linking that member's signatures — but members NOT in the table stay
+    // anonymous.
+    let mut rng = StdRng::seed_from_u64(86);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let alice = issuer.issue(&grp, &mut rng);
+    let bob = issuer.issue(&grp, &mut rng);
+    let gpk = *issuer.public_key();
+
+    let table =
+        peace::groupsig::RevocationTable::build(&gpk, &[alice.revocation_token()]);
+    let sa1 = sign(&gpk, &alice, b"m1", BasesMode::FixedBases, &mut rng);
+    let sa2 = sign(&gpk, &alice, b"m2", BasesMode::FixedBases, &mut rng);
+    let sb = sign(&gpk, &bob, b"m3", BasesMode::FixedBases, &mut rng);
+    // Alice (revoked) is linkable across sessions via the table…
+    assert_eq!(table.lookup(&sa1), Some(0));
+    assert_eq!(table.lookup(&sa2), Some(0));
+    // …Bob is not in the table: anonymous.
+    assert_eq!(table.lookup(&sb), None);
+}
+
+#[test]
+fn per_message_bases_defeat_precomputed_linking() {
+    // Control for the previous test: under the paper-default PerMessage
+    // bases, the fixed-bases table is useless even against a listed member.
+    let mut rng = StdRng::seed_from_u64(87);
+    let issuer = IssuerKey::generate(&mut rng);
+    let grp = issuer.new_group_secret(&mut rng);
+    let alice = issuer.issue(&grp, &mut rng);
+    let gpk = *issuer.public_key();
+    let table =
+        peace::groupsig::RevocationTable::build(&gpk, &[alice.revocation_token()]);
+    let sig = sign(&gpk, &alice, b"m", BasesMode::PerMessage, &mut rng);
+    assert_eq!(table.lookup(&sig), None);
+    // The honest per-message scan still works, of course.
+    assert_eq!(
+        revocation_index(&gpk, b"m", &sig, &[alice.revocation_token()], BasesMode::PerMessage),
+        Some(0)
+    );
+}

@@ -1,0 +1,121 @@
+import random
+random.seed(20080605)
+
+def is_prime(n, k=40):
+    if n < 2: return False
+    for p in [2,3,5,7,11,13,17,19,23,29,31,37]:
+        if n % p == 0: return n == p
+    d, r = n-1, 0
+    while d % 2 == 0: d //= 2; r += 1
+    for _ in range(k):
+        a = random.randrange(2, n-1)
+        x = pow(a, d, n)
+        if x in (1, n-1): continue
+        for _ in range(r-1):
+            x = x*x % n
+            if x == n-1: break
+        else: return False
+    return True
+
+# 160-bit prime q
+while True:
+    q = random.getrandbits(160) | (1<<159) | 1
+    if is_prime(q): break
+
+# find cofactor c (multiple of 4) so that p = c*q - 1 is prime, p = 3 mod 4, 512 bits
+target = 1 << 511
+c0 = (target // q) & ~3
+while True:
+    c0 += 4
+    p = c0*q - 1
+    if p.bit_length() != 512: 
+        c0 = ((target // q) & ~3) + random.randrange(1, 1<<40)*4  # jitter, keep searching
+        continue
+    assert p % 4 == 3
+    if is_prime(p): break
+c = c0
+assert (p+1) % q == 0 and (p+1)//q == c
+
+# EC arithmetic on y^2 = x^3 + x mod p (a=1,b=0), affine with None=infinity
+def ec_add(P, Q):
+    if P is None: return Q
+    if Q is None: return P
+    x1,y1 = P; x2,y2 = Q
+    if x1 == x2:
+        if (y1 + y2) % p == 0: return None
+        lam = (3*x1*x1 + 1) * pow(2*y1, p-2, p) % p
+    else:
+        lam = (y2-y1) * pow(x2-x1, p-2, p) % p
+    x3 = (lam*lam - x1 - x2) % p
+    y3 = (lam*(x1-x3) - y1) % p
+    return (x3, y3)
+
+def ec_mul(k, P):
+    R = None
+    while k:
+        if k & 1: R = ec_add(R, P)
+        P = ec_add(P, P); k >>= 1
+    return R
+
+def sqrt_p(a):  # p = 3 mod 4
+    r = pow(a, (p+1)//4, p)
+    return r if r*r % p == a else None
+
+# find generator of order-q subgroup
+x = 2
+while True:
+    x += 1
+    rhs = (x*x*x + x) % p
+    y = sqrt_p(rhs)
+    if y is None: continue
+    G = ec_mul(c, (x, y))
+    if G is not None and ec_mul(q, G) is None:
+        break
+gx, gy = G
+
+def limbs64(n, count):
+    return [ (n >> (64*i)) & 0xFFFFFFFFFFFFFFFF for i in range(count) ]
+
+def fmt(n, count, name):
+    ls = limbs64(n, count)
+    return f"pub const {name}: [u64; {count}] = [" + ", ".join(f"0x{l:016x}" for l in ls) + "];"
+
+# Montgomery constants for p (8 limbs) and q (3 limbs: 160-bit fits in 3x64)
+R_p = (1 << 512) % p
+R2_p = (R_p * R_p) % p
+pinv = -pow(p, -1, 1<<64) % (1<<64)
+
+QL = 3  # 192-bit container for q
+R_q = (1 << (64*QL)) % q
+R2_q = (R_q * R_q) % q
+qinv = -pow(q, -1, 1<<64) % (1<<64)
+
+print("// Auto-generated pairing parameters (seed 20080605). Curve: y^2 = x^3 + x over F_p,")
+print("// p = c*q - 1, p = 3 mod 4, supersingular, embedding degree 2.")
+print(f"// p bits: {p.bit_length()}  q bits: {q.bit_length()}  c bits: {c.bit_length()}")
+print(fmt(p, 8, "P_LIMBS"))
+print(fmt(R_p % p, 8, "P_R"))
+print(fmt(R2_p, 8, "P_R2"))
+print(f"pub const P_INV: u64 = 0x{pinv:016x};")
+print(fmt((p+1)//4, 8, "P_SQRT_EXP"))   # exponent for sqrt
+print(fmt((p-3)//4, 8, "_P_UNUSED") if False else "", end="")
+print(fmt(q, QL, "Q_LIMBS"))
+print(fmt(R_q % q, QL, "Q_R"))
+print(fmt(R2_q, QL, "Q_R2"))
+print(f"pub const Q_INV: u64 = 0x{qinv:016x};")
+print(fmt(c, 6, "COFACTOR"))  # ~352 bits fits 6 limbs
+print(fmt(gx, 8, "GEN_X"))
+print(fmt(gy, 8, "GEN_Y"))
+# sanity values for tests
+print(f"// p = {p}")
+print(f"// q = {q}")
+print(f"// c = {c}")
+print(f"// gx = {gx}")
+print(f"// gy = {gy}")
+# test vectors: 2G, qG=inf, pairing-independent checks done in rust
+G2 = ec_add(G, G)
+print(fmt(G2[0], 8, "GEN2_X"))
+print(fmt(G2[1], 8, "GEN2_Y"))
+G5 = ec_mul(5, G)
+print(fmt(G5[0], 8, "GEN5_X"))
+print(fmt(G5[1], 8, "GEN5_Y"))
