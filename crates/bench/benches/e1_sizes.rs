@@ -20,10 +20,28 @@ fn print_size_table() {
     println!(" 512-bit supersingular curve — same RSA-1024-equivalent security)\n");
     println!("{:<44} | paper (B) | ours (B)", "object");
     println!("{:-<44}-+-----------+---------", "");
-    println!("{:<44} | {:>9} | {:>8}", "group signature (2·G1 + 5·Zq)", 149, GroupSignature::ENCODED_LEN);
-    println!("{:<44} | {:>9} | {:>8}", "RSA-1024 signature (comparison)", 128, "-");
-    println!("{:<44} | {:>9} | {:>8}", "ECDSA-160 signature", 42, peace_ecdsa::Signature::ENCODED_LEN);
-    println!("{:<44} | {:>9} | {:>8}", "G1 element (compressed)", 22, peace_curve::G1::ENCODED_LEN);
+    println!(
+        "{:<44} | {:>9} | {:>8}",
+        "group signature (2·G1 + 5·Zq)",
+        149,
+        GroupSignature::ENCODED_LEN
+    );
+    println!(
+        "{:<44} | {:>9} | {:>8}",
+        "RSA-1024 signature (comparison)", 128, "-"
+    );
+    println!(
+        "{:<44} | {:>9} | {:>8}",
+        "ECDSA-160 signature",
+        42,
+        peace_ecdsa::Signature::ENCODED_LEN
+    );
+    println!(
+        "{:<44} | {:>9} | {:>8}",
+        "G1 element (compressed)",
+        22,
+        peace_curve::G1::ENCODED_LEN
+    );
     println!("{:<44} | {:>9} | {:>8}", "Zq scalar", 22, 20);
 
     // live protocol messages
@@ -54,9 +72,24 @@ fn print_size_table() {
     let (req, _) = user.process_beacon(&beacon, 1_010, &mut rng).unwrap();
     let (confirm, _) = router.process_access_request(&req, 1_020).unwrap();
 
-    println!("{:<44} | {:>9} | {:>8}", "beacon M.1 (incl. cert, CRL, URL)", "-", beacon.to_wire().len());
-    println!("{:<44} | {:>9} | {:>8}", "access request M.2", "-", req.to_wire().len());
-    println!("{:<44} | {:>9} | {:>8}", "access confirm M.3", "-", confirm.to_wire().len());
+    println!(
+        "{:<44} | {:>9} | {:>8}",
+        "beacon M.1 (incl. cert, CRL, URL)",
+        "-",
+        beacon.to_wire().len()
+    );
+    println!(
+        "{:<44} | {:>9} | {:>8}",
+        "access request M.2",
+        "-",
+        req.to_wire().len()
+    );
+    println!(
+        "{:<44} | {:>9} | {:>8}",
+        "access confirm M.3",
+        "-",
+        confirm.to_wire().len()
+    );
     println!();
 }
 

@@ -43,8 +43,9 @@ fn bench_revocation(c: &mut Criterion) {
             &url_len,
             |b, _| {
                 b.iter(|| {
-                    assert!(revocation_index(&gpk, b"m", &sig_pm, url, BasesMode::PerMessage)
-                        .is_none())
+                    assert!(
+                        revocation_index(&gpk, b"m", &sig_pm, url, BasesMode::PerMessage).is_none()
+                    )
                 })
             },
         );

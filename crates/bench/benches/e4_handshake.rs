@@ -33,7 +33,11 @@ fn build() -> Net {
     gm.receive_bundle(&gm_b, no.npk()).unwrap();
     let mut ttp = Ttp::new();
     ttp.receive_bundle(&ttp_b, no.npk()).unwrap();
-    let enroll = |name: &str, gm: &mut GroupManager, ttp: &mut Ttp, no: &NetworkOperator, rng: &mut StdRng| {
+    let enroll = |name: &str,
+                  gm: &mut GroupManager,
+                  ttp: &mut Ttp,
+                  no: &NetworkOperator,
+                  rng: &mut StdRng| {
         let uid = UserId(name.to_owned());
         let mut u = UserClient::new(uid.clone(), *no.gpk(), *no.npk(), *no.config(), rng);
         let a = gm.assign(&uid).unwrap();
@@ -67,9 +71,14 @@ fn bench_handshakes(c: &mut Criterion) {
     g.bench_function("user_router_aka_full", |b| {
         b.iter(|| {
             let beacon = net.router.beacon(t, &mut net.rng);
-            let (req, pending) = net.alice.process_beacon(&beacon, t + 1, &mut net.rng).unwrap();
+            let (req, pending) = net
+                .alice
+                .process_beacon(&beacon, t + 1, &mut net.rng)
+                .unwrap();
             let (confirm, _rs) = net.router.process_access_request(&req, t + 2).unwrap();
-            net.alice.finalize_router_session(&pending, &confirm).unwrap()
+            net.alice
+                .finalize_router_session(&pending, &confirm)
+                .unwrap()
         })
     });
 
@@ -78,7 +87,10 @@ fn bench_handshakes(c: &mut Criterion) {
         b.iter(|| {
             let beacon = net.router.beacon(t, &mut net.rng);
             let (hello, ap) = net.alice.peer_hello(&beacon.g, t, &mut net.rng).unwrap();
-            let (resp, bp) = net.bob.process_peer_hello(&hello, t + 1, &mut net.rng).unwrap();
+            let (resp, bp) = net
+                .bob
+                .process_peer_hello(&hello, t + 1, &mut net.rng)
+                .unwrap();
             let (conf, _a_sess) = net.alice.process_peer_response(&ap, &resp, t + 2).unwrap();
             net.bob.process_peer_confirm(&bp, &conf).unwrap()
         })
@@ -91,7 +103,10 @@ fn bench_handshakes(c: &mut Criterion) {
         .process_beacon(&beacon, t + 501, &mut net.rng)
         .unwrap();
     let (confirm, router_sess) = net.router.process_access_request(&req, t + 502).unwrap();
-    let mut alice_sess = net.alice.finalize_router_session(&pending, &confirm).unwrap();
+    let mut alice_sess = net
+        .alice
+        .finalize_router_session(&pending, &confirm)
+        .unwrap();
     let payload = vec![0xabu8; 512];
     // Pristine copies (sequence number 0) for the open benchmark below —
     // the seal benchmark advances alice_sess by thousands of packets.

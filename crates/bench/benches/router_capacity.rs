@@ -11,7 +11,12 @@ use peace_groupsig::{sign, verify, BasesMode, GroupSignature, IssuerKey};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn make_batch(n: usize) -> (peace_groupsig::GroupPublicKey, Vec<(Vec<u8>, GroupSignature)>) {
+fn make_batch(
+    n: usize,
+) -> (
+    peace_groupsig::GroupPublicKey,
+    Vec<(Vec<u8>, GroupSignature)>,
+) {
     let mut rng = StdRng::seed_from_u64(12);
     let issuer = IssuerKey::generate(&mut rng);
     let grp = issuer.new_group_secret(&mut rng);
@@ -52,8 +57,7 @@ fn bench_capacity(c: &mut Criterion) {
                                 let Some((msg, sig)) = batch.get(i) else {
                                     break;
                                 };
-                                verify(&gpk, msg, sig, BasesMode::PerMessage)
-                                    .expect("verifies");
+                                verify(&gpk, msg, sig, BasesMode::PerMessage).expect("verifies");
                             });
                         }
                     })

@@ -235,6 +235,48 @@ impl<const N: usize> Uint<N> {
         Self { limbs: out }
     }
 
+    /// Width-`w` non-adjacent-form recoding (wNAF).
+    ///
+    /// Returns signed digits `d`, least-significant first, with
+    /// `self = Σ dᵢ·2^i`, every nonzero `dᵢ` odd and `|dᵢ| < 2^(w−1)`, and
+    /// at most one nonzero digit in any `w` consecutive positions. Scalar
+    /// multiplication consumes this to trade table size (`2^(w−2)` odd
+    /// multiples) against add count (≈ `bits/(w+1)` instead of `bits/2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ w ≤ 8` and `self` has at least `w` clear high
+    /// bits (the carry from a negative digit must not overflow the width).
+    pub fn wnaf(&self, w: u32) -> Vec<i8> {
+        assert!((2..=8).contains(&w), "wnaf width out of range");
+        assert!(
+            self.bits() <= Self::BITS - w,
+            "wnaf needs {w} bits of headroom"
+        );
+        let mask = (1u64 << w) - 1;
+        let sign_bound = 1i64 << (w - 1);
+        let mut v = *self;
+        let mut digits = Vec::with_capacity(self.bits() as usize + 1);
+        while !v.is_zero() {
+            if v.is_odd() {
+                let mut d = (v.limbs[0] & mask) as i64;
+                if d >= sign_bound {
+                    d -= 1 << w;
+                }
+                if d > 0 {
+                    v = v.wrapping_sub(&Self::from_u64(d as u64));
+                } else {
+                    v = v.wrapping_add(&Self::from_u64(d.unsigned_abs()));
+                }
+                digits.push(d as i8);
+            } else {
+                digits.push(0);
+            }
+            v = v.shr1();
+        }
+        digits
+    }
+
     /// Constant-time-style conditional select: returns `b` if `choice` else `a`.
     #[inline]
     pub fn select(a: &Self, b: &Self, choice: bool) -> Self {
@@ -697,6 +739,77 @@ mod tests {
             }
             proptest::prop_assert!(!a.bit(bits));
             proptest::prop_assert_eq!(a.shl1().shr1().bit(255), false);
+        }
+    }
+
+    fn wnaf_reconstruct(digits: &[i8]) -> U256 {
+        // Σ dᵢ·2^i, folded MSB-down: acc = 2·acc + d.
+        let mut acc = U256::ZERO;
+        for &d in digits.iter().rev() {
+            acc = acc.shl1();
+            if d > 0 {
+                acc = acc.wrapping_add(&U256::from_u64(d as u64));
+            } else if d < 0 {
+                acc = acc.wrapping_sub(&U256::from_u64((-(d as i64)) as u64));
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn wnaf_digit_invariants() {
+        let a = U256::from_limbs([
+            0x243F6A8885A308D3,
+            0x13198A2E03707344,
+            0xA4093822299F31D0,
+            0,
+        ]);
+        for w in 2..=8u32 {
+            let digits = a.wnaf(w);
+            assert_eq!(wnaf_reconstruct(&digits), a, "width {w}");
+            let bound = 1i16 << (w - 1);
+            for (i, &d) in digits.iter().enumerate() {
+                if d != 0 {
+                    assert!(d as i16 % 2 != 0, "digit {i} even at width {w}");
+                    assert!((d as i16).abs() < bound, "digit {i} too big at width {w}");
+                    // Non-adjacency: next w−1 digits are zero.
+                    for &z in digits.iter().skip(i + 1).take(w as usize - 1) {
+                        assert_eq!(z, 0, "adjacent nonzero near {i} at width {w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wnaf_edge_values() {
+        assert!(U256::ZERO.wnaf(4).is_empty());
+        assert_eq!(U256::ONE.wnaf(4), vec![1]);
+        // 2^200 has exactly one digit, at position 200.
+        let mut v = U256::ONE;
+        for _ in 0..200 {
+            v = v.shl1();
+        }
+        let digits = v.wnaf(5);
+        assert_eq!(digits.len(), 201);
+        assert_eq!(digits[200], 1);
+        assert!(digits[..200].iter().all(|&d| d == 0));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_wnaf_roundtrip(
+            a in proptest::array::uniform4(proptest::prelude::any::<u64>()),
+        ) {
+            // Clear the top byte to leave the required headroom.
+            let mut limbs = a;
+            limbs[3] &= 0x00FF_FFFF_FFFF_FFFF;
+            let a = U256::from_limbs(limbs);
+            for w in [2u32, 4, 5] {
+                proptest::prop_assert_eq!(wnaf_reconstruct(&a.wnaf(w)), a);
+            }
         }
     }
 

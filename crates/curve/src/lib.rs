@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fixed_base;
 mod groups;
 pub mod ops;
 mod point;
 
+pub use fixed_base::{generator_table, mul_generator, FixedBaseTable};
 pub use groups::{hash_to_g1, hash_to_g2, psi, G1, G2};
 pub use point::{generator, AffinePoint, ProjectivePoint};
 
@@ -103,12 +105,12 @@ mod tests {
         let a = Fq::random(&mut r);
         let b = Fq::random(&mut r);
         // g^(a+b) = g^a · g^b
-        assert_eq!(g.mul_scalar(&a.add(&b)), g.mul_scalar(&a).add(&g.mul_scalar(&b)));
-        // (g^a)^b = g^(ab)
         assert_eq!(
-            g.mul_scalar(&a).mul_scalar(&b),
-            g.mul_scalar(&a.mul(&b))
+            g.mul_scalar(&a.add(&b)),
+            g.mul_scalar(&a).add(&g.mul_scalar(&b))
         );
+        // (g^a)^b = g^(ab)
+        assert_eq!(g.mul_scalar(&a).mul_scalar(&b), g.mul_scalar(&a.mul(&b)));
     }
 
     #[test]
@@ -136,7 +138,10 @@ mod tests {
         }
         // identity
         let id = AffinePoint::IDENTITY.to_compressed();
-        assert_eq!(AffinePoint::from_compressed(&id).unwrap(), AffinePoint::IDENTITY);
+        assert_eq!(
+            AffinePoint::from_compressed(&id).unwrap(),
+            AffinePoint::IDENTITY
+        );
     }
 
     #[test]
@@ -283,6 +288,109 @@ mod tests {
         assert_eq!(x.mul_mul(&a, &y, &b), x.mul(&a).add(&y.mul(&b)));
     }
 
+    #[test]
+    fn double_mul_wnaf_matches_binary() {
+        let mut r = rng();
+        let p = AffinePoint::random_subgroup(&mut r).to_projective();
+        let q = AffinePoint::random_subgroup(&mut r).to_projective();
+        for _ in 0..4 {
+            let a = Fq::random(&mut r).to_uint();
+            let b = Fq::random(&mut r).to_uint();
+            assert_eq!(
+                ProjectivePoint::double_mul(&p, &a, &q, &b),
+                ProjectivePoint::double_mul_binary(&p, &a, &q, &b)
+            );
+        }
+        // Asymmetric digit-stream lengths.
+        let long = Fq::random(&mut r).to_uint();
+        for small in [0u64, 1, 2, 7] {
+            let small = Uint::<3>::from_u64(small);
+            assert_eq!(
+                ProjectivePoint::double_mul(&p, &long, &q, &small),
+                ProjectivePoint::double_mul_binary(&p, &long, &q, &small)
+            );
+            assert_eq!(
+                ProjectivePoint::double_mul(&p, &small, &q, &long),
+                ProjectivePoint::double_mul_binary(&p, &small, &q, &long)
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_base_table_matches_generic_mul() {
+        let mut r = rng();
+        let base = AffinePoint::random_subgroup(&mut r);
+        let table = FixedBaseTable::new(&base, 160);
+        for _ in 0..6 {
+            let k = Fq::random(&mut r);
+            assert_eq!(table.mul(&k), base.mul_scalar(&k));
+        }
+        for k in [0u64, 1, 2, 15, 16, 255, 256] {
+            let k = Fq::from_u64(k);
+            assert_eq!(table.mul(&k), base.mul_scalar(&k), "k = {k:?}");
+        }
+        // Top-window digits (scalars near 2^160).
+        let near_top = Fq::ZERO.sub(&Fq::ONE);
+        assert_eq!(table.mul(&near_top), base.mul_scalar(&near_top));
+    }
+
+    #[test]
+    fn generator_table_matches_generator() {
+        let mut r = rng();
+        let k = Fq::random(&mut r);
+        assert_eq!(mul_generator(&k), generator().mul_scalar(&k));
+        assert_eq!(generator_table().max_bits(), 160);
+    }
+
+    #[test]
+    fn fixed_base_table_identity_base() {
+        let table = FixedBaseTable::new(&AffinePoint::IDENTITY, 160);
+        assert!(table.mul(&Fq::from_u64(12345)).is_identity());
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual() {
+        let mut r = rng();
+        let mut points = vec![ProjectivePoint::IDENTITY];
+        for _ in 0..5 {
+            // Non-trivial z coordinates via projective sums.
+            let a = AffinePoint::random_subgroup(&mut r).to_projective();
+            let b = AffinePoint::random_subgroup(&mut r);
+            points.push(a.add_affine(&b));
+            points.push(ProjectivePoint::IDENTITY);
+        }
+        let batch = ProjectivePoint::batch_to_affine(&points);
+        assert_eq!(batch.len(), points.len());
+        for (p, a) in points.iter().zip(&batch) {
+            assert_eq!(p.to_affine(), *a);
+        }
+        // All-identity batch (the inversion-of-zero corner).
+        let ids = vec![ProjectivePoint::IDENTITY; 3];
+        assert!(ProjectivePoint::batch_to_affine(&ids)
+            .iter()
+            .all(|p| p.is_identity()));
+        assert!(ProjectivePoint::batch_to_affine(&[]).is_empty());
+    }
+
+    #[test]
+    fn mixed_addition_cases() {
+        let mut r = rng();
+        let a = AffinePoint::random_subgroup(&mut r);
+        let b = AffinePoint::random_subgroup(&mut r);
+        // Give the accumulator a non-one z.
+        let acc = a.to_projective().add_affine(&b);
+        assert_eq!(acc.add_affine(&a).to_affine(), a.double().add(&b));
+        // P + (−P) through the mixed path.
+        let neg = acc.to_affine().neg();
+        assert!(acc.add_affine(&neg).is_identity());
+        // Doubling through the mixed path.
+        let aff = acc.to_affine();
+        assert_eq!(acc.add_affine(&aff).to_affine(), aff.double());
+        // Identity operands.
+        assert_eq!(acc.add_affine(&AffinePoint::IDENTITY), acc);
+        assert_eq!(ProjectivePoint::IDENTITY.add_affine(&a).to_affine(), a);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -294,6 +402,36 @@ mod tests {
                 expect = expect.add(&g);
             }
             prop_assert_eq!(g.mul_scalar(&Fq::from_u64(k)), expect);
+        }
+
+        #[test]
+        fn prop_wnaf_mul_matches_binary(seed in any::<u64>()) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let p = AffinePoint::random_subgroup(&mut r).to_projective();
+            let k = Fq::random(&mut r).to_uint();
+            prop_assert_eq!(p.mul_uint(&k).to_affine(), p.mul_uint_binary(&k).to_affine());
+        }
+
+        #[test]
+        fn prop_double_mul_matches_binary(seed in any::<u64>()) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let p = AffinePoint::random_subgroup(&mut r).to_projective();
+            let q = AffinePoint::random_subgroup(&mut r).to_projective();
+            let a = Fq::random(&mut r).to_uint();
+            let b = Fq::random(&mut r).to_uint();
+            prop_assert_eq!(
+                ProjectivePoint::double_mul(&p, &a, &q, &b).to_affine(),
+                ProjectivePoint::double_mul_binary(&p, &a, &q, &b).to_affine()
+            );
+        }
+
+        #[test]
+        fn prop_fixed_base_table_matches_generic_mul(seed in any::<u64>()) {
+            let mut r = StdRng::seed_from_u64(seed);
+            let base = AffinePoint::random_subgroup(&mut r);
+            let table = FixedBaseTable::new(&base, Fq::NUM_BITS);
+            let k = Fq::random(&mut r).to_uint();
+            prop_assert_eq!(table.mul_uint(&k), base.mul_uint(&k));
         }
     }
 }

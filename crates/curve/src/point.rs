@@ -201,7 +201,7 @@ impl AffinePoint {
     /// A uniformly random point in the order-`q` subgroup.
     pub fn random_subgroup(rng: &mut impl RngCore) -> Self {
         let k = Fq::random_nonzero(rng);
-        generator().mul_scalar(&k)
+        crate::fixed_base::mul_generator(&k)
     }
 }
 
@@ -307,9 +307,76 @@ impl ProjectivePoint {
         }
     }
 
-    /// Mixed addition with an affine point.
+    /// Mixed addition with an affine point (`Z₂ = 1` shortcuts: saves one
+    /// squaring and three multiplications over the general formula — this is
+    /// what makes precomputed-table lookups cheap).
     pub fn add_affine(&self, rhs: &AffinePoint) -> Self {
-        self.add(&rhs.to_projective())
+        if rhs.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return rhs.to_projective();
+        }
+        let z1z1 = self.z.square();
+        let u2 = rhs.x.mul(&z1z1);
+        let s2 = rhs.y.mul(&self.z).mul(&z1z1);
+        if self.x == u2 {
+            if self.y == s2 {
+                return self.double();
+            }
+            return Self::IDENTITY;
+        }
+        let h = u2.sub(&self.x);
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h.mul(&i);
+        let r = s2.sub(&self.y).double();
+        let v = self.x.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.double());
+        let y3 = r.mul(&v.sub(&x3)).sub(&self.y.mul(&j).double());
+        let z3 = self.z.add(&h).square().sub(&z1z1).sub(&hh);
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Converts a batch of points to affine with a single field inversion
+    /// (Montgomery's trick): the workhorse behind fixed-base table
+    /// construction, where normalizing hundreds of entries one inversion at
+    /// a time would dominate the setup cost.
+    pub fn batch_to_affine(points: &[Self]) -> Vec<AffinePoint> {
+        // Prefix products of the nonzero z's.
+        let mut prefix = Vec::with_capacity(points.len());
+        let mut acc = Fp::ONE;
+        for p in points {
+            prefix.push(acc);
+            if !p.is_identity() {
+                acc = acc.mul(&p.z);
+            }
+        }
+        let mut inv = match acc.invert() {
+            Some(v) => v,
+            // All points are at infinity.
+            None => return vec![AffinePoint::IDENTITY; points.len()],
+        };
+        let mut out = vec![AffinePoint::IDENTITY; points.len()];
+        for (i, p) in points.iter().enumerate().rev() {
+            if p.is_identity() {
+                continue;
+            }
+            // zinv = (∏_{j<i, nonzero} z_j)⁻¹ · ∏_{j<i, nonzero} z_j … = z_i⁻¹
+            let zinv = inv.mul(&prefix[i]);
+            inv = inv.mul(&p.z);
+            let zinv2 = zinv.square();
+            out[i] = AffinePoint {
+                x: p.x.mul(&zinv2),
+                y: p.y.mul(&zinv2.mul(&zinv)),
+                infinity: false,
+            };
+        }
+        out
     }
 
     /// Negation.
@@ -321,9 +388,10 @@ impl ProjectivePoint {
         }
     }
 
-    /// Scalar multiplication by an arbitrary-width integer using a 4-bit
-    /// fixed window (≈25 % fewer additions than double-and-add for 160-bit
-    /// scalars).
+    /// Scalar multiplication by an arbitrary-width integer using width-5
+    /// wNAF (signed digits exploit the free negation `(x, −y)`: 8 odd
+    /// multiples replace a 15-entry window table, and nonzero-digit density
+    /// drops from 15/16 per window to ≈1/6 per bit).
     ///
     /// Increments the global 𝔾₁-exponentiation counter used by the E2
     /// experiment (`ops::g1_mul_count`).
@@ -333,6 +401,35 @@ impl ProjectivePoint {
         if bits == 0 {
             return Self::IDENTITY;
         }
+        if bits + WNAF_WIDTH > Uint::<M>::BITS {
+            // Not enough headroom for signed-digit recoding at full width
+            // (never hit by the ≤352-bit scalars the scheme uses).
+            return self.mul_uint_fixed_window(k);
+        }
+        let table = self.odd_multiples::<8>();
+        let digits = k.wnaf(WNAF_WIDTH);
+        let mut acc = Self::IDENTITY;
+        for &d in digits.iter().rev() {
+            acc = acc.double();
+            acc = add_digit(&acc, &table, d);
+        }
+        acc
+    }
+
+    /// The odd multiples `P, 3P, 5P, …, (2T−1)P` (wNAF lookup table).
+    fn odd_multiples<const T: usize>(&self) -> [Self; T] {
+        let twice = self.double();
+        let mut table = [*self; T];
+        for i in 1..T {
+            table[i] = table[i - 1].add(&twice);
+        }
+        table
+    }
+
+    /// 4-bit fixed-window ladder (fallback for scalars with no wNAF
+    /// headroom; also the reference the wNAF equivalence test pins against).
+    fn mul_uint_fixed_window<const M: usize>(&self, k: &Uint<M>) -> Self {
+        let bits = k.bits();
         // Precompute 1·P … 15·P.
         let mut table = [Self::IDENTITY; 16];
         table[1] = *self;
@@ -379,11 +476,52 @@ impl ProjectivePoint {
         acc
     }
 
-    /// Simultaneous double-scalar multiplication `a·P + b·Q` via Shamir's
-    /// trick (one shared doubling chain) — the shape used by ECDSA
-    /// verification and the group-signature helper values `u^{s}·T^{−c}`.
+    /// Simultaneous double-scalar multiplication `a·P + b·Q` over one shared
+    /// doubling chain — the shape used by ECDSA verification and the
+    /// group-signature helper values `u^{s}·T^{−c}`.
+    ///
+    /// Both scalars are recoded to width-4 wNAF and their digit streams
+    /// interleaved: joint nonzero density falls from 3/4 per bit (binary
+    /// Shamir) to ≈2/5, at the cost of 4 precomputed odd multiples per base.
     pub fn double_mul<const M: usize>(p: &Self, a: &Uint<M>, q: &Self, b: &Uint<M>) -> Self {
         ops::record_g1_mul();
+        let bits = a.bits().max(b.bits());
+        if bits == 0 {
+            return Self::IDENTITY;
+        }
+        if bits + DOUBLE_MUL_WIDTH > Uint::<M>::BITS {
+            return Self::double_mul_binary_inner(p, a, q, b);
+        }
+        let tp = p.odd_multiples::<4>();
+        let tq = q.odd_multiples::<4>();
+        let da = a.wnaf(DOUBLE_MUL_WIDTH);
+        let db = b.wnaf(DOUBLE_MUL_WIDTH);
+        let mut acc = Self::IDENTITY;
+        for i in (0..da.len().max(db.len())).rev() {
+            acc = acc.double();
+            if let Some(&d) = da.get(i) {
+                acc = add_digit(&acc, &tp, d);
+            }
+            if let Some(&d) = db.get(i) {
+                acc = add_digit(&acc, &tq, d);
+            }
+        }
+        acc
+    }
+
+    /// Binary Shamir ladder (reference/ablation implementation; compare
+    /// against [`Self::double_mul`]).
+    pub fn double_mul_binary<const M: usize>(p: &Self, a: &Uint<M>, q: &Self, b: &Uint<M>) -> Self {
+        ops::record_g1_mul();
+        Self::double_mul_binary_inner(p, a, q, b)
+    }
+
+    fn double_mul_binary_inner<const M: usize>(
+        p: &Self,
+        a: &Uint<M>,
+        q: &Self,
+        b: &Uint<M>,
+    ) -> Self {
         let pq = p.add(q);
         let bits = a.bits().max(b.bits());
         if bits == 0 {
@@ -400,6 +538,30 @@ impl ProjectivePoint {
             }
         }
         acc
+    }
+}
+
+/// wNAF window width for single-scalar multiplication.
+const WNAF_WIDTH: u32 = 5;
+
+/// wNAF window width per scalar in interleaved double-mul (smaller: two
+/// tables are built per call).
+const DOUBLE_MUL_WIDTH: u32 = 4;
+
+/// Adds the table entry for a signed wNAF digit (`d` odd, `|d| < 2T`);
+/// zero digits are a no-op.
+#[inline]
+fn add_digit<const T: usize>(
+    acc: &ProjectivePoint,
+    odd_multiples: &[ProjectivePoint; T],
+    d: i8,
+) -> ProjectivePoint {
+    match d.cmp(&0) {
+        core::cmp::Ordering::Greater => acc.add(&odd_multiples[(d as usize) >> 1]),
+        core::cmp::Ordering::Less => {
+            acc.add(&odd_multiples[(d.unsigned_abs() as usize) >> 1].neg())
+        }
+        core::cmp::Ordering::Equal => *acc,
     }
 }
 

@@ -81,7 +81,12 @@ impl Certificate {
     /// [`CertificateError::BadSignature`] if the signature fails,
     /// [`CertificateError::Expired`] if `now > expires_at`.
     pub fn validate(&self, issuer: &VerifyingKey, now: u64) -> Result<(), CertificateError> {
-        let tbs = Self::tbs(self.serial, &self.subject, &self.public_key, self.expires_at);
+        let tbs = Self::tbs(
+            self.serial,
+            &self.subject,
+            &self.public_key,
+            self.expires_at,
+        );
         if !issuer.verify(&tbs, &self.signature) {
             return Err(CertificateError::BadSignature);
         }

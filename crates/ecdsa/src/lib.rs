@@ -118,7 +118,7 @@ impl SigningKey {
     pub fn from_scalar(d: Fq) -> Self {
         assert!(!d.is_zero(), "secret key must be nonzero");
         let public = VerifyingKey {
-            point: generator().mul_scalar(&d),
+            point: peace_curve::mul_generator(&d),
         };
         Self { d, public }
     }
@@ -142,7 +142,7 @@ impl SigningKey {
             if k.is_zero() {
                 continue;
             }
-            let big_r = generator().mul_scalar(&k);
+            let big_r = peace_curve::mul_generator(&k);
             let r = x_to_scalar(&big_r);
             if r.is_zero() {
                 continue;

@@ -51,6 +51,10 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
         _p: PhantomData,
     };
 
+    /// Bit length of the field modulus (re-exported from the parameters so
+    /// callers need not name the marker type).
+    pub const NUM_BITS: u32 = P::NUM_BITS;
+
     #[inline]
     const fn from_mont(mont: Uint<N>) -> Self {
         Self {

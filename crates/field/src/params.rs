@@ -6,22 +6,119 @@
 //! `p ≡ 3 (mod 4)`; the curve is supersingular with `#E(F_p) = p + 1 = c·q`,
 //! embedding degree 2, and a 160-bit prime-order subgroup of order `q`.
 
-pub const P_LIMBS: [u64; 8] = [0xf5b799a340e3d293, 0xaddcf6a6c50b9a21, 0x000002016583da26, 0x0000000000000000, 0x0000000000000000, 0x0000000000000000, 0x0000000000000000, 0x8000000000000000];
-pub const P_R: [u64; 8] = [0x0a48665cbf1c2d6d, 0x522309593af465de, 0xfffffdfe9a7c25d9, 0xffffffffffffffff, 0xffffffffffffffff, 0xffffffffffffffff, 0xffffffffffffffff, 0x7fffffffffffffff];
-pub const P_R2: [u64; 8] = [0xc1ba44ea779e01a4, 0xeaf318daa21a2159, 0x0bb90abf891f8a74, 0x99a8cb27641bee5c, 0x0ac674414902e468, 0x0000000000101660, 0x0000000000000000, 0x0000000000000000];
+pub const P_LIMBS: [u64; 8] = [
+    0xf5b799a340e3d293,
+    0xaddcf6a6c50b9a21,
+    0x000002016583da26,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x8000000000000000,
+];
+pub const P_R: [u64; 8] = [
+    0x0a48665cbf1c2d6d,
+    0x522309593af465de,
+    0xfffffdfe9a7c25d9,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0x7fffffffffffffff,
+];
+pub const P_R2: [u64; 8] = [
+    0xc1ba44ea779e01a4,
+    0xeaf318daa21a2159,
+    0x0bb90abf891f8a74,
+    0x99a8cb27641bee5c,
+    0x0ac674414902e468,
+    0x0000000000101660,
+    0x0000000000000000,
+    0x0000000000000000,
+];
 pub const P_INV: u64 = 0xff2ef8042401e465;
-pub const P_SQRT_EXP: [u64; 8] = [0x7d6de668d038f4a5, 0xab773da9b142e688, 0x000000805960f689, 0x0000000000000000, 0x0000000000000000, 0x0000000000000000, 0x0000000000000000, 0x2000000000000000];
+pub const P_SQRT_EXP: [u64; 8] = [
+    0x7d6de668d038f4a5,
+    0xab773da9b142e688,
+    0x000000805960f689,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x2000000000000000,
+];
 pub const Q_LIMBS: [u64; 3] = [0xa2e3453c0e304cab, 0xb290685c339a9f83, 0x00000000d68c3cdc];
 pub const Q_R: [u64; 3] = [0x131368dd09abc747, 0x8a809595244d3d8e, 0x0000000096128673];
 pub const Q_R2: [u64; 3] = [0x1dc4d627b0f96f7b, 0x6a7434388fa8e6a8, 0x000000008b09a301];
 pub const Q_INV: u64 = 0x882e0eafdbc6b1fd;
-pub const COFACTOR: [u64; 6] = [0x73b32945dfc88fbc, 0xd2f34b0aedb986d0, 0x8cb3a47ae75c9bc7, 0xe1bc30bc09660e38, 0xd988a1c1e9c72704, 0x0000000098bb0415];
-pub const GEN_X: [u64; 8] = [0x542445160bbd34f8, 0xe351f73b9271a8f8, 0x5eac1c7b6d3d2bd6, 0xd61e1244de3d1463, 0xcbba23d92abf1e9c, 0x85d3a9ddf5a82db5, 0x78cee08b13f9d5c6, 0x13be15b78987e0ee];
-pub const GEN_Y: [u64; 8] = [0xb9876cd3510d646e, 0x073aedb6bf93ae42, 0x8cc1f4f95d69c648, 0xe69f1e6e0458ef2b, 0xeb44f17da44f1b8c, 0xc31e00df4c768d8a, 0x046e563c351ac3cf, 0x02e89928f016b757];
-pub const GEN2_X: [u64; 8] = [0x3d7222efe76d5f64, 0x6e8578aae21b1405, 0xe5edb4043e9bd111, 0x5c685fc5a49fc05e, 0xc2a0de15607997e2, 0x05f4c94ba5a226b9, 0xa24133ab4e3f1efa, 0x29fdf8c0837be7ac];
-pub const GEN2_Y: [u64; 8] = [0x635100d7df7b00aa, 0xc5254af298616768, 0xcd348877f9ae9277, 0x59cf981982602cac, 0x1cd7a03eb5391e5b, 0x2fb643440033bb67, 0x0bca889c13deef0c, 0x45914a6a9b6f955f];
-pub const GEN5_X: [u64; 8] = [0xa85474e1b2899dc1, 0xd51ba46d104baeb9, 0xfe937b6b8bf58081, 0x308f1903c426ce9c, 0x5fffac1ca33a9821, 0xb3511023021f8008, 0xe8afec15d423df04, 0x5a005de819711588];
-pub const GEN5_Y: [u64; 8] = [0xb2fbab3608434420, 0xefa3e4c4fd5aee7b, 0xe97b4e4b277b4bcd, 0x440646ce791d2c53, 0x341819bbb3547de7, 0x42ac5fba75ee0fe5, 0xe45e1f6e06d8a537, 0x0c22c517eb61646d];
+pub const COFACTOR: [u64; 6] = [
+    0x73b32945dfc88fbc,
+    0xd2f34b0aedb986d0,
+    0x8cb3a47ae75c9bc7,
+    0xe1bc30bc09660e38,
+    0xd988a1c1e9c72704,
+    0x0000000098bb0415,
+];
+pub const GEN_X: [u64; 8] = [
+    0x542445160bbd34f8,
+    0xe351f73b9271a8f8,
+    0x5eac1c7b6d3d2bd6,
+    0xd61e1244de3d1463,
+    0xcbba23d92abf1e9c,
+    0x85d3a9ddf5a82db5,
+    0x78cee08b13f9d5c6,
+    0x13be15b78987e0ee,
+];
+pub const GEN_Y: [u64; 8] = [
+    0xb9876cd3510d646e,
+    0x073aedb6bf93ae42,
+    0x8cc1f4f95d69c648,
+    0xe69f1e6e0458ef2b,
+    0xeb44f17da44f1b8c,
+    0xc31e00df4c768d8a,
+    0x046e563c351ac3cf,
+    0x02e89928f016b757,
+];
+pub const GEN2_X: [u64; 8] = [
+    0x3d7222efe76d5f64,
+    0x6e8578aae21b1405,
+    0xe5edb4043e9bd111,
+    0x5c685fc5a49fc05e,
+    0xc2a0de15607997e2,
+    0x05f4c94ba5a226b9,
+    0xa24133ab4e3f1efa,
+    0x29fdf8c0837be7ac,
+];
+pub const GEN2_Y: [u64; 8] = [
+    0x635100d7df7b00aa,
+    0xc5254af298616768,
+    0xcd348877f9ae9277,
+    0x59cf981982602cac,
+    0x1cd7a03eb5391e5b,
+    0x2fb643440033bb67,
+    0x0bca889c13deef0c,
+    0x45914a6a9b6f955f,
+];
+pub const GEN5_X: [u64; 8] = [
+    0xa85474e1b2899dc1,
+    0xd51ba46d104baeb9,
+    0xfe937b6b8bf58081,
+    0x308f1903c426ce9c,
+    0x5fffac1ca33a9821,
+    0xb3511023021f8008,
+    0xe8afec15d423df04,
+    0x5a005de819711588,
+];
+pub const GEN5_Y: [u64; 8] = [
+    0xb2fbab3608434420,
+    0xefa3e4c4fd5aee7b,
+    0xe97b4e4b277b4bcd,
+    0x440646ce791d2c53,
+    0x341819bbb3547de7,
+    0x42ac5fba75ee0fe5,
+    0xe45e1f6e06d8a537,
+    0x0c22c517eb61646d,
+];
 
 /// Decimal rendering of `p` (for documentation/tests).
 pub const P_DECIMAL: &str = "6703903964971298549787012499102923063739682910296196688861780721860882015036773488400937149083451713845766258981662893006037005532599866949012678347313811";

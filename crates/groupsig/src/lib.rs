@@ -35,8 +35,8 @@ mod sig;
 
 pub use keys::{GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken};
 pub use sig::{
-    h0_bases, open, revocation_index, sign, token_matches, verify, BasesMode, GroupSignature,
-    PreparedGpk, RevocationTable, VerifyError,
+    h0_bases, open, revocation_index, revocation_sweep, sign, token_matches, verify, BasesMode,
+    GroupSignature, PreparedGpk, RevocationTable, VerifyError,
 };
 
 // Re-export the op-counter snapshot for the E2 benchmark.
@@ -260,7 +260,9 @@ mod tests {
         assert_eq!(cost.pairings, 2, "prepared verify uses 2 pairings");
 
         // Same acceptance/rejection behaviour as the plain verifier.
-        assert!(prepared.verify(b"other", &sig, BasesMode::PerMessage).is_err());
+        assert!(prepared
+            .verify(b"other", &sig, BasesMode::PerMessage)
+            .is_err());
         assert_eq!(prepared.gpk(), &gpk);
     }
 
@@ -301,7 +303,13 @@ mod tests {
             BasesMode::PerMessage,
             &mut rng,
         );
-        assert!(verify(issuer.public_key(), b"golden message", &sig, BasesMode::PerMessage).is_ok());
+        assert!(verify(
+            issuer.public_key(),
+            b"golden message",
+            &sig,
+            BasesMode::PerMessage
+        )
+        .is_ok());
         let digest = peace_hash::sha256(&sig.to_bytes());
         let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
         // If this changes, the wire format changed: bump the protocol
@@ -348,10 +356,7 @@ mod tests {
     fn gpk_and_token_encoding_roundtrip() {
         let mut f = fixture();
         let gpk = *f.issuer.public_key();
-        assert_eq!(
-            GroupPublicKey::from_wire(&gpk.to_wire()).unwrap(),
-            gpk
-        );
+        assert_eq!(GroupPublicKey::from_wire(&gpk.to_wire()).unwrap(), gpk);
         let t = f.alice.revocation_token();
         assert_eq!(RevocationToken::from_wire(&t.to_wire()).unwrap(), t);
         let _ = &mut f.rng;
@@ -386,15 +391,173 @@ mod tests {
         let before_v = OpSnapshot::capture();
         verify(&gpk, b"m", &sig, BasesMode::PerMessage).unwrap();
         let verify_cost = OpSnapshot::capture().since(&before_v);
-        assert!(verify_cost.pairings <= 6, "verify pairings: {verify_cost:?}");
+        assert!(
+            verify_cost.pairings <= 6,
+            "verify pairings: {verify_cost:?}"
+        );
 
-        // revocation: 2 pairings per token (one product evaluation)
+        // Revocation sweep: |URL| + 1 Miller loops, one batched final
+        // exponentiation, and zero full pairing evaluations.
         let url: Vec<_> = (0..4)
             .map(|_| f.issuer.issue(&f.grp_a, &mut f.rng).revocation_token())
             .collect();
         let before_r = OpSnapshot::capture();
         let _ = revocation_index(&gpk, b"m", &sig, &url, BasesMode::PerMessage);
         let rev_cost = OpSnapshot::capture().since(&before_r);
-        assert_eq!(rev_cost.pairings, 2 * url.len() as u64);
+        assert_eq!(rev_cost.miller_loops, url.len() as u64 + 1);
+        assert_eq!(rev_cost.final_exps, 1);
+        assert_eq!(rev_cost.pairings, 0);
+
+        // The naive per-token scan the sweep replaces still costs 2 pairings
+        // (one product evaluation) per token.
+        let (u_hat, v_hat) = h0_bases(&gpk, b"m", &sig.r, BasesMode::PerMessage);
+        let before_n = OpSnapshot::capture();
+        for t in &url {
+            let _ = token_matches(&sig, t, &u_hat, &v_hat);
+        }
+        let naive_cost = OpSnapshot::capture().since(&before_n);
+        assert_eq!(naive_cost.pairings, 2 * url.len() as u64);
+        assert_eq!(naive_cost.miller_loops, 2 * url.len() as u64);
+    }
+
+    #[test]
+    fn sweep_matches_naive_token_scan() {
+        // Equivalence: the shared-Miller sweep must agree with a per-token
+        // `token_matches` loop on every index — revoked signer at each
+        // position, unrevoked signer, empty URL.
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let url = vec![
+            f.carol_b.revocation_token(),
+            f.alice.revocation_token(),
+            f.bob.revocation_token(),
+        ];
+        for key in [&f.alice, &f.bob, &f.carol_b] {
+            let sig = sign(&gpk, key, b"sweep", BasesMode::PerMessage, &mut f.rng);
+            let (u_hat, v_hat) = h0_bases(&gpk, b"sweep", &sig.r, BasesMode::PerMessage);
+            let naive = url
+                .iter()
+                .position(|t| token_matches(&sig, t, &u_hat, &v_hat));
+            assert_eq!(revocation_sweep(&sig, &url, &u_hat, &v_hat), naive);
+            assert!(naive.is_some());
+        }
+        let outsider = f.issuer.issue(&f.grp_b, &mut f.rng);
+        let sig = sign(&gpk, &outsider, b"sweep", BasesMode::PerMessage, &mut f.rng);
+        let (u_hat, v_hat) = h0_bases(&gpk, b"sweep", &sig.r, BasesMode::PerMessage);
+        assert_eq!(revocation_sweep(&sig, &url, &u_hat, &v_hat), None);
+        assert_eq!(revocation_sweep(&sig, &[], &u_hat, &v_hat), None);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        // Above the thread fan-out threshold (32 tokens) the sweep must
+        // return the same index as below it.
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let mut url: Vec<_> = (0..33)
+            .map(|_| f.issuer.issue(&f.grp_a, &mut f.rng).revocation_token())
+            .collect();
+        url[17] = f.alice.revocation_token();
+        let sig = sign(&gpk, &f.alice, b"par", BasesMode::PerMessage, &mut f.rng);
+        let (u_hat, v_hat) = h0_bases(&gpk, b"par", &sig.r, BasesMode::PerMessage);
+        assert_eq!(revocation_sweep(&sig, &url, &u_hat, &v_hat), Some(17));
+        assert_eq!(revocation_sweep(&sig, &url[..17], &u_hat, &v_hat), None);
+        // Counter shape holds through the threaded path too.
+        OpSnapshot::reset_all();
+        let before = OpSnapshot::capture();
+        let _ = revocation_sweep(&sig, &url, &u_hat, &v_hat);
+        let cost = OpSnapshot::capture().since(&before);
+        assert_eq!(cost.miller_loops, url.len() as u64 + 1);
+        assert_eq!(cost.final_exps, 1);
+    }
+
+    #[test]
+    fn prepared_sign_matches_plain_sign() {
+        // The table-driven signer must be bit-identical to the free-standing
+        // one for the same RNG stream (both draw r, α, r_α, r_x, r_δ in the
+        // same order and compute the same values).
+        let f = fixture();
+        let gpk = *f.issuer.public_key();
+        let prepared = PreparedGpk::new(&gpk);
+        for mode in [BasesMode::PerMessage, BasesMode::FixedBases] {
+            let mut r1 = StdRng::seed_from_u64(0xABCD);
+            let mut r2 = StdRng::seed_from_u64(0xABCD);
+            let plain = sign(&gpk, &f.alice, b"same bytes", mode, &mut r1);
+            let fast = prepared.sign(&f.alice, b"same bytes", mode, &mut r2);
+            assert_eq!(plain.to_bytes(), fast.to_bytes());
+        }
+    }
+
+    #[test]
+    fn prepared_sign_reproduces_golden_vector() {
+        // The golden digest pins the full pipeline; the optimized signer
+        // must hit the same bytes from the same seed.
+        let mut rng = StdRng::seed_from_u64(0xFEED);
+        let issuer = IssuerKey::generate(&mut rng);
+        let grp = issuer.new_group_secret(&mut rng);
+        let member = issuer.issue(&grp, &mut rng);
+        let prepared = PreparedGpk::new(issuer.public_key());
+        let sig = prepared.sign(&member, b"golden message", BasesMode::PerMessage, &mut rng);
+        let digest = peace_hash::sha256(&sig.to_bytes());
+        let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(hex, golden_signature_digest());
+    }
+
+    #[test]
+    fn verify_and_check_combines_both_steps() {
+        let mut f = fixture();
+        let gpk = *f.issuer.public_key();
+        let prepared = PreparedGpk::new(&gpk);
+        let url = vec![f.bob.revocation_token()];
+
+        let sig_alice = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
+        assert_eq!(
+            prepared.verify_and_check(b"m", &sig_alice, &url, BasesMode::PerMessage),
+            Ok(None)
+        );
+        let sig_bob = sign(&gpk, &f.bob, b"m", BasesMode::PerMessage, &mut f.rng);
+        assert_eq!(
+            prepared.verify_and_check(b"m", &sig_bob, &url, BasesMode::PerMessage),
+            Ok(Some(0))
+        );
+        // Invalid signatures fail without consulting the URL.
+        assert!(prepared
+            .verify_and_check(b"other", &sig_alice, &url, BasesMode::PerMessage)
+            .is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(4))]
+
+        #[test]
+        fn prop_sweep_matches_naive_token_scan(
+            seed in proptest::prelude::any::<u64>(),
+            url_len in 0usize..6,
+            revoked_slot in 0usize..12,
+        ) {
+            // Equivalence under random group keys, URL sizes, and revoked
+            // positions: the shared-Miller sweep must report exactly what a
+            // per-token `token_matches` loop reports.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let issuer = IssuerKey::generate(&mut rng);
+            let gpk = *issuer.public_key();
+            let grp = issuer.new_group_secret(&mut rng);
+            let signer = issuer.issue(&grp, &mut rng);
+            let mut url: Vec<_> = (0..url_len)
+                .map(|_| issuer.issue(&grp, &mut rng).revocation_token())
+                .collect();
+            // Upper half of the slot range means "signer not on the URL".
+            let expect = (revoked_slot < url_len).then_some(revoked_slot);
+            if let Some(i) = expect {
+                url[i] = signer.revocation_token();
+            }
+            let sig = sign(&gpk, &signer, b"prop", BasesMode::PerMessage, &mut rng);
+            let (u_hat, v_hat) = h0_bases(&gpk, b"prop", &sig.r, BasesMode::PerMessage);
+            let naive = url
+                .iter()
+                .position(|t| token_matches(&sig, t, &u_hat, &v_hat));
+            proptest::prop_assert_eq!(naive, expect);
+            proptest::prop_assert_eq!(revocation_sweep(&sig, &url, &u_hat, &v_hat), naive);
+        }
     }
 }

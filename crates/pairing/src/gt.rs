@@ -50,13 +50,12 @@ impl Gt {
 
     /// Inversion. For unitary elements this is conjugation (cheap).
     pub fn invert(&self) -> Self {
-        // Pairing outputs satisfy z^(p+1) related norms; conjugate is the
-        // inverse exactly when the norm is 1, which holds for all elements
-        // of the order-q subgroup (q | p+1 divides the norm-1 subgroup
-        // order). Fall back to a field inversion defensively.
-        let conj = self.0.conjugate();
-        if self.0.mul(&conj) == Fp2::ONE {
-            Self(conj)
+        // Conjugation inverts exactly when the norm is 1, which holds for
+        // all elements of the order-q subgroup (q | p+1 divides the norm-1
+        // subgroup order). Fall back to a field inversion defensively for
+        // raw decoded elements.
+        if self.0.is_unitary() {
+            Self(self.0.conjugate())
         } else {
             Self(self.0.invert().expect("Gt element is nonzero"))
         }
@@ -64,15 +63,20 @@ impl Gt {
 
     /// Exponentiation by a scalar — the paper's `e(·,·)^s`.
     ///
+    /// Pairing outputs are unitary, so this normally runs as a width-5 wNAF
+    /// ladder with conjugation standing in for inversion (~27 muls for 160
+    /// bits instead of ~80); non-unitary elements (raw `from_bytes` input)
+    /// fall back to the binary ladder.
+    ///
     /// Increments the 𝔾_T-exponentiation counter used by experiment E2.
     pub fn pow(&self, k: &Fq) -> Self {
         ops::record_gt_exp();
-        Self(self.0.pow(&k.to_uint()))
+        Self(self.0.pow_unitary(&k.to_uint()))
     }
 
     /// Exponentiation by an arbitrary-width integer (no counter; internal).
     pub fn pow_uint<const M: usize>(&self, k: &Uint<M>) -> Self {
-        Self(self.0.pow(k))
+        Self(self.0.pow_unitary(k))
     }
 
     /// Canonical 128-byte encoding.
@@ -90,6 +94,64 @@ impl Gt {
 impl Default for Gt {
     fn default() -> Self {
         Self::ONE
+    }
+}
+
+/// Fixed-base exponentiation table for a `𝔾_T` element (radix-16 comb).
+///
+/// `windows[j][d-1] = base^(d·16^j)`, so `base^k = Πⱼ windows[j][kⱼ − 1]`
+/// where `kⱼ` is the j-th radix-16 digit of `k` — at most `⌈bits/4⌉`
+/// multiplications and **zero squarings**. The verifier's fixed bases
+/// `ê(g₁, g₂)` and `ê(h, w)` are exponentiated once per signature, so a
+/// prepared key amortizes this table across its lifetime.
+#[derive(Clone, Debug)]
+pub struct GtPowTable {
+    windows: Vec<[Fp2; 15]>,
+}
+
+impl GtPowTable {
+    /// Builds the table for exponents up to `max_bits` bits.
+    pub fn new(base: &Gt, max_bits: u32) -> Self {
+        let n_windows = max_bits.div_ceil(4).max(1) as usize;
+        let mut windows = Vec::with_capacity(n_windows);
+        // cur = base^(16^j) at the top of each iteration.
+        let mut cur = base.0;
+        for _ in 0..n_windows {
+            let mut row = [cur; 15];
+            for d in 1..15 {
+                row[d] = row[d - 1].mul(&cur);
+            }
+            cur = row[14].mul(&cur);
+            windows.push(row);
+        }
+        Self { windows }
+    }
+
+    /// Exponent capacity in bits.
+    pub fn max_bits(&self) -> u32 {
+        self.windows.len() as u32 * 4
+    }
+
+    /// `base^k` by table lookup — multiplications only.
+    ///
+    /// Counts as one 𝔾_T exponentiation (it replaces one).
+    pub fn pow(&self, k: &Fq) -> Gt {
+        ops::record_gt_exp();
+        let exp = k.to_uint();
+        assert!(
+            exp.bits() <= self.max_bits(),
+            "exponent exceeds Gt table capacity"
+        );
+        let limbs = exp.as_limbs();
+        let mut acc = Fp2::ONE;
+        for (j, row) in self.windows.iter().enumerate() {
+            let bit = j as u32 * 4;
+            let digit = (limbs[(bit / 64) as usize] >> (bit % 64)) & 0xF;
+            if digit != 0 {
+                acc = acc.mul(&row[digit as usize - 1]);
+            }
+        }
+        Gt::from_fp2(acc)
     }
 }
 

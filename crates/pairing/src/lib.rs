@@ -27,7 +27,8 @@ mod gt;
 mod miller;
 pub mod ops;
 
-pub use gt::Gt;
+pub use gt::{Gt, GtPowTable};
+pub use miller::MillerValue;
 pub use ops::OpSnapshot;
 
 use peace_curve::{G1, G2};
@@ -35,6 +36,16 @@ use peace_curve::{G1, G2};
 /// The bilinear pairing `ê(P, Q)`.
 pub fn pairing(p: &G1, q: &G2) -> Gt {
     miller::tate_pairing(p.point(), q.point())
+}
+
+/// Runs the Miller loop for `(P, Q)` without the final exponentiation.
+///
+/// Miller values multiply in `F_p²` and are reduced to `𝔾_T` by
+/// [`MillerValue::finalize`] (or in bulk by [`MillerValue::finalize_batch`]).
+/// This is the building block of the shared-Miller revocation sweep:
+/// `miller(a, c).mul(&miller(b, d)).finalize() == ê(a,c)·ê(b,d)`.
+pub fn miller(p: &G1, q: &G2) -> MillerValue {
+    miller::miller(p.point(), q.point())
 }
 
 /// Product of pairings `∏ ê(Pᵢ, Qᵢ)` with a single shared final
@@ -220,6 +231,93 @@ mod tests {
         let _ = pairing(&g1(), &g2());
         let _ = pairing(&g1(), &g2());
         let after = OpSnapshot::capture();
-        assert_eq!(after.since(&before).pairings, 2);
+        let cost = after.since(&before);
+        assert_eq!(cost.pairings, 2);
+        assert_eq!(cost.miller_loops, 2);
+        assert_eq!(cost.final_exps, 2);
+    }
+
+    #[test]
+    fn miller_value_finalize_matches_pairing() {
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        let q = G2::random(&mut r);
+        assert_eq!(miller(&p, &q).finalize(), pairing(&p, &q));
+        assert!(miller(&G1::IDENTITY, &q).finalize().is_one());
+        assert!(MillerValue::ONE.finalize().is_one());
+    }
+
+    #[test]
+    fn miller_value_product_matches_pairing_product() {
+        let mut r = rng();
+        let (p1, q1) = (G1::random(&mut r), G2::random(&mut r));
+        let (p2, q2) = (G1::random(&mut r), G2::random(&mut r));
+        let composed = miller(&p1, &q1).mul(&miller(&p2, &q2)).finalize();
+        assert_eq!(composed, pairing(&p1, &q1).mul(&pairing(&p2, &q2)));
+    }
+
+    #[test]
+    fn finalize_batch_matches_individual() {
+        let mut r = rng();
+        let values: Vec<MillerValue> = (0..4)
+            .map(|_| miller(&G1::random(&mut r), &G2::random(&mut r)))
+            .collect();
+        let batch = MillerValue::finalize_batch(&values);
+        assert_eq!(batch.len(), values.len());
+        for (v, g) in values.iter().zip(&batch) {
+            assert_eq!(v.finalize(), *g);
+        }
+        // Including the neutral value (exercises the batch-inversion path
+        // with f = 1).
+        let with_one = [values[0], MillerValue::ONE, values[1]];
+        let batch = MillerValue::finalize_batch(&with_one);
+        assert!(batch[1].is_one());
+        assert_eq!(batch[0], values[0].finalize());
+        assert!(MillerValue::finalize_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn finalize_batch_counts_one_final_exp() {
+        let mut r = rng();
+        let values: Vec<MillerValue> = (0..5)
+            .map(|_| miller(&G1::random(&mut r), &G2::random(&mut r)))
+            .collect();
+        OpSnapshot::reset_all();
+        let before = OpSnapshot::capture();
+        let _ = MillerValue::finalize_batch(&values);
+        let cost = OpSnapshot::capture().since(&before);
+        assert_eq!(cost.final_exps, 1);
+        assert_eq!(cost.miller_loops, 0);
+        assert_eq!(cost.pairings, 0);
+    }
+
+    #[test]
+    fn gt_pow_table_matches_pow() {
+        let mut r = rng();
+        let e = pairing(&G1::random(&mut r), &g2());
+        let table = GtPowTable::new(&e, 160);
+        assert_eq!(table.max_bits(), 160);
+        for _ in 0..4 {
+            let k = Fq::random(&mut r);
+            assert_eq!(table.pow(&k), e.pow(&k));
+        }
+        for k in [0u64, 1, 15, 16, 257] {
+            let k = Fq::from_u64(k);
+            assert_eq!(table.pow(&k), e.pow(&k), "k = {k:?}");
+        }
+        let top = Fq::ZERO.sub(&Fq::ONE);
+        assert_eq!(table.pow(&top), e.pow(&top));
+    }
+
+    #[test]
+    fn gt_pow_handles_non_unitary_elements() {
+        // from_bytes can yield arbitrary Fp2 elements; pow must stay correct
+        // on them via the binary-ladder fallback.
+        let mut bytes = vec![0u8; 128];
+        bytes[63] = 7; // c0 = 7, c1 = 0 — norm 49 ≠ 1
+        let e = Gt::from_bytes(&bytes).unwrap();
+        let cubed = e.pow(&Fq::from_u64(3));
+        assert_eq!(cubed, e.mul(&e).mul(&e));
+        assert!(e.invert().mul(&e).is_one());
     }
 }

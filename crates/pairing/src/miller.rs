@@ -17,7 +17,19 @@
 //!
 //! The loop runs over the 160-bit subgroup order `q` with Jacobian
 //! coordinates (inversion-free).
+//!
+//! Beyond the one-shot [`tate_pairing`], the [`MillerValue`] API exposes the
+//! two pairing phases separately so callers can share work across many
+//! evaluations: products of Miller values multiply in `F_p²`, and
+//! [`MillerValue::finalize_batch`] reduces a whole batch with one field
+//! inversion (Montgomery's trick for the easy parts) and a single shared
+//! hard-part sweep over the cached cofactor wNAF schedule. The revocation
+//! check over `n` tokens drops from `2n` full pairings to `n + 1` Miller
+//! loops and one final exponentiation this way.
 
+use std::sync::OnceLock;
+
+use peace_bigint::Uint;
 use peace_field::{cofactor, subgroup_order, Fp, Fp2};
 
 use crate::gt::Gt;
@@ -37,6 +49,123 @@ struct Jac {
     z: Fp,
 }
 
+/// Cached Miller-loop schedule: the subgroup order and its bit length (160),
+/// looked up once instead of per pairing.
+fn loop_schedule() -> &'static (Uint<3>, u32) {
+    static SCHEDULE: OnceLock<(Uint<3>, u32)> = OnceLock::new();
+    SCHEDULE.get_or_init(|| {
+        let order = subgroup_order();
+        let bits = order.bits();
+        (order, bits)
+    })
+}
+
+/// Cached width-5 wNAF of the hard-part cofactor `c = (p+1)/q` (352 bits),
+/// shared by every final exponentiation.
+fn cofactor_naf() -> &'static [i8] {
+    static NAF: OnceLock<Vec<i8>> = OnceLock::new();
+    NAF.get_or_init(|| cofactor().wnaf(5))
+}
+
+/// An unreduced pairing value `f_{q,P}(φ(Q)) ∈ F_p²` — the output of a
+/// Miller loop *before* the final exponentiation.
+///
+/// Miller values compose multiplicatively: `miller(P₁,Q₁).mul(&miller(P₂,Q₂))
+/// .finalize() == ê(P₁,Q₁)·ê(P₂,Q₂)`. This is what lets the revocation sweep
+/// compute the shared factor `f_{q,−T₁}(φ(v̂))` once and reuse it across
+/// every token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MillerValue(pub(crate) Fp2);
+
+impl MillerValue {
+    /// The neutral value (finalizes to `Gt::ONE`).
+    pub const ONE: Self = Self(Fp2::ONE);
+
+    /// Multiplies two Miller values (one `F_p²` multiplication).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Self(self.0.mul(&rhs.0))
+    }
+
+    /// Applies the final exponentiation, producing a `𝔾_T` element.
+    pub fn finalize(&self) -> Gt {
+        final_exponentiation(&self.0)
+    }
+
+    /// Finalizes a batch of Miller values, sharing the expensive pieces:
+    ///
+    /// * the easy parts `yᵢ = conj(fᵢ)·fᵢ⁻¹` use Montgomery's trick, so the
+    ///   whole batch costs **one** field inversion;
+    /// * the hard parts run in lock-step over the single cached cofactor
+    ///   wNAF schedule (all accumulators advance digit by digit).
+    ///
+    /// The batch is recorded as **one** final exponentiation in the op
+    /// counters, matching the paper-shape accounting of the revocation
+    /// sweep (`n + 1` Miller loops, 1 final exponentiation).
+    pub fn finalize_batch(values: &[Self]) -> Vec<Gt> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        ops::record_final_exp();
+        let n = values.len();
+        // Montgomery batch inversion: prefix[i] = f₀·…·fᵢ₋₁.
+        let mut prefix = Vec::with_capacity(n);
+        let mut acc = Fp2::ONE;
+        for v in values {
+            prefix.push(acc);
+            acc = acc.mul(&v.0);
+        }
+        let mut suffix_inv = acc.invert().expect("Miller values are nonzero");
+        let mut easy = vec![Fp2::ONE; n];
+        for i in (0..n).rev() {
+            let f_inv = suffix_inv.mul(&prefix[i]);
+            easy[i] = values[i].0.conjugate().mul(&f_inv);
+            suffix_inv = suffix_inv.mul(&values[i].0);
+        }
+        // Shared hard part: every yᵢ is unitary after the easy part, so one
+        // pass over the cofactor wNAF drives all accumulators together,
+        // with conjugation standing in for inversion on negative digits.
+        let mut tables = Vec::with_capacity(n);
+        for y in &easy {
+            let y2 = y.square();
+            let mut table = [*y; 8];
+            for i in 1..8 {
+                table[i] = table[i - 1].mul(&y2);
+            }
+            tables.push(table);
+        }
+        let mut accs = vec![Fp2::ONE; n];
+        for &d in cofactor_naf().iter().rev() {
+            for a in accs.iter_mut() {
+                *a = a.square();
+            }
+            if d > 0 {
+                for (a, t) in accs.iter_mut().zip(&tables) {
+                    *a = a.mul(&t[(d >> 1) as usize]);
+                }
+            } else if d < 0 {
+                for (a, t) in accs.iter_mut().zip(&tables) {
+                    *a = a.mul(&t[((-d) >> 1) as usize].conjugate());
+                }
+            }
+        }
+        accs.into_iter().map(Gt::from_fp2).collect()
+    }
+}
+
+/// Runs one Miller loop `f_{q,P}(φ(Q))` without reducing it.
+///
+/// Identity in either slot yields [`MillerValue::ONE`] without running (and
+/// without counting) a loop.
+pub fn miller(p: &peace_curve::AffinePoint, q: &peace_curve::AffinePoint) -> MillerValue {
+    if p.is_identity() || q.is_identity() {
+        return MillerValue::ONE;
+    }
+    MillerValue(miller_loop(
+        &Affine { x: p.x, y: p.y },
+        &Affine { x: q.x, y: q.y },
+    ))
+}
+
 /// Computes the reduced Tate pairing of raw curve points.
 ///
 /// Callers pass points of the order-`q` subgroup (the `G1`/`G2` wrappers
@@ -46,10 +175,7 @@ pub fn tate_pairing(p: &peace_curve::AffinePoint, q: &peace_curve::AffinePoint) 
     if p.is_identity() || q.is_identity() {
         return Gt::ONE;
     }
-    let f = miller_loop(
-        &Affine { x: p.x, y: p.y },
-        &Affine { x: q.x, y: q.y },
-    );
+    let f = miller_loop(&Affine { x: p.x, y: p.y }, &Affine { x: q.x, y: q.y });
     final_exponentiation(&f)
 }
 
@@ -63,10 +189,7 @@ pub fn tate_pairing_product(pairs: &[(peace_curve::AffinePoint, peace_curve::Aff
             continue;
         }
         any = true;
-        let fi = miller_loop(
-            &Affine { x: p.x, y: p.y },
-            &Affine { x: q.x, y: q.y },
-        );
+        let fi = miller_loop(&Affine { x: p.x, y: p.y }, &Affine { x: q.x, y: q.y });
         f = f.mul(&fi);
     }
     if !any {
@@ -77,8 +200,8 @@ pub fn tate_pairing_product(pairs: &[(peace_curve::AffinePoint, peace_curve::Aff
 
 /// Miller loop computing `f_{q,P}(φ(Q))`, slope lines only.
 fn miller_loop(p: &Affine, q: &Affine) -> Fp2 {
-    let order = subgroup_order();
-    let bits = order.bits();
+    ops::record_miller_loop();
+    let (order, bits) = loop_schedule();
     let mut f = Fp2::ONE;
     let mut t = Jac {
         x: p.x,
@@ -159,24 +282,27 @@ fn add_step(t: &mut Jac, p: &Affine, q: &Affine) -> Fp2 {
     let v = t.x.mul(&hh);
     let x3 = r.square().sub(&hhh).sub(&v.double());
     let y3 = r.mul(&v.sub(&x3)).sub(&t.y.mul(&hhh));
-    let z3 = t.z.mul(&h);
+    // Z·B serves both as the new Z coordinate and the line scale factor.
+    let zb = t.z.mul(&h);
     // Line through P with slope r/(Z·B), scaled by Z·B ∈ F_p:
     //   l = [A·(x_P + x_Q) − Z·B·y_P] + [Z·B·y_Q]·i
-    let zb = t.z.mul(&h);
     let l_re = r.mul(&p.x.add(&q.x)).sub(&zb.mul(&p.y));
     let l_im = zb.mul(&q.y);
     t.x = x3;
     t.y = y3;
-    t.z = z3;
+    t.z = zb;
     Fp2::new(l_re, l_im)
 }
 
 /// Final exponentiation `f ↦ f^((p²−1)/q) = (f^(p−1))^((p+1)/q)`.
 ///
-/// `f^(p−1) = conj(f)·f⁻¹` (Frobenius is conjugation in `F_p²`), then a
-/// plain exponentiation by the 352-bit cofactor `c = (p+1)/q`.
+/// `f^(p−1) = conj(f)·f⁻¹` (Frobenius is conjugation in `F_p²`) lands in the
+/// norm-1 cyclotomic subgroup, so the 352-bit hard part runs as a unitary
+/// wNAF exponentiation over the cached cofactor schedule — conjugation
+/// replaces inversion on negative digits.
 fn final_exponentiation(f: &Fp2) -> Gt {
+    ops::record_final_exp();
     let f_inv = f.invert().expect("Miller value is nonzero");
     let easy = f.conjugate().mul(&f_inv);
-    Gt::from_fp2(easy.pow(&cofactor()))
+    Gt::from_fp2(easy.pow_wnaf_unitary(cofactor_naf()))
 }

@@ -4,6 +4,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static PAIRINGS: AtomicU64 = AtomicU64::new(0);
 static GT_EXPS: AtomicU64 = AtomicU64::new(0);
+static MILLER_LOOPS: AtomicU64 = AtomicU64::new(0);
+static FINAL_EXPS: AtomicU64 = AtomicU64::new(0);
 
 /// Records one bilinear-map evaluation.
 #[inline]
@@ -17,6 +19,19 @@ pub fn record_gt_exp() {
     GT_EXPS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records one Miller loop (the `f_{q,P}(φ(Q))` evaluation).
+#[inline]
+pub fn record_miller_loop() {
+    MILLER_LOOPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one final exponentiation (one `f ↦ f^((p²−1)/q)` pass; a batch
+/// sharing a single hard-part sweep counts once).
+#[inline]
+pub fn record_final_exp() {
+    FINAL_EXPS.fetch_add(1, Ordering::Relaxed);
+}
+
 /// Pairings evaluated since the last reset.
 pub fn pairing_count() -> u64 {
     PAIRINGS.load(Ordering::Relaxed)
@@ -27,15 +42,33 @@ pub fn gt_exp_count() -> u64 {
     GT_EXPS.load(Ordering::Relaxed)
 }
 
-/// Resets both counters.
+/// Miller loops since the last reset.
+pub fn miller_loop_count() -> u64 {
+    MILLER_LOOPS.load(Ordering::Relaxed)
+}
+
+/// Final exponentiations since the last reset.
+pub fn final_exp_count() -> u64 {
+    FINAL_EXPS.load(Ordering::Relaxed)
+}
+
+/// Resets all pairing-layer counters.
 pub fn reset() {
     PAIRINGS.store(0, Ordering::Relaxed);
     GT_EXPS.store(0, Ordering::Relaxed);
+    MILLER_LOOPS.store(0, Ordering::Relaxed);
+    FINAL_EXPS.store(0, Ordering::Relaxed);
 }
 
 /// Snapshot of every operation counter in the crypto stack, for the E2
 /// experiment ("signature generation requires about 8 exponentiations and 2
 /// bilinear map computations").
+///
+/// `pairings` counts *logical* bilinear-map evaluations (the paper's unit);
+/// `miller_loops`/`final_exps` break those down into their two phases, which
+/// is what the shared-Miller revocation sweep actually saves: a sweep over
+/// `n` tokens costs `n + 1` Miller loops and `1` final exponentiation
+/// instead of `2n` of each.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OpSnapshot {
     /// Scalar multiplications in 𝔾₁/𝔾₂ (the paper's group exponentiations).
@@ -44,6 +77,10 @@ pub struct OpSnapshot {
     pub gt_exps: u64,
     /// Bilinear map evaluations.
     pub pairings: u64,
+    /// Miller loops (including those inside `pairings`).
+    pub miller_loops: u64,
+    /// Final exponentiations (batched sweeps count once).
+    pub final_exps: u64,
 }
 
 impl OpSnapshot {
@@ -53,6 +90,8 @@ impl OpSnapshot {
             g1_muls: peace_curve::ops::g1_mul_count(),
             gt_exps: gt_exp_count(),
             pairings: pairing_count(),
+            miller_loops: miller_loop_count(),
+            final_exps: final_exp_count(),
         }
     }
 
@@ -68,6 +107,8 @@ impl OpSnapshot {
             g1_muls: self.g1_muls - earlier.g1_muls,
             gt_exps: self.gt_exps - earlier.gt_exps,
             pairings: self.pairings - earlier.pairings,
+            miller_loops: self.miller_loops - earlier.miller_loops,
+            final_exps: self.final_exps - earlier.final_exps,
         }
     }
 

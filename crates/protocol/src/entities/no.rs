@@ -5,9 +5,7 @@
 use std::collections::HashMap;
 
 use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
-use peace_groupsig::{
-    open, GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken,
-};
+use peace_groupsig::{open, GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken};
 use rand::RngCore;
 
 use crate::audit::{AuditFinding, LoggedSession, NetworkLog};
@@ -132,10 +130,7 @@ impl NetworkOperator {
         let mut ttp_shares = Vec::with_capacity(count);
         for _ in 0..count {
             let slot = self.next_slot.get_mut(&group).expect("registered group");
-            let index = ShareIndex {
-                group,
-                slot: *slot,
-            };
+            let index = ShareIndex { group, slot: *slot };
             *slot += 1;
             let member: MemberKey = self.issuer.issue(&secret, rng);
             let token = member.revocation_token();
@@ -189,7 +184,12 @@ impl NetworkOperator {
 
     /// Publishes the current signed CRL.
     pub fn publish_crl(&self, now: u64) -> SignedCrl {
-        SignedCrl::issue(&self.signing, self.crl_version, now, self.crl_serials.clone())
+        SignedCrl::issue(
+            &self.signing,
+            self.crl_version,
+            now,
+            self.crl_serials.clone(),
+        )
     }
 
     /// Publishes the current signed URL.

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use peace_curve::G1;
 use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
 use peace_field::Fq;
-use peace_groupsig::{revocation_index, GroupPublicKey, PreparedGpk};
+use peace_groupsig::{GroupPublicKey, PreparedGpk};
 use peace_puzzle::Puzzle;
 use peace_symmetric::seal_oneshot;
 use peace_wire::Writer;
@@ -248,29 +248,23 @@ impl MeshRouter {
                 return Err(ProtocolError::PuzzleInvalid);
             }
         }
-        // 3.2 group-signature verification
+        // 3.2 + 3.3: group-signature verification and URL revocation sweep,
+        // sharing one H₀ base derivation.
         let payload = AccessRequest::signed_payload(&req.g_rj, &req.g_rr, req.ts2);
-        if self
-            .prepared_gpk
-            .verify(&payload, &req.gsig, self.config.bases_mode)
-            .is_err()
-        {
-            // Failed expensive verification: evidence for the §V.A flood
-            // detector.
-            self.record_failure(now);
-            return Err(ProtocolError::BadGroupSignature);
-        }
-        // 3.3 revocation check against URL
-        if revocation_index(
-            &self.gpk,
+        match self.prepared_gpk.verify_and_check(
             &payload,
             &req.gsig,
             &self.url.tokens,
             self.config.bases_mode,
-        )
-        .is_some()
-        {
-            return Err(ProtocolError::SignerRevoked);
+        ) {
+            Err(_) => {
+                // Failed expensive verification: evidence for the §V.A flood
+                // detector.
+                self.record_failure(now);
+                return Err(ProtocolError::BadGroupSignature);
+            }
+            Ok(Some(_)) => return Err(ProtocolError::SignerRevoked),
+            Ok(None) => {}
         }
         // 3.4 session key and confirmation
         let dh_secret = req.g_rj.mul(&state.r_r);

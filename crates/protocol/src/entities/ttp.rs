@@ -62,7 +62,9 @@ impl Ttp {
             .clone();
         match self.deliveries.get(&index) {
             Some(existing) if existing != uid => {
-                return Err(ProtocolError::Setup("share already delivered to another user"))
+                return Err(ProtocolError::Setup(
+                    "share already delivered to another user",
+                ))
             }
             _ => {}
         }

@@ -5,9 +5,7 @@
 use peace_curve::G1;
 use peace_ecdsa::{SigningKey, VerifyingKey};
 use peace_field::Fq;
-use peace_groupsig::{
-    revocation_index, sign as gsig_sign, verify as gsig_verify, GroupPublicKey, MemberKey,
-};
+use peace_groupsig::{GroupPublicKey, MemberKey, PreparedGpk, RevocationToken};
 use peace_symmetric::{open_oneshot, seal_oneshot};
 use peace_wire::{Reader, Writer};
 use rand::RngCore;
@@ -15,9 +13,7 @@ use rand::RngCore;
 use crate::config::ProtocolConfig;
 use crate::error::{ProtocolError, Result};
 use crate::ids::{SessionId, ShareIndex, UserId};
-use crate::messages::{
-    AccessConfirm, AccessRequest, Beacon, PeerConfirm, PeerHello, PeerResponse,
-};
+use crate::messages::{AccessConfirm, AccessRequest, Beacon, PeerConfirm, PeerHello, PeerResponse};
 use crate::revocation::SignedUrl;
 use crate::session::{PendingSession, Role, Session};
 use crate::setup::{unblind_a, Receipt};
@@ -52,6 +48,8 @@ pub struct UserClient {
     uid: UserId,
     receipt_key: SigningKey,
     gpk: GroupPublicKey,
+    /// Table-accelerated gpk for the hot sign/verify/revocation paths.
+    prepared_gpk: PreparedGpk,
     npk: VerifyingKey,
     config: ProtocolConfig,
     credentials: Vec<Credential>,
@@ -83,6 +81,7 @@ impl UserClient {
         Self {
             uid,
             receipt_key: SigningKey::random(rng),
+            prepared_gpk: PreparedGpk::new(&gpk),
             gpk,
             npk,
             config,
@@ -152,6 +151,7 @@ impl UserClient {
     /// secret rotated, so they can no longer produce valid signatures) and
     /// the client must re-enroll through its group managers.
     pub fn install_epoch(&mut self, gpk: GroupPublicKey) {
+        self.prepared_gpk = PreparedGpk::new(&gpk);
         self.gpk = gpk;
         self.credentials.clear();
         self.active_role = 0;
@@ -243,7 +243,9 @@ impl UserClient {
         let g_rj = beacon.g.mul(&r_j);
         let ts2 = now;
         let payload = AccessRequest::signed_payload(&g_rj, &beacon.g_rr, ts2);
-        let gsig = gsig_sign(&self.gpk, &cred.key, &payload, self.config.bases_mode, rng);
+        let gsig = self
+            .prepared_gpk
+            .sign(&cred.key, &payload, self.config.bases_mode, rng);
         let puzzle_solution = beacon.puzzle.as_ref().map(|p| p.solve());
         // 2.2.5: session key K = (g^{r_R})^{r_j}
         let dh_secret = beacon.g_rr.mul(&r_j);
@@ -319,7 +321,9 @@ impl UserClient {
         let r_j = Fq::random_nonzero(rng);
         let g_rj = g.mul(&r_j);
         let payload = PeerHello::signed_payload(g, &g_rj, now);
-        let gsig = gsig_sign(&self.gpk, &cred.key, &payload, self.config.bases_mode, rng);
+        let gsig = self
+            .prepared_gpk
+            .sign(&cred.key, &payload, self.config.bases_mode, rng);
         Ok((
             PeerHello {
                 g: *g,
@@ -355,14 +359,14 @@ impl UserClient {
             return Err(ProtocolError::StaleTimestamp);
         }
         let payload = PeerHello::signed_payload(&hello.g, &hello.g_rj, hello.ts1);
-        gsig_verify(&self.gpk, &payload, &hello.gsig, self.config.bases_mode)
-            .map_err(|_| ProtocolError::BadGroupSignature)?;
-        self.check_url(&payload, &hello.gsig)?;
+        self.verify_and_check_peer(&payload, &hello.gsig)?;
 
         let r_l = Fq::random_nonzero(rng);
         let g_rl = hello.g.mul(&r_l);
         let resp_payload = PeerResponse::signed_payload(&hello.g_rj, &g_rl, now);
-        let gsig = gsig_sign(&self.gpk, &cred.key, &resp_payload, self.config.bases_mode, rng);
+        let gsig = self
+            .prepared_gpk
+            .sign(&cred.key, &resp_payload, self.config.bases_mode, rng);
         let dh_secret = hello.g_rj.mul(&r_l);
         let id = SessionId::from_points(&hello.g_rj, &g_rl);
         Ok((
@@ -400,9 +404,7 @@ impl UserClient {
             return Err(ProtocolError::StaleTimestamp);
         }
         let payload = PeerResponse::signed_payload(&resp.g_rj, &resp.g_rl, resp.ts2);
-        gsig_verify(&self.gpk, &payload, &resp.gsig, self.config.bases_mode)
-            .map_err(|_| ProtocolError::BadGroupSignature)?;
-        self.check_url(&payload, &resp.gsig)?;
+        self.verify_and_check_peer(&payload, &resp.gsig)?;
 
         let dh_secret = resp.g_rl.mul(&pending.local_secret);
         let id = SessionId::from_points(&resp.g_rj, &resp.g_rl);
@@ -464,19 +466,26 @@ impl UserClient {
         ))
     }
 
-    fn check_url(
+    /// Peer group-signature verification plus URL revocation sweep, sharing
+    /// one H₀ base derivation (§IV.C steps 2/3 checks).
+    fn verify_and_check_peer(
         &self,
         payload: &[u8],
         gsig: &peace_groupsig::GroupSignature,
     ) -> Result<()> {
-        if let Some(url) = &self.current_url {
-            if revocation_index(&self.gpk, payload, gsig, &url.tokens, self.config.bases_mode)
-                .is_some()
-            {
-                return Err(ProtocolError::SignerRevoked);
-            }
+        let url: &[RevocationToken] = self
+            .current_url
+            .as_ref()
+            .map(|u| u.tokens.as_slice())
+            .unwrap_or(&[]);
+        match self
+            .prepared_gpk
+            .verify_and_check(payload, gsig, url, self.config.bases_mode)
+        {
+            Err(_) => Err(ProtocolError::BadGroupSignature),
+            Ok(Some(_)) => Err(ProtocolError::SignerRevoked),
+            Ok(None) => Ok(()),
         }
-        Ok(())
     }
 }
 

@@ -103,11 +103,7 @@ impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Short digest-style rendering.
         let d = peace_hash::sha256(&self.to_bytes());
-        write!(
-            f,
-            "sess-{:02x}{:02x}{:02x}{:02x}",
-            d[0], d[1], d[2], d[3]
-        )
+        write!(f, "sess-{:02x}{:02x}{:02x}{:02x}", d[0], d[1], d[2], d[3])
     }
 }
 

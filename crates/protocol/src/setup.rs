@@ -31,7 +31,11 @@ use crate::ids::ShareIndex;
 
 /// Computes the blinding pad for a member scalar `x`.
 fn pad_for(x: &Fq) -> Vec<u8> {
-    xof(b"peace-setup-blind", &x.to_canonical_bytes(), G1::ENCODED_LEN)
+    xof(
+        b"peace-setup-blind",
+        &x.to_canonical_bytes(),
+        G1::ENCODED_LEN,
+    )
 }
 
 /// Blinds `A` under `x` for transport to the TTP.
@@ -215,7 +219,10 @@ impl Receipt {
     /// Verifies the receipt against the signer's key and the payload.
     pub fn verify(&self, signer: &VerifyingKey, payload: &[u8]) -> bool {
         self.payload_digest == peace_hash::sha256(payload)
-            && signer.verify(&Self::tbs(&self.what, &self.payload_digest), &self.signature)
+            && signer.verify(
+                &Self::tbs(&self.what, &self.payload_digest),
+                &self.signature,
+            )
     }
 }
 

@@ -95,7 +95,9 @@ fn user_user_full_handshake() {
 
     let (hello, a_pending) = alice.peer_hello(&beacon.g, 5_010, &mut w.rng).unwrap();
     let (resp, b_pending) = bob.process_peer_hello(&hello, 5_020, &mut w.rng).unwrap();
-    let (confirm, mut a_sess) = alice.process_peer_response(&a_pending, &resp, 5_030).unwrap();
+    let (confirm, mut a_sess) = alice
+        .process_peer_response(&a_pending, &resp, 5_030)
+        .unwrap();
     let mut b_sess = bob.process_peer_confirm(&b_pending, &confirm).unwrap();
 
     let m = a_sess.seal_data(b"hi bob");
@@ -127,8 +129,7 @@ fn outsider_without_credentials_cannot_authenticate() {
         let cred = outsider.active_credential().unwrap().clone();
         let r_j = peace_field::Fq::random_nonzero(&mut rng);
         let g_rj = beacon.g.mul(&r_j);
-        let payload =
-            peace_protocol::AccessRequest::signed_payload(&g_rj, &beacon.g_rr, 1_010);
+        let payload = peace_protocol::AccessRequest::signed_payload(&g_rj, &beacon.g_rr, 1_010);
         let gsig = peace_groupsig::sign(
             other.no.gpk(),
             &cred.key,
@@ -181,7 +182,8 @@ fn revoked_user_rejected_by_router_and_peers() {
     let (_, _) = bob.process_beacon(&beacon, 2_010, &mut w.rng).unwrap();
     let (hello, _) = alice.peer_hello(&beacon.g, 2_030, &mut w.rng).unwrap();
     assert_eq!(
-        bob.process_peer_hello(&hello, 2_040, &mut w.rng).unwrap_err(),
+        bob.process_peer_hello(&hello, 2_040, &mut w.rng)
+            .unwrap_err(),
         ProtocolError::SignerRevoked
     );
 
@@ -209,7 +211,9 @@ fn revoked_router_rejected_via_crl() {
     bad_router.update_lists(fresh_crl, fresh_url);
     let beacon = bad_router.beacon(3_010, &mut w.rng);
     assert_eq!(
-        alice.process_beacon(&beacon, 3_020, &mut w.rng).unwrap_err(),
+        alice
+            .process_beacon(&beacon, 3_020, &mut w.rng)
+            .unwrap_err(),
         ProtocolError::CertificateRevoked
     );
 }
@@ -238,7 +242,9 @@ fn phishing_with_stale_crl_bounded_by_list_age() {
     let late = 1_000 + max_age + 1_000;
     let beacon2 = rogue.beacon(late, &mut w.rng);
     assert_eq!(
-        alice.process_beacon(&beacon2, late + 10, &mut w.rng).unwrap_err(),
+        alice
+            .process_beacon(&beacon2, late + 10, &mut w.rng)
+            .unwrap_err(),
         ProtocolError::StaleCrl
     );
 }
@@ -255,7 +261,9 @@ fn fake_router_without_certificate_rejected() {
     let mut fake = adv.router("MR-fake");
     let beacon = fake.beacon(1_000, &mut adv.rng);
     assert_eq!(
-        alice.process_beacon(&beacon, 1_010, &mut w.rng).unwrap_err(),
+        alice
+            .process_beacon(&beacon, 1_010, &mut w.rng)
+            .unwrap_err(),
         ProtocolError::CertificateInvalid
     );
 
@@ -442,7 +450,9 @@ fn tampered_confirmation_rejected() {
     let n = confirm.ciphertext.len();
     confirm.ciphertext[n / 2] ^= 0xff;
     assert_eq!(
-        alice.finalize_router_session(&pending, &confirm).unwrap_err(),
+        alice
+            .finalize_router_session(&pending, &confirm)
+            .unwrap_err(),
         ProtocolError::DecryptFailed
     );
 }
@@ -470,10 +480,13 @@ fn peer_handshake_window_enforced() {
     // Bob answers absurdly late (forged ts2 far in the future).
     let hw = w.no.config().handshake_window;
     let late_ts = 1_000 + hw + 5_000;
-    let (resp, _) = bob.process_peer_hello(&hello, 1_010, &mut w.rng).map(|(mut r, p)| {
-        r.ts2 = late_ts; // tamper: claim a late ts2
-        (r, p)
-    }).unwrap();
+    let (resp, _) = bob
+        .process_peer_hello(&hello, 1_010, &mut w.rng)
+        .map(|(mut r, p)| {
+            r.ts2 = late_ts; // tamper: claim a late ts2
+            (r, p)
+        })
+        .unwrap();
     let err = alice
         .process_peer_response(&a_pending, &resp, late_ts)
         .unwrap_err();
@@ -538,9 +551,19 @@ fn compromised_router_cannot_identify_or_frame_users() {
     // could use for Eq.3: without grt, every value it can derive fails.
     let payload_a =
         peace_protocol::AccessRequest::signed_payload(&req_a.g_rj, &req_a.g_rr, req_a.ts2);
-    let (u_hat, v_hat) =
-        peace_groupsig::h0_bases(w.no.gpk(), &payload_a, &req_a.gsig.r, peace_groupsig::BasesMode::PerMessage);
-    for guess in [req_a.gsig.t1, req_a.gsig.t2, req_b.gsig.t1, req_b.gsig.t2, w.no.gpk().g1] {
+    let (u_hat, v_hat) = peace_groupsig::h0_bases(
+        w.no.gpk(),
+        &payload_a,
+        &req_a.gsig.r,
+        peace_groupsig::BasesMode::PerMessage,
+    );
+    for guess in [
+        req_a.gsig.t1,
+        req_a.gsig.t2,
+        req_b.gsig.t1,
+        req_b.gsig.t2,
+        w.no.gpk().g1,
+    ] {
         assert!(!peace_groupsig::token_matches(
             &req_a.gsig,
             &peace_groupsig::RevocationToken(guess),

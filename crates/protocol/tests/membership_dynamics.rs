@@ -79,7 +79,9 @@ fn epoch_rotation_invalidates_all_old_credentials() {
     let b2 = router.beacon(2_000, &mut w.rng);
     let (stale_req, _) = alice.process_beacon(&b2, 2_010, &mut w.rng).unwrap();
     assert_eq!(
-        router.process_access_request(&stale_req, 2_020).unwrap_err(),
+        router
+            .process_access_request(&stale_req, 2_020)
+            .unwrap_err(),
         ProtocolError::BadGroupSignature
     );
 
@@ -99,8 +101,7 @@ fn rotation_empties_url() {
     let mut w = World::new(2);
     let gid = w.add_group("org", 3);
     let uid = UserId("mallory".into());
-    let mut mallory =
-        UserClient::new(uid, *w.no.gpk(), *w.no.npk(), *w.no.config(), &mut w.rng);
+    let mut mallory = UserClient::new(uid, *w.no.gpk(), *w.no.npk(), *w.no.config(), &mut w.rng);
     w.enroll(&mut mallory, gid);
     let mut router = w.no.provision_router("MR-1", u64::MAX / 2, &mut w.rng);
 
@@ -208,7 +209,11 @@ fn renewal_cycle_stress() {
         // renew
         let new_gpk = w.no.rotate_system_key(&mut w.rng);
         assert_eq!(w.no.epoch(), epoch + 1);
-        router.install_epoch(new_gpk, w.no.publish_crl(t + 100), w.no.publish_url(t + 100));
+        router.install_epoch(
+            new_gpk,
+            w.no.publish_crl(t + 100),
+            w.no.publish_url(t + 100),
+        );
         bob.install_epoch(new_gpk);
         w.refill_group(gid, 2);
         w.enroll(&mut bob, gid);

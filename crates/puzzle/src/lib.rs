@@ -69,7 +69,10 @@ impl Puzzle {
     /// Panics if `difficulty > 30` (a guard against accidental unsolvable
     /// puzzles) or `sub_puzzles == 0`.
     pub fn new(seed: &[u8], sub_puzzles: u8, difficulty: u8) -> Self {
-        assert!(difficulty <= 30, "difficulty above 30 bits is unsolvable in practice");
+        assert!(
+            difficulty <= 30,
+            "difficulty above 30 bits is unsolvable in practice"
+        );
         assert!(sub_puzzles > 0, "at least one sub-puzzle required");
         Self {
             nonce: xof(b"peace-puzzle-nonce", seed, 16),
@@ -162,7 +165,13 @@ impl Decode for Puzzle {
 
 impl Encode for Solution {
     fn encode(&self, w: &mut Writer) {
-        w.put_seq(&self.counters.iter().map(|c| c.to_be_bytes().to_vec()).collect::<Vec<_>>());
+        w.put_seq(
+            &self
+                .counters
+                .iter()
+                .map(|c| c.to_be_bytes().to_vec())
+                .collect::<Vec<_>>(),
+        );
     }
 }
 

@@ -84,8 +84,7 @@ pub fn run_dos_experiment(
     seed: u64,
 ) -> DosReport {
     let mut rng = StdRng::seed_from_u64(seed);
-    let expected_work =
-        (model.sub_puzzles as f64) * 2f64.powi(model.puzzle_difficulty as i32 - 1);
+    let expected_work = (model.sub_puzzles as f64) * 2f64.powi(model.puzzle_difficulty as i32 - 1);
     let attacker_solutions_per_s = if puzzles_enabled {
         model.attacker_hashes_per_s / expected_work
     } else {
@@ -120,7 +119,10 @@ pub fn run_dos_experiment(
         }
         let mut arrivals = Vec::with_capacity((legit_n + flood_n) as usize);
         arrivals.resize(legit_n as usize, Arrival::Legit);
-        arrivals.resize((legit_n + flood_with_solutions) as usize, Arrival::FloodFull);
+        arrivals.resize(
+            (legit_n + flood_with_solutions) as usize,
+            Arrival::FloodFull,
+        );
         arrivals.resize((legit_n + flood_n) as usize, Arrival::FloodCheap);
         // Fisher–Yates
         for i in (1..arrivals.len()).rev() {
@@ -336,10 +338,10 @@ pub fn run_injection_matrix(seed: u64) -> Vec<InjectionOutcome> {
     ttp.receive_bundle(&ttp_bundle, no.npk()).expect("bundle");
 
     let enroll = |name: &str,
-                      gm: &mut GroupManager,
-                      ttp: &mut Ttp,
-                      no: &NetworkOperator,
-                      rng: &mut StdRng| {
+                  gm: &mut GroupManager,
+                  ttp: &mut Ttp,
+                  no: &NetworkOperator,
+                  rng: &mut StdRng| {
         let uid = UserId(name.to_owned());
         let mut u = UserClient::new(uid.clone(), *no.gpk(), *no.npk(), *no.config(), rng);
         let a = gm.assign(&uid).expect("share");
@@ -355,8 +357,12 @@ pub fn run_injection_matrix(seed: u64) -> Vec<InjectionOutcome> {
     // Revoke the second user's key: NO learns the token by auditing a
     // session it observed (realistic flow).
     let b0 = router.beacon(500, &mut rng);
-    let (req0, _) = revoked_user.process_beacon(&b0, 510, &mut rng).expect("pre-revocation auth");
-    router.process_access_request(&req0, 520).expect("pre-revocation session");
+    let (req0, _) = revoked_user
+        .process_beacon(&b0, 510, &mut rng)
+        .expect("pre-revocation auth");
+    router
+        .process_access_request(&req0, 520)
+        .expect("pre-revocation session");
     no.ingest_router_log(&mut router);
     let sid = peace_protocol::SessionId::from_points(&req0.g_rr, &req0.g_rj);
     let finding = no.audit(&sid).expect("audit");
@@ -372,12 +378,20 @@ pub fn run_injection_matrix(seed: u64) -> Vec<InjectionOutcome> {
         let mut foreign_rng = StdRng::seed_from_u64(seed ^ 0xF0F0);
         let mut foreign_no = NetworkOperator::new(config, &mut foreign_rng);
         let fgid = foreign_no.register_group("evil", &mut foreign_rng);
-        let (fgm_b, fttp_b) = foreign_no.issue_shares(fgid, 1, &mut foreign_rng).expect("g");
+        let (fgm_b, fttp_b) = foreign_no
+            .issue_shares(fgid, 1, &mut foreign_rng)
+            .expect("g");
         let mut fgm = GroupManager::new(fgid);
         fgm.receive_bundle(&fgm_b, foreign_no.npk()).expect("b");
         let mut fttp = Ttp::new();
         fttp.receive_bundle(&fttp_b, foreign_no.npk()).expect("b");
-        let outsider = enroll("outsider", &mut fgm, &mut fttp, &foreign_no, &mut foreign_rng);
+        let outsider = enroll(
+            "outsider",
+            &mut fgm,
+            &mut fttp,
+            &foreign_no,
+            &mut foreign_rng,
+        );
         // Craft an M.2 signed under the foreign gpk.
         let cred = outsider.active_credential().expect("cred").clone();
         let r_j = peace_field::Fq::random_nonzero(&mut rng);
@@ -497,12 +511,8 @@ pub fn run_linking_game(trials: u32, seed: u64) -> LinkingReport {
     let mut bob = enroll("bob", &mut gm, &mut ttp, &mut rng);
     let mut router = no.provision_router("MR-1", u64::MAX / 2, &mut rng);
 
-    let similarity = |a: &[u8], b: &[u8]| -> u32 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x ^ y).count_zeros())
-            .sum()
-    };
+    let similarity =
+        |a: &[u8], b: &[u8]| -> u32 { a.iter().zip(b).map(|(x, y)| (x ^ y).count_zeros()).sum() };
 
     let mut correct = 0u32;
     let mut t = 1_000u64;

@@ -142,7 +142,10 @@ mod tests {
         let report = run_linking_game(40, 99);
         assert_eq!(report.trials, 40);
         let acc = report.accuracy();
-        assert!((0.3..=0.7).contains(&acc), "accuracy {acc} suggests linkability");
+        assert!(
+            (0.3..=0.7).contains(&acc),
+            "accuracy {acc} suggests linkability"
+        );
     }
 
     #[test]
@@ -195,12 +198,16 @@ mod tests {
         // Without renewal the URL accumulates every revocation.
         assert_eq!(last.url_len_accumulating, 24);
         // With rotation it never exceeds one rotation period's worth.
-        let max_rotating = points.iter().map(|p| p.url_len_with_rotation).max().unwrap();
+        let max_rotating = points
+            .iter()
+            .map(|p| p.url_len_with_rotation)
+            .max()
+            .unwrap();
         assert!(max_rotating <= 2 * 4, "rotation caps |URL|: {max_rotating}");
         // And immediately after a rotation day it resets to zero.
         assert_eq!(points[3].url_len_with_rotation, 0); // day 4
         assert_eq!(points[7].url_len_with_rotation, 0); // day 8
-        // Scan cost is 2|URL| by construction.
+                                                        // Scan cost is 2|URL| by construction.
         assert_eq!(last.scan_pairings_accumulating, 48);
     }
 

@@ -75,8 +75,7 @@ impl Topology {
                 });
                 // Deterministic striping + configured fraction.
                 let idx = row * n + col;
-                is_access_point
-                    .push((idx as f64 + 0.5) / (n * n) as f64 <= config.ap_fraction);
+                is_access_point.push((idx as f64 + 0.5) / (n * n) as f64 <= config.ap_fraction);
             }
         }
         let user_positions = (0..user_count)

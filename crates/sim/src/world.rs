@@ -139,7 +139,8 @@ impl SimWorld {
                 .expect("registered group");
             let mut gm = GroupManager::new(gid);
             gm.receive_bundle(&gm_bundle, no.npk()).expect("bundle ok");
-            ttp.receive_bundle(&ttp_bundle, no.npk()).expect("bundle ok");
+            ttp.receive_bundle(&ttp_bundle, no.npk())
+                .expect("bundle ok");
             gms.insert(gid, gm);
             group_ids.push(gid);
         }
@@ -246,11 +247,17 @@ impl SimWorld {
             Event::UserMove { user } => {
                 self.topology
                     .move_user(user, self.config.move_step, &mut self.rng);
-                self.schedule(self.now + self.config.move_interval, Event::UserMove { user });
+                self.schedule(
+                    self.now + self.config.move_interval,
+                    Event::UserMove { user },
+                );
             }
             Event::UserAuth { user } => {
                 self.do_user_auth(user);
-                self.schedule(self.now + self.config.auth_interval, Event::UserAuth { user });
+                self.schedule(
+                    self.now + self.config.auth_interval,
+                    Event::UserAuth { user },
+                );
                 if self.rng.gen_bool(self.config.peer_chat_prob) {
                     let peers = self.topology.peers_in_range(user);
                     if let Some(&b) = peers.first() {
@@ -311,30 +318,30 @@ impl SimWorld {
         // authenticates the actual user to the router.
         let result = self.users[user].process_beacon(&beacon, self.now, &mut self.rng);
         match result {
-            Ok((req, pending)) => match self.routers[router_idx]
-                .process_access_request(&req, self.now)
-            {
-                Ok((confirm, mut router_sess)) => {
-                    match self.users[user].finalize_router_session(&pending, &confirm) {
-                        Ok(mut user_sess) => {
-                            self.metrics.auth_success += 1;
-                            *self
-                                .metrics
-                                .auths_by_router
-                                .entry(format!("MR-{router_idx}"))
-                                .or_insert(0) += 1;
-                            self.metrics.relay_hops += hops;
-                            // one uplink payload end-to-end
-                            let packet = user_sess.seal_data(b"payload");
-                            if router_sess.open_data(&packet).is_ok() {
-                                self.metrics.data_delivered += 1;
+            Ok((req, pending)) => {
+                match self.routers[router_idx].process_access_request(&req, self.now) {
+                    Ok((confirm, mut router_sess)) => {
+                        match self.users[user].finalize_router_session(&pending, &confirm) {
+                            Ok(mut user_sess) => {
+                                self.metrics.auth_success += 1;
+                                *self
+                                    .metrics
+                                    .auths_by_router
+                                    .entry(format!("MR-{router_idx}"))
+                                    .or_insert(0) += 1;
+                                self.metrics.relay_hops += hops;
+                                // one uplink payload end-to-end
+                                let packet = user_sess.seal_data(b"payload");
+                                if router_sess.open_data(&packet).is_ok() {
+                                    self.metrics.data_delivered += 1;
+                                }
                             }
+                            Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
                         }
-                        Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
                     }
+                    Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
                 }
-                Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
-            },
+            }
             Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
         }
         // Routers report their logs to NO opportunistically.
@@ -389,13 +396,7 @@ impl SimWorld {
 
     fn do_peer_chat(&mut self, a: usize, b: usize) {
         // Requires some beacon for the generator; use any router's latest.
-        let Some(beacon) = self
-            .last_beacon
-            .iter()
-            .flatten()
-            .next()
-            .cloned()
-        else {
+        let Some(beacon) = self.last_beacon.iter().flatten().next().cloned() else {
             return;
         };
         let _ = self.do_peer_handshake(a, b, &beacon);

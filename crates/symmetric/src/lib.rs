@@ -255,7 +255,10 @@ mod tests {
     fn truncated_rejected() {
         let c = cipher();
         let sealed = c.seal(1, b"", b"msg!");
-        assert_eq!(c.open(1, b"", &sealed[..NONCE_LEN + TAG_LEN - 1]), Err(OpenError));
+        assert_eq!(
+            c.open(1, b"", &sealed[..NONCE_LEN + TAG_LEN - 1]),
+            Err(OpenError)
+        );
         assert_eq!(c.open(1, b"", &[]), Err(OpenError));
     }
 

@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The sessions are unlinkable to each other at the operator.
     let f0 = no.audit(&session_ids[0])?;
     let f1 = no.audit(&session_ids[1])?;
-    assert_ne!(f0.token, f1.token, "different roles leave unlinkable tokens");
+    assert_ne!(
+        f0.token, f1.token,
+        "different roles leave unlinkable tokens"
+    );
     println!("\nthe two sessions carry unrelated tokens — NO cannot tell they are the same person");
 
     // Severe case: the law authority compels a full trace.

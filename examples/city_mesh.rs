@@ -51,17 +51,32 @@ fn main() {
     println!("== results ==");
     println!("  wall-clock                      : {elapsed:.2?}");
     println!("  authentications (success)       : {}", m.auth_success);
-    println!("  authentications (failed)        : {}", m.auth_fail.values().sum::<u64>());
+    println!(
+        "  authentications (failed)        : {}",
+        m.auth_fail.values().sum::<u64>()
+    );
     for (reason, count) in &m.auth_fail {
         println!("      {reason}: {count}");
     }
-    println!("  auth success rate               : {:.1}%", 100.0 * m.auth_success_rate());
+    println!(
+        "  auth success rate               : {:.1}%",
+        100.0 * m.auth_success_rate()
+    );
     println!("  peer handshakes (success)       : {}", m.peer_success);
     println!("  data payloads delivered         : {}", m.data_delivered);
     println!("  relay hops used                 : {}", m.relay_hops);
-    println!("  avg relay hops per auth         : {:.3}", world.avg_relay_hops());
-    println!("  moments a user was disconnected : {}", m.disconnected_users);
-    println!("  sessions logged at the operator : {}", world.no.logged_session_count());
+    println!(
+        "  avg relay hops per auth         : {:.3}",
+        world.avg_relay_hops()
+    );
+    println!(
+        "  moments a user was disconnected : {}",
+        m.disconnected_users
+    );
+    println!(
+        "  sessions logged at the operator : {}",
+        world.no.logged_session_count()
+    );
     println!("  busiest routers                 : {}", {
         let mut loads: Vec<_> = m.auths_by_router.iter().collect();
         loads.sort_by(|a, b| b.1.cmp(a.1));

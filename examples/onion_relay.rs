@@ -81,7 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let onion_resp = bob_alice.seal_data(&inner_resp);
     let peeled_resp = alice_bob.open_data(&onion_resp)?;
     let plain = alice_router.open_data(&peeled_resp)?;
-    println!("alice: received response {:?}", String::from_utf8_lossy(&plain));
+    println!(
+        "alice: received response {:?}",
+        String::from_utf8_lossy(&plain)
+    );
 
     println!("\nbob learned: two anonymous subscribers exchanged ciphertext. nothing else.");
     println!("done.");

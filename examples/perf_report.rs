@@ -1,0 +1,114 @@
+//! Performance snapshot for the hot crypto paths — no external bench
+//! harness, just wall-clock timing plus the op-counter layer, so the
+//! numbers are reproducible in an air-gapped build.
+//!
+//! Reports, for the group-signature pipeline:
+//!
+//! * sign / prepared-sign and verify / prepared-verify ops/sec,
+//! * the revocation sweep vs the naive per-token scan over a growing URL,
+//! * the op-count breakdown (𝔾₁ muls, 𝔾_T exps, pairings, Miller loops,
+//!   final exponentiations) behind each number.
+//!
+//! Run with: `cargo run --release --example perf_report`
+
+use std::time::Instant;
+
+use peace::groupsig::{
+    h0_bases, revocation_index, revocation_sweep, sign, token_matches, verify, BasesMode,
+    IssuerKey, OpSnapshot, PreparedGpk,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Times `f` over `iters` runs and returns (ops/sec, per-op cost).
+fn measure<F: FnMut()>(iters: u32, mut f: F) -> (f64, OpSnapshot) {
+    // Warm-up run (builds lazy tables, faults in code paths).
+    f();
+    OpSnapshot::reset_all();
+    let before = OpSnapshot::capture();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut cost = OpSnapshot::capture().since(&before);
+    cost.g1_muls /= u64::from(iters);
+    cost.gt_exps /= u64::from(iters);
+    cost.pairings /= u64::from(iters);
+    cost.miller_loops /= u64::from(iters);
+    cost.final_exps /= u64::from(iters);
+    (f64::from(iters) / elapsed, cost)
+}
+
+fn print_row(label: &str, ops: f64, cost: &OpSnapshot) {
+    println!(
+        "  {label:<28} {ops:>9.1} ops/s   g1={:<3} gt={:<2} pair={:<2} miller={:<3} finexp={}",
+        cost.g1_muls, cost.gt_exps, cost.pairings, cost.miller_loops, cost.final_exps
+    );
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2008);
+    let issuer = IssuerKey::generate(&mut rng);
+    let gpk = *issuer.public_key();
+    let grp = issuer.new_group_secret(&mut rng);
+    let member = issuer.issue(&grp, &mut rng);
+    let prepared = PreparedGpk::new(&gpk);
+    let mode = BasesMode::PerMessage;
+    let msg = b"perf report payload";
+
+    println!("== PEACE crypto perf snapshot (per-op counts in the right columns) ==\n");
+
+    println!("sign / verify:");
+    let mut r = StdRng::seed_from_u64(1);
+    let (ops, cost) = measure(30, || {
+        let _ = sign(&gpk, &member, msg, mode, &mut r);
+    });
+    print_row("sign (plain)", ops, &cost);
+    let mut r = StdRng::seed_from_u64(1);
+    let (ops, cost) = measure(30, || {
+        let _ = prepared.sign(&member, msg, mode, &mut r);
+    });
+    print_row("sign (prepared tables)", ops, &cost);
+
+    let sig = sign(&gpk, &member, msg, mode, &mut rng);
+    let (ops, cost) = measure(30, || {
+        verify(&gpk, msg, &sig, mode).unwrap();
+    });
+    print_row("verify (plain)", ops, &cost);
+    let (ops, cost) = measure(30, || {
+        prepared.verify(msg, &sig, mode).unwrap();
+    });
+    print_row("verify (prepared tables)", ops, &cost);
+
+    println!("\nrevocation check, |URL| = n (signer unrevoked — full scan):");
+    let tokens: Vec<_> = (0..64)
+        .map(|_| issuer.issue(&grp, &mut rng).revocation_token())
+        .collect();
+    let (u_hat, v_hat) = h0_bases(&gpk, msg, &sig.r, mode);
+    for n in [4usize, 16, 64] {
+        let url = &tokens[..n];
+        let (ops, cost) = measure(8, || {
+            assert!(revocation_sweep(&sig, url, &u_hat, &v_hat).is_none());
+        });
+        print_row(&format!("sweep        n={n}"), ops, &cost);
+        let (ops, cost) = measure(8, || {
+            assert!(!url.iter().any(|t| token_matches(&sig, t, &u_hat, &v_hat)));
+        });
+        print_row(&format!("naive scan   n={n}"), ops, &cost);
+    }
+
+    println!("\ncombined router-side check (verify + sweep, shared H0 bases):");
+    let url = &tokens[..16];
+    let (ops, cost) = measure(8, || {
+        assert_eq!(prepared.verify_and_check(msg, &sig, url, mode), Ok(None));
+    });
+    print_row("verify_and_check n=16", ops, &cost);
+    let (ops, cost) = measure(8, || {
+        prepared.verify(msg, &sig, mode).unwrap();
+        assert!(revocation_index(&gpk, msg, &sig, url, mode).is_none());
+    });
+    print_row("verify + separate scan", ops, &cost);
+
+    println!("\n(sweep cost shape: n+1 Miller loops, 1 final exponentiation; naive: 2n pairings)");
+}

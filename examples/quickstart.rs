@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut user = UserClient::new(uid.clone(), *no.gpk(), *no.npk(), *no.config(), rng);
         let assignment = gm.assign(&uid).expect("share available");
         let delivery = ttp.deliver(assignment.index, &uid).expect("ttp delivery");
-        let receipt = user.enroll(&assignment, &delivery).expect("valid credential");
+        let receipt = user
+            .enroll(&assignment, &delivery)
+            .expect("valid credential");
         gm.store_receipt(&uid, receipt);
         user
     };
@@ -49,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let up = alice_sess.seal_data(b"GET /news HTTP/1.1");
     let received = router_sess.open_data(&up)?;
-    println!("  uplink payload delivered: {:?}", String::from_utf8_lossy(&received));
+    println!(
+        "  uplink payload delivered: {:?}",
+        String::from_utf8_lossy(&received)
+    );
     let down = router_sess.seal_data(b"HTTP/1.1 200 OK");
     println!(
         "  downlink payload delivered: {:?}",

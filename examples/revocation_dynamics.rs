@@ -36,8 +36,8 @@ fn main() {
         let max_age = max_age_s * 1_000;
         let report = run_phishing_experiment(
             max_age,
-            100_000,          // revocation time
-            500,              // attempt every 0.5 s
+            100_000,                           // revocation time
+            500,                               // attempt every 0.5 s
             100_000 + 6 * max_age.max(10_000), // run long enough
             7,
         );

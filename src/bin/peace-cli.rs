@@ -109,13 +109,25 @@ fn sizes() {
 
     println!("object                                   bytes");
     println!("--------------------------------------- -----");
-    println!("group signature (ours)                   {:>5}", GroupSignature::ENCODED_LEN);
+    println!(
+        "group signature (ours)                   {:>5}",
+        GroupSignature::ENCODED_LEN
+    );
     println!("group signature (paper's curve)          {:>5}", 149);
     println!("RSA-1024 signature (comparison)          {:>5}", 128);
     println!("ECDSA-160 signature                      {:>5}", 40);
-    println!("beacon M.1                               {:>5}", beacon.to_wire().len());
-    println!("access request M.2                       {:>5}", req.to_wire().len());
-    println!("access confirm M.3                       {:>5}", confirm.to_wire().len());
+    println!(
+        "beacon M.1                               {:>5}",
+        beacon.to_wire().len()
+    );
+    println!(
+        "access request M.2                       {:>5}",
+        req.to_wire().len()
+    );
+    println!(
+        "access confirm M.3                       {:>5}",
+        confirm.to_wire().len()
+    );
 }
 
 fn handshake(count: u64) {

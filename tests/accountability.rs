@@ -269,9 +269,22 @@ fn baseline_plain_bs04_reveals_the_user_at_the_operator() {
         registry.push((key.revocation_token(), name));
         keys.push(key);
     }
-    let sig = sign(issuer.public_key(), &keys[1], b"m", BasesMode::PerMessage, &mut rng);
+    let sig = sign(
+        issuer.public_key(),
+        &keys[1],
+        b"m",
+        BasesMode::PerMessage,
+        &mut rng,
+    );
     let tokens: Vec<_> = registry.iter().map(|(t, _)| *t).collect();
-    let idx = open(issuer.public_key(), b"m", &sig, &tokens, BasesMode::PerMessage).unwrap();
+    let idx = open(
+        issuer.public_key(),
+        b"m",
+        &sig,
+        &tokens,
+        BasesMode::PerMessage,
+    )
+    .unwrap();
     // The baseline operator identifies BOB — full identity disclosure.
     assert_eq!(registry[idx].1, "bob");
 

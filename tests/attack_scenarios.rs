@@ -2,8 +2,8 @@
 //! injection, data phishing, DoS floods, message tampering, and
 //! wire-level malleability.
 
-use peace::sim::{run_dos_experiment, run_injection_matrix, DosCostModel};
 use peace::protocol::{entities::*, ids::UserId, ProtocolConfig, ProtocolError};
+use peace::sim::{run_dos_experiment, run_injection_matrix, DosCostModel};
 use peace::wire::{Decode, Encode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -105,7 +105,10 @@ fn intercepted_confirmation_useless_without_dh_secret() {
         assert!(fake.open_data(&captured_data).is_err());
     }
     // the genuine endpoint still can
-    assert_eq!(r_sess.open_data(&captured_data).unwrap(), b"secret browsing");
+    assert_eq!(
+        r_sess.open_data(&captured_data).unwrap(),
+        b"secret browsing"
+    );
 }
 
 #[test]

@@ -9,7 +9,7 @@
 
 use peace::field::Fq;
 use peace::groupsig::{
-    revocation_index, sign, token_matches, verify, BasesMode, h0_bases, IssuerKey,
+    h0_bases, revocation_index, sign, token_matches, verify, BasesMode, IssuerKey,
 };
 use peace::protocol::{entities::*, ids::UserId, ProtocolConfig};
 use rand::rngs::StdRng;
@@ -47,7 +47,12 @@ fn insider_with_own_key_cannot_link_peer_signatures() {
     let sig = sign(&gpk, &alice, b"m", BasesMode::PerMessage, &mut rng);
     // Bob tries his own token — no match.
     let (u_hat, v_hat) = h0_bases(&gpk, b"m", &sig.r, BasesMode::PerMessage);
-    assert!(!token_matches(&sig, &bob.revocation_token(), &u_hat, &v_hat));
+    assert!(!token_matches(
+        &sig,
+        &bob.revocation_token(),
+        &u_hat,
+        &v_hat
+    ));
     // Bob's token matches only Bob's own signatures.
     let sig_b = sign(&gpk, &bob, b"m", BasesMode::PerMessage, &mut rng);
     let (u2, v2) = h0_bases(&gpk, b"m", &sig_b.r, BasesMode::PerMessage);
@@ -103,8 +108,8 @@ fn group_manager_cannot_recognize_its_members_signatures() {
 
     let x_eff = member.grp.add(&member.x);
     let guesses = [
-        gpk.g1.mul(&x_eff),                                   // g1^(grp+x)
-        gpk.g1.mul(&x_eff.invert().unwrap()),                 // g1^(1/(grp+x))
+        gpk.g1.mul(&x_eff),                                      // g1^(grp+x)
+        gpk.g1.mul(&x_eff.invert().unwrap()),                    // g1^(1/(grp+x))
         peace::curve::psi(&gpk.w).mul(&x_eff.invert().unwrap()), // ψ(w)^(1/(grp+x))
         gpk.g1.mul(&member.x),
         gpk.g1.mul(&member.grp),
@@ -118,7 +123,12 @@ fn group_manager_cannot_recognize_its_members_signatures() {
         ));
     }
     // while the true token (held by NO) matches
-    assert!(token_matches(&sig, &member.revocation_token(), &u_hat, &v_hat));
+    assert!(token_matches(
+        &sig,
+        &member.revocation_token(),
+        &u_hat,
+        &v_hat
+    ));
 }
 
 #[test]
@@ -191,8 +201,7 @@ fn fixed_bases_mode_links_only_revoked_members() {
     let bob = issuer.issue(&grp, &mut rng);
     let gpk = *issuer.public_key();
 
-    let table =
-        peace::groupsig::RevocationTable::build(&gpk, &[alice.revocation_token()]);
+    let table = peace::groupsig::RevocationTable::build(&gpk, &[alice.revocation_token()]);
     let sa1 = sign(&gpk, &alice, b"m1", BasesMode::FixedBases, &mut rng);
     let sa2 = sign(&gpk, &alice, b"m2", BasesMode::FixedBases, &mut rng);
     let sb = sign(&gpk, &bob, b"m3", BasesMode::FixedBases, &mut rng);
@@ -212,13 +221,18 @@ fn per_message_bases_defeat_precomputed_linking() {
     let grp = issuer.new_group_secret(&mut rng);
     let alice = issuer.issue(&grp, &mut rng);
     let gpk = *issuer.public_key();
-    let table =
-        peace::groupsig::RevocationTable::build(&gpk, &[alice.revocation_token()]);
+    let table = peace::groupsig::RevocationTable::build(&gpk, &[alice.revocation_token()]);
     let sig = sign(&gpk, &alice, b"m", BasesMode::PerMessage, &mut rng);
     assert_eq!(table.lookup(&sig), None);
     // The honest per-message scan still works, of course.
     assert_eq!(
-        revocation_index(&gpk, b"m", &sig, &[alice.revocation_token()], BasesMode::PerMessage),
+        revocation_index(
+            &gpk,
+            b"m",
+            &sig,
+            &[alice.revocation_token()],
+            BasesMode::PerMessage
+        ),
         Some(0)
     );
 }

@@ -1,0 +1,35 @@
+//! Offline stand-in for `crossbeam` 0.8, used only when building without a
+//! crates.io index (see `tools/offline-shims/README.md`).
+//!
+//! Only `crossbeam::scope` is used by this workspace (the router-capacity
+//! bench); it is implemented over `std::thread::scope`, preserving the
+//! `Result`-returning signature and the scope argument passed to spawned
+//! closures.
+
+/// Scoped-thread handle mirroring `crossbeam_utils::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to this scope. The closure receives the scope
+    /// again (crossbeam convention), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning borrowing threads; joins all threads before
+/// returning. Returns `Err` if any spawned thread panicked (matching the
+/// crossbeam signature; with `std` scopes a child panic propagates instead).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

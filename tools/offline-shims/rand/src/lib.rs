@@ -1,0 +1,106 @@
+//! Offline stand-in for `rand` 0.8, used only when building without a
+//! crates.io index (see `tools/offline-shims/README.md`).
+//!
+//! The subset implemented is exactly what this workspace consumes:
+//!
+//! * `rand::rngs::StdRng` — a **bit-faithful** ChaCha12 generator matching
+//!   `rand 0.8` + `rand_chacha 0.3` (same `seed_from_u64` key-derivation,
+//!   same 4-block buffer and `BlockRng` word-consumption semantics), so
+//!   seeded test vectors such as `crates/groupsig/src/golden_sig_digest.txt`
+//!   produce identical bytes under the shim and under the real crate.
+//! * `RngCore`, `SeedableRng`, and the `Rng::gen_range` extension over the
+//!   integer/float range forms the simulator uses.
+//!
+//! The golden-digest test doubles as the fidelity test for this shim: if the
+//! ChaCha implementation drifted by a single word, the digest would change.
+
+mod chacha;
+mod uniform;
+
+pub use chacha::StdRngImpl;
+
+/// Core RNG interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable RNG interface (mirrors `rand_core::SeedableRng`, including the
+/// PCG-based `seed_from_u64` key expansion).
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with the same PCG32 sequence as
+    /// `rand_core` 0.6 so seeded streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience extension over [`RngCore`] (mirrors the used subset of
+/// `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: uniform::SampleUniform,
+        R: uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a value from the full domain (`rand`'s `Standard`
+    /// distribution: small ints truncate one `u32`, wide ints take a `u64`).
+    fn gen<T: uniform::StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (matches `rand 0.8`: `p >= 1`
+    /// consumes nothing, otherwise one `u64` compared against `p·2⁶⁴`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.next_u64() < (p * SCALE) as u64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The standard seeded RNG: ChaCha12, bit-compatible with `rand 0.8`.
+    pub type StdRng = super::chacha::StdRngImpl;
+}

@@ -1,0 +1,173 @@
+//! Uniform range sampling matching `rand 0.8`'s `UniformInt`
+//! (widening-multiply with rejection zone) and `UniformFloat` (53-bit
+//! mantissa scale/offset) `sample_single` paths, so seeded simulator runs
+//! consume the identical stream positions and values as the real crate.
+
+use crate::RngCore;
+
+/// Full-domain sampling (`rand`'s `Standard` distribution subset).
+pub trait StandardSample: Sized {
+    /// Draw one value covering the whole domain.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $next:ident),*) => {$(
+        impl StandardSample for $ty {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> $ty {
+                rng.$next() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+              u64 => next_u64, usize => next_u64,
+              i8 => next_u32, i16 => next_u32, i32 => next_u32,
+              i64 => next_u64, isize => next_u64);
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range argument forms accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_single_inclusive(start, end, rng)
+    }
+}
+
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $large:ty, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                let range = high.wrapping_sub(low) as $unsigned as $large;
+                if range == 0 {
+                    return rng.$next() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.$next() as $large;
+                    let m = (v as u128).wrapping_mul(range as u128);
+                    let (hi, lo) = ((m >> <$large>::BITS) as $large, m as $large);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                let range = (high.wrapping_sub(low) as $unsigned as $large).wrapping_add(1);
+                if range == 0 {
+                    // Full integer domain.
+                    return rng.$next() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.$next() as $large;
+                    let m = (v as u128).wrapping_mul(range as u128);
+                    let (hi, lo) = ((m >> <$large>::BITS) as $large, m as $large);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int!(u8, u8, u32, next_u32);
+uniform_int!(u16, u16, u32, next_u32);
+uniform_int!(u32, u32, u32, next_u32);
+uniform_int!(u64, u64, u64, next_u64);
+uniform_int!(usize, usize, u64, next_u64);
+uniform_int!(i8, u8, u32, next_u32);
+uniform_int!(i16, u16, u32, next_u32);
+uniform_int!(i32, u32, u32, next_u32);
+uniform_int!(i64, u64, u64, next_u64);
+uniform_int!(isize, usize, u64, next_u64);
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        let scale = high - low;
+        // 52 mantissa bits -> value in [1, 2), then scale/offset (the
+        // `UniformFloat::sample_single` formula).
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        value1_2 * scale + (low - scale)
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        let v = Self::sample_single(low, high, rng);
+        v.clamp(low, high)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_single<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        let scale = high - low;
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+        value1_2 * scale + (low - scale)
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        let v = Self::sample_single(low, high, rng);
+        v.clamp(low, high)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let a = rng.gen_range(0u64..17);
+            assert!(a < 17);
+            let b = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&b));
+            let c = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&c));
+            let d = rng.gen_range(-0.5f64..=0.5);
+            assert!((-0.5..=0.5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn full_range_inclusive_is_one_draw() {
+        let mut a = crate::rngs::StdRng::seed_from_u64(5);
+        let mut b = crate::rngs::StdRng::seed_from_u64(5);
+        let x = a.gen_range(0u32..=u32::MAX);
+        assert_eq!(x, crate::RngCore::next_u32(&mut b));
+    }
+}
