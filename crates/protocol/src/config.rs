@@ -2,6 +2,8 @@
 
 use peace_groupsig::BasesMode;
 
+use crate::transport::RetryPolicy;
+
 /// Tunable parameters shared by users and routers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ProtocolConfig {
@@ -27,6 +29,14 @@ pub struct ProtocolConfig {
     pub dos_window: u64,
     /// Failures within the window that trigger puzzle mode.
     pub dos_threshold: usize,
+    /// Bound on a user's simultaneous half-open handshakes (pending DH
+    /// state); excess entries are LRU-evicted (state-exhaustion defense).
+    pub max_pending_handshakes: usize,
+    /// Bound on a router's live beacon DH states; excess entries are
+    /// LRU-evicted before the lifetime prune would reach them.
+    pub max_active_beacons: usize,
+    /// Retry/backoff policy for handshakes lost to the channel.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ProtocolConfig {
@@ -41,6 +51,9 @@ impl Default for ProtocolConfig {
             dos_auto_defense: true,
             dos_window: 10_000,
             dos_threshold: 8,
+            max_pending_handshakes: 64,
+            max_active_beacons: 128,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -55,5 +68,8 @@ mod tests {
         assert!(c.timestamp_window > 0);
         assert!(c.list_max_age >= c.timestamp_window);
         assert_eq!(c.bases_mode, BasesMode::PerMessage);
+        assert!(c.max_pending_handshakes > 0);
+        assert!(c.max_active_beacons > 0);
+        assert!(c.retry.max_attempts > 0);
     }
 }

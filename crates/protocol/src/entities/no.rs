@@ -129,7 +129,7 @@ impl NetworkOperator {
         let mut gm_shares = Vec::with_capacity(count);
         let mut ttp_shares = Vec::with_capacity(count);
         for _ in 0..count {
-            let slot = self.next_slot.get_mut(&group).expect("registered group");
+            let slot = self.next_slot.entry(group).or_insert(0);
             let index = ShareIndex { group, slot: *slot };
             *slot += 1;
             let member: MemberKey = self.issuer.issue(&secret, rng);

@@ -1,8 +1,6 @@
 //! Mesh routers (`MR_k`): beacon generation and the router side of the
 //! user↔router authentication and key agreement protocol (§IV.B).
 
-use std::collections::HashMap;
-
 use peace_curve::G1;
 use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
 use peace_field::Fq;
@@ -17,14 +15,15 @@ use crate::config::ProtocolConfig;
 use crate::error::{ProtocolError, Result};
 use crate::ids::{RouterId, SessionId};
 use crate::messages::{AccessConfirm, AccessRequest, Beacon};
+use crate::pending::PendingTable;
 use crate::revocation::{SignedCrl, SignedUrl};
 use crate::session::{Role, Session};
 
-/// Per-beacon DH state retained until the beacon expires.
+/// Per-beacon DH state retained until the beacon expires (the expiry clock
+/// lives in the [`PendingTable`] slot, not here).
 #[derive(Clone, Debug)]
 struct BeaconState {
     r_r: Fq,
-    ts1: u64,
     puzzle: Option<Puzzle>,
 }
 
@@ -39,7 +38,12 @@ pub struct MeshRouter {
     config: ProtocolConfig,
     crl: SignedCrl,
     url: SignedUrl,
-    active_beacons: HashMap<Vec<u8>, BeaconState>,
+    /// Per-beacon DH state, bounded by `config.max_active_beacons` (LRU)
+    /// and expired after `config.beacon_lifetime`.
+    active_beacons: PendingTable<BeaconState>,
+    /// Recently established session ids: a replayed M.2 must not mint a
+    /// second session (idempotency under duplication/replay).
+    recent_sessions: PendingTable<()>,
     under_attack: bool,
     manual_attack_mode: Option<bool>,
     recent_failures: std::collections::VecDeque<u64>,
@@ -81,7 +85,11 @@ impl MeshRouter {
             config,
             crl,
             url,
-            active_beacons: HashMap::new(),
+            active_beacons: PendingTable::new(config.max_active_beacons, config.beacon_lifetime),
+            recent_sessions: PendingTable::new(
+                config.max_active_beacons.saturating_mul(2),
+                config.beacon_lifetime,
+            ),
             under_attack: false,
             manual_attack_mode: None,
             recent_failures: std::collections::VecDeque::new(),
@@ -156,6 +164,7 @@ impl MeshRouter {
         self.crl = crl;
         self.url = url;
         self.active_beacons.clear();
+        self.recent_sessions.clear();
     }
 
     /// The URL currently broadcast by this router.
@@ -189,9 +198,9 @@ impl MeshRouter {
             g_rr.to_bytes(),
             BeaconState {
                 r_r,
-                ts1: now,
                 puzzle: puzzle.clone(),
             },
+            now,
         );
         Beacon {
             g,
@@ -206,9 +215,8 @@ impl MeshRouter {
     }
 
     fn prune_beacons(&mut self, now: u64) {
-        let lifetime = self.config.beacon_lifetime;
-        self.active_beacons
-            .retain(|_, st| now.saturating_sub(st.ts1) <= lifetime);
+        self.active_beacons.expire(now);
+        self.recent_sessions.expire(now);
     }
 
     /// Processes an access request (M.2), authenticating the anonymous user
@@ -237,6 +245,14 @@ impl MeshRouter {
             || req.ts2.saturating_sub(now) > self.config.timestamp_window
         {
             return Err(ProtocolError::StaleTimestamp);
+        }
+        // Idempotency: a duplicated/replayed M.2 (same DH shares) must not
+        // mint a second session — rejected before any expensive crypto.
+        let session_id = SessionId::from_points(&req.g_rr, &req.g_rj);
+        let session_key = session_id.to_bytes();
+        self.recent_sessions.expire(now);
+        if self.recent_sessions.contains(&session_key) {
+            return Err(ProtocolError::DuplicateMessage);
         }
         // DoS defense: cheap check first.
         if let Some(puzzle) = &state.puzzle {
@@ -268,8 +284,8 @@ impl MeshRouter {
         }
         // 3.4 session key and confirmation
         let dh_secret = req.g_rj.mul(&state.r_r);
-        let session_id = SessionId::from_points(&req.g_rr, &req.g_rj);
         let session = Session::establish(&dh_secret, session_id.clone(), Role::Responder);
+        self.recent_sessions.insert(session_key, (), now);
         let mut confirm_payload = Writer::new();
         confirm_payload.put_str(&self.id.0);
         confirm_payload.put_fixed(&req.g_rj.to_bytes());
@@ -315,6 +331,19 @@ impl MeshRouter {
     /// expired early.
     pub fn forget_beacon(&mut self, g_rr: &G1) {
         self.active_beacons.remove(&g_rr.to_bytes());
+    }
+
+    /// High-water mark across the router's bounded pending-state tables
+    /// (chaos-harness observability: proves state stayed bounded).
+    pub fn pending_state_high_water(&self) -> usize {
+        self.active_beacons
+            .high_water()
+            .max(self.recent_sessions.high_water())
+    }
+
+    /// LRU evictions across the router's bounded pending-state tables.
+    pub fn pending_evictions(&self) -> u64 {
+        self.active_beacons.evictions() + self.recent_sessions.evictions()
     }
 
     /// Verification key of NO as known to this router.

@@ -14,6 +14,7 @@ use crate::config::ProtocolConfig;
 use crate::error::{ProtocolError, Result};
 use crate::ids::{SessionId, ShareIndex, UserId};
 use crate::messages::{AccessConfirm, AccessRequest, Beacon, PeerConfirm, PeerHello, PeerResponse};
+use crate::pending::PendingTable;
 use crate::revocation::SignedUrl;
 use crate::session::{PendingSession, Role, Session};
 use crate::setup::{unblind_a, Receipt};
@@ -58,6 +59,17 @@ pub struct UserClient {
     current_url: Option<SignedUrl>,
     highest_crl_version: u64,
     highest_url_version: u64,
+    /// Half-open user↔router handshakes awaiting M.3, keyed by session id.
+    pending_router: PendingTable<PendingSession>,
+    /// Half-open peer handshakes we initiated (awaiting M̃.2), keyed by our
+    /// DH share `g^{r_j}`.
+    pending_peer_init: PendingTable<PendingSession>,
+    /// Half-open peer handshakes we answered (awaiting M̃.3), keyed by
+    /// session id.
+    pending_peer_resp: PendingTable<PeerResponderPending>,
+    /// Recently completed session ids — duplicated confirmations must not
+    /// mint a second session.
+    completed_recent: PendingTable<()>,
 }
 
 impl std::fmt::Debug for UserClient {
@@ -78,6 +90,8 @@ impl UserClient {
         config: ProtocolConfig,
         rng: &mut impl RngCore,
     ) -> Self {
+        let cap = config.max_pending_handshakes;
+        let ttl = config.handshake_window;
         Self {
             uid,
             receipt_key: SigningKey::random(rng),
@@ -90,6 +104,10 @@ impl UserClient {
             current_url: None,
             highest_crl_version: 0,
             highest_url_version: 0,
+            pending_router: PendingTable::new(cap, ttl),
+            pending_peer_init: PendingTable::new(cap, ttl),
+            pending_peer_resp: PendingTable::new(cap, ttl),
+            completed_recent: PendingTable::new(cap.saturating_mul(2), ttl.saturating_mul(2)),
         }
     }
 
@@ -156,6 +174,10 @@ impl UserClient {
         self.credentials.clear();
         self.active_role = 0;
         self.current_url = None;
+        // In-flight handshakes from the old epoch can never complete.
+        self.pending_router.clear();
+        self.pending_peer_init.clear();
+        self.pending_peer_resp.clear();
     }
 
     /// Selects which credential (role/context) signs subsequent sessions —
@@ -464,6 +486,194 @@ impl UserClient {
             pending.id.clone(),
             Role::Responder,
         ))
+    }
+
+    // ------------------------------------------------------------------
+    // Stateful resilience layer: bounded pending tables, idempotent
+    // confirmation handling, loss-tolerant lifecycle.
+    //
+    // The stateless methods above compute one protocol step and hand the
+    // half-open state back to the caller; these wrappers keep that state in
+    // bounded LRU+TTL tables instead, so a lossy or adversarial channel
+    // (dropped M.3, replayed M̃.2, beacon floods) can neither strand DH
+    // state forever nor mint two sessions from one exchange.
+    // ------------------------------------------------------------------
+
+    /// Validates a beacon and sends M.2, retaining the half-open handshake
+    /// internally until [`Self::handle_access_confirm`] or expiry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::process_beacon`].
+    pub fn request_access(
+        &mut self,
+        beacon: &Beacon,
+        now: u64,
+        rng: &mut impl RngCore,
+    ) -> Result<AccessRequest> {
+        let (req, pending) = self.process_beacon(beacon, now, rng)?;
+        self.pending_router
+            .insert(pending.id.to_bytes(), pending, now);
+        Ok(req)
+    }
+
+    /// Completes a handshake opened by [`Self::request_access`] from an
+    /// incoming M.3, idempotently: a duplicated confirmation of an
+    /// already-established session is rejected with
+    /// [`ProtocolError::DuplicateMessage`] and does not mint a second
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::SessionMismatch`] when no matching half-open
+    /// handshake exists (expired, evicted, or never started);
+    /// [`ProtocolError::DuplicateMessage`] on replay; otherwise as
+    /// [`Self::finalize_router_session`]. A corrupt confirmation leaves the
+    /// pending state in place so an intact copy can still complete.
+    pub fn handle_access_confirm(&mut self, confirm: &AccessConfirm, now: u64) -> Result<Session> {
+        let key = SessionId::from_points(&confirm.g_rr, &confirm.g_rj).to_bytes();
+        self.completed_recent.expire(now);
+        if self.completed_recent.contains(&key) {
+            return Err(ProtocolError::DuplicateMessage);
+        }
+        self.pending_router.expire(now);
+        let session = {
+            let pending = self
+                .pending_router
+                .get(&key)
+                .ok_or(ProtocolError::SessionMismatch)?;
+            self.finalize_router_session(pending, confirm)?
+        };
+        self.pending_router.remove(&key);
+        self.completed_recent.insert(key, (), now);
+        Ok(session)
+    }
+
+    /// Initiates a peer handshake (M̃.1), retaining the half-open state
+    /// internally until [`Self::handle_peer_response`] or expiry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::peer_hello`].
+    pub fn start_peer_handshake(
+        &mut self,
+        g: &G1,
+        now: u64,
+        rng: &mut impl RngCore,
+    ) -> Result<PeerHello> {
+        let (hello, pending) = self.peer_hello(g, now, rng)?;
+        self.pending_peer_init
+            .insert(hello.g_rj.to_bytes(), pending, now);
+        Ok(hello)
+    }
+
+    /// Responder side: verifies M̃.1 and answers M̃.2, retaining the
+    /// half-open state internally until [`Self::handle_peer_confirm`] or
+    /// expiry.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::process_peer_hello`].
+    pub fn handle_peer_hello(
+        &mut self,
+        hello: &PeerHello,
+        now: u64,
+        rng: &mut impl RngCore,
+    ) -> Result<PeerResponse> {
+        let (resp, pending) = self.process_peer_hello(hello, now, rng)?;
+        self.pending_peer_resp
+            .insert(pending.id.to_bytes(), pending, now);
+        Ok(resp)
+    }
+
+    /// Initiator side: verifies M̃.2 against the retained half-open state
+    /// and produces M̃.3 plus the established session, idempotently (a
+    /// replayed M̃.2 for an established session is rejected).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::DuplicateMessage`] on replay;
+    /// [`ProtocolError::SessionMismatch`] when no matching half-open
+    /// handshake exists; otherwise as [`Self::process_peer_response`].
+    pub fn handle_peer_response(
+        &mut self,
+        resp: &PeerResponse,
+        now: u64,
+    ) -> Result<(PeerConfirm, Session)> {
+        let done_key = SessionId::from_points(&resp.g_rj, &resp.g_rl).to_bytes();
+        self.completed_recent.expire(now);
+        if self.completed_recent.contains(&done_key) {
+            return Err(ProtocolError::DuplicateMessage);
+        }
+        let key = resp.g_rj.to_bytes();
+        self.pending_peer_init.expire(now);
+        let out = {
+            let pending = self
+                .pending_peer_init
+                .get(&key)
+                .ok_or(ProtocolError::SessionMismatch)?;
+            self.process_peer_response(pending, resp, now)?
+        };
+        self.pending_peer_init.remove(&key);
+        self.completed_recent.insert(done_key, (), now);
+        Ok(out)
+    }
+
+    /// Responder side: validates M̃.3 against the retained half-open state
+    /// and finalizes the session, idempotently (a replayed M̃.3 is rejected
+    /// with [`ProtocolError::DuplicateMessage`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::DuplicateMessage`] on replay;
+    /// [`ProtocolError::SessionMismatch`] when no matching half-open
+    /// handshake exists; otherwise as [`Self::process_peer_confirm`].
+    pub fn handle_peer_confirm(&mut self, confirm: &PeerConfirm, now: u64) -> Result<Session> {
+        let key = SessionId::from_points(&confirm.g_rj, &confirm.g_rl).to_bytes();
+        self.completed_recent.expire(now);
+        if self.completed_recent.contains(&key) {
+            return Err(ProtocolError::DuplicateMessage);
+        }
+        self.pending_peer_resp.expire(now);
+        let session = {
+            let pending = self
+                .pending_peer_resp
+                .get(&key)
+                .ok_or(ProtocolError::SessionMismatch)?;
+            self.process_peer_confirm(pending, confirm)?
+        };
+        self.pending_peer_resp.remove(&key);
+        self.completed_recent.insert(key, (), now);
+        Ok(session)
+    }
+
+    /// Current number of half-open handshakes held across all tables.
+    pub fn pending_handshakes(&self) -> usize {
+        self.pending_router.len() + self.pending_peer_init.len() + self.pending_peer_resp.len()
+    }
+
+    /// The high-water mark of any single pending table (bounded-memory
+    /// evidence for the chaos harness).
+    pub fn pending_high_water(&self) -> usize {
+        self.pending_router
+            .high_water()
+            .max(self.pending_peer_init.high_water())
+            .max(self.pending_peer_resp.high_water())
+    }
+
+    /// Half-open entries shed by LRU pressure across all tables.
+    pub fn pending_evictions(&self) -> u64 {
+        self.pending_router.evictions()
+            + self.pending_peer_init.evictions()
+            + self.pending_peer_resp.evictions()
+    }
+
+    /// Drops every expired half-open handshake (periodic housekeeping).
+    pub fn expire_pending(&mut self, now: u64) {
+        self.pending_router.expire(now);
+        self.pending_peer_init.expire(now);
+        self.pending_peer_resp.expire(now);
+        self.completed_recent.expire(now);
     }
 
     /// Peer group-signature verification plus URL revocation sweep, sharing

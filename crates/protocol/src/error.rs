@@ -50,6 +50,51 @@ pub enum ProtocolError {
     Wire(WireError),
     /// The entity does not hold a key/credential required for the operation.
     MissingCredential,
+    /// A handshake message was delivered more than once; the session it
+    /// completes already exists and the duplicate is rejected idempotently.
+    DuplicateMessage,
+    /// The retry budget for a handshake has been exhausted.
+    RetriesExhausted,
+}
+
+impl ProtocolError {
+    /// Whether the failure is *transient* — plausibly caused by the channel
+    /// (loss, delay, corruption, expiry) rather than by the peer being
+    /// illegitimate — and therefore worth retrying with backoff.
+    ///
+    /// Fatal classifications (`false`) mean a retry of the same exchange
+    /// cannot succeed: bad credentials, revocation, invalid signatures by
+    /// construction, setup inconsistencies, or an exhausted retry budget.
+    /// [`ProtocolError::DuplicateMessage`] is also non-transient: the work
+    /// already completed, so there is nothing to retry.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            // Channel- or timing-induced: a fresh attempt can succeed.
+            ProtocolError::StaleTimestamp
+            | ProtocolError::StaleCrl
+            | ProtocolError::StaleUrl
+            | ProtocolError::UnknownBeacon
+            | ProtocolError::PuzzleRequired
+            | ProtocolError::PuzzleInvalid
+            | ProtocolError::DecryptFailed
+            | ProtocolError::SessionMismatch
+            | ProtocolError::HandshakeTimeout
+            | ProtocolError::Wire(_) => true,
+            // Identity/credential failures: retrying the same exchange is
+            // pointless (and feeds the flood detector).
+            ProtocolError::CertificateInvalid
+            | ProtocolError::CertificateRevoked
+            | ProtocolError::BadRouterSignature
+            | ProtocolError::BadCrlSignature
+            | ProtocolError::BadUrlSignature
+            | ProtocolError::BadGroupSignature
+            | ProtocolError::SignerRevoked
+            | ProtocolError::Setup(_)
+            | ProtocolError::MissingCredential
+            | ProtocolError::DuplicateMessage
+            | ProtocolError::RetriesExhausted => false,
+        }
+    }
 }
 
 impl fmt::Display for ProtocolError {
@@ -74,6 +119,8 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Setup(what) => write!(f, "setup failure: {what}"),
             ProtocolError::Wire(e) => write!(f, "malformed message: {e}"),
             ProtocolError::MissingCredential => write!(f, "required credential not held"),
+            ProtocolError::DuplicateMessage => write!(f, "duplicate handshake message"),
+            ProtocolError::RetriesExhausted => write!(f, "handshake retry budget exhausted"),
         }
     }
 }

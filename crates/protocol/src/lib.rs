@@ -58,6 +58,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
 pub mod config;
@@ -65,15 +66,19 @@ pub mod entities;
 pub mod error;
 pub mod ids;
 pub mod messages;
+pub mod pending;
 pub mod relay;
 pub mod revocation;
 pub mod session;
 pub mod setup;
+pub mod transport;
 
 pub use audit::{AuditFinding, LoggedSession, NetworkLog};
 pub use config::ProtocolConfig;
 pub use error::{ProtocolError, Result};
 pub use ids::{GroupId, RouterId, SessionId, ShareIndex, UserId};
 pub use messages::{AccessConfirm, AccessRequest, Beacon, PeerConfirm, PeerHello, PeerResponse};
+pub use pending::PendingTable;
 pub use revocation::{SignedCrl, SignedUrl};
 pub use session::{PendingSession, Role, Session};
+pub use transport::{Channel, Delivery, FaultKind, FaultPlan, FaultStats, RetryPolicy};

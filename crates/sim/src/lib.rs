@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod attacks;
+pub mod chaos;
 pub mod metrics;
 pub mod topology;
 pub mod world;
@@ -34,6 +35,7 @@ pub use attacks::{
     run_url_growth, DosCostModel, DosReport, InjectionOutcome, LinkingReport, PhishingReport,
     UrlGrowthPoint,
 };
+pub use chaos::{run_chaos_soak, ChaosConfig, ChaosReport};
 pub use metrics::SimMetrics;
 pub use topology::{Position, Topology, TopologyConfig};
 pub use world::{Event, SimConfig, SimWorld};

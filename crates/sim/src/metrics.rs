@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use peace_protocol::FaultStats;
+
 /// Counters accumulated over a simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct SimMetrics {
@@ -37,6 +39,25 @@ pub struct SimMetrics {
     pub auths_by_router: BTreeMap<String, u64>,
     /// Handshake messages lost to the radio model.
     pub radio_losses: u64,
+    /// Duplicated/replayed handshake messages rejected idempotently
+    /// (exactly-one-session guarantee held).
+    pub duplicate_rejects: u64,
+    /// Wire decode failures by message kind and error (mangled deliveries
+    /// rejected before any crypto ran).
+    pub decode_failures: BTreeMap<String, u64>,
+    /// Handshake retries scheduled after transient failures.
+    pub retries: u64,
+    /// Handshakes abandoned after exhausting the retry budget.
+    pub retries_exhausted: u64,
+    /// Total simulation events processed.
+    pub events_processed: u64,
+    /// Faults the adversarial channel injected.
+    pub fault_stats: FaultStats,
+    /// Largest pending-state table observed on any endpoint (bounded-memory
+    /// evidence).
+    pub pending_high_water: usize,
+    /// Half-open handshake entries shed by LRU pressure across endpoints.
+    pub pending_evictions: u64,
 }
 
 impl SimMetrics {
@@ -48,6 +69,19 @@ impl SimMetrics {
     /// Records a peer-handshake failure with its reason.
     pub fn record_peer_fail(&mut self, reason: impl ToString) {
         *self.peer_fail.entry(reason.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records a wire decode failure for one message kind (`M1`…`Mt3`).
+    pub fn record_decode_fail(&mut self, kind: &str, err: &peace_wire::WireError) {
+        *self
+            .decode_failures
+            .entry(format!("{kind}/{err:?}"))
+            .or_insert(0) += 1;
+    }
+
+    /// Total mangled deliveries rejected at the wire layer.
+    pub fn decode_failure_total(&self) -> u64 {
+        self.decode_failures.values().sum()
     }
 
     /// Total authentication attempts.

@@ -6,7 +6,11 @@ use std::collections::{BinaryHeap, HashMap};
 
 use peace_protocol::entities::{GroupManager, MeshRouter, NetworkOperator, Ttp, UserClient};
 use peace_protocol::ids::{GroupId, UserId};
-use peace_protocol::{Beacon, ProtocolConfig};
+use peace_protocol::{
+    AccessConfirm, AccessRequest, Beacon, Channel, FaultPlan, PeerConfirm, PeerHello, PeerResponse,
+    ProtocolConfig, ProtocolError, Session,
+};
+use peace_wire::{Decode, Encode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +44,26 @@ pub enum Event {
         /// Responder index.
         b: usize,
     },
+    /// A user retries a transiently failed authentication after backoff.
+    AuthRetry {
+        /// User index.
+        user: usize,
+        /// 1-based attempt number of this retry.
+        attempt: u32,
+    },
+}
+
+/// How one authentication attempt ended, for the retry state machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AttemptOutcome {
+    /// A session was established and data flowed.
+    Success,
+    /// Failed for a reason retrying can fix (channel loss, stale state).
+    Transient,
+    /// Failed for a reason retrying cannot fix.
+    Fatal,
+    /// No attempt was possible (disconnected, no beacon yet).
+    Skipped,
 }
 
 /// Simulation parameters.
@@ -69,6 +93,13 @@ pub struct SimConfig {
     /// (simple radio impairment model; lost handshakes are retried at the
     /// next auth cycle).
     pub loss_prob: f64,
+    /// Adversarial-channel fault plan applied to every wire-encoded
+    /// handshake message (M.1–M.3, M̃.1–M̃.3). [`FaultPlan::NONE`] is a
+    /// perfect wire.
+    pub fault: FaultPlan,
+    /// Simulation time at which the fault plan is cleared (faults stop);
+    /// `u64::MAX` keeps it active for the whole run.
+    pub fault_until: u64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -87,6 +118,8 @@ impl Default for SimConfig {
             peer_chat_prob: 0.25,
             end_time: 30_000,
             loss_prob: 0.0,
+            fault: FaultPlan::NONE,
+            fault_until: u64::MAX,
             seed: 20080605,
         }
     }
@@ -114,6 +147,11 @@ pub struct SimWorld {
     pub metrics: SimMetrics,
     /// Current simulation time (ms).
     pub now: u64,
+    /// The adversarial channel every wire-encoded handshake message
+    /// crosses.
+    pub channel: Channel,
+    /// Per-user time of the most recent successful authentication.
+    pub last_auth_success: Vec<Option<u64>>,
     queue: BinaryHeap<Reverse<(u64, u64, Event)>>,
     seq: u64,
     rng: StdRng,
@@ -166,6 +204,7 @@ impl SimWorld {
             .collect();
         let last_beacon = vec![None; routers.len()];
 
+        let user_count = users.len();
         let mut world = Self {
             config,
             topology,
@@ -177,6 +216,8 @@ impl SimWorld {
             last_beacon,
             metrics: SimMetrics::default(),
             now: 0,
+            channel: Channel::new(config.seed, config.fault),
+            last_auth_success: vec![None; user_count],
             queue: BinaryHeap::new(),
             seq: 0,
             rng,
@@ -221,9 +262,33 @@ impl SimWorld {
                 break;
             }
             self.now = at;
+            if at >= self.config.fault_until && !self.channel.plan().is_clean() {
+                self.channel.set_plan(FaultPlan::NONE);
+            }
+            self.metrics.events_processed += 1;
             self.handle(event);
         }
+        self.finalize_metrics();
         &self.metrics
+    }
+
+    /// Copies end-of-run observability (channel fault counters, pending
+    /// table high-water marks) into the metrics. Idempotent.
+    fn finalize_metrics(&mut self) {
+        self.metrics.fault_stats = *self.channel.stats();
+        self.metrics.pending_high_water = self
+            .users
+            .iter()
+            .map(|u| u.pending_high_water())
+            .chain(self.routers.iter().map(|r| r.pending_state_high_water()))
+            .max()
+            .unwrap_or(0);
+        self.metrics.pending_evictions = self
+            .users
+            .iter()
+            .map(|u| u.pending_evictions())
+            .chain(self.routers.iter().map(|r| r.pending_evictions()))
+            .sum();
     }
 
     fn handle(&mut self, event: Event) {
@@ -253,7 +318,7 @@ impl SimWorld {
                 );
             }
             Event::UserAuth { user } => {
-                self.do_user_auth(user);
+                self.run_auth_attempt(user, 1);
                 self.schedule(
                     self.now + self.config.auth_interval,
                     Event::UserAuth { user },
@@ -265,8 +330,35 @@ impl SimWorld {
                     }
                 }
             }
+            Event::AuthRetry { user, attempt } => {
+                self.run_auth_attempt(user, attempt);
+            }
             Event::PeerChat { a, b } => {
                 self.do_peer_chat(a, b);
+            }
+        }
+    }
+
+    /// Runs one authentication attempt and, on transient failure, schedules
+    /// a retry per the protocol's backoff policy ([`peace_protocol::RetryPolicy`]).
+    fn run_auth_attempt(&mut self, user: usize, attempt: u32) {
+        if self.do_user_auth(user) == AttemptOutcome::Transient {
+            let policy = self.no.config().retry;
+            if policy.should_retry(attempt) {
+                // Jitter seed mixes user and time so synchronized losers
+                // fan out, yet every run replays from the sim seed.
+                let jitter_seed = self.config.seed ^ ((user as u64) << 32) ^ self.now;
+                let delay = policy.backoff(attempt, jitter_seed);
+                self.metrics.retries += 1;
+                self.schedule(
+                    self.now + delay,
+                    Event::AuthRetry {
+                        user,
+                        attempt: attempt + 1,
+                    },
+                );
+            } else {
+                self.metrics.retries_exhausted += 1;
             }
         }
     }
@@ -284,18 +376,22 @@ impl SimWorld {
         }
     }
 
-    fn do_user_auth(&mut self, user: usize) {
+    /// One full uplink authentication attempt with every wire-encoded
+    /// message (M.1, M.2, M.3 and the relay chain's M̃.1–M̃.3) crossing the
+    /// adversarial channel. Reports how the attempt ended so the caller can
+    /// drive the retry state machine.
+    fn do_user_auth(&mut self, user: usize) -> AttemptOutcome {
         let Some((relay_chain, router_idx)) = self.topology.uplink_path(user) else {
             self.metrics.disconnected_users += 1;
-            return;
+            return AttemptOutcome::Skipped;
         };
         let Some(beacon) = self.last_beacon[router_idx].clone() else {
-            return; // router has not beaconed yet
+            return AttemptOutcome::Skipped; // router has not beaconed yet
         };
         // Radio: the beacon, M.2, and M.3 must each survive the air.
         if !self.radio_delivers() || !self.radio_delivers() || !self.radio_delivers() {
             self.metrics.record_auth_fail("radio-loss");
-            return;
+            return AttemptOutcome::Transient;
         }
         // Relay chain: each consecutive pair runs the peer handshake.
         let mut chain_ok = true;
@@ -312,73 +408,226 @@ impl SimWorld {
         }
         if !chain_ok {
             self.metrics.record_auth_fail("relay-chain-failed");
-            return;
+            return AttemptOutcome::Transient;
         }
+        // M.1 over the wire: the user only sees what the channel delivers.
+        let mut heard: Option<(Beacon, u64)> = None;
+        for d in self.channel.transmit(&beacon.to_wire(), self.now) {
+            match Beacon::from_wire(&d.bytes) {
+                Ok(b) => {
+                    if heard.is_none() {
+                        heard = Some((b, d.at));
+                    }
+                }
+                Err(e) => self.metrics.record_decode_fail("M1", &e),
+            }
+        }
+        let Some((beacon, m1_at)) = heard else {
+            self.metrics.record_auth_fail("channel-loss-m1");
+            return AttemptOutcome::Transient;
+        };
         // The terminal hop: user (or last relay acting transparently)
         // authenticates the actual user to the router.
-        let result = self.users[user].process_beacon(&beacon, self.now, &mut self.rng);
-        match result {
-            Ok((req, pending)) => {
-                match self.routers[router_idx].process_access_request(&req, self.now) {
-                    Ok((confirm, mut router_sess)) => {
-                        match self.users[user].finalize_router_session(&pending, &confirm) {
-                            Ok(mut user_sess) => {
-                                self.metrics.auth_success += 1;
-                                *self
-                                    .metrics
-                                    .auths_by_router
-                                    .entry(format!("MR-{router_idx}"))
-                                    .or_insert(0) += 1;
-                                self.metrics.relay_hops += hops;
-                                // one uplink payload end-to-end
-                                let packet = user_sess.seal_data(b"payload");
-                                if router_sess.open_data(&packet).is_ok() {
-                                    self.metrics.data_delivered += 1;
-                                }
-                            }
-                            Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
-                        }
+        let req = match self.users[user].request_access(&beacon, m1_at.max(self.now), &mut self.rng)
+        {
+            Ok(req) => req,
+            Err(e) => {
+                let out = Self::outcome_of(&e);
+                self.metrics.record_auth_fail(format!("{e:?}"));
+                return out;
+            }
+        };
+        // M.2 over the wire: the router processes every delivery — mangled
+        // copies fail checks, replayed copies are rejected idempotently.
+        let mut established: Option<(AccessConfirm, Session)> = None;
+        let mut first_err: Option<ProtocolError> = None;
+        for d in self.channel.transmit(&req.to_wire(), self.now) {
+            let r = match AccessRequest::from_wire(&d.bytes) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.metrics.record_decode_fail("M2", &e);
+                    continue;
+                }
+            };
+            match self.routers[router_idx].process_access_request(&r, d.at) {
+                Ok(pair) => {
+                    if established.is_none() {
+                        established = Some(pair);
                     }
-                    Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
+                }
+                Err(ProtocolError::DuplicateMessage) => self.metrics.duplicate_rejects += 1,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
                 }
             }
-            Err(e) => self.metrics.record_auth_fail(format!("{e:?}")),
         }
+        let Some((confirm, mut router_sess)) = established else {
+            return self.record_leg_failure(first_err, "channel-loss-m2");
+        };
+        // M.3 back over the wire to the user.
+        let mut user_sess: Option<Session> = None;
+        let mut first_err: Option<ProtocolError> = None;
+        for d in self.channel.transmit(&confirm.to_wire(), self.now) {
+            let c = match AccessConfirm::from_wire(&d.bytes) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.metrics.record_decode_fail("M3", &e);
+                    continue;
+                }
+            };
+            match self.users[user].handle_access_confirm(&c, d.at) {
+                Ok(s) => {
+                    if user_sess.is_none() {
+                        user_sess = Some(s);
+                    }
+                }
+                Err(ProtocolError::DuplicateMessage) => self.metrics.duplicate_rejects += 1,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        let outcome = match user_sess {
+            Some(mut user_sess) => {
+                self.metrics.auth_success += 1;
+                *self
+                    .metrics
+                    .auths_by_router
+                    .entry(format!("MR-{router_idx}"))
+                    .or_insert(0) += 1;
+                self.metrics.relay_hops += hops;
+                self.last_auth_success[user] = Some(self.now);
+                // one uplink payload end-to-end
+                let packet = user_sess.seal_data(b"payload");
+                if router_sess.open_data(&packet).is_ok() {
+                    self.metrics.data_delivered += 1;
+                }
+                AttemptOutcome::Success
+            }
+            None => self.record_leg_failure(first_err, "channel-loss-m3"),
+        };
         // Routers report their logs to NO opportunistically.
         let router = &mut self.routers[router_idx];
         self.no.ingest_router_log(router);
+        outcome
+    }
+
+    /// Classifies a protocol error for the retry state machine.
+    fn outcome_of(e: &ProtocolError) -> AttemptOutcome {
+        if e.is_transient() {
+            AttemptOutcome::Transient
+        } else {
+            AttemptOutcome::Fatal
+        }
+    }
+
+    /// Records the failure of one handshake leg: the first protocol error
+    /// if any delivery got that far, otherwise a channel-loss marker (every
+    /// delivery was dropped or undecodable).
+    fn record_leg_failure(
+        &mut self,
+        first_err: Option<ProtocolError>,
+        loss_reason: &str,
+    ) -> AttemptOutcome {
+        match first_err {
+            Some(e) => {
+                let out = Self::outcome_of(&e);
+                self.metrics.record_auth_fail(format!("{e:?}"));
+                out
+            }
+            None => {
+                self.metrics.record_auth_fail(loss_reason);
+                AttemptOutcome::Transient
+            }
+        }
     }
 
     fn do_peer_handshake(&mut self, a: usize, b: usize, beacon: &Beacon) -> bool {
         // Both ends need current URL knowledge; processing the beacon as a
         // listener would do that, but for relays we use the protocol's
-        // pairwise handshake directly with the beacon generator.
-        let hello = match self.users[a].peer_hello(&beacon.g, self.now, &mut self.rng) {
-            Ok((h, p)) => (h, p),
+        // pairwise handshake directly with the beacon generator. Every
+        // M̃.1/M̃.2/M̃.3 crosses the adversarial channel.
+        let hello = match self.users[a].start_peer_handshake(&beacon.g, self.now, &mut self.rng) {
+            Ok(h) => h,
             Err(e) => {
                 self.metrics.record_peer_fail(format!("{e:?}"));
                 return false;
             }
         };
-        let (hello_msg, a_pending) = hello;
-        let resp = match self.users[b].process_peer_hello(&hello_msg, self.now, &mut self.rng) {
-            Ok(r) => r,
-            Err(e) => {
-                self.metrics.record_peer_fail(format!("{e:?}"));
-                return false;
+        // M̃.1: a duplicated hello makes the responder answer twice (two
+        // half-open states, each bounded by its table); we carry the first.
+        let mut resp: Option<PeerResponse> = None;
+        for d in self.channel.transmit(&hello.to_wire(), self.now) {
+            let h = match PeerHello::from_wire(&d.bytes) {
+                Ok(h) => h,
+                Err(e) => {
+                    self.metrics.record_decode_fail("Mt1", &e);
+                    continue;
+                }
+            };
+            match self.users[b].handle_peer_hello(&h, d.at, &mut self.rng) {
+                Ok(r) => {
+                    if resp.is_none() {
+                        resp = Some(r);
+                    }
+                }
+                Err(e) => self.metrics.record_peer_fail(format!("{e:?}")),
             }
+        }
+        let Some(resp) = resp else {
+            self.metrics.record_peer_fail("channel-loss-mt1");
+            return false;
         };
-        let (resp_msg, b_pending) = resp;
-        let confirm = match self.users[a].process_peer_response(&a_pending, &resp_msg, self.now) {
-            Ok(c) => c,
-            Err(e) => {
-                self.metrics.record_peer_fail(format!("{e:?}"));
-                return false;
+        // M̃.2 back to the initiator; replays are rejected idempotently.
+        let mut done: Option<(PeerConfirm, Session)> = None;
+        for d in self.channel.transmit(&resp.to_wire(), self.now) {
+            let r = match PeerResponse::from_wire(&d.bytes) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.metrics.record_decode_fail("Mt2", &e);
+                    continue;
+                }
+            };
+            match self.users[a].handle_peer_response(&r, d.at) {
+                Ok(pair) => {
+                    if done.is_none() {
+                        done = Some(pair);
+                    }
+                }
+                Err(ProtocolError::DuplicateMessage) => self.metrics.duplicate_rejects += 1,
+                Err(e) => self.metrics.record_peer_fail(format!("{e:?}")),
             }
+        }
+        let Some((confirm, mut a_sess)) = done else {
+            self.metrics.record_peer_fail("channel-loss-mt2");
+            return false;
         };
-        let (confirm_msg, mut a_sess) = confirm;
-        match self.users[b].process_peer_confirm(&b_pending, &confirm_msg) {
-            Ok(mut b_sess) => {
+        // M̃.3 to the responder.
+        let mut b_sess: Option<Session> = None;
+        for d in self.channel.transmit(&confirm.to_wire(), self.now) {
+            let c = match PeerConfirm::from_wire(&d.bytes) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.metrics.record_decode_fail("Mt3", &e);
+                    continue;
+                }
+            };
+            match self.users[b].handle_peer_confirm(&c, d.at) {
+                Ok(s) => {
+                    if b_sess.is_none() {
+                        b_sess = Some(s);
+                    }
+                }
+                Err(ProtocolError::DuplicateMessage) => self.metrics.duplicate_rejects += 1,
+                Err(e) => self.metrics.record_peer_fail(format!("{e:?}")),
+            }
+        }
+        match b_sess {
+            Some(mut b_sess) => {
                 // exchange one payload to prove the channel works
                 let m = a_sess.seal_data(b"relay-setup");
                 let ok = b_sess.open_data(&m).is_ok();
@@ -387,8 +636,8 @@ impl SimWorld {
                 }
                 ok
             }
-            Err(e) => {
-                self.metrics.record_peer_fail(format!("{e:?}"));
+            None => {
+                self.metrics.record_peer_fail("channel-loss-mt3");
                 false
             }
         }

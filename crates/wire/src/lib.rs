@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use core::fmt;
 
@@ -58,9 +59,17 @@ impl std::error::Error for WireError {}
 pub type Result<T> = core::result::Result<T, WireError>;
 
 /// Append-only encoder.
+///
+/// The writer never panics: a length that does not fit its `u32` prefix
+/// *poisons* the writer instead (the offending field and everything after
+/// it are discarded). Poisoning is sticky and observable through
+/// [`Writer::error`] / [`Writer::try_into_bytes`], so encoders that can
+/// legitimately see oversized inputs surface [`WireError::LengthOutOfRange`]
+/// rather than producing a corrupt encoding.
 #[derive(Clone, Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    err: Option<WireError>,
 }
 
 impl Writer {
@@ -73,43 +82,67 @@ impl Writer {
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             buf: Vec::with_capacity(cap),
+            err: None,
         }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
+        if self.err.is_none() {
+            self.buf.push(v);
+        }
     }
 
     /// Appends a big-endian `u16`.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        if self.err.is_none() {
+            self.buf.extend_from_slice(&v.to_be_bytes());
+        }
     }
 
     /// Appends a big-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        if self.err.is_none() {
+            self.buf.extend_from_slice(&v.to_be_bytes());
+        }
     }
 
     /// Appends a big-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        if self.err.is_none() {
+            self.buf.extend_from_slice(&v.to_be_bytes());
+        }
     }
 
     /// Appends a boolean as one byte (0/1).
     pub fn put_bool(&mut self, v: bool) {
-        self.buf.push(u8::from(v));
+        self.put_u8(u8::from(v));
     }
 
-    /// Appends raw bytes with a `u32` length prefix.
+    /// Appends a `u32` length prefix for a field of `len` bytes (or `len`
+    /// elements). Lengths above `u32::MAX` poison the writer with
+    /// [`WireError::LengthOutOfRange`] instead of panicking.
+    pub fn put_len(&mut self, len: usize) {
+        match u32::try_from(len) {
+            Ok(l) => self.put_u32(l),
+            Err(_) => self.err = Some(WireError::LengthOutOfRange),
+        }
+    }
+
+    /// Appends raw bytes with a `u32` length prefix. Oversized inputs
+    /// (> 4 GiB) poison the writer; see [`Writer::error`].
     pub fn put_bytes(&mut self, v: &[u8]) {
-        self.put_u32(u32::try_from(v.len()).expect("encoding > 4 GiB"));
-        self.buf.extend_from_slice(v);
+        self.put_len(v.len());
+        if self.err.is_none() {
+            self.buf.extend_from_slice(v);
+        }
     }
 
     /// Appends raw bytes with no length prefix (fixed-width fields).
     pub fn put_fixed(&mut self, v: &[u8]) {
-        self.buf.extend_from_slice(v);
+        if self.err.is_none() {
+            self.buf.extend_from_slice(v);
+        }
     }
 
     /// Appends a UTF-8 string with a `u32` length prefix.
@@ -118,11 +151,20 @@ impl Writer {
     }
 
     /// Appends a sequence: `u32` count then each element's encoding.
+    /// Sequences longer than `u32::MAX` poison the writer.
     pub fn put_seq<T: Encode>(&mut self, items: &[T]) {
-        self.put_u32(u32::try_from(items.len()).expect("sequence > u32::MAX"));
+        self.put_len(items.len());
+        if self.err.is_some() {
+            return;
+        }
         for item in items {
             item.encode(self);
         }
+    }
+
+    /// The sticky encoding error, if any write overflowed a length prefix.
+    pub fn error(&self) -> Option<WireError> {
+        self.err
     }
 
     /// Current encoded length.
@@ -136,8 +178,20 @@ impl Writer {
     }
 
     /// Finishes encoding, returning the buffer.
+    ///
+    /// If the writer was poisoned (see [`Writer::error`]) the returned
+    /// buffer is incomplete; use [`Writer::try_into_bytes`] where a caller
+    /// must distinguish that case.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Finishes encoding, surfacing any sticky overflow error.
+    pub fn try_into_bytes(self) -> Result<Vec<u8>> {
+        match self.err {
+            Some(e) => Err(e),
+            None => Ok(self.buf),
+        }
     }
 
     /// Borrows the encoded bytes so far.
@@ -261,6 +315,15 @@ pub trait Encode {
         let mut w = Writer::new();
         self.encode(&mut w);
         w.into_bytes()
+    }
+
+    /// Convenience: encodes into a fresh buffer, surfacing length-prefix
+    /// overflow as [`WireError::LengthOutOfRange`] instead of silently
+    /// returning a partial encoding.
+    fn try_to_wire(&self) -> Result<Vec<u8>> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.try_into_bytes()
     }
 }
 
@@ -407,6 +470,36 @@ mod tests {
         let mut enc2 = enc.clone();
         enc2.push(0);
         assert_eq!(Vec::<u8>::from_wire(&enc2), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_length_poisons_writer() {
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_len(usize::try_from(u32::MAX).unwrap() + 1); // only representable on 64-bit targets
+        assert_eq!(w.error(), Some(WireError::LengthOutOfRange));
+        // Poisoning is sticky: later writes are discarded, not mis-framed.
+        w.put_u64(7);
+        w.put_bytes(b"after");
+        assert_eq!(w.as_bytes(), &[1]);
+        assert_eq!(w.try_into_bytes(), Err(WireError::LengthOutOfRange));
+    }
+
+    #[test]
+    fn in_range_length_keeps_writer_clean() {
+        let mut w = Writer::new();
+        w.put_len(3);
+        w.put_fixed(b"abc");
+        assert_eq!(w.error(), None);
+        let buf = w.try_into_bytes().unwrap();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_bytes().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn try_to_wire_clean_roundtrip() {
+        let v: Vec<u8> = b"ok".to_vec();
+        assert_eq!(v.try_to_wire().unwrap(), v.to_wire());
     }
 
     #[test]
