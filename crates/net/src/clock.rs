@@ -1,0 +1,30 @@
+//! Wall-clock time for the networked runtime.
+//!
+//! The simulator drives protocol time explicitly; real daemons use the
+//! system clock in milliseconds, which plugs directly into the protocol's
+//! `now: u64` timestamps (all windows in [`peace_protocol::ProtocolConfig`]
+//! are denominated in ms).
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Milliseconds since the Unix epoch (0 if the clock is before the epoch,
+/// which only a badly misconfigured host can produce).
+pub fn wall_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_enough_and_nonzero() {
+        let a = wall_ms();
+        let b = wall_ms();
+        assert!(a > 1_500_000_000_000, "clock should be past 2017");
+        assert!(b >= a);
+    }
+}

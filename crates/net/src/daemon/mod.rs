@@ -1,0 +1,55 @@
+//! The three node roles of the PEACE runtime: the network-operator
+//! bulletin daemon, the mesh-router daemon, and the user agent.
+//!
+//! Daemons share the accept-loop machinery of [`crate::server`] and speak
+//! [`NodeMessage`](crate::NodeMessage) envelopes over framed TCP. All
+//! protocol state lives in the `peace-protocol` entities; the daemons are
+//! a thin transport shell that maps envelopes onto entity calls and
+//! protocol errors onto reject codes.
+
+mod no;
+mod router;
+mod user;
+
+pub use no::NoDaemon;
+pub use router::RouterDaemon;
+pub use user::{UserAgent, UserSession};
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::conn::ConnConfig;
+
+/// Shared daemon tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Per-connection framing/deadline/queue settings.
+    pub conn: ConnConfig,
+    /// Maximum simultaneously served connections.
+    pub max_connections: usize,
+    /// Dial deadline for outbound connections.
+    pub connect_timeout: Duration,
+    /// How long shutdown waits for in-flight handlers.
+    pub drain: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            conn: ConnConfig::default(),
+            max_connections: 64,
+            connect_timeout: Duration::from_secs(5),
+            drain: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data on poisoning: daemon state must stay
+/// reachable even if some handler thread panicked mid-update (the panic is
+/// already counted by the acceptor; the entities keep their own invariants).
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

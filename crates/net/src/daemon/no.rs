@@ -1,0 +1,144 @@
+//! The network-operator daemon: serves the signed bulletin (current CRL +
+//! URL + key epoch) to polling routers and users, and applies dynamic
+//! revocations at runtime.
+//!
+//! The paper's NO pushes list updates to routers over pre-established
+//! secure channels; the runtime inverts this into a poll (`GetBulletin` →
+//! `Bulletin`) so that propagation latency is explicit and measurable —
+//! see the revocation-latency discussion in DESIGN.md.
+
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+use peace_groupsig::RevocationToken;
+use peace_protocol::entities::NetworkOperator;
+
+use crate::clock::wall_ms;
+use crate::conn::Connection;
+use crate::envelope::{reject_code, Bulletin, NodeMessage};
+use crate::error::{NetError, Result};
+use crate::metrics::{MetricsSnapshot, NetMetrics};
+use crate::server::Acceptor;
+
+use super::{lock_recover, DaemonConfig};
+
+/// A running NO bulletin server.
+pub struct NoDaemon {
+    no: Arc<Mutex<NetworkOperator>>,
+    acceptor: Acceptor,
+    metrics: Arc<NetMetrics>,
+    cfg: DaemonConfig,
+}
+
+impl NoDaemon {
+    /// Takes ownership of the operator and starts serving bulletins on
+    /// `bind` (use `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] if the listener cannot bind.
+    pub fn spawn(no: NetworkOperator, bind: &str, cfg: DaemonConfig) -> Result<Self> {
+        let no = Arc::new(Mutex::new(no));
+        let metrics = Arc::new(NetMetrics::default());
+
+        let h_no = Arc::clone(&no);
+        let h_metrics = Arc::clone(&metrics);
+        let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
+            Arc::new(move |stream, _conn_id| {
+                serve(stream, &h_no, &h_metrics, cfg);
+            });
+        let acceptor = Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
+        Ok(Self {
+            no,
+            acceptor,
+            metrics,
+            cfg,
+        })
+    }
+
+    /// The daemon's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.acceptor.addr()
+    }
+
+    /// A point-in-time copy of the daemon counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Revokes a member key at runtime; subsequent bulletins carry the
+    /// bumped URL. Returns `false` for a token outside `grt`.
+    pub fn revoke_user(&self, token: &RevocationToken) -> bool {
+        lock_recover(&self.no).revoke_member(token)
+    }
+
+    /// Revokes a router certificate at runtime.
+    pub fn revoke_router(&self, serial: u64) {
+        lock_recover(&self.no).revoke_router(serial);
+    }
+
+    /// Runs `f` against the live operator (audits, log ingestion).
+    pub fn with_operator<R>(&self, f: impl FnOnce(&mut NetworkOperator) -> R) -> R {
+        f(&mut lock_recover(&self.no))
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, and
+    /// hand the operator back.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unexpected`] if another handle still holds the operator
+    /// (cannot happen through this API).
+    pub fn shutdown(mut self) -> Result<NetworkOperator> {
+        self.acceptor.shutdown(self.cfg.drain);
+        drop(self.acceptor);
+        Arc::try_unwrap(self.no)
+            .map_err(|_| NetError::Unexpected("operator still shared at shutdown"))
+            .map(|m| match m.into_inner() {
+                Ok(no) => no,
+                Err(p) => p.into_inner(),
+            })
+    }
+}
+
+/// Per-connection request loop: answer any number of bulletin requests
+/// until the peer says `Bye`, closes, or goes quiet past the deadline.
+fn serve(
+    stream: TcpStream,
+    no: &Mutex<NetworkOperator>,
+    metrics: &Arc<NetMetrics>,
+    cfg: DaemonConfig,
+) {
+    let Ok(mut conn) = Connection::new(stream, cfg.conn, Arc::clone(metrics)) else {
+        return;
+    };
+    loop {
+        match conn.recv() {
+            Ok(NodeMessage::GetBulletin) => {
+                let bulletin = {
+                    let op = lock_recover(no);
+                    let now = wall_ms();
+                    Bulletin {
+                        epoch: op.epoch(),
+                        crl: op.publish_crl(now),
+                        url: op.publish_url(now),
+                    }
+                };
+                if conn.send(&NodeMessage::Bulletin(bulletin)).is_err() {
+                    return;
+                }
+            }
+            Ok(NodeMessage::Bye) | Err(NetError::Closed) => return,
+            Ok(_) => {
+                let _ = conn.send(&NodeMessage::Reject {
+                    code: reject_code::MALFORMED,
+                    detail: "NO serves bulletins only".to_owned(),
+                });
+                return;
+            }
+            // Timeout included: an idle bulletin poller gives up its slot
+            // rather than pinning a handler thread.
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The mesh-router daemon: serves beacons (M.1), runs the router side of
+//! the anonymous access protocol (M.2 → M.3), and echoes AEAD traffic on
+//! established sessions.
+//!
+//! Each accepted connection gets its own handler thread and at most one
+//! session; all shared router state (beacon DH table, revocation lists,
+//! DoS detector) lives behind one mutex on the [`MeshRouter`] entity,
+//! which stays bounded by its own `PendingTable`s no matter how many
+//! connections churn.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use peace_protocol::entities::MeshRouter;
+use peace_protocol::{ProtocolError, Session};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::wall_ms;
+use crate::conn::Connection;
+use crate::envelope::{reject_code, NodeMessage};
+use crate::error::{NetError, Result};
+use crate::metrics::{MetricsSnapshot, NetMetrics};
+use crate::server::Acceptor;
+
+use super::{lock_recover, DaemonConfig};
+
+/// A running mesh-router daemon.
+pub struct RouterDaemon {
+    router: Arc<Mutex<MeshRouter>>,
+    rng: Arc<Mutex<StdRng>>,
+    acceptor: Acceptor,
+    metrics: Arc<NetMetrics>,
+    cfg: DaemonConfig,
+}
+
+impl RouterDaemon {
+    /// Takes ownership of the router entity and starts serving on `bind`.
+    /// `rng_seed` feeds the daemon's beacon/nonce randomness.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] if the listener cannot bind.
+    pub fn spawn(router: MeshRouter, rng_seed: u64, bind: &str, cfg: DaemonConfig) -> Result<Self> {
+        let router = Arc::new(Mutex::new(router));
+        let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(rng_seed)));
+        let metrics = Arc::new(NetMetrics::default());
+
+        let h_router = Arc::clone(&router);
+        let h_rng = Arc::clone(&rng);
+        let h_metrics = Arc::clone(&metrics);
+        let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
+            Arc::new(move |stream, _conn_id| {
+                serve(stream, &h_router, &h_rng, &h_metrics, cfg);
+            });
+        let acceptor = Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
+        Ok(Self {
+            router,
+            rng,
+            acceptor,
+            metrics,
+            cfg,
+        })
+    }
+
+    /// The daemon's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.acceptor.addr()
+    }
+
+    /// A point-in-time copy of the daemon counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Live connection count.
+    pub fn live_connections(&self) -> usize {
+        self.acceptor.live_connections()
+    }
+
+    /// Polls the NO bulletin server once and installs the served lists,
+    /// after verifying NO's signatures and freshness locally (the daemon
+    /// does not blindly trust the transport). Returns the installed URL
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the poll; [`NetError::Protocol`] if either
+    /// list fails validation; [`NetError::Unexpected`] on a non-bulletin
+    /// reply.
+    pub fn refresh_lists(&self, no_addr: SocketAddr) -> Result<u64> {
+        let mut conn = Connection::dial(
+            no_addr,
+            self.cfg.connect_timeout,
+            self.cfg.conn,
+            Arc::clone(&self.metrics),
+        )?;
+        conn.send(&NodeMessage::GetBulletin)?;
+        let reply = conn.recv()?;
+        conn.close();
+        let NodeMessage::Bulletin(b) = reply else {
+            return Err(NetError::Unexpected("NO replied with a non-bulletin"));
+        };
+        let now = wall_ms();
+        let mut router = lock_recover(&self.router);
+        let max_age = router.config().list_max_age;
+        let npk = *router.npk();
+        b.crl
+            .validate(&npk, now, max_age)
+            .map_err(NetError::Protocol)?;
+        b.url
+            .validate(&npk, now, max_age)
+            .map_err(NetError::Protocol)?;
+        let version = b.url.version;
+        router.update_lists(b.crl, b.url);
+        Ok(version)
+    }
+
+    /// Runs `f` against the live router entity (log draining, attack-mode
+    /// overrides).
+    pub fn with_router<R>(&self, f: impl FnOnce(&mut MeshRouter) -> R) -> R {
+        f(&mut lock_recover(&self.router))
+    }
+
+    /// Graceful shutdown; hands the router entity back.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unexpected`] if the entity is still shared (cannot
+    /// happen through this API).
+    pub fn shutdown(mut self) -> Result<MeshRouter> {
+        self.acceptor.shutdown(self.cfg.drain);
+        drop(self.acceptor);
+        drop(self.rng);
+        Arc::try_unwrap(self.router)
+            .map_err(|_| NetError::Unexpected("router still shared at shutdown"))
+            .map(|m| match m.into_inner() {
+                Ok(r) => r,
+                Err(p) => p.into_inner(),
+            })
+    }
+}
+
+/// Maps a protocol failure to the wire reject code the user agent keys its
+/// retry decision on: revocation is terminal, everything else is worth a
+/// fresh handshake (the request may simply have been mangled in flight).
+fn code_for(err: &ProtocolError) -> u16 {
+    match err {
+        ProtocolError::SignerRevoked | ProtocolError::CertificateRevoked => reject_code::REVOKED,
+        _ => reject_code::AUTH_FAILED,
+    }
+}
+
+/// Per-connection state machine: beacon requests and one M.2 → M.3
+/// handshake, then AEAD echo service on the established session.
+fn serve(
+    stream: TcpStream,
+    router: &Mutex<MeshRouter>,
+    rng: &Mutex<StdRng>,
+    metrics: &Arc<NetMetrics>,
+    cfg: DaemonConfig,
+) {
+    let Ok(mut conn) = Connection::new(stream, cfg.conn, Arc::clone(metrics)) else {
+        return;
+    };
+    let mut session: Option<Session> = None;
+    loop {
+        let msg = match conn.recv() {
+            Ok(m) => m,
+            Err(NetError::Malformed(_)) => {
+                // A mangled frame (fault proxy, hostile peer) is not worth
+                // killing the connection over before authentication; tell
+                // the peer and keep listening.
+                if conn
+                    .send(&NodeMessage::Reject {
+                        code: reject_code::MALFORMED,
+                        detail: "undecodable envelope".to_owned(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        match msg {
+            NodeMessage::GetBeacon => {
+                let beacon = {
+                    let mut r = lock_recover(router);
+                    let mut g = lock_recover(rng);
+                    r.beacon(wall_ms(), &mut *g)
+                };
+                if conn.send(&NodeMessage::Beacon(Box::new(beacon))).is_err() {
+                    return;
+                }
+            }
+            NodeMessage::AccessRequest(req) => {
+                let outcome = lock_recover(router).process_access_request(&req, wall_ms());
+                match outcome {
+                    Ok((confirm, sess)) => {
+                        NetMetrics::inc(&metrics.handshakes_ok);
+                        session = Some(sess);
+                        if conn
+                            .send(&NodeMessage::AccessConfirm(Box::new(confirm)))
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        NetMetrics::inc(&metrics.handshakes_fail);
+                        let reply = NodeMessage::Reject {
+                            code: code_for(&e),
+                            detail: format!("{e:?}"),
+                        };
+                        if conn.send(&reply).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            NodeMessage::Data(ciphertext) => match session.as_mut() {
+                Some(sess) => match sess.open_data(&ciphertext) {
+                    Ok(plain) => {
+                        let echo = sess.seal_data(&plain);
+                        if conn.send(&NodeMessage::Data(echo)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => {
+                        // Strict in-order AEAD: a bad record is fatal to
+                        // the session (no resync point).
+                        let _ = conn.send(&NodeMessage::Reject {
+                            code: reject_code::MALFORMED,
+                            detail: "AEAD record rejected".to_owned(),
+                        });
+                        return;
+                    }
+                },
+                None => {
+                    if conn
+                        .send(&NodeMessage::Reject {
+                            code: reject_code::NO_SESSION,
+                            detail: "data before handshake".to_owned(),
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+            },
+            NodeMessage::Bye => return,
+            _ => {
+                let _ = conn.send(&NodeMessage::Reject {
+                    code: reject_code::MALFORMED,
+                    detail: "unexpected message for a router".to_owned(),
+                });
+                return;
+            }
+        }
+    }
+}

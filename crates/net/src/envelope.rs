@@ -1,0 +1,263 @@
+//! The typed message envelope carried inside every frame.
+//!
+//! An envelope is `magic ‖ version ‖ kind ‖ body`, all encoded with the
+//! deterministic `peace-wire` codec; the bodies reuse the canonical
+//! encodings of the protocol messages themselves (M.1–M.3 travel on the
+//! wire byte-identical to how they are hashed and signed). Unknown magic,
+//! versions, or kinds are clean decode errors, never panics.
+
+use peace_protocol::{AccessConfirm, AccessRequest, Beacon, SignedCrl, SignedUrl};
+use peace_wire::{Decode, Encode, Reader, WireError, Writer};
+
+/// Envelope magic: "PCN" + format revision.
+pub const MAGIC: [u8; 4] = *b"PCN1";
+
+/// Envelope version (bumped on incompatible envelope changes).
+pub const VERSION: u16 = 1;
+
+/// Machine-readable codes carried by [`NodeMessage::Reject`].
+pub mod reject_code {
+    /// The daemon is at capacity; try again later.
+    pub const BUSY: u16 = 1;
+    /// The request failed to decode or was not valid for this role.
+    pub const MALFORMED: u16 = 2;
+    /// Authentication failed (bad signature, stale timestamp, …).
+    pub const AUTH_FAILED: u16 = 3;
+    /// The signer's group private key is on the current URL.
+    pub const REVOKED: u16 = 4;
+    /// No established session exists for data traffic on this connection.
+    pub const NO_SESSION: u16 = 5;
+    /// An internal daemon error (should not happen; counted).
+    pub const INTERNAL: u16 = 6;
+}
+
+mod kind {
+    pub const GET_BULLETIN: u8 = 1;
+    pub const BULLETIN: u8 = 2;
+    pub const GET_BEACON: u8 = 3;
+    pub const BEACON: u8 = 4;
+    pub const ACCESS_REQUEST: u8 = 5;
+    pub const ACCESS_CONFIRM: u8 = 6;
+    pub const DATA: u8 = 7;
+    pub const REJECT: u8 = 8;
+    pub const BYE: u8 = 9;
+}
+
+/// The revocation bulletin served by the NO daemon: epoch number plus the
+/// currently signed CRL and URL. Routers poll it to refresh the lists they
+/// re-broadcast in beacons; users may poll it directly to tighten their
+/// freshness floor between beacons.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bulletin {
+    /// The operator's key epoch at publication.
+    pub epoch: u64,
+    /// Current signed certificate revocation list.
+    pub crl: SignedCrl,
+    /// Current signed user revocation list.
+    pub url: SignedUrl,
+}
+
+impl Encode for Bulletin {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        self.crl.encode(w);
+        self.url.encode(w);
+    }
+}
+
+impl Decode for Bulletin {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        Ok(Self {
+            epoch: r.get_u64()?,
+            crl: SignedCrl::decode(r)?,
+            url: SignedUrl::decode(r)?,
+        })
+    }
+}
+
+/// Every message a PEACE node daemon sends or receives.
+#[derive(Clone, PartialEq, Debug)]
+pub enum NodeMessage {
+    /// Poll the NO daemon for the current revocation bulletin.
+    GetBulletin,
+    /// The NO daemon's bulletin response.
+    Bulletin(Bulletin),
+    /// Ask a router daemon for a fresh beacon (M.1). On radio this is a
+    /// broadcast; over TCP the poll stands in for tuning to the channel.
+    GetBeacon,
+    /// A router beacon (M.1).
+    Beacon(Box<Beacon>),
+    /// The anonymous access request (M.2).
+    AccessRequest(Box<AccessRequest>),
+    /// The access confirmation (M.3).
+    AccessConfirm(Box<AccessConfirm>),
+    /// AEAD-sealed application data on an established session.
+    Data(Vec<u8>),
+    /// Explicit rejection with a machine-readable code.
+    Reject {
+        /// One of [`reject_code`].
+        code: u16,
+        /// Human-readable detail (not relied on by machines).
+        detail: String,
+    },
+    /// Graceful close: the sender will write nothing further.
+    Bye,
+}
+
+impl NodeMessage {
+    /// Short name of the message kind (metrics/log labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NodeMessage::GetBulletin => "get-bulletin",
+            NodeMessage::Bulletin(_) => "bulletin",
+            NodeMessage::GetBeacon => "get-beacon",
+            NodeMessage::Beacon(_) => "beacon",
+            NodeMessage::AccessRequest(_) => "access-request",
+            NodeMessage::AccessConfirm(_) => "access-confirm",
+            NodeMessage::Data(_) => "data",
+            NodeMessage::Reject { .. } => "reject",
+            NodeMessage::Bye => "bye",
+        }
+    }
+}
+
+impl Encode for NodeMessage {
+    fn encode(&self, w: &mut Writer) {
+        w.put_fixed(&MAGIC);
+        w.put_u16(VERSION);
+        match self {
+            NodeMessage::GetBulletin => w.put_u8(kind::GET_BULLETIN),
+            NodeMessage::Bulletin(b) => {
+                w.put_u8(kind::BULLETIN);
+                b.encode(w);
+            }
+            NodeMessage::GetBeacon => w.put_u8(kind::GET_BEACON),
+            NodeMessage::Beacon(b) => {
+                w.put_u8(kind::BEACON);
+                b.encode(w);
+            }
+            NodeMessage::AccessRequest(m) => {
+                w.put_u8(kind::ACCESS_REQUEST);
+                m.encode(w);
+            }
+            NodeMessage::AccessConfirm(m) => {
+                w.put_u8(kind::ACCESS_CONFIRM);
+                m.encode(w);
+            }
+            NodeMessage::Data(d) => {
+                w.put_u8(kind::DATA);
+                w.put_bytes(d);
+            }
+            NodeMessage::Reject { code, detail } => {
+                w.put_u8(kind::REJECT);
+                w.put_u16(*code);
+                w.put_str(detail);
+            }
+            NodeMessage::Bye => w.put_u8(kind::BYE),
+        }
+    }
+}
+
+impl Decode for NodeMessage {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        if r.get_fixed(MAGIC.len())? != MAGIC {
+            return Err(WireError::Invalid("envelope.magic"));
+        }
+        if r.get_u16()? != VERSION {
+            return Err(WireError::Invalid("envelope.version"));
+        }
+        match r.get_u8()? {
+            kind::GET_BULLETIN => Ok(NodeMessage::GetBulletin),
+            kind::BULLETIN => Ok(NodeMessage::Bulletin(Bulletin::decode(r)?)),
+            kind::GET_BEACON => Ok(NodeMessage::GetBeacon),
+            kind::BEACON => Ok(NodeMessage::Beacon(Box::new(Beacon::decode(r)?))),
+            kind::ACCESS_REQUEST => Ok(NodeMessage::AccessRequest(Box::new(
+                AccessRequest::decode(r)?,
+            ))),
+            kind::ACCESS_CONFIRM => Ok(NodeMessage::AccessConfirm(Box::new(
+                AccessConfirm::decode(r)?,
+            ))),
+            kind::DATA => Ok(NodeMessage::Data(r.get_bytes()?.to_vec())),
+            kind::REJECT => Ok(NodeMessage::Reject {
+                code: r.get_u16()?,
+                detail: r.get_str()?,
+            }),
+            kind::BYE => Ok(NodeMessage::Bye),
+            _ => Err(WireError::Invalid("envelope.kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &NodeMessage) {
+        let bytes = msg.to_wire();
+        let back = NodeMessage::from_wire(&bytes).unwrap();
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn plain_kinds_roundtrip() {
+        roundtrip(&NodeMessage::GetBulletin);
+        roundtrip(&NodeMessage::GetBeacon);
+        roundtrip(&NodeMessage::Bye);
+        roundtrip(&NodeMessage::Data(b"sealed bytes".to_vec()));
+        roundtrip(&NodeMessage::Data(Vec::new()));
+        roundtrip(&NodeMessage::Reject {
+            code: reject_code::REVOKED,
+            detail: "signer on URL".into(),
+        });
+    }
+
+    #[test]
+    fn bad_magic_version_kind_rejected() {
+        let mut bytes = NodeMessage::GetBeacon.to_wire();
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            NodeMessage::from_wire(&bytes),
+            Err(WireError::Invalid("envelope.magic"))
+        );
+
+        let mut bytes = NodeMessage::GetBeacon.to_wire();
+        bytes[5] ^= 0xFF; // version low byte
+        assert_eq!(
+            NodeMessage::from_wire(&bytes),
+            Err(WireError::Invalid("envelope.version"))
+        );
+
+        let mut bytes = NodeMessage::GetBeacon.to_wire();
+        bytes[6] = 0xEE; // unknown kind
+        assert_eq!(
+            NodeMessage::from_wire(&bytes),
+            Err(WireError::Invalid("envelope.kind"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = NodeMessage::Bye.to_wire();
+        bytes.push(0);
+        assert_eq!(
+            NodeMessage::from_wire(&bytes),
+            Err(WireError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn kind_names_distinct() {
+        let msgs = [
+            NodeMessage::GetBulletin,
+            NodeMessage::GetBeacon,
+            NodeMessage::Data(vec![]),
+            NodeMessage::Reject {
+                code: 0,
+                detail: String::new(),
+            },
+            NodeMessage::Bye,
+        ];
+        let names: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind_name()).collect();
+        assert_eq!(names.len(), msgs.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! Every PEACE network message travels as one *frame*: a 4-byte big-endian
+//! payload length followed by the payload (a wire-encoded
+//! [`NodeMessage`](crate::envelope::NodeMessage)). The reader enforces a
+//! configurable upper bound on the declared length *before* allocating, so
+//! a hostile or corrupted peer cannot balloon memory, and every failure
+//! surfaces as a clean [`NetError`] — never a panic.
+
+use std::io::{Read, Write};
+
+use crate::error::{NetError, Result};
+
+/// Byte width of the length prefix.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default upper bound on a frame payload (1 MiB). Beacons with large
+/// revocation lists are a few tens of KiB; anything near this bound is
+/// hostile.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] if the payload exceeds `max_frame`;
+/// otherwise any socket error, with timeouts mapped to
+/// [`NetError::Timeout`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: usize) -> Result<()> {
+    if payload.len() > max_frame {
+        return Err(NetError::FrameTooLarge {
+            declared: payload.len() as u64,
+            max: max_frame as u64,
+        });
+    }
+    let len = u32::try_from(payload.len()).map_err(|_| NetError::FrameTooLarge {
+        declared: payload.len() as u64,
+        max: u64::from(u32::MAX),
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, rejecting payloads longer than `max_frame` before
+/// allocating.
+///
+/// # Errors
+///
+/// [`NetError::Closed`] on EOF at a frame boundary or mid-frame,
+/// [`NetError::Timeout`] on a missed read deadline, and
+/// [`NetError::FrameTooLarge`] when the declared length exceeds the bound
+/// (after which the stream is desynchronized and must be dropped).
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > max_frame {
+        return Err(NetError::FrameTooLarge {
+            declared: declared as u64,
+            max: max_frame as u64,
+        });
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap(),
+            b"hello frame"
+        );
+        assert_eq!(read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME),
+            Err(NetError::Closed)
+        );
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let mut buf = Vec::new();
+        let big = vec![0u8; 64];
+        assert_eq!(
+            write_frame(&mut buf, &big, 63),
+            Err(NetError::FrameTooLarge {
+                declared: 64,
+                max: 63
+            })
+        );
+        assert!(buf.is_empty(), "nothing written for a rejected frame");
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected_before_allocation() {
+        // Header claims 256 MiB; bound is 1 KiB — must fail without reading on.
+        let mut bytes = (256u32 << 20).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 8]);
+        let mut cur = Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cur, 1024),
+            Err(NetError::FrameTooLarge {
+                declared: 256 << 20,
+                max: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_clean_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload", DEFAULT_MAX_FRAME).unwrap();
+        for cut in 0..buf.len() {
+            let mut cur = Cursor::new(&buf[..cut]);
+            assert_eq!(
+                read_frame(&mut cur, DEFAULT_MAX_FRAME),
+                Err(NetError::Closed),
+                "cut at {cut}"
+            );
+        }
+    }
+}

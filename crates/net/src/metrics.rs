@@ -1,0 +1,196 @@
+//! Net-layer observability: lock-free per-daemon counters and per-connection
+//! statistics, both exportable as JSON snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared per-daemon counters. One instance is owned by each daemon and
+/// cloned (via `Arc`) into every connection handler; all increments are
+/// relaxed atomics — the counters are monotone and read only in snapshots.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Frames successfully read.
+    pub frames_in: AtomicU64,
+    /// Frames successfully written.
+    pub frames_out: AtomicU64,
+    /// Payload bytes read (excluding frame headers).
+    pub bytes_in: AtomicU64,
+    /// Payload bytes written (excluding frame headers).
+    pub bytes_out: AtomicU64,
+    /// Handshakes completed (M.3 issued / session established).
+    pub handshakes_ok: AtomicU64,
+    /// Handshakes rejected or failed.
+    pub handshakes_fail: AtomicU64,
+    /// Read/write deadline misses.
+    pub timeouts: AtomicU64,
+    /// Inbound frames rejected for exceeding the size bound.
+    pub oversize_rejected: AtomicU64,
+    /// Frames that failed envelope decoding.
+    pub decode_failures: AtomicU64,
+    /// Connections accepted.
+    pub connections_accepted: AtomicU64,
+    /// Connections turned away at the connection-count limit.
+    pub connections_rejected: AtomicU64,
+    /// Sends refused because the bounded outbound queue was full.
+    pub backpressure_events: AtomicU64,
+    /// Handler threads that panicked (must stay 0; asserted by tests).
+    pub handler_panics: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Frames successfully read.
+    pub frames_in: u64,
+    /// Frames successfully written.
+    pub frames_out: u64,
+    /// Payload bytes read.
+    pub bytes_in: u64,
+    /// Payload bytes written.
+    pub bytes_out: u64,
+    /// Handshakes completed.
+    pub handshakes_ok: u64,
+    /// Handshakes rejected or failed.
+    pub handshakes_fail: u64,
+    /// Deadline misses.
+    pub timeouts: u64,
+    /// Oversize frames rejected.
+    pub oversize_rejected: u64,
+    /// Envelope decode failures.
+    pub decode_failures: u64,
+    /// Connections accepted.
+    pub connections_accepted: u64,
+    /// Connections rejected at the limit.
+    pub connections_rejected: u64,
+    /// Backpressure refusals.
+    pub backpressure_events: u64,
+    /// Handler panics (must be 0).
+    pub handler_panics: u64,
+}
+
+impl NetMetrics {
+    /// Relaxed increment helper.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed add helper.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot (counters are independent).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            frames_in: ld(&self.frames_in),
+            frames_out: ld(&self.frames_out),
+            bytes_in: ld(&self.bytes_in),
+            bytes_out: ld(&self.bytes_out),
+            handshakes_ok: ld(&self.handshakes_ok),
+            handshakes_fail: ld(&self.handshakes_fail),
+            timeouts: ld(&self.timeouts),
+            oversize_rejected: ld(&self.oversize_rejected),
+            decode_failures: ld(&self.decode_failures),
+            connections_accepted: ld(&self.connections_accepted),
+            connections_rejected: ld(&self.connections_rejected),
+            backpressure_events: ld(&self.backpressure_events),
+            handler_panics: ld(&self.handler_panics),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Serializes the snapshot as a single JSON object (no external
+    /// dependencies; keys are stable for dashboards and `BENCH_net.json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"frames_in\":{},\"frames_out\":{},\"bytes_in\":{},\"bytes_out\":{},",
+                "\"handshakes_ok\":{},\"handshakes_fail\":{},\"timeouts\":{},",
+                "\"oversize_rejected\":{},\"decode_failures\":{},",
+                "\"connections_accepted\":{},\"connections_rejected\":{},",
+                "\"backpressure_events\":{},\"handler_panics\":{}}}"
+            ),
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.handshakes_ok,
+            self.handshakes_fail,
+            self.timeouts,
+            self.oversize_rejected,
+            self.decode_failures,
+            self.connections_accepted,
+            self.connections_rejected,
+            self.backpressure_events,
+            self.handler_panics,
+        )
+    }
+}
+
+/// Per-connection statistics, kept as plain integers on the connection
+/// (single-threaded by construction) and snapshotted on demand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Frames read on this connection.
+    pub frames_in: u64,
+    /// Frames written on this connection.
+    pub frames_out: u64,
+    /// Payload bytes read.
+    pub bytes_in: u64,
+    /// Payload bytes written.
+    pub bytes_out: u64,
+    /// Deadline misses observed.
+    pub timeouts: u64,
+    /// Envelope decode failures observed.
+    pub decode_failures: u64,
+}
+
+impl ConnStats {
+    /// Serializes the per-connection counters as JSON.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"frames_in\":{},\"frames_out\":{},\"bytes_in\":{},",
+                "\"bytes_out\":{},\"timeouts\":{},\"decode_failures\":{}}}"
+            ),
+            self.frames_in,
+            self.frames_out,
+            self.bytes_in,
+            self.bytes_out,
+            self.timeouts,
+            self.decode_failures,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_increments() {
+        let m = NetMetrics::default();
+        NetMetrics::inc(&m.frames_in);
+        NetMetrics::add(&m.bytes_in, 100);
+        NetMetrics::inc(&m.handshakes_ok);
+        let s = m.snapshot();
+        assert_eq!(s.frames_in, 1);
+        assert_eq!(s.bytes_in, 100);
+        assert_eq!(s.handshakes_ok, 1);
+        assert_eq!(s.handler_panics, 0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let s = NetMetrics::default().snapshot();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"handshakes_ok\":0"));
+        assert!(j.contains("\"handler_panics\":0"));
+        assert_eq!(j.matches('{').count(), 1);
+
+        let c = ConnStats::default().to_json();
+        assert!(c.contains("\"frames_in\":0"));
+    }
+}

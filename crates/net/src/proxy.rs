@@ -1,0 +1,383 @@
+//! A TCP fault proxy: the adversarial channel of
+//! [`peace_protocol::transport`] adapted to real streams.
+//!
+//! The proxy sits between a client and an upstream daemon, re-framing the
+//! byte stream and applying the same seeded [`FaultPlan`] semantics the
+//! simulator uses — per *frame*, which is the stream analogue of the
+//! simulator's per-message faults:
+//!
+//! * **drop** — the frame is never forwarded (the receiver sees silence
+//!   and must time out);
+//! * **delay** — forwarding sleeps for a bounded real interval;
+//! * **truncate** — the payload is cut at a random boundary and re-framed
+//!   (the length prefix stays consistent, so the stream survives but the
+//!   envelope fails to decode — exactly how a mangled radio frame that
+//!   still passes the MAC-layer CRC looks to PEACE);
+//! * **bit-flip** — one payload bit is flipped;
+//! * **duplicate** — the frame is forwarded twice;
+//! * **reorder** — the frame is held back and released after the next one.
+//!
+//! Flipping bits *in the length prefix* would desynchronize framing
+//! forever, which no retry could heal — the radio analogue is a frame that
+//! fails CRC and is dropped, already modelled by **drop** — so faults are
+//! applied to payloads only.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use peace_protocol::FaultPlan;
+
+use crate::error::Result;
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// Proxy tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyConfig {
+    /// The fault plan applied independently to every forwarded frame.
+    pub plan: FaultPlan,
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Frame-size bound while re-framing.
+    pub max_frame: usize,
+    /// Real-time cap on any injected delay (ms); the plan's `max_delay`
+    /// is interpreted in ms and additionally clamped to this.
+    pub delay_cap_ms: u64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        Self {
+            plan: FaultPlan::NONE,
+            seed: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+            delay_cap_ms: 300,
+        }
+    }
+}
+
+/// Counters of faults the proxy has injected (stream-side mirror of the
+/// simulator's `FaultStats`).
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Frames forwarded (before fault decisions).
+    pub forwarded: AtomicU64,
+    /// Frames dropped.
+    pub dropped: AtomicU64,
+    /// Frames forwarded twice.
+    pub duplicated: AtomicU64,
+    /// Frames held back behind a later frame.
+    pub reordered: AtomicU64,
+    /// Frames delayed.
+    pub delayed: AtomicU64,
+    /// Frames truncated.
+    pub truncated: AtomicU64,
+    /// Frames with one bit flipped.
+    pub bit_flipped: AtomicU64,
+}
+
+impl ProxyStats {
+    /// Total fault events injected.
+    pub fn total_faults(&self) -> u64 {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ld(&self.dropped)
+            + ld(&self.duplicated)
+            + ld(&self.reordered)
+            + ld(&self.delayed)
+            + ld(&self.truncated)
+            + ld(&self.bit_flipped)
+    }
+}
+
+/// Deterministic splitmix64 (the proxy's private noise source; independent
+/// of the simulator RNG draw order, same recurrence as `transport`).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// A running fault proxy in front of one upstream address.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ProxyStats>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds a loopback listener and starts proxying to `upstream`.
+    pub fn spawn(upstream: SocketAddr, cfg: ProxyConfig) -> Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ProxyStats::default());
+
+        let t_shutdown = Arc::clone(&shutdown);
+        let t_stats = Arc::clone(&stats);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_seq = 0u64;
+            for stream in listener.incoming() {
+                if t_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let client = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                conn_seq += 1;
+                let up = match TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                };
+                // One forwarder per direction, each with its own seeded
+                // fault stream so runs replay exactly per (seed, conn#).
+                for (dir, from, to) in [
+                    (0u64, client.try_clone(), up.try_clone()),
+                    (1u64, up.try_clone(), client.try_clone()),
+                ] {
+                    let (Ok(from), Ok(to)) = (from, to) else {
+                        continue;
+                    };
+                    let seed = cfg
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(conn_seq * 2 + dir);
+                    let f_stats = Arc::clone(&t_stats);
+                    std::thread::spawn(move || {
+                        forward(from, to, cfg, seed, &f_stats);
+                    });
+                }
+            }
+        });
+
+        Ok(Self {
+            addr,
+            shutdown,
+            stats,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address — dial this instead of the upstream.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Injected-fault counters.
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    /// Stops accepting and tears the proxy down. In-flight forwarders exit
+    /// as their streams close.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Forwards frames in one direction, applying fault decisions per frame.
+fn forward(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    cfg: ProxyConfig,
+    seed: u64,
+    stats: &ProxyStats,
+) {
+    let _ = from.set_read_timeout(None);
+    let mut rng = SplitMix64(seed ^ 0xC0FF_EE00_D00D_F00D);
+    let mut holdback: Option<Vec<u8>> = None;
+    while let Ok(mut payload) = read_frame(&mut from, cfg.max_frame) {
+        stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        let plan = &cfg.plan;
+
+        if rng.chance(plan.drop_prob) {
+            stats.dropped.fetch_add(1, Ordering::Relaxed);
+            // Still release anything held back behind the dropped frame.
+            if let Some(held) = holdback.take() {
+                if emit(&mut to, &held, cfg.max_frame).is_err() {
+                    break;
+                }
+            }
+            continue;
+        }
+        if !payload.is_empty() && rng.chance(plan.truncate_prob) {
+            let cut = rng.below(payload.len() as u64) as usize;
+            payload.truncate(cut);
+            stats.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        if !payload.is_empty() && rng.chance(plan.bit_flip_prob) {
+            let bit = rng.below(payload.len() as u64 * 8);
+            payload[(bit / 8) as usize] ^= 1 << (bit % 8);
+            stats.bit_flipped.fetch_add(1, Ordering::Relaxed);
+        }
+        if plan.max_delay > 0 && rng.chance(plan.delay_prob) {
+            let ms = (1 + rng.below(plan.max_delay)).min(cfg.delay_cap_ms);
+            stats.delayed.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let duplicated = rng.chance(plan.duplicate_prob);
+        let reordered = rng.chance(plan.reorder_prob);
+
+        if reordered && holdback.is_none() {
+            stats.reordered.fetch_add(1, Ordering::Relaxed);
+            holdback = Some(payload);
+            continue;
+        }
+        if emit(&mut to, &payload, cfg.max_frame).is_err() {
+            break;
+        }
+        if duplicated {
+            stats.duplicated.fetch_add(1, Ordering::Relaxed);
+            if emit(&mut to, &payload, cfg.max_frame).is_err() {
+                break;
+            }
+        }
+        if let Some(held) = holdback.take() {
+            if emit(&mut to, &held, cfg.max_frame).is_err() {
+                break;
+            }
+        }
+    }
+    // Stream over: release any parked frame, then close both halves so the
+    // peer observes EOF promptly.
+    if let Some(held) = holdback.take() {
+        let _ = emit(&mut to, &held, cfg.max_frame);
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+fn emit(to: &mut (impl Write + Read), payload: &[u8], max_frame: usize) -> Result<()> {
+    write_frame(to, payload, max_frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo server speaking raw frames (no envelope) for proxy unit tests.
+    fn frame_echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            while let Ok((mut s, _)) = listener.accept() {
+                let done = std::thread::spawn(move || {
+                    while let Ok(p) = read_frame(&mut s, DEFAULT_MAX_FRAME) {
+                        if p == b"quit" {
+                            return true;
+                        }
+                        if write_frame(&mut s, &p, DEFAULT_MAX_FRAME).is_err() {
+                            break;
+                        }
+                    }
+                    false
+                });
+                if done.join().unwrap_or(false) {
+                    break;
+                }
+            }
+        });
+        (addr, t)
+    }
+
+    #[test]
+    fn clean_proxy_is_transparent() {
+        let (upstream, server) = frame_echo_server();
+        let mut proxy = FaultProxy::spawn(upstream, ProxyConfig::default()).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        for i in 0..20u8 {
+            let msg = vec![i; 32];
+            write_frame(&mut c, &msg, DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(read_frame(&mut c, DEFAULT_MAX_FRAME).unwrap(), msg);
+        }
+        assert_eq!(proxy.stats().total_faults(), 0);
+        write_frame(&mut c, b"quit", DEFAULT_MAX_FRAME).unwrap();
+        drop(c);
+        proxy.shutdown();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn faults_fire_and_stream_survives() {
+        let (upstream, server) = frame_echo_server();
+        let cfg = ProxyConfig {
+            plan: FaultPlan {
+                drop_prob: 0.2,
+                bit_flip_prob: 0.2,
+                truncate_prob: 0.15,
+                duplicate_prob: 0.15,
+                ..FaultPlan::NONE
+            },
+            seed: 7,
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FaultProxy::spawn(upstream, cfg).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut received = 0u32;
+        for i in 0..120u8 {
+            let msg = vec![i; 48];
+            if write_frame(&mut c, &msg, DEFAULT_MAX_FRAME).is_err() {
+                break;
+            }
+            // Drain whatever arrives within the deadline; drops are fine.
+            if read_frame(&mut c, DEFAULT_MAX_FRAME).is_ok() {
+                received += 1;
+            }
+        }
+        assert!(received > 20, "some echoes must get through: {received}");
+        assert!(proxy.stats().total_faults() > 10);
+        assert!(proxy.stats().dropped.load(Ordering::Relaxed) > 0);
+        assert!(proxy.stats().bit_flipped.load(Ordering::Relaxed) > 0);
+        write_frame(&mut c, b"quit", DEFAULT_MAX_FRAME).ok();
+        drop(c);
+        proxy.shutdown();
+        let _ = server.join();
+    }
+}

@@ -1,0 +1,171 @@
+//! Shared accept-loop machinery for the node daemons: connection-count
+//! limiting, panic containment, and graceful shutdown.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::metrics::NetMetrics;
+
+/// Handle to a running accept loop.
+pub(crate) struct Acceptor {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    live: Arc<AtomicUsize>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Acceptor {
+    /// Binds `bind` and spawns the accept loop. Each accepted stream runs
+    /// `handler` on its own thread; panics inside a handler are caught and
+    /// counted (`handler_panics`), never unwound across the daemon.
+    pub(crate) fn spawn(
+        bind: &str,
+        max_connections: usize,
+        metrics: Arc<NetMetrics>,
+        handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let live = Arc::new(AtomicUsize::new(0));
+
+        let t_shutdown = Arc::clone(&shutdown);
+        let t_live = Arc::clone(&live);
+        let thread = std::thread::spawn(move || {
+            let mut conn_id = 0u64;
+            for stream in listener.incoming() {
+                if t_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                if t_live.load(Ordering::SeqCst) >= max_connections {
+                    NetMetrics::inc(&metrics.connections_rejected);
+                    drop(stream);
+                    continue;
+                }
+                NetMetrics::inc(&metrics.connections_accepted);
+                conn_id += 1;
+                t_live.fetch_add(1, Ordering::SeqCst);
+                let h = Arc::clone(&handler);
+                let h_live = Arc::clone(&t_live);
+                let h_metrics = Arc::clone(&metrics);
+                let id = conn_id;
+                std::thread::spawn(move || {
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| h(stream, id)));
+                    if outcome.is_err() {
+                        NetMetrics::inc(&h_metrics.handler_panics);
+                    }
+                    h_live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+
+        Ok(Self {
+            addr,
+            shutdown,
+            live,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live handler-thread count.
+    pub(crate) fn live_connections(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, wake the blocked `accept`, and
+    /// wait up to `drain` for in-flight handlers to finish.
+    pub(crate) fn shutdown(&mut self, drain: Duration) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + drain;
+        while self.live.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for Acceptor {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown(Duration::from_millis(500));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn accepts_and_limits_connections() {
+        let metrics = Arc::new(NetMetrics::default());
+        let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
+            Arc::new(|mut stream: TcpStream, _id| {
+                // Hold the connection open until the client closes.
+                let mut b = [0u8; 1];
+                let _ = stream.read(&mut b);
+            });
+        let mut acc = Acceptor::spawn("127.0.0.1:0", 2, Arc::clone(&metrics), handler).unwrap();
+        let addr = acc.addr();
+
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        // Give the accept loop time to register both.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while acc.live_connections() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(acc.live_connections(), 2);
+
+        // Third connection is turned away (closed without service).
+        let mut c3 = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while metrics.snapshot().connections_rejected == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(metrics.snapshot().connections_rejected, 1);
+        let mut buf = [0u8; 1];
+        c3.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(c3.read(&mut buf).unwrap_or(0), 0, "rejected conn closed");
+
+        drop(c1);
+        drop(c2);
+        acc.shutdown(Duration::from_secs(2));
+        assert_eq!(acc.live_connections(), 0);
+        assert_eq!(metrics.snapshot().handler_panics, 0);
+    }
+
+    #[test]
+    fn handler_panic_contained_and_counted() {
+        let metrics = Arc::new(NetMetrics::default());
+        let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
+            Arc::new(|_stream, _id| panic!("deliberate"));
+        let mut acc = Acceptor::spawn("127.0.0.1:0", 4, Arc::clone(&metrics), handler).unwrap();
+        let mut c = TcpStream::connect(acc.addr()).unwrap();
+        let _ = c.write_all(b"x");
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while metrics.snapshot().handler_panics == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(metrics.snapshot().handler_panics, 1);
+        acc.shutdown(Duration::from_secs(1));
+    }
+}

@@ -108,6 +108,11 @@ impl MeshRouter {
         &self.cert
     }
 
+    /// The protocol configuration this router runs under.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
     /// Forces DoS-defense mode on or off, overriding automatic detection.
     pub fn set_under_attack(&mut self, on: bool) {
         self.manual_attack_mode = Some(on);

@@ -206,6 +206,47 @@ impl UserClient {
         self.current_url.as_ref()
     }
 
+    /// The highest (CRL, URL) versions this client has accepted — the
+    /// floor below which [`Self::adopt_lists`] rejects regressions.
+    pub fn list_versions(&self) -> (u64, u64) {
+        (self.highest_crl_version, self.highest_url_version)
+    }
+
+    /// Adopts revocation lists served outside a beacon (e.g. polled from
+    /// the NO bulletin), enforcing the same rules as beacon processing:
+    /// NO's signature, the `list_max_age` freshness bound, and version
+    /// monotonicity. A stale or version-regressing list is rejected and
+    /// the previously adopted lists stay in force — without this check a
+    /// phishing mesh router (§V.A) could feed a client an old URL that
+    /// omits freshly revoked members.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadCrlSignature`] / [`ProtocolError::BadUrlSignature`]
+    /// / expiry errors from [`SignedCrl::validate`](crate::revocation::SignedCrl::validate)
+    /// and [`SignedUrl::validate`];
+    /// [`ProtocolError::StaleCrl`] / [`ProtocolError::StaleUrl`] on a
+    /// version regression.
+    pub fn adopt_lists(
+        &mut self,
+        crl: &crate::revocation::SignedCrl,
+        url: &SignedUrl,
+        now: u64,
+    ) -> Result<()> {
+        crl.validate(&self.npk, now, self.config.list_max_age)?;
+        if crl.version < self.highest_crl_version {
+            return Err(ProtocolError::StaleCrl);
+        }
+        url.validate(&self.npk, now, self.config.list_max_age)?;
+        if url.version < self.highest_url_version {
+            return Err(ProtocolError::StaleUrl);
+        }
+        self.highest_crl_version = crl.version;
+        self.highest_url_version = url.version;
+        self.current_url = Some(url.clone());
+        Ok(())
+    }
+
     /// Validates a beacon (M.1) per §IV.B step 2.1 and, on success, builds
     /// the access request (M.2) per step 2.2.
     ///

@@ -1,0 +1,149 @@
+//! Networked-runtime benchmark: handshakes/sec and echo round-trips/sec
+//! over real loopback TCP, printed as JSON (the record behind
+//! `BENCH_net.json`).
+//!
+//! ```sh
+//! cargo run --release --example net_loopback
+//! ```
+//!
+//! Unlike the in-process benchmarks (`bench_protocol`), every handshake
+//! here crosses the OS socket stack four times (beacon request, beacon,
+//! access request, access confirm), so the number reported is the
+//! end-to-end rate a single-threaded client sees against one router
+//! daemon — framing, syscalls, and group-signature crypto included.
+
+use std::time::{Duration, Instant};
+
+use peace::net::{build_world, clock::wall_ms, ConnConfig, DaemonConfig, UserAgent, WorldSpec};
+use peace::net::{NoDaemon, RouterDaemon};
+
+const HANDSHAKES: u32 = 12;
+const ECHO_ROUNDS: u32 = 200;
+
+fn main() {
+    let spec = WorldSpec {
+        seed: 0xBE7C,
+        users: 1,
+        routers: 1,
+    };
+    let w = match build_world(&spec) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("world setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cfg = DaemonConfig {
+        conn: ConnConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            ..ConnConfig::default()
+        },
+        ..DaemonConfig::default()
+    };
+
+    let Some(router) = w.routers.into_iter().next() else {
+        eprintln!("world has no router");
+        std::process::exit(1);
+    };
+    let Some(user) = w.users.into_iter().next() else {
+        eprintln!("world has no user");
+        std::process::exit(1);
+    };
+
+    let no = match NoDaemon::spawn(w.no, "127.0.0.1:0", cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("NO daemon spawn failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let daemon = match RouterDaemon::spawn(router, 0xBE7C ^ 1, "127.0.0.1:0", cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("router daemon spawn failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Bootstrap: without a wall-fresh list sync the very first beacon is
+    // rejected as stale (provisioning lists are issued at t=0).
+    if let Err(e) = daemon.refresh_lists(no.addr()) {
+        eprintln!("bootstrap list refresh failed: {e}");
+        std::process::exit(1);
+    }
+
+    let mut agent = UserAgent::new(user, 0xA6E0, cfg);
+    if let Err(e) = agent.poll_bulletin(no.addr()) {
+        eprintln!("bulletin poll failed: {e}");
+        std::process::exit(1);
+    }
+
+    // Warm-up: one full handshake to fault in lazy curve/pairing tables.
+    match agent.connect(daemon.addr()) {
+        Ok(s) => s.close(),
+        Err(e) => {
+            eprintln!("warm-up handshake failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Measured handshakes: fresh TCP connection + anonymous access
+    // protocol each iteration.
+    let t0 = Instant::now();
+    for _ in 0..HANDSHAKES {
+        match agent.connect(daemon.addr()) {
+            Ok(s) => s.close(),
+            Err(e) => {
+                eprintln!("measured handshake failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let hs_secs = t0.elapsed().as_secs_f64();
+
+    // Measured echo rounds: one persistent session, small AEAD records.
+    let mut sess = match agent.connect(daemon.addr()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("echo-session handshake failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let t1 = Instant::now();
+    for round in 0..ECHO_ROUNDS {
+        let payload = format!("bench round {round}");
+        match sess.echo(payload.as_bytes()) {
+            Ok(back) if back == payload.as_bytes() => {}
+            Ok(_) => {
+                eprintln!("echo mismatch");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("echo failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let echo_secs = t1.elapsed().as_secs_f64();
+    sess.close();
+
+    let router_metrics = daemon.metrics();
+    let agent_metrics = agent.metrics();
+    println!(
+        "{{\n  \"bench\": \"net_loopback\",\n  \"when_ms\": {},\n  \"handshakes\": {},\n  \"handshakes_per_sec\": {:.2},\n  \"handshake_mean_ms\": {:.2},\n  \"echo_rounds\": {},\n  \"echo_rounds_per_sec\": {:.1},\n  \"echo_mean_us\": {:.1},\n  \"router\": {},\n  \"user\": {}\n}}",
+        wall_ms(),
+        HANDSHAKES,
+        f64::from(HANDSHAKES) / hs_secs,
+        hs_secs * 1_000.0 / f64::from(HANDSHAKES),
+        ECHO_ROUNDS,
+        f64::from(ECHO_ROUNDS) / echo_secs,
+        echo_secs * 1_000_000.0 / f64::from(ECHO_ROUNDS),
+        router_metrics.to_json(),
+        agent_metrics.to_json(),
+    );
+
+    if daemon.shutdown().is_err() || no.shutdown().is_err() {
+        eprintln!("daemon shutdown failed");
+        std::process::exit(1);
+    }
+}

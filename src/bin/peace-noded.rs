@@ -1,0 +1,254 @@
+//! The PEACE node daemon: runs any of the three node roles over real TCP.
+//!
+//! ```text
+//! peace-noded no     --bind 127.0.0.1:7100 [--seed N --users U --routers R]
+//! peace-noded router --bind 127.0.0.1:7200 --no ADDR --index K [--seed N ...]
+//! peace-noded user   --no ADDR --router ADDR --index J [--seed N ...]
+//! peace-noded demo   [--users U --rounds N]
+//! ```
+//!
+//! All roles replay the same deterministic setup ceremony from `--seed`,
+//! so daemons started in separate processes share trust material without
+//! any key ever crossing a socket (see `peace::net::world`). `demo` runs
+//! the whole deployment — NO, two routers, `U` users — inside one process
+//! on loopback and prints the metrics of every daemon as JSON.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use peace::net::{
+    build_world, clock::wall_ms, ConnConfig, DaemonConfig, NetError, NoDaemon, RouterDaemon,
+    UserAgent, WorldSpec,
+};
+use peace::protocol::RetryPolicy;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flag = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let opt = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    let spec = WorldSpec {
+        seed: flag("--seed", 2008),
+        users: flag("--users", 4) as usize,
+        routers: flag("--routers", 2) as usize,
+    };
+
+    let outcome = match cmd {
+        "no" => run_no(
+            &spec,
+            &opt("--bind").unwrap_or_else(|| "127.0.0.1:7100".into()),
+        ),
+        "router" => run_router(
+            &spec,
+            &opt("--bind").unwrap_or_else(|| "127.0.0.1:7200".into()),
+            opt("--no").as_deref(),
+            flag("--index", 0) as usize,
+        ),
+        "user" => run_user(
+            &spec,
+            opt("--no").as_deref(),
+            opt("--router").as_deref(),
+            flag("--index", 0) as usize,
+            flag("--rounds", 3) as u32,
+        ),
+        "demo" => run_demo(&spec, flag("--rounds", 3) as u32),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            print_help();
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!("PEACE node daemon — framed TCP runtime for the three node roles\n");
+    println!("commands:");
+    println!("  no     --bind A                  serve the revocation bulletin");
+    println!("  router --bind A --no A --index K serve beacons + access protocol");
+    println!("  user   --no A --router A         poll bulletin, authenticate, echo");
+    println!("  demo   [--users U --rounds N]    full deployment on loopback");
+    println!("\nshared flags: --seed N --users U --routers R (world replay spec)");
+}
+
+fn daemon_cfg() -> DaemonConfig {
+    DaemonConfig {
+        conn: ConnConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            ..ConnConfig::default()
+        },
+        max_connections: 64,
+        connect_timeout: Duration::from_secs(5),
+        drain: Duration::from_secs(3),
+    }
+}
+
+fn parse_addr(label: &str, s: Option<&str>) -> Result<SocketAddr, String> {
+    let s = s.ok_or_else(|| format!("missing required {label} ADDR"))?;
+    s.parse().map_err(|_| format!("bad {label} address: {s}"))
+}
+
+/// Runs the NO bulletin daemon until the process is killed.
+fn run_no(spec: &WorldSpec, bind: &str) -> Result<(), String> {
+    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let no = NoDaemon::spawn(w.no, bind, daemon_cfg()).map_err(|e| e.to_string())?;
+    println!("peace-noded: NO bulletin daemon on {}", no.addr());
+    println!(
+        "world: seed={} users={} routers={}",
+        spec.seed, spec.users, spec.routers
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(30));
+        println!("{}", no.metrics().to_json());
+    }
+}
+
+/// Runs router `--index` from the replayed world, refreshing lists from NO
+/// every 15 seconds.
+fn run_router(
+    spec: &WorldSpec,
+    bind: &str,
+    no_addr: Option<&str>,
+    index: usize,
+) -> Result<(), String> {
+    let no_addr = parse_addr("--no", no_addr)?;
+    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let router = w.routers.into_iter().nth(index).ok_or_else(|| {
+        format!(
+            "--index {index} out of range (world has {} routers)",
+            spec.routers
+        )
+    })?;
+    let daemon = RouterDaemon::spawn(router, spec.seed ^ (index as u64 + 1), bind, daemon_cfg())
+        .map_err(|e| e.to_string())?;
+    println!("peace-noded: router MR-{index} on {}", daemon.addr());
+    loop {
+        match daemon.refresh_lists(no_addr) {
+            Ok(v) => println!("lists refreshed from {no_addr}: URL v{v}"),
+            Err(e) => eprintln!("list refresh failed (will retry): {e}"),
+        }
+        std::thread::sleep(Duration::from_secs(15));
+        println!("{}", daemon.metrics().to_json());
+    }
+}
+
+/// Runs user `--index`: bulletin poll, authenticated handshake with retry,
+/// `--rounds` AEAD echo round-trips, graceful close.
+fn run_user(
+    spec: &WorldSpec,
+    no_addr: Option<&str>,
+    router_addr: Option<&str>,
+    index: usize,
+    rounds: u32,
+) -> Result<(), String> {
+    let no_addr = parse_addr("--no", no_addr)?;
+    let router_addr = parse_addr("--router", router_addr)?;
+    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let user = w.users.into_iter().nth(index).ok_or_else(|| {
+        format!(
+            "--index {index} out of range (world has {} users)",
+            spec.users
+        )
+    })?;
+    let mut agent = UserAgent::new(user, spec.seed ^ 0xA6E0 ^ index as u64, daemon_cfg());
+
+    let v = agent.poll_bulletin(no_addr).map_err(|e| e.to_string())?;
+    println!("bulletin adopted: URL v{v}, epoch {}", agent.last_epoch());
+
+    let mut sess = agent
+        .connect_with_retry(router_addr, &RetryPolicy::default())
+        .map_err(|e| match e {
+            NetError::Rejected { code, detail } => format!("rejected (code {code}): {detail}"),
+            other => other.to_string(),
+        })?;
+    println!("authenticated to {router_addr} (anonymous handshake complete)");
+
+    for round in 0..rounds {
+        let payload = format!("user-{index} echo {round} at {}", wall_ms());
+        let back = sess.echo(payload.as_bytes()).map_err(|e| e.to_string())?;
+        if back != payload.as_bytes() {
+            return Err("echo mismatch".into());
+        }
+        println!("echo round {round}: ok ({} bytes)", back.len());
+    }
+    println!("{}", sess.stats().to_json());
+    sess.close();
+    println!("{}", agent.metrics().to_json());
+    Ok(())
+}
+
+/// The whole deployment in one process on loopback.
+fn run_demo(spec: &WorldSpec, rounds: u32) -> Result<(), String> {
+    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let cfg = daemon_cfg();
+    let no = NoDaemon::spawn(w.no, "127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
+    println!("NO bulletin daemon on {}", no.addr());
+
+    let mut routers = Vec::new();
+    for (i, r) in w.routers.into_iter().enumerate() {
+        let d = RouterDaemon::spawn(r, spec.seed ^ (i as u64 + 1), "127.0.0.1:0", cfg)
+            .map_err(|e| e.to_string())?;
+        d.refresh_lists(no.addr()).map_err(|e| e.to_string())?;
+        println!("router MR-{i} on {}", d.addr());
+        routers.push(d);
+    }
+
+    let mut user_metrics: Vec<(String, String)> = Vec::new();
+    for (i, user) in w.users.into_iter().enumerate() {
+        let addr = routers[i % routers.len()].addr();
+        let mut agent = UserAgent::new(user, spec.seed ^ 0xA6E0 ^ i as u64, cfg);
+        agent.poll_bulletin(no.addr()).map_err(|e| e.to_string())?;
+        let mut sess = agent
+            .connect_with_retry(addr, &RetryPolicy::default())
+            .map_err(|e| e.to_string())?;
+        for round in 0..rounds {
+            let payload = format!("demo user-{i} round-{round}");
+            let back = sess.echo(payload.as_bytes()).map_err(|e| e.to_string())?;
+            if back != payload.as_bytes() {
+                return Err("echo mismatch".into());
+            }
+        }
+        sess.close();
+        user_metrics.push((format!("user-{i}"), agent.metrics().to_json()));
+    }
+
+    println!("\n--- metrics ---");
+    println!("no: {}", no.metrics().to_json());
+    for (i, r) in routers.iter().enumerate() {
+        println!("router-{i}: {}", r.metrics().to_json());
+    }
+    for (label, json) in &user_metrics {
+        println!("{label}: {json}");
+    }
+
+    for r in routers {
+        r.shutdown().map_err(|e| e.to_string())?;
+    }
+    no.shutdown().map_err(|e| e.to_string())?;
+    println!("demo complete: all daemons drained cleanly");
+    Ok(())
+}
