@@ -35,8 +35,8 @@ mod sig;
 
 pub use keys::{GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken};
 pub use sig::{
-    h0_bases, open, revocation_index, revocation_sweep, sign, token_matches, verify, BasesMode,
-    GroupSignature, PreparedGpk, RevocationTable, VerifyError,
+    h0_bases, open, open_batch, revocation_index, revocation_sweep, sign, token_matches, verify,
+    BasesMode, GroupSignature, PreparedGpk, RevocationTable, VerifyError,
 };
 
 // Re-export the op-counter snapshot for the E2 benchmark.

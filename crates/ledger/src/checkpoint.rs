@@ -1,0 +1,134 @@
+//! ECDSA-signed ledger checkpoints.
+//!
+//! A checkpoint binds a `(seq, chain)` pair — "after `seq` records the
+//! running SHA-256 chain value is `chain`" — under an ECDSA signature by
+//! one of the deployment's certified keys (NO's `NSK` or a provisioned
+//! router key). Checkpoints are themselves appended as ledger records, so
+//! they ride the same chain they attest to: an auditor who trusts `NPK`
+//! can verify the whole ledger offline by replaying the chain and checking
+//! every checkpoint signature along the way.
+
+use peace_ecdsa::{Signature, SigningKey, VerifyingKey};
+use peace_hash::sha256;
+use peace_wire::{Decode, Encode, Reader, Writer};
+
+/// Domain-separation prefix for checkpoint signatures.
+const CKPT_DOMAIN: &[u8] = b"PEACE-LEDGER-CKPT-v1";
+
+/// A signed ledger checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Number of records covered: the checkpoint attests to entries with
+    /// sequence numbers `< seq` (it is itself appended at `seq`).
+    pub seq: u64,
+    /// The running chain value after hashing those `seq` records.
+    pub chain: [u8; 32],
+    /// Wall-clock milliseconds at signing time.
+    pub at_ms: u64,
+    /// Display name of the signing entity (`"NO"`, `"MR-3"`, …); the
+    /// verifier maps this to a [`VerifyingKey`] out of band.
+    pub signer: String,
+    /// ECDSA signature over the canonical checkpoint message.
+    pub sig: Signature,
+}
+
+impl Checkpoint {
+    /// The exact message bytes the signature covers.
+    fn message(seq: u64, chain: &[u8; 32], at_ms: u64, signer: &str) -> [u8; 32] {
+        let mut w = Writer::with_capacity(CKPT_DOMAIN.len() + 8 + 32 + 8 + signer.len() + 4);
+        w.put_fixed(CKPT_DOMAIN);
+        w.put_u64(seq);
+        w.put_fixed(chain);
+        w.put_u64(at_ms);
+        w.put_str(signer);
+        sha256(w.as_bytes())
+    }
+
+    /// Signs a checkpoint over the given chain head.
+    pub fn sign(key: &SigningKey, signer: &str, seq: u64, chain: [u8; 32], at_ms: u64) -> Self {
+        let msg = Self::message(seq, &chain, at_ms, signer);
+        Self {
+            seq,
+            chain,
+            at_ms,
+            signer: signer.to_owned(),
+            sig: key.sign(&msg),
+        }
+    }
+
+    /// Verifies the signature against the claimed signer's key.
+    pub fn verify(&self, key: &VerifyingKey) -> bool {
+        let msg = Self::message(self.seq, &self.chain, self.at_ms, &self.signer);
+        key.verify(&msg, &self.sig)
+    }
+}
+
+impl Encode for Checkpoint {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.seq);
+        w.put_fixed(&self.chain);
+        w.put_u64(self.at_ms);
+        w.put_str(&self.signer);
+        w.put_bytes(&self.sig.to_bytes());
+    }
+}
+
+impl Decode for Checkpoint {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        let seq = r.get_u64()?;
+        let mut chain = [0u8; 32];
+        chain.copy_from_slice(r.get_fixed(32)?);
+        let at_ms = r.get_u64()?;
+        let signer = r.get_str()?;
+        let sig = Signature::from_bytes(r.get_bytes()?)
+            .ok_or(peace_wire::WireError::Invalid("checkpoint signature"))?;
+        Ok(Self {
+            seq,
+            chain,
+            at_ms,
+            signer,
+            sig,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let key = SigningKey::random(&mut rng);
+        let other = SigningKey::random(&mut rng);
+        let ck = Checkpoint::sign(&key, "NO", 42, [7u8; 32], 1_000);
+        assert!(ck.verify(key.verifying_key()));
+        assert!(!ck.verify(other.verifying_key()));
+
+        let wire = ck.to_wire();
+        let back = Checkpoint::from_wire(&wire).unwrap();
+        assert_eq!(back, ck);
+        assert!(back.verify(key.verifying_key()));
+    }
+
+    #[test]
+    fn any_field_change_breaks_verification() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let key = SigningKey::random(&mut rng);
+        let ck = Checkpoint::sign(&key, "NO", 42, [7u8; 32], 1_000);
+        let mut a = ck.clone();
+        a.seq += 1;
+        assert!(!a.verify(key.verifying_key()));
+        let mut b = ck.clone();
+        b.chain[0] ^= 1;
+        assert!(!b.verify(key.verifying_key()));
+        let mut c = ck.clone();
+        c.at_ms += 1;
+        assert!(!c.verify(key.verifying_key()));
+        let mut d = ck;
+        d.signer = "MR-1".into();
+        assert!(!d.verify(key.verifying_key()));
+    }
+}

@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) for frame guards.
+//!
+//! The ledger uses CRC-32 as a *torn-write and bit-rot detector*, not as a
+//! cryptographic check — tamper evidence comes from the SHA-256 record
+//! chain and the ECDSA checkpoints on top of it. CRC-32 detects all
+//! single-bit errors and all burst errors up to 32 bits, which is exactly
+//! the failure shape of an interrupted `write(2)`.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_always_detected() {
+        let data = b"the peace accountability ledger".to_vec();
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut m = data.clone();
+                m[byte] ^= 1 << bit;
+                assert_ne!(crc32(&m), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! peace-ledger: the durable accountability layer of PEACE.
+//!
+//! PEACE's second pillar is *accountability*: the network operator must be
+//! able to audit any past session down to the responsible user group
+//! (§IV.D), hours or days after the fact, even across daemon crashes. This
+//! crate provides the persistent evidence layer that makes that possible:
+//!
+//! * **append-only segment log** ([`store::Ledger`]) — accountability
+//!   records (access transcripts, user/router revocations, epoch
+//!   rollovers, audit attributions) in CRC-guarded frames, hash-chained
+//!   record to record and segment to segment;
+//! * **crash recovery** — on open, a torn tail (half-written frame from a
+//!   crash or power loss) is detected by the CRC/length guards and
+//!   truncated away deterministically; the longest valid prefix survives;
+//! * **signed checkpoints** ([`checkpoint::Checkpoint`]) — periodic ECDSA
+//!   signatures over `(seq, chain)` by NO or a router key, so an auditor
+//!   can verify ledger integrity fully offline ([`store::verify_chain`]);
+//! * **segment rotation + compaction** — old segments can be dropped once
+//!   a later signed checkpoint anchors the retained suffix;
+//! * **indexed queries** — by epoch, router, time range, and (after an
+//!   audit sweep has appended attribution records) by user group;
+//! * **batch Open/Audit** ([`sweep`]) — replays a time range through the
+//!   shared-Miller `open_batch` machinery, amortizing the final
+//!   exponentiation across the whole record×token matrix.
+//!
+//! The NO-only versus NO+GM boundary of the paper is preserved: ledger
+//! records never contain user identities — an audit sweep attributes a
+//! session to a *group* (and a share index); mapping the share to a user
+//! still requires the group manager's receipts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use core::fmt;
+
+pub mod checkpoint;
+pub mod crc;
+pub mod record;
+pub mod segment;
+pub mod store;
+pub mod sweep;
+
+pub use checkpoint::Checkpoint;
+pub use record::{AccessRecord, Entry, LedgerRecord, RecordKind};
+pub use segment::{SegmentHeader, FRAME_OVERHEAD, SEGMENT_HEADER_LEN};
+pub use store::{
+    verify_chain, ChainReport, CompactReport, Ledger, LedgerConfig, LedgerHead, LedgerQuery,
+    RecoveryReport, SyncPolicy,
+};
+pub use sweep::{attribute_sweep, audit_sweep, SweepOutcome};
+
+/// Errors surfaced by the ledger.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A record failed to encode or decode.
+    Wire(peace_wire::WireError),
+    /// Structural damage before the tail of the last segment — a crash can
+    /// only tear the end of the log, so mid-ledger damage means tampering
+    /// or media corruption and is never silently repaired.
+    Corrupt {
+        /// The segment file (base sequence number) holding the damage.
+        segment: u64,
+        /// Byte offset of the first invalid frame within that segment.
+        offset: u64,
+        /// What the scanner tripped over.
+        what: &'static str,
+    },
+    /// Segment files do not chain together (header/prev-chain mismatch).
+    ChainBroken {
+        /// The segment whose header disagrees with its predecessor.
+        segment: u64,
+    },
+    /// A checkpoint record does not match the chain state at its position,
+    /// or its signature failed verification.
+    CheckpointInvalid {
+        /// Sequence number of the offending checkpoint record.
+        seq: u64,
+        /// Why it was rejected.
+        what: &'static str,
+    },
+    /// A record exceeded the configured maximum encoded size.
+    RecordTooLarge {
+        /// The encoded length that was rejected.
+        len: usize,
+    },
+    /// The requested compaction point is not anchored by a later signed
+    /// checkpoint, or would cut into the live segment.
+    CannotCompact(&'static str),
+    /// A query or sweep referenced a sequence number outside the ledger.
+    NoSuchRecord(u64),
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger I/O error: {e}"),
+            LedgerError::Wire(e) => write!(f, "ledger record codec error: {e}"),
+            LedgerError::Corrupt {
+                segment,
+                offset,
+                what,
+            } => write!(
+                f,
+                "ledger corrupt: segment {segment:#x} offset {offset}: {what}"
+            ),
+            LedgerError::ChainBroken { segment } => {
+                write!(f, "ledger chain broken at segment {segment:#x}")
+            }
+            LedgerError::CheckpointInvalid { seq, what } => {
+                write!(f, "checkpoint at seq {seq} invalid: {what}")
+            }
+            LedgerError::RecordTooLarge { len } => {
+                write!(f, "record of {len} encoded bytes exceeds the frame bound")
+            }
+            LedgerError::CannotCompact(why) => write!(f, "cannot compact: {why}"),
+            LedgerError::NoSuchRecord(seq) => write!(f, "no ledger record with seq {seq}"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> Self {
+        LedgerError::Io(e)
+    }
+}
+
+impl From<peace_wire::WireError> for LedgerError {
+    fn from(e: peace_wire::WireError) -> Self {
+        LedgerError::Wire(e)
+    }
+}
+
+/// Result alias for ledger operations.
+pub type Result<T> = core::result::Result<T, LedgerError>;

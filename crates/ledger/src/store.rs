@@ -1,0 +1,777 @@
+//! The durable ledger: segment management, crash recovery, rotation,
+//! compaction, signed checkpoints, and indexed queries.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use peace_ecdsa::{SigningKey, VerifyingKey};
+use peace_wire::{Decode, Encode};
+
+use crate::checkpoint::Checkpoint;
+use crate::record::{Entry, LedgerRecord, RecordKind};
+use crate::segment::{
+    extend_chain, frame, genesis_chain, scan, SegmentHeader, FRAME_OVERHEAD, SEGMENT_HEADER_LEN,
+};
+use crate::{LedgerError, Result};
+
+/// When appended frames hit the disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fdatasync` after every append — maximum durability, one syscall
+    /// per record.
+    Always,
+    /// Sync only on [`Ledger::flush`], rotation, checkpoints, and drop.
+    /// A crash may lose the unsynced tail, but recovery still yields a
+    /// valid prefix (frames are single-`write_all`, so the tail tears
+    /// cleanly).
+    #[default]
+    OnFlush,
+}
+
+/// Ledger tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct LedgerConfig {
+    /// Rotate to a fresh segment once the current file would exceed this.
+    pub segment_max_bytes: u64,
+    /// Reject records whose encoded payload exceeds this.
+    pub max_record_bytes: u32,
+    /// Durability policy for appends.
+    pub sync: SyncPolicy,
+}
+
+impl Default for LedgerConfig {
+    fn default() -> Self {
+        Self {
+            segment_max_bytes: 256 * 1024,
+            max_record_bytes: 1 << 20,
+            sync: SyncPolicy::OnFlush,
+        }
+    }
+}
+
+/// What [`Ledger::open`] found and repaired.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Segments on disk after recovery.
+    pub segments: usize,
+    /// Records recovered.
+    pub records: u64,
+    /// Bytes of torn tail discarded from the last segment (0 on a clean
+    /// open).
+    pub torn_bytes: u64,
+    /// Description of the tail flaw, if one was repaired.
+    pub tail_flaw: Option<&'static str>,
+}
+
+/// A point-in-time description of the chain head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerHead {
+    /// Sequence number the next append will get.
+    pub next_seq: u64,
+    /// First retained sequence number (> 0 after compaction).
+    pub first_seq: u64,
+    /// Running chain value over all retained records.
+    pub chain: [u8; 32],
+    /// Number of segment files.
+    pub segments: usize,
+}
+
+/// Outcome of [`Ledger::compact`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Whole segment files removed.
+    pub segments_removed: usize,
+    /// Records dropped with them.
+    pub records_removed: u64,
+}
+
+/// An indexed query over the ledger. All criteria are conjunctive; unset
+/// fields match everything.
+#[derive(Clone, Debug, Default)]
+pub struct LedgerQuery {
+    /// Restrict to records stamped in this key epoch.
+    pub epoch: Option<u64>,
+    /// Restrict to access records reported by this router.
+    pub router: Option<String>,
+    /// Restrict to access records attributed (by a prior audit sweep) to
+    /// this user group. NO-only boundary: the result still names no user.
+    pub group: Option<u32>,
+    /// Inclusive lower bound on the record wall-clock stamp.
+    pub since_ms: Option<u64>,
+    /// Inclusive upper bound on the record wall-clock stamp.
+    pub until_ms: Option<u64>,
+    /// Restrict to one record kind.
+    pub kind: Option<RecordKind>,
+}
+
+struct SegmentMeta {
+    base_seq: u64,
+    path: PathBuf,
+}
+
+struct EntryMeta {
+    at_ms: u64,
+    kind: RecordKind,
+    seg: usize,
+    offset: u64,
+    frame_len: usize,
+}
+
+/// The durable, hash-chained accountability ledger.
+///
+/// See the crate docs for the format; in short: append-only CRC-guarded
+/// frames in rotating segment files, a SHA-256 running chain, ECDSA
+/// checkpoints, and deterministic torn-tail recovery on open.
+pub struct Ledger {
+    dir: PathBuf,
+    cfg: LedgerConfig,
+    segments: Vec<SegmentMeta>,
+    file: File,
+    seg_bytes: u64,
+    first_seq: u64,
+    next_seq: u64,
+    chain: [u8; 32],
+    locs: Vec<EntryMeta>,
+    by_router: HashMap<String, Vec<u64>>,
+    by_group: HashMap<u32, Vec<u64>>,
+    by_session: HashMap<Vec<u8>, u64>,
+    epoch_marks: Vec<(u64, u64)>,
+    attributed: HashSet<u64>,
+    last_checkpoint: Option<(u64, [u8; 32])>,
+    dirty: bool,
+}
+
+fn segment_path(dir: &Path, base_seq: u64) -> PathBuf {
+    dir.join(format!("seg-{base_seq:016x}.pls"))
+}
+
+fn list_segments(dir: &Path) -> Result<Vec<SegmentMeta>> {
+    let mut out = Vec::new();
+    for ent in std::fs::read_dir(dir)? {
+        let ent = ent?;
+        let name = ent.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(hex) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".pls"))
+        else {
+            continue;
+        };
+        let Ok(base_seq) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        out.push(SegmentMeta {
+            base_seq,
+            path: ent.path(),
+        });
+    }
+    out.sort_by_key(|s| s.base_seq);
+    Ok(out)
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+impl Ledger {
+    /// Opens (or creates) the ledger in `dir`, running crash recovery:
+    /// segments are validated in order, the chain is replayed across
+    /// segment boundaries, and a torn tail in the *last* segment is
+    /// truncated away. Damage anywhere else is refused with
+    /// [`LedgerError::Corrupt`] / [`LedgerError::ChainBroken`] — a crash
+    /// can only tear the end of the log, so interior damage is tampering.
+    pub fn open(dir: impl AsRef<Path>, cfg: LedgerConfig) -> Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut segments = list_segments(&dir)?;
+        let mut report = RecoveryReport::default();
+
+        // A crash between segment-file creation and the (synced) header
+        // write can leave a final segment with a *short* header; it holds
+        // no records, so recovery discards it. A full-length header that
+        // fails its CRC is damage, not a crash artifact — that case falls
+        // through to the strict pass below and errors.
+        if let Some(last) = segments.last() {
+            let bytes = read_file(&last.path)?;
+            if bytes.len() < SEGMENT_HEADER_LEN {
+                report.torn_bytes += bytes.len() as u64;
+                report.tail_flaw = Some("partial segment header");
+                std::fs::remove_file(&last.path)?;
+                segments.pop();
+            }
+        }
+
+        if segments.is_empty() {
+            let header = SegmentHeader {
+                base_seq: 0,
+                created_at: 0,
+                prev_chain: genesis_chain(),
+            };
+            let path = segment_path(&dir, 0);
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?;
+            f.write_all(&header.to_bytes())?;
+            f.sync_data()?;
+            segments.push(SegmentMeta { base_seq: 0, path });
+        }
+
+        let mut chain = [0u8; 32];
+        let mut next_seq = 0u64;
+        let mut first_seq = 0u64;
+        let mut locs: Vec<EntryMeta> = Vec::new();
+        let mut by_router: HashMap<String, Vec<u64>> = HashMap::new();
+        let mut by_group: HashMap<u32, Vec<u64>> = HashMap::new();
+        let mut by_session: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut epoch_marks: Vec<(u64, u64)> = Vec::new();
+        let mut attributed: HashSet<u64> = HashSet::new();
+        let mut last_checkpoint = None;
+        let mut seg_bytes = 0u64;
+
+        let count = segments.len();
+        for (i, seg) in segments.iter().enumerate() {
+            let bytes = read_file(&seg.path)?;
+            let header = SegmentHeader::parse(&bytes).ok_or(LedgerError::Corrupt {
+                segment: seg.base_seq,
+                offset: 0,
+                what: "segment header unreadable",
+            })?;
+            if header.base_seq != seg.base_seq {
+                return Err(LedgerError::Corrupt {
+                    segment: seg.base_seq,
+                    offset: 0,
+                    what: "segment header/filename base mismatch",
+                });
+            }
+            if i == 0 {
+                chain = header.prev_chain;
+                first_seq = header.base_seq;
+                if header.base_seq == 0 && chain != genesis_chain() {
+                    return Err(LedgerError::ChainBroken { segment: 0 });
+                }
+            } else if header.base_seq != next_seq || header.prev_chain != chain {
+                return Err(LedgerError::ChainBroken {
+                    segment: seg.base_seq,
+                });
+            }
+            let res = scan(
+                &bytes,
+                SEGMENT_HEADER_LEN,
+                header.base_seq,
+                header.prev_chain,
+                cfg.max_record_bytes,
+            );
+            if let Some(flaw) = res.flaw {
+                if i + 1 != count {
+                    return Err(LedgerError::Corrupt {
+                        segment: seg.base_seq,
+                        offset: res.valid_len as u64,
+                        what: flaw.describe(),
+                    });
+                }
+                // Torn tail of the live segment: truncate it away.
+                report.torn_bytes += bytes.len() as u64 - res.valid_len as u64;
+                report.tail_flaw = Some(flaw.describe());
+                let f = OpenOptions::new().write(true).open(&seg.path)?;
+                f.set_len(res.valid_len as u64)?;
+                f.sync_data()?;
+            }
+            for se in &res.entries {
+                index_entry(
+                    &se.entry,
+                    &mut by_router,
+                    &mut by_group,
+                    &mut by_session,
+                    &mut epoch_marks,
+                    &mut attributed,
+                    &mut last_checkpoint,
+                );
+                locs.push(EntryMeta {
+                    at_ms: se.entry.at_ms,
+                    kind: se.entry.record.kind(),
+                    seg: i,
+                    offset: se.offset as u64,
+                    frame_len: se.frame_len,
+                });
+            }
+            chain = res.chain;
+            next_seq = header.base_seq + res.entries.len() as u64;
+            if i + 1 == count {
+                seg_bytes = res.valid_len as u64;
+            }
+        }
+
+        let last_path = segments
+            .last()
+            .map(|s| s.path.clone())
+            .unwrap_or_else(|| segment_path(&dir, 0));
+        let mut file = OpenOptions::new().write(true).open(&last_path)?;
+        file.seek(SeekFrom::Start(seg_bytes))?;
+
+        report.segments = segments.len();
+        report.records = locs.len() as u64;
+        Ok((
+            Self {
+                dir,
+                cfg,
+                segments,
+                file,
+                seg_bytes,
+                first_seq,
+                next_seq,
+                chain,
+                locs,
+                by_router,
+                by_group,
+                by_session,
+                epoch_marks,
+                attributed,
+                last_checkpoint,
+                dirty: false,
+            },
+            report,
+        ))
+    }
+
+    /// The ledger directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The chain head.
+    pub fn head(&self) -> LedgerHead {
+        LedgerHead {
+            next_seq: self.next_seq,
+            first_seq: self.first_seq,
+            chain: self.chain,
+            segments: self.segments.len(),
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> u64 {
+        self.locs.len() as u64
+    }
+
+    /// Whether the ledger holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// Appends one record, returning its sequence number. The frame is
+    /// written with a single `write_all`, so an abort mid-append can only
+    /// leave a trailing partial frame, which the next open skips.
+    pub fn append(&mut self, record: LedgerRecord, at_ms: u64) -> Result<u64> {
+        let entry = Entry {
+            seq: self.next_seq,
+            at_ms,
+            record,
+        };
+        let payload = entry.try_to_wire()?;
+        if payload.len() > self.cfg.max_record_bytes as usize {
+            return Err(LedgerError::RecordTooLarge { len: payload.len() });
+        }
+        let framed = frame(&payload);
+        if self.seg_bytes > SEGMENT_HEADER_LEN as u64
+            && self.seg_bytes + framed.len() as u64 > self.cfg.segment_max_bytes
+        {
+            self.rotate(at_ms)?;
+        }
+        self.file.write_all(&framed)?;
+        match self.cfg.sync {
+            SyncPolicy::Always => self.file.sync_data()?,
+            SyncPolicy::OnFlush => self.dirty = true,
+        }
+        let seq = entry.seq;
+        index_entry(
+            &entry,
+            &mut self.by_router,
+            &mut self.by_group,
+            &mut self.by_session,
+            &mut self.epoch_marks,
+            &mut self.attributed,
+            &mut self.last_checkpoint,
+        );
+        self.locs.push(EntryMeta {
+            at_ms,
+            kind: entry.record.kind(),
+            seg: self.segments.len() - 1,
+            offset: self.seg_bytes,
+            frame_len: framed.len(),
+        });
+        self.chain = extend_chain(&self.chain, &payload);
+        self.seg_bytes += framed.len() as u64;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Forces buffered appends to stable storage.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.dirty {
+            self.file.sync_data()?;
+            self.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Closes the current segment and starts a fresh one whose header pins
+    /// the running chain.
+    fn rotate(&mut self, at_ms: u64) -> Result<()> {
+        self.file.sync_data()?;
+        let header = SegmentHeader {
+            base_seq: self.next_seq,
+            created_at: at_ms,
+            prev_chain: self.chain,
+        };
+        let path = segment_path(&self.dir, self.next_seq);
+        let mut f = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)?;
+        f.write_all(&header.to_bytes())?;
+        f.sync_data()?;
+        // Make the new directory entry durable before writing records
+        // into it.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.segments.push(SegmentMeta {
+            base_seq: self.next_seq,
+            path,
+        });
+        self.file = f;
+        self.seg_bytes = SEGMENT_HEADER_LEN as u64;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Appends a signed checkpoint over the current head and syncs it to
+    /// disk. The checkpoint covers every record before it; an auditor who
+    /// trusts the signer's key can verify the whole retained chain from
+    /// it.
+    pub fn checkpoint(&mut self, key: &SigningKey, signer: &str, at_ms: u64) -> Result<Checkpoint> {
+        let ck = Checkpoint::sign(key, signer, self.next_seq, self.chain, at_ms);
+        self.append(LedgerRecord::Checkpoint(ck.clone()), at_ms)?;
+        self.dirty = true;
+        self.flush()?;
+        Ok(ck)
+    }
+
+    /// Sequence number covered by the most recent checkpoint, if any.
+    pub fn last_checkpoint_seq(&self) -> Option<u64> {
+        self.last_checkpoint.map(|(s, _)| s)
+    }
+
+    /// Drops whole leading segments whose records all precede `up_to`,
+    /// provided a later signed checkpoint anchors the retained suffix
+    /// (otherwise offline verification would have nothing to trust the
+    /// first retained header against). The live segment is never dropped.
+    pub fn compact(&mut self, up_to: u64) -> Result<CompactReport> {
+        let mut cut = 0usize;
+        while cut + 1 < self.segments.len() && self.segments[cut + 1].base_seq <= up_to {
+            cut += 1;
+        }
+        if cut == 0 {
+            return Ok(CompactReport {
+                segments_removed: 0,
+                records_removed: 0,
+            });
+        }
+        let new_first = self.segments[cut].base_seq;
+        match self.last_checkpoint {
+            Some((seq, _)) if seq >= new_first => {}
+            _ => {
+                return Err(LedgerError::CannotCompact(
+                    "no signed checkpoint anchors the retained suffix",
+                ))
+            }
+        }
+        for seg in &self.segments[..cut] {
+            std::fs::remove_file(&seg.path)?;
+        }
+        self.segments.drain(..cut);
+        let removed = (new_first - self.first_seq) as usize;
+        self.locs.drain(..removed);
+        for m in &mut self.locs {
+            m.seg -= cut;
+        }
+        self.first_seq = new_first;
+        self.by_router.retain(|_, v| {
+            v.retain(|&s| s >= new_first);
+            !v.is_empty()
+        });
+        self.by_group.retain(|_, v| {
+            v.retain(|&s| s >= new_first);
+            !v.is_empty()
+        });
+        self.by_session.retain(|_, &mut s| s >= new_first);
+        self.attributed.retain(|&s| s >= new_first);
+        Ok(CompactReport {
+            segments_removed: cut,
+            records_removed: removed as u64,
+        })
+    }
+
+    /// The key epoch a sequence number falls in (per the rollover records
+    /// retained in the ledger).
+    pub fn epoch_of(&self, seq: u64) -> u64 {
+        let idx = self.epoch_marks.partition_point(|&(s, _)| s <= seq);
+        if idx == 0 {
+            0
+        } else {
+            self.epoch_marks[idx - 1].1
+        }
+    }
+
+    /// Reads one entry back from disk, re-checking its frame guards.
+    pub fn get(&self, seq: u64) -> Result<Option<Entry>> {
+        if seq < self.first_seq || seq >= self.next_seq {
+            return Ok(None);
+        }
+        let meta = &self.locs[(seq - self.first_seq) as usize];
+        let seg = &self.segments[meta.seg];
+        let mut f = File::open(&seg.path)?;
+        f.seek(SeekFrom::Start(meta.offset))?;
+        let mut buf = vec![0u8; meta.frame_len];
+        f.read_exact(&mut buf)?;
+        let payload = &buf[FRAME_OVERHEAD..];
+        let stored = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        if crate::crc::crc32(payload) != stored {
+            return Err(LedgerError::Corrupt {
+                segment: seg.base_seq,
+                offset: meta.offset,
+                what: "frame CRC mismatch on read-back",
+            });
+        }
+        Ok(Some(Entry::from_wire(payload)?))
+    }
+
+    /// The sequence number of the access record for a session id, if that
+    /// session is in the ledger.
+    pub fn find_session(&self, session_id_bytes: &[u8]) -> Option<u64> {
+        self.by_session.get(session_id_bytes).copied()
+    }
+
+    /// Whether an access record has already been attributed by a sweep.
+    pub fn is_attributed(&self, seq: u64) -> bool {
+        self.attributed.contains(&seq)
+    }
+
+    /// Runs an indexed query, returning matching entries in sequence
+    /// order. Uses the router/group indexes to avoid full scans when
+    /// those criteria are present.
+    pub fn query(&self, q: &LedgerQuery) -> Result<Vec<Entry>> {
+        let candidates: Vec<u64> = if let Some(g) = q.group {
+            self.by_group.get(&g).cloned().unwrap_or_default()
+        } else if let Some(r) = &q.router {
+            self.by_router.get(r).cloned().unwrap_or_default()
+        } else {
+            (self.first_seq..self.next_seq).collect()
+        };
+        let mut out = Vec::new();
+        for seq in candidates {
+            if seq < self.first_seq || seq >= self.next_seq {
+                continue;
+            }
+            let meta = &self.locs[(seq - self.first_seq) as usize];
+            if let Some(k) = q.kind {
+                // Group/router hits point at access records by construction.
+                if meta.kind != k {
+                    continue;
+                }
+            }
+            if q.since_ms.is_some_and(|t| meta.at_ms < t)
+                || q.until_ms.is_some_and(|t| meta.at_ms > t)
+                || q.epoch.is_some_and(|e| self.epoch_of(seq) != e)
+            {
+                continue;
+            }
+            if let Some(e) = self.get(seq)? {
+                out.push(e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads every retained entry in order (exports, sweeps over the full
+    /// log). Streams segment-by-segment rather than seeking per record.
+    pub fn iter_all(&self) -> Result<Vec<Entry>> {
+        let mut out = Vec::with_capacity(self.locs.len());
+        for (i, seg) in self.segments.iter().enumerate() {
+            let bytes = read_file(&seg.path)?;
+            let take = if i + 1 == self.segments.len() {
+                self.seg_bytes as usize
+            } else {
+                bytes.len()
+            };
+            let header = SegmentHeader::parse(&bytes).ok_or(LedgerError::Corrupt {
+                segment: seg.base_seq,
+                offset: 0,
+                what: "segment header unreadable",
+            })?;
+            let res = scan(
+                &bytes[..take.min(bytes.len())],
+                SEGMENT_HEADER_LEN,
+                header.base_seq,
+                header.prev_chain,
+                self.cfg.max_record_bytes,
+            );
+            out.extend(res.entries.into_iter().map(|s| s.entry));
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for Ledger {
+    /// Drop-guard: best-effort flush so buffered appends reach the disk
+    /// even on an unwinding exit. (A hard kill skips this — recovery then
+    /// truncates whatever tail tore.)
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+fn index_entry(
+    entry: &Entry,
+    by_router: &mut HashMap<String, Vec<u64>>,
+    by_group: &mut HashMap<u32, Vec<u64>>,
+    by_session: &mut HashMap<Vec<u8>, u64>,
+    epoch_marks: &mut Vec<(u64, u64)>,
+    attributed: &mut HashSet<u64>,
+    last_checkpoint: &mut Option<(u64, [u8; 32])>,
+) {
+    match &entry.record {
+        LedgerRecord::Access(a) => {
+            by_router
+                .entry(a.router.clone())
+                .or_default()
+                .push(entry.seq);
+            by_session.insert(a.session.session_id.to_bytes(), entry.seq);
+        }
+        LedgerRecord::EpochRollover { epoch } => epoch_marks.push((entry.seq, *epoch)),
+        LedgerRecord::Checkpoint(ck) => *last_checkpoint = Some((ck.seq, ck.chain)),
+        LedgerRecord::Attribution {
+            session_seq, group, ..
+        } => {
+            by_group.entry(*group).or_default().push(*session_seq);
+            attributed.insert(*session_seq);
+        }
+        LedgerRecord::UserRevocation { .. } | LedgerRecord::RouterRevocation { .. } => {}
+    }
+}
+
+/// Offline chain verification report.
+#[derive(Clone, Debug)]
+pub struct ChainReport {
+    /// Segment files examined.
+    pub segments: usize,
+    /// Records whose frames and chain replayed cleanly.
+    pub records: u64,
+    /// Checkpoints whose ECDSA signatures verified.
+    pub checkpoints_verified: usize,
+    /// Sequence number after the last valid record.
+    pub next_seq: u64,
+    /// The replayed chain value.
+    pub chain: [u8; 32],
+    /// Bytes of torn tail found (and ignored) in the last segment.
+    pub torn_bytes: u64,
+    /// Whether the newest checkpoint covers every record before the head
+    /// (i.e. the final record is a checkpoint over the rest).
+    pub anchored: bool,
+}
+
+/// Walks a ledger directory read-only: replays the hash chain across all
+/// segments, validates every frame, and verifies every checkpoint
+/// signature via `resolve` (mapping a signer name to its verifying key).
+///
+/// Interior damage, broken chains, and bad checkpoints are errors; a torn
+/// tail in the last segment is reported but tolerated, matching what
+/// [`Ledger::open`] would repair.
+pub fn verify_chain(
+    dir: impl AsRef<Path>,
+    resolve: impl Fn(&str) -> Option<VerifyingKey>,
+) -> Result<ChainReport> {
+    let dir = dir.as_ref();
+    let segments = list_segments(dir)?;
+    let max_record = LedgerConfig::default().max_record_bytes;
+    let mut chain = genesis_chain();
+    let mut next_seq = 0u64;
+    let mut records = 0u64;
+    let mut checkpoints_verified = 0usize;
+    let mut torn_bytes = 0u64;
+    let mut last_ck_seq = None;
+    let count = segments.len();
+    for (i, seg) in segments.iter().enumerate() {
+        let bytes = read_file(&seg.path)?;
+        let header = SegmentHeader::parse(&bytes).ok_or(LedgerError::Corrupt {
+            segment: seg.base_seq,
+            offset: 0,
+            what: "segment header unreadable",
+        })?;
+        if i == 0 {
+            chain = header.prev_chain;
+            if header.base_seq == 0 && chain != genesis_chain() {
+                return Err(LedgerError::ChainBroken { segment: 0 });
+            }
+        } else if header.base_seq != next_seq || header.prev_chain != chain {
+            return Err(LedgerError::ChainBroken {
+                segment: seg.base_seq,
+            });
+        }
+        let res = scan(
+            &bytes,
+            SEGMENT_HEADER_LEN,
+            header.base_seq,
+            header.prev_chain,
+            max_record,
+        );
+        if let Some(flaw) = res.flaw {
+            if i + 1 != count {
+                return Err(LedgerError::Corrupt {
+                    segment: seg.base_seq,
+                    offset: res.valid_len as u64,
+                    what: flaw.describe(),
+                });
+            }
+            torn_bytes = bytes.len() as u64 - res.valid_len as u64;
+        }
+        for se in &res.entries {
+            if let LedgerRecord::Checkpoint(ck) = &se.entry.record {
+                // scan() already matched (seq, chain); here we verify the
+                // signature against the claimed signer's key.
+                let Some(key) = resolve(&ck.signer) else {
+                    return Err(LedgerError::CheckpointInvalid {
+                        seq: se.entry.seq,
+                        what: "unknown checkpoint signer",
+                    });
+                };
+                if !ck.verify(&key) {
+                    return Err(LedgerError::CheckpointInvalid {
+                        seq: se.entry.seq,
+                        what: "checkpoint signature invalid",
+                    });
+                }
+                checkpoints_verified += 1;
+                last_ck_seq = Some(se.entry.seq);
+            }
+        }
+        records += res.entries.len() as u64;
+        chain = res.chain;
+        next_seq = header.base_seq + res.entries.len() as u64;
+    }
+    Ok(ChainReport {
+        segments: count,
+        records,
+        checkpoints_verified,
+        next_seq,
+        chain,
+        torn_bytes,
+        anchored: last_ck_seq.is_some_and(|s| s + 1 == next_seq),
+    })
+}

@@ -11,6 +11,7 @@ use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
 
 use peace_groupsig::RevocationToken;
+use peace_ledger::{AccessRecord, Checkpoint, Ledger, LedgerRecord};
 use peace_protocol::entities::NetworkOperator;
 
 use crate::clock::wall_ms;
@@ -25,6 +26,7 @@ use super::{lock_recover, DaemonConfig};
 /// A running NO bulletin server.
 pub struct NoDaemon {
     no: Arc<Mutex<NetworkOperator>>,
+    ledger: Arc<Mutex<Option<Ledger>>>,
     acceptor: Acceptor,
     metrics: Arc<NetMetrics>,
     cfg: DaemonConfig,
@@ -39,17 +41,20 @@ impl NoDaemon {
     /// [`NetError::Io`] if the listener cannot bind.
     pub fn spawn(no: NetworkOperator, bind: &str, cfg: DaemonConfig) -> Result<Self> {
         let no = Arc::new(Mutex::new(no));
+        let ledger: Arc<Mutex<Option<Ledger>>> = Arc::new(Mutex::new(None));
         let metrics = Arc::new(NetMetrics::default());
 
         let h_no = Arc::clone(&no);
+        let h_ledger = Arc::clone(&ledger);
         let h_metrics = Arc::clone(&metrics);
         let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
             Arc::new(move |stream, _conn_id| {
-                serve(stream, &h_no, &h_metrics, cfg);
+                serve(stream, &h_no, &h_ledger, &h_metrics, cfg);
             });
         let acceptor = Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
         Ok(Self {
             no,
+            ledger,
             acceptor,
             metrics,
             cfg,
@@ -67,14 +72,47 @@ impl NoDaemon {
     }
 
     /// Revokes a member key at runtime; subsequent bulletins carry the
-    /// bumped URL. Returns `false` for a token outside `grt`.
+    /// bumped URL. Returns `false` for a token outside `grt`. With a
+    /// ledger attached, the revocation is durably recorded.
     pub fn revoke_user(&self, token: &RevocationToken) -> bool {
-        lock_recover(&self.no).revoke_member(token)
+        let (ok, url_version) = {
+            let mut op = lock_recover(&self.no);
+            (op.revoke_member(token), op.url_version())
+        };
+        if ok {
+            self.ledger_append(LedgerRecord::UserRevocation {
+                token: *token,
+                url_version,
+            });
+        }
+        ok
     }
 
-    /// Revokes a router certificate at runtime.
+    /// Revokes a router certificate at runtime. With a ledger attached,
+    /// the revocation is durably recorded.
     pub fn revoke_router(&self, serial: u64) {
-        lock_recover(&self.no).revoke_router(serial);
+        let crl_version = {
+            let mut op = lock_recover(&self.no);
+            op.revoke_router(serial);
+            op.crl_version()
+        };
+        self.ledger_append(LedgerRecord::RouterRevocation {
+            serial,
+            crl_version,
+        });
+    }
+
+    /// Rotates the system key (epoch rollover, §V.A) and records the
+    /// rollover in the attached ledger so that epoch-scoped audit queries
+    /// know where the boundary falls.
+    pub fn rotate_epoch(&self, rng: &mut impl rand::RngCore) -> u64 {
+        let epoch = {
+            let mut op = lock_recover(&self.no);
+            op.rotate_system_key(rng);
+            op.epoch()
+        };
+        self.ledger_append(LedgerRecord::EpochRollover { epoch });
+        epoch
     }
 
     /// Runs `f` against the live operator (audits, log ingestion).
@@ -82,8 +120,51 @@ impl NoDaemon {
         f(&mut lock_recover(&self.no))
     }
 
-    /// Graceful shutdown: stop accepting, drain in-flight requests, and
-    /// hand the operator back.
+    /// Attaches a durable accountability ledger. Session reports,
+    /// revocations, and epoch rollovers are persisted from now on.
+    pub fn attach_ledger(&self, ledger: Ledger) {
+        *lock_recover(&self.ledger) = Some(ledger);
+    }
+
+    /// Detaches the ledger (flushed), handing it back to the caller.
+    pub fn detach_ledger(&self) -> Option<Ledger> {
+        let mut slot = lock_recover(&self.ledger);
+        if let Some(l) = slot.as_mut() {
+            let _ = l.flush();
+        }
+        slot.take()
+    }
+
+    /// Runs `f` against the attached ledger, if any.
+    pub fn with_ledger<R>(&self, f: impl FnOnce(&mut Ledger) -> R) -> Option<R> {
+        lock_recover(&self.ledger).as_mut().map(f)
+    }
+
+    /// Appends a signed checkpoint over the current ledger head using the
+    /// operator's certified signing key, then syncs it to disk. Returns
+    /// `None` when no ledger is attached.
+    pub fn checkpoint_now(&self) -> Option<peace_ledger::Result<Checkpoint>> {
+        let op = lock_recover(&self.no);
+        let mut slot = lock_recover(&self.ledger);
+        slot.as_mut()
+            .map(|l| l.checkpoint(op.signing_key(), "NO", wall_ms()))
+    }
+
+    /// Best-effort ledger append (errors are counted, not fatal: losing a
+    /// revocation *record* must not block the revocation itself).
+    fn ledger_append(&self, record: LedgerRecord) {
+        let mut slot = lock_recover(&self.ledger);
+        if let Some(l) = slot.as_mut() {
+            if l.append(record, wall_ms()).is_err() || l.flush().is_err() {
+                NetMetrics::inc(&self.metrics.ledger_errors);
+            }
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, flush
+    /// the attached ledger to stable storage, and hand the operator back.
+    /// Detach the ledger first (or after) to reclaim it; if left attached
+    /// it is flushed and closed here.
     ///
     /// # Errors
     ///
@@ -92,6 +173,13 @@ impl NoDaemon {
     pub fn shutdown(mut self) -> Result<NetworkOperator> {
         self.acceptor.shutdown(self.cfg.drain);
         drop(self.acceptor);
+        // In-flight handlers have drained: make their appends durable
+        // before the daemon disappears.
+        if let Some(l) = lock_recover(&self.ledger).as_mut() {
+            if l.flush().is_err() {
+                NetMetrics::inc(&self.metrics.ledger_errors);
+            }
+        }
         Arc::try_unwrap(self.no)
             .map_err(|_| NetError::Unexpected("operator still shared at shutdown"))
             .map(|m| match m.into_inner() {
@@ -102,10 +190,12 @@ impl NoDaemon {
 }
 
 /// Per-connection request loop: answer any number of bulletin requests
-/// until the peer says `Bye`, closes, or goes quiet past the deadline.
+/// and session reports until the peer says `Bye`, closes, or goes quiet
+/// past the deadline.
 fn serve(
     stream: TcpStream,
     no: &Mutex<NetworkOperator>,
+    ledger: &Mutex<Option<Ledger>>,
     metrics: &Arc<NetMetrics>,
     cfg: DaemonConfig,
 ) {
@@ -128,11 +218,51 @@ fn serve(
                     return;
                 }
             }
+            Ok(NodeMessage::ReportSessions { router, sessions }) => {
+                let now = wall_ms();
+                let mut accepted: u32 = 0;
+                {
+                    // Lock order: operator, then ledger (same as the
+                    // daemon-side methods).
+                    let mut op = lock_recover(no);
+                    let mut slot = lock_recover(ledger);
+                    for session in sessions {
+                        if let Some(l) = slot.as_mut() {
+                            // Idempotent ingestion: a router that retries a
+                            // report after a lost ack must not duplicate
+                            // transcripts in the chain.
+                            if l.find_session(&session.session_id.to_bytes()).is_some() {
+                                continue;
+                            }
+                            let rec = LedgerRecord::Access(AccessRecord {
+                                router: router.clone(),
+                                session: session.clone(),
+                            });
+                            if l.append(rec, now).is_err() {
+                                NetMetrics::inc(&metrics.ledger_errors);
+                                continue;
+                            }
+                            NetMetrics::inc(&metrics.ledger_sessions);
+                        }
+                        op.record_session(session);
+                        accepted += 1;
+                    }
+                    if let Some(l) = slot.as_mut() {
+                        // One durability point per report, not per record.
+                        if l.flush().is_err() {
+                            NetMetrics::inc(&metrics.ledger_errors);
+                        }
+                    }
+                }
+                if conn.send(&NodeMessage::ReportAck { accepted }).is_err() {
+                    return;
+                }
+            }
             Ok(NodeMessage::Bye) | Err(NetError::Closed) => return,
             Ok(_) => {
                 let _ = conn.send(&NodeMessage::Reject {
                     code: reject_code::MALFORMED,
-                    detail: "NO serves bulletins only".to_owned(),
+                    detail: "NO serves bulletins and session reports only".to_owned(),
                 });
                 return;
             }

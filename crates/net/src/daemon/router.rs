@@ -122,6 +122,47 @@ impl RouterDaemon {
         f(&mut lock_recover(&self.router))
     }
 
+    /// Drains the router's session log and reports it to the NO daemon for
+    /// durable ledger persistence (§IV.D step 1: routers hand transcripts
+    /// to NO). Returns how many transcripts NO newly accepted; `Ok(0)`
+    /// without dialing when the log is empty. On any transport failure the
+    /// drained transcripts are requeued, so nothing is lost — the next
+    /// report retries them, and NO deduplicates by session id.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the dial/send/recv; [`NetError::Unexpected`]
+    /// if NO replies with something other than an ack.
+    pub fn report_sessions(&self, no_addr: SocketAddr) -> Result<u32> {
+        let sessions = lock_recover(&self.router).drain_log();
+        if sessions.is_empty() {
+            return Ok(0);
+        }
+        let router_name = lock_recover(&self.router).id().0.clone();
+        let attempt = (|| -> Result<u32> {
+            let mut conn = Connection::dial(
+                no_addr,
+                self.cfg.connect_timeout,
+                self.cfg.conn,
+                Arc::clone(&self.metrics),
+            )?;
+            conn.send(&NodeMessage::ReportSessions {
+                router: router_name,
+                sessions: sessions.clone(),
+            })?;
+            let reply = conn.recv()?;
+            conn.close();
+            match reply {
+                NodeMessage::ReportAck { accepted } => Ok(accepted),
+                _ => Err(NetError::Unexpected("NO replied with a non-ack")),
+            }
+        })();
+        if attempt.is_err() {
+            lock_recover(&self.router).requeue_log(sessions);
+        }
+        attempt
+    }
+
     /// Graceful shutdown; hands the router entity back.
     ///
     /// # Errors

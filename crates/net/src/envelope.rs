@@ -6,6 +6,7 @@
 //! wire byte-identical to how they are hashed and signed). Unknown magic,
 //! versions, or kinds are clean decode errors, never panics.
 
+use peace_protocol::audit::LoggedSession;
 use peace_protocol::{AccessConfirm, AccessRequest, Beacon, SignedCrl, SignedUrl};
 use peace_wire::{Decode, Encode, Reader, WireError, Writer};
 
@@ -41,6 +42,8 @@ mod kind {
     pub const DATA: u8 = 7;
     pub const REJECT: u8 = 8;
     pub const BYE: u8 = 9;
+    pub const REPORT_SESSIONS: u8 = 10;
+    pub const REPORT_ACK: u8 = 11;
 }
 
 /// The revocation bulletin served by the NO daemon: epoch number plus the
@@ -102,6 +105,20 @@ pub enum NodeMessage {
     },
     /// Graceful close: the sender will write nothing further.
     Bye,
+    /// A router reporting its logged session transcripts to the NO daemon
+    /// for durable ledger persistence (the paper's accountability trail).
+    ReportSessions {
+        /// The reporting router's display name (`MR_k`).
+        router: String,
+        /// The transcripts, exactly as the router logged them.
+        sessions: Vec<LoggedSession>,
+    },
+    /// The NO daemon's acknowledgement: how many reported transcripts were
+    /// durably appended to the ledger (duplicates are skipped).
+    ReportAck {
+        /// Number of transcripts newly persisted.
+        accepted: u32,
+    },
 }
 
 impl NodeMessage {
@@ -117,6 +134,8 @@ impl NodeMessage {
             NodeMessage::Data(_) => "data",
             NodeMessage::Reject { .. } => "reject",
             NodeMessage::Bye => "bye",
+            NodeMessage::ReportSessions { .. } => "report-sessions",
+            NodeMessage::ReportAck { .. } => "report-ack",
         }
     }
 }
@@ -154,6 +173,18 @@ impl Encode for NodeMessage {
                 w.put_str(detail);
             }
             NodeMessage::Bye => w.put_u8(kind::BYE),
+            NodeMessage::ReportSessions { router, sessions } => {
+                w.put_u8(kind::REPORT_SESSIONS);
+                w.put_str(router);
+                w.put_u32(sessions.len() as u32);
+                for s in sessions {
+                    s.encode(w);
+                }
+            }
+            NodeMessage::ReportAck { accepted } => {
+                w.put_u8(kind::REPORT_ACK);
+                w.put_u32(*accepted);
+            }
         }
     }
 }
@@ -183,6 +214,19 @@ impl Decode for NodeMessage {
                 detail: r.get_str()?,
             }),
             kind::BYE => Ok(NodeMessage::Bye),
+            kind::REPORT_SESSIONS => {
+                let router = r.get_str()?;
+                let n = r.get_u32()?;
+                // Bound preallocation by what the frame could actually hold.
+                let mut sessions = Vec::with_capacity((n as usize).min(1024));
+                for _ in 0..n {
+                    sessions.push(LoggedSession::decode(r)?);
+                }
+                Ok(NodeMessage::ReportSessions { router, sessions })
+            }
+            kind::REPORT_ACK => Ok(NodeMessage::ReportAck {
+                accepted: r.get_u32()?,
+            }),
             _ => Err(WireError::Invalid("envelope.kind")),
         }
     }
@@ -209,6 +253,11 @@ mod tests {
             code: reject_code::REVOKED,
             detail: "signer on URL".into(),
         });
+        roundtrip(&NodeMessage::ReportSessions {
+            router: "MR-1".into(),
+            sessions: Vec::new(),
+        });
+        roundtrip(&NodeMessage::ReportAck { accepted: 17 });
     }
 
     #[test]
@@ -256,6 +305,11 @@ mod tests {
                 detail: String::new(),
             },
             NodeMessage::Bye,
+            NodeMessage::ReportSessions {
+                router: String::new(),
+                sessions: Vec::new(),
+            },
+            NodeMessage::ReportAck { accepted: 0 },
         ];
         let names: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind_name()).collect();
         assert_eq!(names.len(), msgs.len());

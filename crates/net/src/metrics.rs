@@ -34,6 +34,10 @@ pub struct NetMetrics {
     pub backpressure_events: AtomicU64,
     /// Handler threads that panicked (must stay 0; asserted by tests).
     pub handler_panics: AtomicU64,
+    /// Ledger appends/flushes that failed (durability degraded, not fatal).
+    pub ledger_errors: AtomicU64,
+    /// Session transcripts durably appended to the ledger.
+    pub ledger_sessions: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetMetrics`].
@@ -65,6 +69,10 @@ pub struct MetricsSnapshot {
     pub backpressure_events: u64,
     /// Handler panics (must be 0).
     pub handler_panics: u64,
+    /// Failed ledger appends/flushes.
+    pub ledger_errors: u64,
+    /// Session transcripts durably appended.
+    pub ledger_sessions: u64,
 }
 
 impl NetMetrics {
@@ -95,6 +103,8 @@ impl NetMetrics {
             connections_rejected: ld(&self.connections_rejected),
             backpressure_events: ld(&self.backpressure_events),
             handler_panics: ld(&self.handler_panics),
+            ledger_errors: ld(&self.ledger_errors),
+            ledger_sessions: ld(&self.ledger_sessions),
         }
     }
 }
@@ -109,7 +119,8 @@ impl MetricsSnapshot {
                 "\"handshakes_ok\":{},\"handshakes_fail\":{},\"timeouts\":{},",
                 "\"oversize_rejected\":{},\"decode_failures\":{},",
                 "\"connections_accepted\":{},\"connections_rejected\":{},",
-                "\"backpressure_events\":{},\"handler_panics\":{}}}"
+                "\"backpressure_events\":{},\"handler_panics\":{},",
+                "\"ledger_errors\":{},\"ledger_sessions\":{}}}"
             ),
             self.frames_in,
             self.frames_out,
@@ -124,6 +135,8 @@ impl MetricsSnapshot {
             self.connections_rejected,
             self.backpressure_events,
             self.handler_panics,
+            self.ledger_errors,
+            self.ledger_sessions,
         )
     }
 }

@@ -9,11 +9,12 @@
 use std::collections::HashMap;
 
 use peace_groupsig::{GroupSignature, RevocationToken};
+use peace_wire::{Decode, Encode, Reader, Writer};
 
 use crate::ids::{GroupId, SessionId, ShareIndex};
 
 /// A logged authentication record: everything NO needs to audit a session.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoggedSession {
     /// The session identifier `(g^{r_R}, g^{r_j})`.
     pub session_id: SessionId,
@@ -23,6 +24,26 @@ pub struct LoggedSession {
     pub gsig: GroupSignature,
     /// When the session was established (protocol ms).
     pub established_at: u64,
+}
+
+impl Encode for LoggedSession {
+    fn encode(&self, w: &mut Writer) {
+        self.session_id.encode(w);
+        w.put_bytes(&self.signed_payload);
+        self.gsig.encode(w);
+        w.put_u64(self.established_at);
+    }
+}
+
+impl Decode for LoggedSession {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        Ok(Self {
+            session_id: SessionId::decode(r)?,
+            signed_payload: r.get_bytes()?.to_vec(),
+            gsig: GroupSignature::decode(r)?,
+            established_at: r.get_u64()?,
+        })
+    }
 }
 
 /// The operator-side log of authentication sessions, keyed by session id.

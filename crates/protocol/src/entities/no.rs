@@ -303,6 +303,16 @@ impl NetworkOperator {
         self.epoch
     }
 
+    /// The current URL version (bumped by revocations and rotations).
+    pub fn url_version(&self) -> u64 {
+        self.url_version
+    }
+
+    /// The current CRL version (bumped by router revocations).
+    pub fn crl_version(&self) -> u64 {
+        self.crl_version
+    }
+
     /// Periodic membership renewal (§III.A, §V.A "group public key
     /// update"): rotates the system secret `γ`, invalidating *every*
     /// outstanding group private key at once. Revoked keys no longer need
@@ -340,6 +350,53 @@ impl NetworkOperator {
         gsig: &peace_groupsig::GroupSignature,
     ) -> Result<AuditFinding> {
         self.open_against_all_epochs(signed_payload, gsig)
+    }
+
+    /// Batch audit of many (payload, signature) pairs at once — the
+    /// ledger's audit-sweep entry point. Runs [`peace_groupsig::open_batch`]
+    /// against the current `gpk` (amortizing the final exponentiation
+    /// across the whole record×token matrix and threading across records),
+    /// then retries any unresolved records against archived epochs.
+    /// `out[k]` is `None` when no `grt` token matches `items[k]` in any
+    /// epoch (a signature from outside the registry).
+    pub fn audit_batch(
+        &self,
+        items: &[(&[u8], &peace_groupsig::GroupSignature)],
+    ) -> Vec<Option<AuditFinding>> {
+        let mut out: Vec<Option<AuditFinding>> = vec![None; items.len()];
+        let mut unresolved: Vec<usize> = (0..items.len()).collect();
+        for gpk in std::iter::once(self.gpk()).chain(self.gpk_history.iter().rev()) {
+            if unresolved.is_empty() {
+                break;
+            }
+            let subset: Vec<(&[u8], &peace_groupsig::GroupSignature)> =
+                unresolved.iter().map(|&k| items[k]).collect();
+            let matches =
+                peace_groupsig::open_batch(gpk, &subset, &self.grt_order, self.config.bases_mode);
+            let mut still = Vec::with_capacity(unresolved.len());
+            for (&k, m) in unresolved.iter().zip(&matches) {
+                match m {
+                    Some(idx) => {
+                        let token = self.grt_order[*idx];
+                        let index = self.grt[&token.to_bytes()];
+                        out[k] = Some(AuditFinding {
+                            group: index.group,
+                            index,
+                            token,
+                        });
+                    }
+                    None => still.push(k),
+                }
+            }
+            unresolved = still;
+        }
+        out
+    }
+
+    /// The operator's ECDSA signing key `NSK` — used to sign revocation
+    /// lists, certificates, and accountability-ledger checkpoints.
+    pub fn signing_key(&self) -> &SigningKey {
+        &self.signing
     }
 }
 

@@ -108,6 +108,12 @@ impl MeshRouter {
         &self.cert
     }
 
+    /// The router's ECDSA signing key (certified by [`Self::cert`]) — used
+    /// for M.3 confirmations and accountability-ledger checkpoints.
+    pub fn signing_key(&self) -> &SigningKey {
+        &self.signing
+    }
+
     /// The protocol configuration this router runs under.
     pub fn config(&self) -> &ProtocolConfig {
         &self.config
@@ -320,6 +326,13 @@ impl MeshRouter {
     /// Drains the session log (router → NO reporting).
     pub fn drain_log(&mut self) -> Vec<LoggedSession> {
         std::mem::take(&mut self.log_outbox)
+    }
+
+    /// Puts drained log entries back at the front of the outbox — used when
+    /// a report to NO fails in flight, so transcripts are never lost.
+    pub fn requeue_log(&mut self, entries: Vec<LoggedSession>) {
+        let tail = std::mem::replace(&mut self.log_outbox, entries);
+        self.log_outbox.extend(tail);
     }
 
     /// Total beacons emitted.

@@ -99,6 +99,22 @@ impl SessionId {
     }
 }
 
+impl Encode for SessionId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bytes(&self.responder_share);
+        w.put_bytes(&self.initiator_share);
+    }
+}
+
+impl Decode for SessionId {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        Ok(Self {
+            responder_share: r.get_bytes()?.to_vec(),
+            initiator_share: r.get_bytes()?.to_vec(),
+        })
+    }
+}
+
 impl fmt::Display for SessionId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Short digest-style rendering.

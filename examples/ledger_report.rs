@@ -1,0 +1,189 @@
+//! Accountability-ledger benchmark: append throughput, crash-recovery
+//! time, and the batched Open/Audit sweep against the one-by-one opener,
+//! printed as JSON (the record behind `BENCH_ledger.json`).
+//!
+//! ```sh
+//! cargo run --release --example ledger_report
+//! ```
+//!
+//! The audit comparison is the paper's accountability workload: every
+//! access transcript in the log is opened against NO's `grt`. The
+//! one-by-one opener pays the full `n + 1`-Miller sweep per record; the
+//! batch sweep walks the record×token matrix column-major with early
+//! retirement (a record stops costing anything once its token matches)
+//! and shares each column's final exponentiation, so its advantage grows
+//! with the record count, the registry size, and the core count.
+
+use std::time::Instant;
+
+use peace::ledger::{
+    audit_sweep, AccessRecord, Ledger, LedgerConfig, LedgerQuery, LedgerRecord, RecordKind,
+    SyncPolicy,
+};
+use peace::net::{build_world, clock::wall_ms, WorldSpec};
+use peace::protocol::audit::LoggedSession;
+
+const APPEND_RECORDS: u32 = 2_000;
+const AUDIT_RECORDS: usize = 24;
+const GRT_ROWS: usize = 16;
+
+fn bench_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("peace-ledger-bench-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let spec = WorldSpec {
+        seed: 0x1ED6E8,
+        users: GRT_ROWS,
+        routers: 2,
+    };
+    let mut w = build_world(&spec).expect("world setup");
+
+    // Real transcripts: every record carries an actual group-signed
+    // handshake, so append sizes and audit costs are the deployed ones.
+    let mut now = 1_000u64;
+    for s in 0..AUDIT_RECORDS {
+        let router = &mut w.routers[s % spec.routers];
+        let user = &mut w.users[s % spec.users];
+        let beacon = router.beacon(now, &mut w.rng);
+        let req = user
+            .request_access(&beacon, now + 50, &mut w.rng)
+            .expect("handshake");
+        router
+            .process_access_request(&req, now + 100)
+            .expect("handshake accepted");
+        now += 1_000;
+    }
+    let mut sessions: Vec<(String, LoggedSession)> = Vec::new();
+    for router in &mut w.routers {
+        let name = router.id().0.clone();
+        for s in router.drain_log() {
+            sessions.push((name.clone(), s));
+        }
+    }
+    assert_eq!(sessions.len(), AUDIT_RECORDS);
+
+    // ------------------------------------------------------------------
+    // Append throughput: group-signed access records through the framed,
+    // CRC-guarded, hash-chained segment writer (fsync deferred to flush).
+    // ------------------------------------------------------------------
+    let dir = bench_dir("append");
+    let (mut ledger, _) = Ledger::open(
+        &dir,
+        LedgerConfig {
+            sync: SyncPolicy::OnFlush,
+            ..LedgerConfig::default()
+        },
+    )
+    .expect("open append ledger");
+    let t0 = Instant::now();
+    for i in 0..APPEND_RECORDS {
+        let (router, session) = &sessions[i as usize % sessions.len()];
+        ledger
+            .append(
+                LedgerRecord::Access(AccessRecord {
+                    router: router.clone(),
+                    session: session.clone(),
+                }),
+                u64::from(i),
+            )
+            .expect("append");
+    }
+    ledger.flush().expect("flush");
+    let append_secs = t0.elapsed().as_secs_f64();
+    let head = ledger.head();
+    let log_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("list segments")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    drop(ledger);
+
+    // ------------------------------------------------------------------
+    // Recovery: a cold open replays every frame — CRC per record, hash
+    // chain across records, torn-tail scan on the active segment.
+    // ------------------------------------------------------------------
+    let t1 = Instant::now();
+    let (ledger, report) = Ledger::open(&dir, LedgerConfig::default()).expect("recovery open");
+    let recovery_secs = t1.elapsed().as_secs_f64();
+    assert_eq!(ledger.len(), u64::from(APPEND_RECORDS));
+    assert!(report.tail_flaw.is_none());
+    let segments = head.segments;
+    drop(ledger);
+
+    // ------------------------------------------------------------------
+    // Batch Open/Audit vs one-by-one over a fresh ledger of distinct
+    // transcripts (16 users -> 16 grt rows to test each record against).
+    // ------------------------------------------------------------------
+    let dir = bench_dir("audit");
+    let (mut ledger, _) = Ledger::open(&dir, LedgerConfig::default()).expect("open audit ledger");
+    for (i, (router, session)) in sessions.iter().enumerate() {
+        ledger
+            .append(
+                LedgerRecord::Access(AccessRecord {
+                    router: router.clone(),
+                    session: session.clone(),
+                }),
+                i as u64,
+            )
+            .expect("append audit record");
+    }
+    ledger.flush().expect("flush audit ledger");
+
+    // Warm-up both paths (lazy pairing tables), then measure. Both
+    // workflows start from the ledger: the one-by-one auditor queries the
+    // window and opens each transcript with the single-record API.
+    let _ =
+        w.no.audit_raw(&sessions[0].1.signed_payload, &sessions[0].1.gsig);
+    let _ = audit_sweep(&w.no, &ledger, 0, u64::MAX).expect("warm-up sweep");
+
+    let t2 = Instant::now();
+    let mut single_resolved = 0usize;
+    let entries = ledger
+        .query(&LedgerQuery {
+            kind: Some(RecordKind::Access),
+            ..LedgerQuery::default()
+        })
+        .expect("query access records");
+    for e in &entries {
+        let LedgerRecord::Access(a) = &e.record else {
+            unreachable!("kind filter")
+        };
+        if w.no
+            .audit_raw(&a.session.signed_payload, &a.session.gsig)
+            .is_ok()
+        {
+            single_resolved += 1;
+        }
+    }
+    let single_secs = t2.elapsed().as_secs_f64();
+
+    let t3 = Instant::now();
+    let outcome = audit_sweep(&w.no, &ledger, 0, u64::MAX).expect("sweep");
+    let batch_secs = t3.elapsed().as_secs_f64();
+    assert_eq!(single_resolved, AUDIT_RECORDS);
+    assert_eq!(outcome.resolved.len(), AUDIT_RECORDS);
+
+    let single_rps = sessions.len() as f64 / single_secs;
+    let batch_rps = sessions.len() as f64 / batch_secs;
+    println!(
+        "{{\n  \"bench\": \"ledger_report\",\n  \"when_ms\": {},\n  \"append_records\": {},\n  \"appends_per_sec\": {:.0},\n  \"append_mb_per_sec\": {:.1},\n  \"log_bytes\": {},\n  \"segments\": {},\n  \"recovery_records\": {},\n  \"recovery_ms\": {:.2},\n  \"recovery_records_per_sec\": {:.0},\n  \"audit_records\": {},\n  \"grt_rows\": {},\n  \"audit_single_records_per_sec\": {:.2},\n  \"audit_batch_records_per_sec\": {:.2},\n  \"audit_batch_speedup\": {:.2}\n}}",
+        wall_ms(),
+        APPEND_RECORDS,
+        f64::from(APPEND_RECORDS) / append_secs,
+        log_bytes as f64 / append_secs / (1024.0 * 1024.0),
+        log_bytes,
+        segments,
+        APPEND_RECORDS,
+        recovery_secs * 1_000.0,
+        f64::from(APPEND_RECORDS) / recovery_secs,
+        AUDIT_RECORDS,
+        spec.users,
+        single_rps,
+        batch_rps,
+        batch_rps / single_rps,
+    );
+}

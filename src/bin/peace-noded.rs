@@ -1,10 +1,10 @@
 //! The PEACE node daemon: runs any of the three node roles over real TCP.
 //!
 //! ```text
-//! peace-noded no     --bind 127.0.0.1:7100 [--seed N --users U --routers R]
+//! peace-noded no     --bind 127.0.0.1:7100 [--seed N --users U --routers R --ledger DIR]
 //! peace-noded router --bind 127.0.0.1:7200 --no ADDR --index K [--seed N ...]
 //! peace-noded user   --no ADDR --router ADDR --index J [--seed N ...]
-//! peace-noded demo   [--users U --rounds N]
+//! peace-noded demo   [--users U --rounds N --ledger DIR]
 //! ```
 //!
 //! All roles replay the same deterministic setup ceremony from `--seed`,
@@ -17,6 +17,7 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use peace::ledger::{Ledger, LedgerConfig};
 use peace::net::{
     build_world, clock::wall_ms, ConnConfig, DaemonConfig, NetError, NoDaemon, RouterDaemon,
     UserAgent, WorldSpec,
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         "no" => run_no(
             &spec,
             &opt("--bind").unwrap_or_else(|| "127.0.0.1:7100".into()),
+            opt("--ledger").as_deref(),
         ),
         "router" => run_router(
             &spec,
@@ -64,7 +66,11 @@ fn main() -> ExitCode {
             flag("--index", 0) as usize,
             flag("--rounds", 3) as u32,
         ),
-        "demo" => run_demo(&spec, flag("--rounds", 3) as u32),
+        "demo" => run_demo(
+            &spec,
+            flag("--rounds", 3) as u32,
+            opt("--ledger").as_deref(),
+        ),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -92,6 +98,7 @@ fn print_help() {
     println!("  user   --no A --router A         poll bulletin, authenticate, echo");
     println!("  demo   [--users U --rounds N]    full deployment on loopback");
     println!("\nshared flags: --seed N --users U --routers R (world replay spec)");
+    println!("ledger flags: --ledger DIR (no/demo: durable accountability ledger)");
 }
 
 fn daemon_cfg() -> DaemonConfig {
@@ -112,10 +119,35 @@ fn parse_addr(label: &str, s: Option<&str>) -> Result<SocketAddr, String> {
     s.parse().map_err(|_| format!("bad {label} address: {s}"))
 }
 
-/// Runs the NO bulletin daemon until the process is killed.
-fn run_no(spec: &WorldSpec, bind: &str) -> Result<(), String> {
+/// Opens (recovering) a ledger at `dir`, reporting what recovery found.
+fn open_ledger(dir: &str) -> Result<Ledger, String> {
+    let (ledger, report) = Ledger::open(dir, LedgerConfig::default())
+        .map_err(|e| format!("ledger open failed: {e}"))?;
+    println!(
+        "ledger: {} records in {} segment(s) at {dir}",
+        report.records, report.segments
+    );
+    if let Some(flaw) = report.tail_flaw {
+        println!(
+            "ledger: recovered from torn tail ({} byte(s) discarded: {flaw})",
+            report.torn_bytes
+        );
+    }
+    Ok(ledger)
+}
+
+/// Runs the NO bulletin daemon until the process is killed. With
+/// `--ledger DIR`, session reports and revocations are durably chained;
+/// periodic signed checkpoints make the log offline-verifiable. A hard
+/// kill mid-write is safe: each record is one `write(2)`, so recovery on
+/// the next start can only find (and discard) a torn tail, never a
+/// half-frame it would silently skip records over.
+fn run_no(spec: &WorldSpec, bind: &str, ledger_dir: Option<&str>) -> Result<(), String> {
     let w = build_world(spec).map_err(|e| e.to_string())?;
     let no = NoDaemon::spawn(w.no, bind, daemon_cfg()).map_err(|e| e.to_string())?;
+    if let Some(dir) = ledger_dir {
+        no.attach_ledger(open_ledger(dir)?);
+    }
     println!("peace-noded: NO bulletin daemon on {}", no.addr());
     println!(
         "world: seed={} users={} routers={}",
@@ -123,12 +155,18 @@ fn run_no(spec: &WorldSpec, bind: &str) -> Result<(), String> {
     );
     loop {
         std::thread::sleep(Duration::from_secs(30));
+        if ledger_dir.is_some() {
+            // Periodic durability + audit anchor: flush and checkpoint.
+            if let Some(Err(e)) = no.checkpoint_now() {
+                eprintln!("ledger checkpoint failed: {e}");
+            }
+        }
         println!("{}", no.metrics().to_json());
     }
 }
 
 /// Runs router `--index` from the replayed world, refreshing lists from NO
-/// every 15 seconds.
+/// and reporting accumulated session transcripts every 15 seconds.
 fn run_router(
     spec: &WorldSpec,
     bind: &str,
@@ -152,6 +190,13 @@ fn run_router(
             Err(e) => eprintln!("list refresh failed (will retry): {e}"),
         }
         std::thread::sleep(Duration::from_secs(15));
+        // Ship accumulated transcripts to NO; unreported sessions are
+        // requeued on failure, so the next cycle retries them.
+        match daemon.report_sessions(no_addr) {
+            Ok(0) => {}
+            Ok(n) => println!("reported {n} session transcript(s) to {no_addr}"),
+            Err(e) => eprintln!("session report failed (will retry): {e}"),
+        }
         println!("{}", daemon.metrics().to_json());
     }
 }
@@ -202,10 +247,13 @@ fn run_user(
 }
 
 /// The whole deployment in one process on loopback.
-fn run_demo(spec: &WorldSpec, rounds: u32) -> Result<(), String> {
+fn run_demo(spec: &WorldSpec, rounds: u32, ledger_dir: Option<&str>) -> Result<(), String> {
     let w = build_world(spec).map_err(|e| e.to_string())?;
     let cfg = daemon_cfg();
     let no = NoDaemon::spawn(w.no, "127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
+    if let Some(dir) = ledger_dir {
+        no.attach_ledger(open_ledger(dir)?);
+    }
     println!("NO bulletin daemon on {}", no.addr());
 
     let mut routers = Vec::new();
@@ -234,6 +282,25 @@ fn run_demo(spec: &WorldSpec, rounds: u32) -> Result<(), String> {
         }
         sess.close();
         user_metrics.push((format!("user-{i}"), agent.metrics().to_json()));
+    }
+
+    // Routers hand their session transcripts to NO (§IV.D step 1); with a
+    // ledger attached these become durable chained access records.
+    for (i, r) in routers.iter().enumerate() {
+        let accepted = r.report_sessions(no.addr()).map_err(|e| e.to_string())?;
+        println!("router MR-{i}: reported {accepted} session transcript(s) to NO");
+    }
+    if ledger_dir.is_some() {
+        if let Some(ck) = no.checkpoint_now() {
+            let ck = ck.map_err(|e| e.to_string())?;
+            println!("ledger checkpoint: seq {} signed by {}", ck.seq, ck.signer);
+        }
+        if let Some(head) = no.with_ledger(|l| l.head()) {
+            println!(
+                "ledger head: {} records, {} segment(s)",
+                head.next_seq, head.segments
+            );
+        }
     }
 
     println!("\n--- metrics ---");

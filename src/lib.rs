@@ -21,6 +21,7 @@
 //! | **protocol** | [`protocol`] | NO/TTP/GM/router/user/law entities, AKA protocols, audit |
 //! | simulator | [`sim`] | discrete-event metropolitan WMN with adversaries |
 //! | **runtime** | [`net`] | framed-TCP node daemons (NO, router, user) + fault proxy |
+//! | **ledger** | [`ledger`] | durable hash-chained accountability log, signed checkpoints, batch audit |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use peace_ecdsa as ecdsa;
 pub use peace_field as field;
 pub use peace_groupsig as groupsig;
 pub use peace_hash as hash;
+pub use peace_ledger as ledger;
 pub use peace_net as net;
 pub use peace_pairing as pairing;
 pub use peace_protocol as protocol;
