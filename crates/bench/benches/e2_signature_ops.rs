@@ -23,10 +23,11 @@ fn print_op_counts() {
     println!("\n=== E2: operation counts (instrumented) ===");
     println!("paper: sign ≈ 8 exp + 2 pairings; verify = 6 exp + (3+2|URL|) pairings\n");
 
-    OpSnapshot::reset_all();
-    let before = OpSnapshot::capture();
+    // Hold one scope across the whole report: the counters are
+    // process-global, and the guard keeps concurrent measurers out.
+    let scope = OpSnapshot::scope();
     let sig = sign(&gpk, &member, b"m", BasesMode::PerMessage, &mut rng);
-    let s = OpSnapshot::capture().since(&before);
+    let s = scope.counts();
     println!(
         "sign:   {} group exps + {} Gt exps = {} exponentiations, {} pairings",
         s.g1_muls,

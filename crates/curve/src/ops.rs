@@ -1,27 +1,37 @@
-//! Global operation counters for the E2 experiment (§V.C computational
-//! overhead: "signature generation requires about 8 exponentiations … and 2
-//! bilinear map computations").
+//! Operation counters for the curve layer (experiment E2: §V.C
+//! computational overhead, "signature generation requires about 8
+//! exponentiations … and 2 bilinear map computations").
 //!
-//! Counters are process-wide atomics — cheap, and adequate for the
-//! single-threaded benchmark harness that reads them. `reset` + `snapshot`
-//! bracket a measured region.
+//! The counters live in the process-wide `peace-telemetry` registry under
+//! `crypto.*`; this module is a thin compat shim so callers (and the
+//! groupsig/pairing layers above) keep their historical API. Handles are
+//! resolved once and cached — a record is one relaxed atomic add.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-static G1_MULS: AtomicU64 = AtomicU64::new(0);
+use peace_telemetry::{global, Counter};
+
+/// Registry name of the 𝔾₁/𝔾₂ scalar-multiplication counter.
+pub const G1_MUL: &str = "crypto.g1_mul";
+
+fn g1_muls() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| global().counter(G1_MUL))
+}
 
 /// Records one scalar multiplication in 𝔾₁/𝔾₂ (the paper's "exponentiation").
 #[inline]
 pub fn record_g1_mul() {
-    G1_MULS.fetch_add(1, Ordering::Relaxed);
+    g1_muls().inc();
 }
 
 /// Current count of group exponentiations since the last reset.
 pub fn g1_mul_count() -> u64 {
-    G1_MULS.load(Ordering::Relaxed)
+    g1_muls().get()
 }
 
-/// Resets the exponentiation counter.
+/// Resets the exponentiation counter. Prefer bracketing measurements with
+/// `peace_pairing::ops::OpScope`, which serializes concurrent resetters.
 pub fn reset_g1_mul_count() {
-    G1_MULS.store(0, Ordering::Relaxed);
+    g1_muls().reset();
 }

@@ -39,8 +39,8 @@ pub use sig::{
     BasesMode, GroupSignature, PreparedGpk, RevocationTable, VerifyError,
 };
 
-// Re-export the op-counter snapshot for the E2 benchmark.
-pub use peace_pairing::OpSnapshot;
+// Re-export the op-counter snapshot and scope guard for the E2 benchmark.
+pub use peace_pairing::{OpScope, OpSnapshot};
 
 #[cfg(test)]
 mod tests {
@@ -253,10 +253,9 @@ mod tests {
         let prepared = PreparedGpk::new(&gpk);
         let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
 
-        OpSnapshot::reset_all();
-        let before = OpSnapshot::capture();
+        let scope = OpSnapshot::scope();
         prepared.verify(b"m", &sig, BasesMode::PerMessage).unwrap();
-        let cost = OpSnapshot::capture().since(&before);
+        let cost = scope.counts();
         assert_eq!(cost.pairings, 2, "prepared verify uses 2 pairings");
 
         // Same acceptance/rejection behaviour as the plain verifier.
@@ -380,11 +379,9 @@ mod tests {
         // uses a bounded number of pairings + 2 per URL entry.
         let mut f = fixture();
         let gpk = *f.issuer.public_key();
-        OpSnapshot::reset_all();
-        let before = OpSnapshot::capture();
+        let scope = OpSnapshot::scope();
         let sig = sign(&gpk, &f.alice, b"m", BasesMode::PerMessage, &mut f.rng);
-        let after_sign = OpSnapshot::capture();
-        let sign_cost = after_sign.since(&before);
+        let sign_cost = scope.counts();
         assert!(sign_cost.pairings <= 3, "sign pairings: {sign_cost:?}");
         assert!(sign_cost.total_exps() >= 6 && sign_cost.total_exps() <= 24);
 
@@ -463,10 +460,9 @@ mod tests {
         assert_eq!(revocation_sweep(&sig, &url, &u_hat, &v_hat), Some(17));
         assert_eq!(revocation_sweep(&sig, &url[..17], &u_hat, &v_hat), None);
         // Counter shape holds through the threaded path too.
-        OpSnapshot::reset_all();
-        let before = OpSnapshot::capture();
+        let scope = OpSnapshot::scope();
         let _ = revocation_sweep(&sig, &url, &u_hat, &v_hat);
-        let cost = OpSnapshot::capture().since(&before);
+        let cost = scope.counts();
         assert_eq!(cost.miller_loops, url.len() as u64 + 1);
         assert_eq!(cost.final_exps, 1);
     }

@@ -40,6 +40,7 @@ pub mod record;
 pub mod segment;
 pub mod store;
 pub mod sweep;
+pub mod timing;
 
 pub use checkpoint::Checkpoint;
 pub use record::{AccessRecord, Entry, LedgerRecord, RecordKind};
@@ -91,6 +92,33 @@ pub enum LedgerError {
     CannotCompact(&'static str),
     /// A query or sweep referenced a sequence number outside the ledger.
     NoSuchRecord(u64),
+}
+
+impl LedgerError {
+    /// Stable machine-readable identifier for this failure class (metrics
+    /// key / event code; must never change once released).
+    pub fn code(&self) -> &'static str {
+        match self {
+            LedgerError::Io(_) => "io",
+            LedgerError::Wire(_) => "wire",
+            LedgerError::Corrupt { .. } => "corrupt",
+            LedgerError::ChainBroken { .. } => "chain_broken",
+            LedgerError::CheckpointInvalid { .. } => "checkpoint_invalid",
+            LedgerError::RecordTooLarge { .. } => "record_too_large",
+            LedgerError::CannotCompact(_) => "cannot_compact",
+            LedgerError::NoSuchRecord(_) => "no_such_record",
+        }
+    }
+}
+
+impl peace_protocol::Transient for LedgerError {
+    /// Only I/O failures are worth retrying: the filesystem can recover
+    /// (disk pressure, interrupted syscall). Everything else is either
+    /// structural damage (corrupt, chain broken, bad checkpoint) that a
+    /// retry would faithfully re-detect, or a caller error.
+    fn is_transient(&self) -> bool {
+        matches!(self, LedgerError::Io(_))
+    }
 }
 
 impl fmt::Display for LedgerError {

@@ -185,6 +185,7 @@ impl Ledger {
     /// [`LedgerError::Corrupt`] / [`LedgerError::ChainBroken`] — a crash
     /// can only tear the end of the log, so interior damage is tampering.
     pub fn open(dir: impl AsRef<Path>, cfg: LedgerConfig) -> Result<(Self, RecoveryReport)> {
+        let recover_start = std::time::Instant::now();
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let mut segments = list_segments(&dir)?;
@@ -316,6 +317,7 @@ impl Ledger {
 
         report.segments = segments.len();
         report.records = locs.len() as u64;
+        crate::timing::recover_us().record_since(recover_start);
         Ok((
             Self {
                 dir,
@@ -368,6 +370,7 @@ impl Ledger {
     /// written with a single `write_all`, so an abort mid-append can only
     /// leave a trailing partial frame, which the next open skips.
     pub fn append(&mut self, record: LedgerRecord, at_ms: u64) -> Result<u64> {
+        let append_start = std::time::Instant::now();
         let entry = Entry {
             seq: self.next_seq,
             at_ms,
@@ -385,7 +388,11 @@ impl Ledger {
         }
         self.file.write_all(&framed)?;
         match self.cfg.sync {
-            SyncPolicy::Always => self.file.sync_data()?,
+            SyncPolicy::Always => {
+                let fsync_start = std::time::Instant::now();
+                self.file.sync_data()?;
+                crate::timing::fsync_us().record_since(fsync_start);
+            }
             SyncPolicy::OnFlush => self.dirty = true,
         }
         let seq = entry.seq;
@@ -408,13 +415,16 @@ impl Ledger {
         self.chain = extend_chain(&self.chain, &payload);
         self.seg_bytes += framed.len() as u64;
         self.next_seq += 1;
+        crate::timing::append_us().record_since(append_start);
         Ok(seq)
     }
 
     /// Forces buffered appends to stable storage.
     pub fn flush(&mut self) -> Result<()> {
         if self.dirty {
+            let fsync_start = std::time::Instant::now();
             self.file.sync_data()?;
+            crate::timing::fsync_us().record_since(fsync_start);
             self.dirty = false;
         }
         Ok(())

@@ -37,6 +37,7 @@ pub fn audit_sweep(
     since_ms: u64,
     until_ms: u64,
 ) -> Result<SweepOutcome> {
+    let sweep_start = std::time::Instant::now();
     let entries = ledger.query(&LedgerQuery {
         kind: Some(RecordKind::Access),
         since_ms: Some(since_ms),
@@ -65,6 +66,7 @@ pub fn audit_sweep(
             None => out.unresolved.push(entry.seq),
         }
     }
+    crate::timing::sweep_us().record_since(sweep_start);
     Ok(out)
 }
 

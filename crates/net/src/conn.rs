@@ -161,6 +161,11 @@ impl Connection {
         self.stats
     }
 
+    /// The daemon metrics view this connection reports into.
+    pub(crate) fn metrics(&self) -> &Arc<NetMetrics> {
+        &self.metrics
+    }
+
     /// Encodes `msg` into the bounded outbound queue without writing.
     ///
     /// # Errors
@@ -177,7 +182,7 @@ impl Connection {
             });
         }
         self.queue.push(payload).inspect_err(|_| {
-            NetMetrics::inc(&self.metrics.backpressure_events);
+            self.metrics.backpressure_events.inc();
         })
     }
 
@@ -190,14 +195,14 @@ impl Connection {
             .inspect_err(|e| {
                 if matches!(e, NetError::Timeout) {
                     self.stats.timeouts += 1;
-                    NetMetrics::inc(&self.metrics.timeouts);
+                    self.metrics.timeouts.inc();
                 }
             })?;
         let written = (before_bytes - self.queue.queued_bytes()) as u64;
         self.stats.frames_out += flushed as u64;
         self.stats.bytes_out += written;
-        NetMetrics::add(&self.metrics.frames_out, flushed as u64);
-        NetMetrics::add(&self.metrics.bytes_out, written);
+        self.metrics.frames_out.add(flushed as u64);
+        self.metrics.bytes_out.add(written);
         Ok(())
     }
 
@@ -214,21 +219,21 @@ impl Connection {
             match e {
                 NetError::Timeout => {
                     self.stats.timeouts += 1;
-                    NetMetrics::inc(&self.metrics.timeouts);
+                    self.metrics.timeouts.inc();
                 }
                 NetError::FrameTooLarge { .. } => {
-                    NetMetrics::inc(&self.metrics.oversize_rejected);
+                    self.metrics.oversize_rejected.inc();
                 }
                 _ => {}
             };
         })?;
         self.stats.frames_in += 1;
         self.stats.bytes_in += payload.len() as u64;
-        NetMetrics::inc(&self.metrics.frames_in);
-        NetMetrics::add(&self.metrics.bytes_in, payload.len() as u64);
+        self.metrics.frames_in.inc();
+        self.metrics.bytes_in.add(payload.len() as u64);
         NodeMessage::from_wire(&payload).map_err(|e| {
             self.stats.decode_failures += 1;
-            NetMetrics::inc(&self.metrics.decode_failures);
+            self.metrics.decode_failures.inc();
             NetError::Malformed(e)
         })
     }

@@ -71,6 +71,11 @@ impl NoDaemon {
         self.metrics.snapshot()
     }
 
+    /// Full telemetry export: counters and ledger-failure events.
+    pub fn telemetry(&self) -> peace_telemetry::Snapshot {
+        self.metrics.telemetry()
+    }
+
     /// Revokes a member key at runtime; subsequent bulletins carry the
     /// bumped URL. Returns `false` for a token outside `grt`. With a
     /// ledger attached, the revocation is durably recorded.
@@ -155,8 +160,9 @@ impl NoDaemon {
     fn ledger_append(&self, record: LedgerRecord) {
         let mut slot = lock_recover(&self.ledger);
         if let Some(l) = slot.as_mut() {
-            if l.append(record, wall_ms()).is_err() || l.flush().is_err() {
-                NetMetrics::inc(&self.metrics.ledger_errors);
+            if let Err(e) = l.append(record, wall_ms()).and_then(|_| l.flush()) {
+                self.metrics.ledger_errors.inc();
+                self.metrics.event("ledger_error", e.code());
             }
         }
     }
@@ -177,7 +183,7 @@ impl NoDaemon {
         // before the daemon disappears.
         if let Some(l) = lock_recover(&self.ledger).as_mut() {
             if l.flush().is_err() {
-                NetMetrics::inc(&self.metrics.ledger_errors);
+                self.metrics.ledger_errors.inc();
             }
         }
         Arc::try_unwrap(self.no)
@@ -238,19 +244,21 @@ fn serve(
                                 router: router.clone(),
                                 session: session.clone(),
                             });
-                            if l.append(rec, now).is_err() {
-                                NetMetrics::inc(&metrics.ledger_errors);
+                            if let Err(e) = l.append(rec, now) {
+                                metrics.ledger_errors.inc();
+                                metrics.event("ledger_error", e.code());
                                 continue;
                             }
-                            NetMetrics::inc(&metrics.ledger_sessions);
+                            metrics.ledger_sessions.inc();
                         }
                         op.record_session(session);
                         accepted += 1;
                     }
                     if let Some(l) = slot.as_mut() {
                         // One durability point per report, not per record.
-                        if l.flush().is_err() {
-                            NetMetrics::inc(&metrics.ledger_errors);
+                        if let Err(e) = l.flush() {
+                            metrics.ledger_errors.inc();
+                            metrics.event("ledger_error", e.code());
                         }
                     }
                 }

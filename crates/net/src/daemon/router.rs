@@ -22,6 +22,7 @@ use crate::envelope::{reject_code, NodeMessage};
 use crate::error::{NetError, Result};
 use crate::metrics::{MetricsSnapshot, NetMetrics};
 use crate::server::Acceptor;
+use peace_telemetry::Snapshot;
 
 use super::{lock_recover, DaemonConfig};
 
@@ -71,6 +72,12 @@ impl RouterDaemon {
     /// A point-in-time copy of the daemon counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Full telemetry export: counters, the `net.access_verify_us`
+    /// histogram, and failure events.
+    pub fn telemetry(&self) -> Snapshot {
+        self.metrics.telemetry()
     }
 
     /// Live connection count.
@@ -237,10 +244,12 @@ fn serve(
                 }
             }
             NodeMessage::AccessRequest(req) => {
+                let verify_start = std::time::Instant::now();
                 let outcome = lock_recover(router).process_access_request(&req, wall_ms());
+                metrics.access_verify_us.record_since(verify_start);
                 match outcome {
                     Ok((confirm, sess)) => {
-                        NetMetrics::inc(&metrics.handshakes_ok);
+                        metrics.handshakes_ok.inc();
                         session = Some(sess);
                         if conn
                             .send(&NodeMessage::AccessConfirm(Box::new(confirm)))
@@ -250,10 +259,11 @@ fn serve(
                         }
                     }
                     Err(e) => {
-                        NetMetrics::inc(&metrics.handshakes_fail);
+                        metrics.handshakes_fail.inc();
+                        metrics.event("handshake_fail", e.code());
                         let reply = NodeMessage::Reject {
                             code: code_for(&e),
-                            detail: format!("{e:?}"),
+                            detail: e.code().to_owned(),
                         };
                         if conn.send(&reply).is_err() {
                             return;

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use peace_protocol::entities::UserClient;
-use peace_protocol::{RetryPolicy, Session};
+use peace_protocol::{RetryPolicy, Session, Transient};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,6 +16,7 @@ use crate::conn::Connection;
 use crate::envelope::NodeMessage;
 use crate::error::{NetError, Result};
 use crate::metrics::{MetricsSnapshot, NetMetrics};
+use peace_telemetry::Snapshot;
 
 use super::DaemonConfig;
 
@@ -52,6 +53,13 @@ impl UserAgent {
     /// A point-in-time copy of the agent counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Full telemetry export: counters, handshake-leg histograms
+    /// (`net.hs_beacon_us`, `net.hs_confirm_us`, `net.hs_total_us`,
+    /// `net.frame_rtt_us`), and failure events.
+    pub fn telemetry(&self) -> Snapshot {
+        self.metrics.telemetry()
     }
 
     /// The wrapped protocol client (read-only).
@@ -108,23 +116,26 @@ impl UserAgent {
     pub fn connect(&mut self, router_addr: SocketAddr) -> Result<UserSession> {
         match self.try_connect(router_addr) {
             Ok(s) => {
-                NetMetrics::inc(&self.metrics.handshakes_ok);
+                self.metrics.handshakes_ok.inc();
                 Ok(s)
             }
             Err(e) => {
-                NetMetrics::inc(&self.metrics.handshakes_fail);
+                self.metrics.handshakes_fail.inc();
+                self.metrics.event("handshake_fail", e.code());
                 Err(e)
             }
         }
     }
 
     fn try_connect(&mut self, router_addr: SocketAddr) -> Result<UserSession> {
+        let hs_start = std::time::Instant::now();
         let mut conn = Connection::dial(
             router_addr,
             self.cfg.connect_timeout,
             self.cfg.conn,
             Arc::clone(&self.metrics),
         )?;
+        let leg_start = std::time::Instant::now();
         conn.send(&NodeMessage::GetBeacon)?;
         let beacon = match conn.recv()? {
             NodeMessage::Beacon(b) => *b,
@@ -133,10 +144,12 @@ impl UserAgent {
             }
             _ => return Err(NetError::Unexpected("expected a beacon")),
         };
+        self.metrics.hs_beacon_us.record_since(leg_start);
         let req = self
             .user
             .request_access(&beacon, wall_ms(), &mut self.rng)
             .map_err(NetError::Protocol)?;
+        let leg_start = std::time::Instant::now();
         conn.send(&NodeMessage::AccessRequest(Box::new(req)))?;
         let session = match conn.recv()? {
             NodeMessage::AccessConfirm(c) => self
@@ -148,6 +161,8 @@ impl UserAgent {
             }
             _ => return Err(NetError::Unexpected("expected an access confirm")),
         };
+        self.metrics.hs_confirm_us.record_since(leg_start);
+        self.metrics.hs_total_us.record_since(hs_start);
         Ok(UserSession { conn, session })
     }
 
@@ -190,13 +205,18 @@ impl UserSession {
     /// Transport errors; [`NetError::Protocol`] when the echoed AEAD record
     /// fails to open; [`NetError::Rejected`] when the router refuses.
     pub fn echo(&mut self, payload: &[u8]) -> Result<Vec<u8>> {
+        let rtt_start = std::time::Instant::now();
         let ct = self.session.seal_data(payload);
         self.conn.send(&NodeMessage::Data(ct))?;
-        match self.conn.recv()? {
+        let reply = match self.conn.recv()? {
             NodeMessage::Data(ct2) => self.session.open_data(&ct2).map_err(NetError::Protocol),
             NodeMessage::Reject { code, detail } => Err(NetError::Rejected { code, detail }),
             _ => Err(NetError::Unexpected("expected an echoed data record")),
+        };
+        if reply.is_ok() {
+            self.conn.metrics().frame_rtt_us.record_since(rtt_start);
         }
+        reply
     }
 
     /// Per-connection transport statistics.

@@ -6,7 +6,7 @@
 
 use core::fmt;
 
-use peace_protocol::ProtocolError;
+use peace_protocol::{ProtocolError, Transient};
 use peace_wire::WireError;
 
 use crate::envelope::reject_code;
@@ -50,17 +50,42 @@ pub enum NetError {
 }
 
 impl NetError {
+    /// Stable machine-readable identifier for this failure class (metrics
+    /// key / event code; must never change once released).
+    ///
+    /// [`NetError::Protocol`] delegates to the inner
+    /// [`ProtocolError::code`] — the protocol-level reason is the
+    /// informative part, and sharing its code space keys the simulator's
+    /// and daemon's failure maps identically for the same root cause.
+    pub fn code(&self) -> &'static str {
+        match self {
+            NetError::Io(_) => "io",
+            NetError::Timeout => "timeout",
+            NetError::Closed => "closed",
+            NetError::FrameTooLarge { .. } => "frame_too_large",
+            NetError::Malformed(_) => "malformed",
+            NetError::Encode(_) => "encode_failed",
+            NetError::Backpressure => "backpressure",
+            NetError::ConnLimit => "conn_limit",
+            NetError::Rejected { .. } => "rejected",
+            NetError::Protocol(e) => e.code(),
+            NetError::Unexpected(_) => "unexpected_message",
+        }
+    }
+}
+
+impl Transient for NetError {
     /// Whether a fresh attempt (new connection, new handshake) can
     /// plausibly succeed.
     ///
-    /// This is deliberately *looser* than [`ProtocolError::is_transient`]:
-    /// over a hostile wire, even a "fatal" verification failure (bad group
-    /// signature, bad beacon signature) may be corruption the channel
-    /// injected into our bytes, and a retry re-signs a fresh exchange from
-    /// scratch. Only outcomes that a fresh handshake cannot change are
-    /// fatal: explicit revocation, a revoked certificate, a missing
-    /// credential, or an exhausted retry budget.
-    pub fn is_transient(&self) -> bool {
+    /// This is deliberately *looser* than `ProtocolError`'s
+    /// [`Transient`] impl: over a hostile wire, even a "fatal"
+    /// verification failure (bad group signature, bad beacon signature)
+    /// may be corruption the channel injected into our bytes, and a retry
+    /// re-signs a fresh exchange from scratch. Only outcomes that a fresh
+    /// handshake cannot change are fatal: explicit revocation, a revoked
+    /// certificate, a missing credential, or an exhausted retry budget.
+    fn is_transient(&self) -> bool {
         match self {
             NetError::Io(_)
             | NetError::Timeout

@@ -1,46 +1,149 @@
-//! Net-layer observability: lock-free per-daemon counters and per-connection
-//! statistics, both exportable as JSON snapshots.
+//! Net-layer observability: per-daemon counters, handshake-leg latency
+//! histograms, and per-connection statistics.
+//!
+//! Each daemon owns one [`NetMetrics`], which is a view over a private
+//! `peace-telemetry` [`Registry`] (private so several daemons in one
+//! process — the loopback tests, `peace-noded demo` — never collide).
+//! The hot path holds pre-resolved `Arc` handles: an increment is one
+//! relaxed atomic add, exactly as cheap as the bare `AtomicU64` fields
+//! this module used to carry. [`NetMetrics::telemetry`] exports the whole
+//! registry as a schema-versioned [`Snapshot`] for `--metrics-json`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shared per-daemon counters. One instance is owned by each daemon and
-/// cloned (via `Arc`) into every connection handler; all increments are
-/// relaxed atomics — the counters are monotone and read only in snapshots.
-#[derive(Debug, Default)]
+use peace_telemetry::{Counter, Histogram, Registry, Snapshot, Timer};
+
+use crate::clock::wall_ms;
+
+/// Shared per-daemon counters and latency histograms. One instance is
+/// owned by each daemon and cloned (via `Arc`) into every connection
+/// handler; all increments are relaxed atomics — the counters are
+/// monotone and read only in snapshots.
+#[derive(Debug)]
 pub struct NetMetrics {
+    registry: Registry,
     /// Frames successfully read.
-    pub frames_in: AtomicU64,
+    pub frames_in: Arc<Counter>,
     /// Frames successfully written.
-    pub frames_out: AtomicU64,
+    pub frames_out: Arc<Counter>,
     /// Payload bytes read (excluding frame headers).
-    pub bytes_in: AtomicU64,
+    pub bytes_in: Arc<Counter>,
     /// Payload bytes written (excluding frame headers).
-    pub bytes_out: AtomicU64,
+    pub bytes_out: Arc<Counter>,
     /// Handshakes completed (M.3 issued / session established).
-    pub handshakes_ok: AtomicU64,
+    pub handshakes_ok: Arc<Counter>,
     /// Handshakes rejected or failed.
-    pub handshakes_fail: AtomicU64,
+    pub handshakes_fail: Arc<Counter>,
     /// Read/write deadline misses.
-    pub timeouts: AtomicU64,
+    pub timeouts: Arc<Counter>,
     /// Inbound frames rejected for exceeding the size bound.
-    pub oversize_rejected: AtomicU64,
+    pub oversize_rejected: Arc<Counter>,
     /// Frames that failed envelope decoding.
-    pub decode_failures: AtomicU64,
+    pub decode_failures: Arc<Counter>,
     /// Connections accepted.
-    pub connections_accepted: AtomicU64,
+    pub connections_accepted: Arc<Counter>,
     /// Connections turned away at the connection-count limit.
-    pub connections_rejected: AtomicU64,
+    pub connections_rejected: Arc<Counter>,
     /// Sends refused because the bounded outbound queue was full.
-    pub backpressure_events: AtomicU64,
+    pub backpressure_events: Arc<Counter>,
     /// Handler threads that panicked (must stay 0; asserted by tests).
-    pub handler_panics: AtomicU64,
+    pub handler_panics: Arc<Counter>,
     /// Ledger appends/flushes that failed (durability degraded, not fatal).
-    pub ledger_errors: AtomicU64,
+    pub ledger_errors: Arc<Counter>,
     /// Session transcripts durably appended to the ledger.
-    pub ledger_sessions: AtomicU64,
+    pub ledger_sessions: Arc<Counter>,
+    /// User side: GetBeacon → Beacon leg of the handshake (µs).
+    pub hs_beacon_us: Arc<Histogram>,
+    /// User side: AccessRequest → AccessConfirm leg (µs).
+    pub hs_confirm_us: Arc<Histogram>,
+    /// User side: whole handshake, connect to session key (µs).
+    pub hs_total_us: Arc<Histogram>,
+    /// Router side: access-request verification (group signature, URL
+    /// sweep, puzzle) (µs).
+    pub access_verify_us: Arc<Histogram>,
+    /// Application echo round-trip over an established session (µs).
+    pub frame_rtt_us: Arc<Histogram>,
 }
 
-/// A point-in-time copy of [`NetMetrics`].
+impl NetMetrics {
+    /// Creates a fresh metrics view over its own private registry.
+    pub fn new() -> Self {
+        let registry = Registry::new();
+        let c = |name: &str| registry.counter(name);
+        let h = |name: &str| registry.histogram(name);
+        Self {
+            frames_in: c("net.frames_in"),
+            frames_out: c("net.frames_out"),
+            bytes_in: c("net.bytes_in"),
+            bytes_out: c("net.bytes_out"),
+            handshakes_ok: c("net.handshakes_ok"),
+            handshakes_fail: c("net.handshakes_fail"),
+            timeouts: c("net.timeouts"),
+            oversize_rejected: c("net.oversize_rejected"),
+            decode_failures: c("net.decode_failures"),
+            connections_accepted: c("net.connections_accepted"),
+            connections_rejected: c("net.connections_rejected"),
+            backpressure_events: c("net.backpressure_events"),
+            handler_panics: c("net.handler_panics"),
+            ledger_errors: c("net.ledger_errors"),
+            ledger_sessions: c("net.ledger_sessions"),
+            hs_beacon_us: h("net.hs_beacon_us"),
+            hs_confirm_us: h("net.hs_confirm_us"),
+            hs_total_us: h("net.hs_total_us"),
+            access_verify_us: h("net.access_verify_us"),
+            frame_rtt_us: h("net.frame_rtt_us"),
+            registry,
+        }
+    }
+
+    /// Starts a RAII timer that records into `hist` (one of this
+    /// view's histograms) when dropped.
+    pub fn start_timer(&self, hist: &Arc<Histogram>) -> Timer {
+        Registry::start_timer(hist)
+    }
+
+    /// Records a structured event (wall-clock stamped) into the bounded
+    /// ring, e.g. `handshake_fail` with the error's stable code.
+    pub fn event(&self, code: &str, detail: &str) {
+        self.registry.event(code, detail, wall_ms());
+    }
+
+    /// Takes a consistent-enough snapshot (counters are independent).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            handshakes_ok: self.handshakes_ok.get(),
+            handshakes_fail: self.handshakes_fail.get(),
+            timeouts: self.timeouts.get(),
+            oversize_rejected: self.oversize_rejected.get(),
+            decode_failures: self.decode_failures.get(),
+            connections_accepted: self.connections_accepted.get(),
+            connections_rejected: self.connections_rejected.get(),
+            backpressure_events: self.backpressure_events.get(),
+            handler_panics: self.handler_panics.get(),
+            ledger_errors: self.ledger_errors.get(),
+            ledger_sessions: self.ledger_sessions.get(),
+        }
+    }
+
+    /// Exports everything this daemon recorded — counters, histograms,
+    /// events — as one schema-versioned telemetry snapshot.
+    pub fn telemetry(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Default for NetMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of the [`NetMetrics`] counters (histograms and
+/// events live in [`NetMetrics::telemetry`] snapshots).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Frames successfully read.
@@ -73,72 +176,6 @@ pub struct MetricsSnapshot {
     pub ledger_errors: u64,
     /// Session transcripts durably appended.
     pub ledger_sessions: u64,
-}
-
-impl NetMetrics {
-    /// Relaxed increment helper.
-    pub fn inc(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Relaxed add helper.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Takes a consistent-enough snapshot (counters are independent).
-    pub fn snapshot(&self) -> MetricsSnapshot {
-        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        MetricsSnapshot {
-            frames_in: ld(&self.frames_in),
-            frames_out: ld(&self.frames_out),
-            bytes_in: ld(&self.bytes_in),
-            bytes_out: ld(&self.bytes_out),
-            handshakes_ok: ld(&self.handshakes_ok),
-            handshakes_fail: ld(&self.handshakes_fail),
-            timeouts: ld(&self.timeouts),
-            oversize_rejected: ld(&self.oversize_rejected),
-            decode_failures: ld(&self.decode_failures),
-            connections_accepted: ld(&self.connections_accepted),
-            connections_rejected: ld(&self.connections_rejected),
-            backpressure_events: ld(&self.backpressure_events),
-            handler_panics: ld(&self.handler_panics),
-            ledger_errors: ld(&self.ledger_errors),
-            ledger_sessions: ld(&self.ledger_sessions),
-        }
-    }
-}
-
-impl MetricsSnapshot {
-    /// Serializes the snapshot as a single JSON object (no external
-    /// dependencies; keys are stable for dashboards and `BENCH_net.json`).
-    pub fn to_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"frames_in\":{},\"frames_out\":{},\"bytes_in\":{},\"bytes_out\":{},",
-                "\"handshakes_ok\":{},\"handshakes_fail\":{},\"timeouts\":{},",
-                "\"oversize_rejected\":{},\"decode_failures\":{},",
-                "\"connections_accepted\":{},\"connections_rejected\":{},",
-                "\"backpressure_events\":{},\"handler_panics\":{},",
-                "\"ledger_errors\":{},\"ledger_sessions\":{}}}"
-            ),
-            self.frames_in,
-            self.frames_out,
-            self.bytes_in,
-            self.bytes_out,
-            self.handshakes_ok,
-            self.handshakes_fail,
-            self.timeouts,
-            self.oversize_rejected,
-            self.decode_failures,
-            self.connections_accepted,
-            self.connections_rejected,
-            self.backpressure_events,
-            self.handler_panics,
-            self.ledger_errors,
-            self.ledger_sessions,
-        )
-    }
 }
 
 /// Per-connection statistics, kept as plain integers on the connection
@@ -184,9 +221,9 @@ mod tests {
     #[test]
     fn snapshot_reflects_increments() {
         let m = NetMetrics::default();
-        NetMetrics::inc(&m.frames_in);
-        NetMetrics::add(&m.bytes_in, 100);
-        NetMetrics::inc(&m.handshakes_ok);
+        m.frames_in.inc();
+        m.bytes_in.add(100);
+        m.handshakes_ok.inc();
         let s = m.snapshot();
         assert_eq!(s.frames_in, 1);
         assert_eq!(s.bytes_in, 100);
@@ -195,13 +232,28 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed() {
-        let s = NetMetrics::default().snapshot();
-        let j = s.to_json();
-        assert!(j.starts_with('{') && j.ends_with('}'));
-        assert!(j.contains("\"handshakes_ok\":0"));
-        assert!(j.contains("\"handler_panics\":0"));
-        assert_eq!(j.matches('{').count(), 1);
+    fn telemetry_snapshot_carries_histograms_and_events() {
+        let m = NetMetrics::new();
+        m.handshakes_fail.inc();
+        m.hs_total_us.record(1500);
+        m.event("handshake_fail", "signer_revoked");
+        let snap = m.telemetry();
+        assert_eq!(snap.counters["net.handshakes_fail"], 1);
+        assert_eq!(snap.histograms["net.hs_total_us"].count, 1);
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].code, "handshake_fail");
+        let json = snap.to_json();
+        assert!(json.contains("\"net.hs_total_us\""));
+        assert!(json.contains("\"schema\":\"peace-telemetry-v1\""));
+    }
+
+    #[test]
+    fn instances_are_independent() {
+        let a = NetMetrics::new();
+        let b = NetMetrics::new();
+        a.frames_in.inc();
+        assert_eq!(a.snapshot().frames_in, 1);
+        assert_eq!(b.snapshot().frames_in, 0);
 
         let c = ConnStats::default().to_json();
         assert!(c.contains("\"frames_in\":0"));

@@ -46,11 +46,11 @@ impl Acceptor {
                     Err(_) => continue,
                 };
                 if t_live.load(Ordering::SeqCst) >= max_connections {
-                    NetMetrics::inc(&metrics.connections_rejected);
+                    metrics.connections_rejected.inc();
                     drop(stream);
                     continue;
                 }
-                NetMetrics::inc(&metrics.connections_accepted);
+                metrics.connections_accepted.inc();
                 conn_id += 1;
                 t_live.fetch_add(1, Ordering::SeqCst);
                 let h = Arc::clone(&handler);
@@ -60,7 +60,7 @@ impl Acceptor {
                 std::thread::spawn(move || {
                     let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| h(stream, id)));
                     if outcome.is_err() {
-                        NetMetrics::inc(&h_metrics.handler_panics);
+                        h_metrics.handler_panics.inc();
                     }
                     h_live.fetch_sub(1, Ordering::SeqCst);
                 });

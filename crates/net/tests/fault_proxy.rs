@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use peace_net::{
     build_world, clock::wall_ms, ConnConfig, DaemonConfig, FaultProxy, NetError, ProxyConfig,
-    RouterDaemon, UserAgent, WorldSpec,
+    RouterDaemon, Transient, UserAgent, WorldSpec,
 };
 use peace_protocol::{FaultPlan, RetryPolicy};
 

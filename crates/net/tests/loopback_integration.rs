@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use peace_net::{
     build_world, reject_code, ConnConfig, DaemonConfig, NetError, NoDaemon, RouterDaemon,
-    UserAgent, WorldSpec,
+    Transient, UserAgent, WorldSpec,
 };
 
 fn test_cfg() -> DaemonConfig {

@@ -29,7 +29,7 @@ pub mod ops;
 
 pub use gt::{Gt, GtPowTable};
 pub use miller::MillerValue;
-pub use ops::OpSnapshot;
+pub use ops::{OpScope, OpSnapshot};
 
 use peace_curve::{G1, G2};
 
@@ -226,12 +226,12 @@ mod tests {
 
     #[test]
     fn op_counters_track_pairings() {
-        OpSnapshot::reset_all();
-        let before = OpSnapshot::capture();
+        // OpScope serializes against the other counting test in this binary
+        // (the counters are process-global).
+        let scope = OpSnapshot::scope();
         let _ = pairing(&g1(), &g2());
         let _ = pairing(&g1(), &g2());
-        let after = OpSnapshot::capture();
-        let cost = after.since(&before);
+        let cost = scope.counts();
         assert_eq!(cost.pairings, 2);
         assert_eq!(cost.miller_loops, 2);
         assert_eq!(cost.final_exps, 2);
@@ -282,10 +282,9 @@ mod tests {
         let values: Vec<MillerValue> = (0..5)
             .map(|_| miller(&G1::random(&mut r), &G2::random(&mut r)))
             .collect();
-        OpSnapshot::reset_all();
-        let before = OpSnapshot::capture();
+        let scope = OpSnapshot::scope();
         let _ = MillerValue::finalize_batch(&values);
-        let cost = OpSnapshot::capture().since(&before);
+        let cost = scope.counts();
         assert_eq!(cost.final_exps, 1);
         assert_eq!(cost.miller_loops, 0);
         assert_eq!(cost.pairings, 0);

@@ -1,63 +1,141 @@
 //! Operation counters for the pairing layer (experiment E2).
+//!
+//! The counters now live in the process-wide `peace-telemetry` registry
+//! under `crypto.*`; the functions here are thin compat shims over cached
+//! registry handles, so existing callers and the historical API keep
+//! working while `peace-noded --metrics-json` and the bench emitters can
+//! export the same numbers without a parallel counting path.
+//!
+//! For measurements, prefer [`OpScope`] over calling [`reset`] directly:
+//! the counters are process-global, so two test threads resetting and
+//! reading concurrently clobber each other. `OpScope` serializes bracketed
+//! regions behind one mutex and resets on entry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
-static PAIRINGS: AtomicU64 = AtomicU64::new(0);
-static GT_EXPS: AtomicU64 = AtomicU64::new(0);
-static MILLER_LOOPS: AtomicU64 = AtomicU64::new(0);
-static FINAL_EXPS: AtomicU64 = AtomicU64::new(0);
+use peace_telemetry::{global, Counter};
+
+/// Registry name of the bilinear-map counter.
+pub const PAIRING: &str = "crypto.pairing";
+/// Registry name of the 𝔾_T exponentiation counter.
+pub const GT_EXP: &str = "crypto.gt_exp";
+/// Registry name of the Miller-loop counter.
+pub const MILLER_LOOP: &str = "crypto.miller_loop";
+/// Registry name of the final-exponentiation counter.
+pub const FINAL_EXP: &str = "crypto.final_exp";
+
+fn handle(name: &'static str, cell: &'static OnceLock<Arc<Counter>>) -> &'static Arc<Counter> {
+    cell.get_or_init(|| global().counter(name))
+}
+
+fn pairings() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(PAIRING, &C)
+}
+
+fn gt_exps() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(GT_EXP, &C)
+}
+
+fn miller_loops() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(MILLER_LOOP, &C)
+}
+
+fn final_exps() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    handle(FINAL_EXP, &C)
+}
 
 /// Records one bilinear-map evaluation.
 #[inline]
 pub fn record_pairing() {
-    PAIRINGS.fetch_add(1, Ordering::Relaxed);
+    pairings().inc();
 }
 
 /// Records one exponentiation in `𝔾_T`.
 #[inline]
 pub fn record_gt_exp() {
-    GT_EXPS.fetch_add(1, Ordering::Relaxed);
+    gt_exps().inc();
 }
 
 /// Records one Miller loop (the `f_{q,P}(φ(Q))` evaluation).
 #[inline]
 pub fn record_miller_loop() {
-    MILLER_LOOPS.fetch_add(1, Ordering::Relaxed);
+    miller_loops().inc();
 }
 
 /// Records one final exponentiation (one `f ↦ f^((p²−1)/q)` pass; a batch
 /// sharing a single hard-part sweep counts once).
 #[inline]
 pub fn record_final_exp() {
-    FINAL_EXPS.fetch_add(1, Ordering::Relaxed);
+    final_exps().inc();
 }
 
 /// Pairings evaluated since the last reset.
 pub fn pairing_count() -> u64 {
-    PAIRINGS.load(Ordering::Relaxed)
+    pairings().get()
 }
 
 /// 𝔾_T exponentiations since the last reset.
 pub fn gt_exp_count() -> u64 {
-    GT_EXPS.load(Ordering::Relaxed)
+    gt_exps().get()
 }
 
 /// Miller loops since the last reset.
 pub fn miller_loop_count() -> u64 {
-    MILLER_LOOPS.load(Ordering::Relaxed)
+    miller_loops().get()
 }
 
 /// Final exponentiations since the last reset.
 pub fn final_exp_count() -> u64 {
-    FINAL_EXPS.load(Ordering::Relaxed)
+    final_exps().get()
 }
 
-/// Resets all pairing-layer counters.
+/// Resets all pairing-layer counters. Prefer [`OpScope`], which also
+/// excludes concurrent measurement regions.
 pub fn reset() {
-    PAIRINGS.store(0, Ordering::Relaxed);
-    GT_EXPS.store(0, Ordering::Relaxed);
-    MILLER_LOOPS.store(0, Ordering::Relaxed);
-    FINAL_EXPS.store(0, Ordering::Relaxed);
+    pairings().reset();
+    gt_exps().reset();
+    miller_loops().reset();
+    final_exps().reset();
+}
+
+/// RAII guard for a counted measurement region.
+///
+/// The op counters are process-global; parallel test binaries that call
+/// [`OpSnapshot::reset_all`] and then assert exact counts race with each
+/// other. An `OpScope` takes a process-wide lock for its lifetime and
+/// resets every counter (curve and pairing layers) on entry, so counts
+/// observed inside the scope belong to the scope alone — provided all
+/// measuring regions go through `OpScope`. Dropping the guard releases
+/// the lock; the counters keep their final values for later snapshots.
+#[must_use = "the scope guard serializes measurements for as long as it lives"]
+#[derive(Debug)]
+pub struct OpScope {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl OpScope {
+    /// Acquires the measurement lock and zeroes all op counters.
+    pub fn enter() -> Self {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            // A panic inside another scope only means its measurement was
+            // abandoned; the lock itself is still usable.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        OpSnapshot::reset_all();
+        Self { _guard: guard }
+    }
+
+    /// Counts recorded since this scope was entered (or since the last
+    /// [`OpSnapshot::reset_all`] inside it).
+    pub fn counts(&self) -> OpSnapshot {
+        OpSnapshot::capture()
+    }
 }
 
 /// Snapshot of every operation counter in the crypto stack, for the E2
@@ -95,6 +173,11 @@ impl OpSnapshot {
         }
     }
 
+    /// Enters a serialized, zeroed measurement region ([`OpScope::enter`]).
+    pub fn scope() -> OpScope {
+        OpScope::enter()
+    }
+
     /// Resets all counters (curve and pairing layers).
     pub fn reset_all() {
         peace_curve::ops::reset_g1_mul_count();
@@ -115,5 +198,44 @@ impl OpSnapshot {
     /// Total "exponentiation-like" operations (group muls + Gt exps).
     pub fn total_exps(&self) -> u64 {
         self.g1_muls + self.gt_exps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_resets_and_counts() {
+        let scope = OpScope::enter();
+        assert_eq!(scope.counts(), OpSnapshot::default());
+        record_pairing();
+        record_gt_exp();
+        record_gt_exp();
+        peace_curve::ops::record_g1_mul();
+        let got = scope.counts();
+        assert_eq!(got.pairings, 1);
+        assert_eq!(got.gt_exps, 2);
+        assert_eq!(got.g1_muls, 1);
+        assert_eq!(got.total_exps(), 3);
+    }
+
+    #[test]
+    fn scopes_do_not_interleave() {
+        // Two threads each bracket their own region; with the scope lock,
+        // each must observe exactly its own operations.
+        let mut handles = Vec::new();
+        for n in 1..=4u64 {
+            handles.push(std::thread::spawn(move || {
+                let scope = OpScope::enter();
+                for _ in 0..n {
+                    record_miller_loop();
+                }
+                scope.counts().miller_loops == n
+            }));
+        }
+        for h in handles {
+            assert!(h.join().unwrap_or(false));
+        }
     }
 }

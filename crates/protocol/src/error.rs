@@ -8,6 +8,20 @@ use core::fmt;
 
 use peace_wire::WireError;
 
+/// Retry classification shared by every error taxonomy in the stack.
+///
+/// `ProtocolError`, `peace-net`'s `NetError`, and `peace-ledger`'s
+/// `LedgerError` each implement this one trait instead of maintaining
+/// independent `is_transient` methods, so retry loops at any layer ask the
+/// same question the same way and the classifications cannot drift apart.
+/// Each layer still *answers* per its own failure model — the network layer
+/// is deliberately looser than the protocol layer, because over a hostile
+/// wire even a "fatal" verification failure may be injected corruption.
+pub trait Transient {
+    /// Whether a fresh attempt (with backoff) can plausibly succeed.
+    fn is_transient(&self) -> bool;
+}
+
 /// Reasons a PEACE protocol step fails.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProtocolError {
@@ -58,6 +72,41 @@ pub enum ProtocolError {
 }
 
 impl ProtocolError {
+    /// Stable machine-readable identifier for this failure class.
+    ///
+    /// These strings are part of the observability contract: the simulator
+    /// keys its failure-count maps by them and `--metrics-json` dumps embed
+    /// them in events, so they must never change once released. Payload
+    /// details (which field was malformed, which setup check failed) are
+    /// deliberately excluded — one code per variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtocolError::StaleTimestamp => "stale_timestamp",
+            ProtocolError::CertificateInvalid => "certificate_invalid",
+            ProtocolError::CertificateRevoked => "certificate_revoked",
+            ProtocolError::StaleCrl => "stale_crl",
+            ProtocolError::StaleUrl => "stale_url",
+            ProtocolError::BadRouterSignature => "bad_router_signature",
+            ProtocolError::BadCrlSignature => "bad_crl_signature",
+            ProtocolError::BadUrlSignature => "bad_url_signature",
+            ProtocolError::UnknownBeacon => "unknown_beacon",
+            ProtocolError::BadGroupSignature => "bad_group_signature",
+            ProtocolError::SignerRevoked => "signer_revoked",
+            ProtocolError::PuzzleRequired => "puzzle_required",
+            ProtocolError::PuzzleInvalid => "puzzle_invalid",
+            ProtocolError::DecryptFailed => "decrypt_failed",
+            ProtocolError::SessionMismatch => "session_mismatch",
+            ProtocolError::HandshakeTimeout => "handshake_timeout",
+            ProtocolError::Setup(_) => "setup",
+            ProtocolError::Wire(_) => "wire",
+            ProtocolError::MissingCredential => "missing_credential",
+            ProtocolError::DuplicateMessage => "duplicate_message",
+            ProtocolError::RetriesExhausted => "retries_exhausted",
+        }
+    }
+}
+
+impl Transient for ProtocolError {
     /// Whether the failure is *transient* — plausibly caused by the channel
     /// (loss, delay, corruption, expiry) rather than by the peer being
     /// illegitimate — and therefore worth retrying with backoff.
@@ -67,7 +116,7 @@ impl ProtocolError {
     /// construction, setup inconsistencies, or an exhausted retry budget.
     /// [`ProtocolError::DuplicateMessage`] is also non-transient: the work
     /// already completed, so there is nothing to retry.
-    pub fn is_transient(&self) -> bool {
+    fn is_transient(&self) -> bool {
         match self {
             // Channel- or timing-induced: a fresh attempt can succeed.
             ProtocolError::StaleTimestamp

@@ -75,7 +75,7 @@ pub mod transport;
 
 pub use audit::{AuditFinding, LoggedSession, NetworkLog};
 pub use config::ProtocolConfig;
-pub use error::{ProtocolError, Result};
+pub use error::{ProtocolError, Result, Transient};
 pub use ids::{GroupId, RouterId, SessionId, ShareIndex, UserId};
 pub use messages::{AccessConfirm, AccessRequest, Beacon, PeerConfirm, PeerHello, PeerResponse};
 pub use pending::PendingTable;

@@ -161,7 +161,7 @@ mod tests {
         .run_owned();
         assert!(lossy.radio_losses > 0, "losses must occur: {lossy:?}");
         assert!(
-            lossy.auth_fail.contains_key("radio-loss"),
+            lossy.auth_fail.contains_key(metrics::reasons::RADIO_LOSS),
             "lost handshakes recorded: {lossy:?}"
         );
         // With three messages at 30% loss each, success ≈ 0.7³ ≈ 34%; the

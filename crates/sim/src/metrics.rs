@@ -4,6 +4,29 @@ use std::collections::BTreeMap;
 
 use peace_protocol::FaultStats;
 
+/// Canonical failure-reason codes for losses the *simulator* observes
+/// (as opposed to protocol rejections, which are keyed by
+/// [`peace_protocol::ProtocolError::code`]). Same contract: snake_case,
+/// stable once released, shared by every map in [`SimMetrics`].
+pub mod reasons {
+    /// A handshake message was lost to the per-message radio model.
+    pub const RADIO_LOSS: &str = "radio_loss";
+    /// A relay on the uplink path failed its pairwise handshake.
+    pub const RELAY_CHAIN_FAILED: &str = "relay_chain_failed";
+    /// Every delivery of the beacon (M.1) was dropped or undecodable.
+    pub const CHANNEL_LOSS_M1: &str = "channel_loss_m1";
+    /// Every delivery of the access request (M.2) was lost.
+    pub const CHANNEL_LOSS_M2: &str = "channel_loss_m2";
+    /// Every delivery of the access confirm (M.3) was lost.
+    pub const CHANNEL_LOSS_M3: &str = "channel_loss_m3";
+    /// Every delivery of the peer hello (M̃.1) was lost.
+    pub const CHANNEL_LOSS_MT1: &str = "channel_loss_mt1";
+    /// Every delivery of the peer response (M̃.2) was lost.
+    pub const CHANNEL_LOSS_MT2: &str = "channel_loss_mt2";
+    /// Every delivery of the peer confirm (M̃.3) was lost.
+    pub const CHANNEL_LOSS_MT3: &str = "channel_loss_mt3";
+}
+
 /// Counters accumulated over a simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct SimMetrics {
@@ -61,21 +84,24 @@ pub struct SimMetrics {
 }
 
 impl SimMetrics {
-    /// Records an authentication failure with its reason.
-    pub fn record_auth_fail(&mut self, reason: impl ToString) {
-        *self.auth_fail.entry(reason.to_string()).or_insert(0) += 1;
+    /// Records an authentication failure with its canonical reason code
+    /// ([`peace_protocol::ProtocolError::code`] or a [`reasons`] constant —
+    /// never a `Debug` rendering, which would drift with refactors).
+    pub fn record_auth_fail(&mut self, code: &str) {
+        *self.auth_fail.entry(code.to_owned()).or_insert(0) += 1;
     }
 
-    /// Records a peer-handshake failure with its reason.
-    pub fn record_peer_fail(&mut self, reason: impl ToString) {
-        *self.peer_fail.entry(reason.to_string()).or_insert(0) += 1;
+    /// Records a peer-handshake failure with its canonical reason code.
+    pub fn record_peer_fail(&mut self, code: &str) {
+        *self.peer_fail.entry(code.to_owned()).or_insert(0) += 1;
     }
 
-    /// Records a wire decode failure for one message kind (`M1`…`Mt3`).
+    /// Records a wire decode failure for one message kind (`M1`…`Mt3`),
+    /// keyed `<kind>/<WireError code>`.
     pub fn record_decode_fail(&mut self, kind: &str, err: &peace_wire::WireError) {
         *self
             .decode_failures
-            .entry(format!("{kind}/{err:?}"))
+            .entry(format!("{kind}/{}", err.code()))
             .or_insert(0) += 1;
     }
 

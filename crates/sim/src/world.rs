@@ -8,13 +8,13 @@ use peace_protocol::entities::{GroupManager, MeshRouter, NetworkOperator, Ttp, U
 use peace_protocol::ids::{GroupId, UserId};
 use peace_protocol::{
     AccessConfirm, AccessRequest, Beacon, Channel, FaultPlan, PeerConfirm, PeerHello, PeerResponse,
-    ProtocolConfig, ProtocolError, Session,
+    ProtocolConfig, ProtocolError, Session, Transient,
 };
 use peace_wire::{Decode, Encode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::metrics::SimMetrics;
+use crate::metrics::{reasons, SimMetrics};
 use crate::topology::{Topology, TopologyConfig};
 
 /// Simulation events.
@@ -390,7 +390,7 @@ impl SimWorld {
         };
         // Radio: the beacon, M.2, and M.3 must each survive the air.
         if !self.radio_delivers() || !self.radio_delivers() || !self.radio_delivers() {
-            self.metrics.record_auth_fail("radio-loss");
+            self.metrics.record_auth_fail(reasons::RADIO_LOSS);
             return AttemptOutcome::Transient;
         }
         // Relay chain: each consecutive pair runs the peer handshake.
@@ -407,7 +407,7 @@ impl SimWorld {
             }
         }
         if !chain_ok {
-            self.metrics.record_auth_fail("relay-chain-failed");
+            self.metrics.record_auth_fail(reasons::RELAY_CHAIN_FAILED);
             return AttemptOutcome::Transient;
         }
         // M.1 over the wire: the user only sees what the channel delivers.
@@ -423,7 +423,7 @@ impl SimWorld {
             }
         }
         let Some((beacon, m1_at)) = heard else {
-            self.metrics.record_auth_fail("channel-loss-m1");
+            self.metrics.record_auth_fail(reasons::CHANNEL_LOSS_M1);
             return AttemptOutcome::Transient;
         };
         // The terminal hop: user (or last relay acting transparently)
@@ -433,7 +433,7 @@ impl SimWorld {
             Ok(req) => req,
             Err(e) => {
                 let out = Self::outcome_of(&e);
-                self.metrics.record_auth_fail(format!("{e:?}"));
+                self.metrics.record_auth_fail(e.code());
                 return out;
             }
         };
@@ -464,7 +464,7 @@ impl SimWorld {
             }
         }
         let Some((confirm, mut router_sess)) = established else {
-            return self.record_leg_failure(first_err, "channel-loss-m2");
+            return self.record_leg_failure(first_err, reasons::CHANNEL_LOSS_M2);
         };
         // M.3 back over the wire to the user.
         let mut user_sess: Option<Session> = None;
@@ -508,7 +508,7 @@ impl SimWorld {
                 }
                 AttemptOutcome::Success
             }
-            None => self.record_leg_failure(first_err, "channel-loss-m3"),
+            None => self.record_leg_failure(first_err, reasons::CHANNEL_LOSS_M3),
         };
         // Routers report their logs to NO opportunistically.
         let router = &mut self.routers[router_idx];
@@ -536,7 +536,7 @@ impl SimWorld {
         match first_err {
             Some(e) => {
                 let out = Self::outcome_of(&e);
-                self.metrics.record_auth_fail(format!("{e:?}"));
+                self.metrics.record_auth_fail(e.code());
                 out
             }
             None => {
@@ -554,7 +554,7 @@ impl SimWorld {
         let hello = match self.users[a].start_peer_handshake(&beacon.g, self.now, &mut self.rng) {
             Ok(h) => h,
             Err(e) => {
-                self.metrics.record_peer_fail(format!("{e:?}"));
+                self.metrics.record_peer_fail(e.code());
                 return false;
             }
         };
@@ -575,11 +575,11 @@ impl SimWorld {
                         resp = Some(r);
                     }
                 }
-                Err(e) => self.metrics.record_peer_fail(format!("{e:?}")),
+                Err(e) => self.metrics.record_peer_fail(e.code()),
             }
         }
         let Some(resp) = resp else {
-            self.metrics.record_peer_fail("channel-loss-mt1");
+            self.metrics.record_peer_fail(reasons::CHANNEL_LOSS_MT1);
             return false;
         };
         // M̃.2 back to the initiator; replays are rejected idempotently.
@@ -599,11 +599,11 @@ impl SimWorld {
                     }
                 }
                 Err(ProtocolError::DuplicateMessage) => self.metrics.duplicate_rejects += 1,
-                Err(e) => self.metrics.record_peer_fail(format!("{e:?}")),
+                Err(e) => self.metrics.record_peer_fail(e.code()),
             }
         }
         let Some((confirm, mut a_sess)) = done else {
-            self.metrics.record_peer_fail("channel-loss-mt2");
+            self.metrics.record_peer_fail(reasons::CHANNEL_LOSS_MT2);
             return false;
         };
         // M̃.3 to the responder.
@@ -623,7 +623,7 @@ impl SimWorld {
                     }
                 }
                 Err(ProtocolError::DuplicateMessage) => self.metrics.duplicate_rejects += 1,
-                Err(e) => self.metrics.record_peer_fail(format!("{e:?}")),
+                Err(e) => self.metrics.record_peer_fail(e.code()),
             }
         }
         match b_sess {
@@ -637,7 +637,7 @@ impl SimWorld {
                 ok
             }
             None => {
-                self.metrics.record_peer_fail("channel-loss-mt3");
+                self.metrics.record_peer_fail(reasons::CHANNEL_LOSS_MT3);
                 false
             }
         }

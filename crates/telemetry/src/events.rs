@@ -1,0 +1,121 @@
+//! Bounded ring buffer of recent structured events.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default ring capacity: enough recent history to explain a failing
+/// handshake burst without unbounded memory.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// One structured event: a stable machine-readable `code` (the same
+/// `code()` strings the error enums expose), free-form detail, and the
+/// caller's wall-clock stamp. Timestamps are supplied by the caller so
+/// that replayed or simulated time stays deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number within this ring (1-based).
+    pub seq: u64,
+    /// Caller-supplied wall-clock milliseconds.
+    pub at_ms: u64,
+    /// Stable machine-readable code (snake_case).
+    pub code: String,
+    /// Human-oriented detail.
+    pub detail: String,
+}
+
+/// A bounded, thread-safe ring of recent [`Event`]s. When full, the
+/// oldest event is dropped: the ring is a post-mortem aid, not an audit
+/// log (the ledger is the audit log).
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Ring {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                next_seq: 1,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Appends one event, evicting the oldest when full.
+    pub fn record(&self, code: &str, detail: impl Into<String>, at_ms: u64) {
+        let mut ring = self.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(Event {
+            seq,
+            at_ms,
+            code: code.to_owned(),
+            detail: detail.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// How many events have been evicted by ring pressure.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let ring = EventRing::new(2);
+        ring.record("a", "1", 10);
+        ring.record("b", "2", 20);
+        ring.record("c", "3", 30);
+        let evs = ring.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].code, "b");
+        assert_eq!(evs[1].code, "c");
+        assert_eq!(evs[1].seq, 3);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let ring = EventRing::new(0);
+        ring.record("x", "", 0);
+        ring.record("y", "", 0);
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Fixed-bucket log-scale histograms and RAII timers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of buckets. Bucket `0` covers `[0, 2)`; bucket `i ≥ 1` covers
+/// `[2^i, 2^{i+1})`; the last bucket absorbs everything above. With values
+/// in microseconds the range spans sub-µs to ~35 minutes — every latency
+/// the runtime can plausibly observe.
+pub const BUCKETS: usize = 32;
+
+/// A lock-free value histogram with power-of-two buckets.
+///
+/// `count`, `sum`, `min` and `max` are exact (plain atomic adds /
+/// min-max); only the distribution is quantized to the bucket grid. All
+/// updates are relaxed: totals are read only in snapshots, never used for
+/// synchronization.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket holding `v`: `floor(log2(max(v, 1)))`, clamped.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (63 - v.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    #[inline]
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (the workspace latency unit —
+    /// histogram names end in `_us` by convention).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records the microseconds elapsed since `start`.
+    #[inline]
+    pub fn record_since(&self, start: Instant) {
+        self.record_duration(start.elapsed());
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut count = 0u64;
+        let mut buckets = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                count += n;
+                buckets.push((Self::bucket_floor(i), n));
+            }
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A copied-out histogram: exact totals plus the non-empty buckets as
+/// `(inclusive lower bound, count)` pairs in ascending bound order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by lower bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, zero when empty (integer division: snapshots
+    /// stay float-free so their JSON is byte-deterministic).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Folds `other` into `self` (exact for totals; buckets merge on the
+    /// shared grid).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        for &(floor, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&floor, |&(f, _)| f) {
+                Ok(i) => self.buckets[i].1 += n,
+                Err(i) => self.buckets.insert(i, (floor, n)),
+            }
+        }
+    }
+}
+
+/// RAII timing guard: records the elapsed time into its histogram when
+/// dropped, including on early returns and panics.
+#[derive(Debug)]
+pub struct Timer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl Timer {
+    /// Starts timing against `hist`.
+    pub fn new(hist: Arc<Histogram>) -> Self {
+        Self {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stops the timer without recording (e.g. the guarded operation
+    /// failed and its latency would pollute the success distribution).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_since(self.start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(1 << 31), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 2);
+        assert_eq!(Histogram::bucket_floor(5), 32);
+    }
+
+    #[test]
+    fn exact_totals() {
+        let h = Histogram::default();
+        for v in [0, 1, 7, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1_001_008);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.mean(), 200_201);
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn merge_combines_totals_and_buckets() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.record(3);
+        a.record(100);
+        b.record(3);
+        b.record(9_999);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, 3 + 100 + 3 + 9_999);
+        assert_eq!(m.min, 3);
+        assert_eq!(m.max, 9_999);
+        assert_eq!(m.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 4);
+        // bucket for 3 (floor 2) merged, not duplicated
+        assert_eq!(m.buckets.iter().filter(|&&(f, _)| f == 2).count(), 1);
+    }
+
+    #[test]
+    fn timer_records_on_drop_and_discard_skips() {
+        let h = Arc::new(Histogram::default());
+        drop(Timer::new(Arc::clone(&h)));
+        assert_eq!(h.snapshot().count, 1);
+        Timer::new(Arc::clone(&h)).discard();
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

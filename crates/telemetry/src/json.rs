@@ -1,0 +1,95 @@
+//! Minimal JSON emission helpers (the crate is dependency-free by
+//! design — snapshots must be exportable from an air-gapped build).
+//!
+//! Only what the snapshot and bench emitters need: string escaping and an
+//! object writer that guarantees correct comma placement. Determinism is
+//! the caller's job (sorted keys, integer-only values); this module only
+//! guarantees well-formedness.
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds one JSON object, inserting commas between members. Values are
+/// appended pre-rendered; use the typed helpers for scalars.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+    members: usize,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            buf: String::from("{"),
+            members: 0,
+        }
+    }
+
+    /// Appends `"key":<raw>` where `raw` is already valid JSON.
+    pub fn raw(&mut self, key: &str, raw: &str) -> &mut Self {
+        if self.members > 0 {
+            self.buf.push(',');
+        }
+        self.members += 1;
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Appends an unsigned integer member.
+    pub fn uint(&mut self, key: &str, v: u64) -> &mut Self {
+        self.raw(key, &v.to_string())
+    }
+
+    /// Appends a string member (escaped).
+    pub fn string(&mut self, key: &str, v: &str) -> &mut Self {
+        self.raw(key, &format!("\"{}\"", escape(v)))
+    }
+
+    /// Closes the object and returns the rendered JSON.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_writer_commas() {
+        let mut w = ObjectWriter::new();
+        w.uint("a", 1).string("b", "two").raw("c", "[1,2]");
+        assert_eq!(w.finish(), "{\"a\":1,\"b\":\"two\",\"c\":[1,2]}");
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+    }
+}

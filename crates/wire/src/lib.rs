@@ -42,6 +42,19 @@ pub enum WireError {
     TrailingBytes,
 }
 
+impl WireError {
+    /// Stable machine-readable identifier for this failure class (used as
+    /// a metrics key; must never change once released).
+    pub fn code(&self) -> &'static str {
+        match self {
+            WireError::UnexpectedEnd => "unexpected_end",
+            WireError::LengthOutOfRange => "length_out_of_range",
+            WireError::Invalid(_) => "invalid",
+            WireError::TrailingBytes => "trailing_bytes",
+        }
+    }
+}
+
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

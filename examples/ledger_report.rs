@@ -1,6 +1,10 @@
 //! Accountability-ledger benchmark: append throughput, crash-recovery
 //! time, and the batched Open/Audit sweep against the one-by-one opener,
-//! printed as JSON (the record behind `BENCH_ledger.json`).
+//! emitted as `BENCH_ledger.json` through the shared [`BenchReport`]
+//! emitter (schema `peace-bench-v1`, validated by
+//! `tools/check_bench.py`). The embedded `telemetry` snapshot carries the
+//! `ledger.*` latency histograms the same run recorded into the
+//! process-global registry.
 //!
 //! ```sh
 //! cargo run --release --example ledger_report
@@ -20,8 +24,9 @@ use peace::ledger::{
     audit_sweep, AccessRecord, Ledger, LedgerConfig, LedgerQuery, LedgerRecord, RecordKind,
     SyncPolicy,
 };
-use peace::net::{build_world, clock::wall_ms, WorldSpec};
+use peace::net::{build_world, WorldSpec};
 use peace::protocol::audit::LoggedSession;
+use peace::telemetry::bench::BenchReport;
 
 const APPEND_RECORDS: u32 = 2_000;
 const AUDIT_RECORDS: usize = 24;
@@ -169,21 +174,39 @@ fn main() {
 
     let single_rps = sessions.len() as f64 / single_secs;
     let batch_rps = sessions.len() as f64 / batch_secs;
-    println!(
-        "{{\n  \"bench\": \"ledger_report\",\n  \"when_ms\": {},\n  \"append_records\": {},\n  \"appends_per_sec\": {:.0},\n  \"append_mb_per_sec\": {:.1},\n  \"log_bytes\": {},\n  \"segments\": {},\n  \"recovery_records\": {},\n  \"recovery_ms\": {:.2},\n  \"recovery_records_per_sec\": {:.0},\n  \"audit_records\": {},\n  \"grt_rows\": {},\n  \"audit_single_records_per_sec\": {:.2},\n  \"audit_batch_records_per_sec\": {:.2},\n  \"audit_batch_speedup\": {:.2}\n}}",
-        wall_ms(),
-        APPEND_RECORDS,
-        f64::from(APPEND_RECORDS) / append_secs,
-        log_bytes as f64 / append_secs / (1024.0 * 1024.0),
-        log_bytes,
-        segments,
-        APPEND_RECORDS,
-        recovery_secs * 1_000.0,
-        f64::from(APPEND_RECORDS) / recovery_secs,
-        AUDIT_RECORDS,
-        spec.users,
-        single_rps,
-        batch_rps,
-        batch_rps / single_rps,
-    );
+    let mut report = BenchReport::new("ledger_report");
+    report
+        .uint("append_records", u64::from(APPEND_RECORDS))
+        .float(
+            "appends_per_sec",
+            f64::from(APPEND_RECORDS) / append_secs,
+            0,
+        )
+        .float(
+            "append_mb_per_sec",
+            log_bytes as f64 / append_secs / (1024.0 * 1024.0),
+            1,
+        )
+        .uint("log_bytes", log_bytes)
+        .uint("segments", segments as u64)
+        .uint("recovery_records", u64::from(APPEND_RECORDS))
+        .float("recovery_ms", recovery_secs * 1_000.0, 2)
+        .float(
+            "recovery_records_per_sec",
+            f64::from(APPEND_RECORDS) / recovery_secs,
+            0,
+        )
+        .uint("audit_records", AUDIT_RECORDS as u64)
+        .uint("grt_rows", spec.users as u64)
+        .float("audit_single_records_per_sec", single_rps, 2)
+        .float("audit_batch_records_per_sec", batch_rps, 2)
+        .float("audit_batch_speedup", batch_rps / single_rps, 2)
+        .json(
+            "telemetry",
+            &peace::telemetry::global().snapshot().to_json(),
+        );
+    if let Err(e) = report.emit("ledger") {
+        eprintln!("artifact write failed: {e}");
+        std::process::exit(1);
+    }
 }

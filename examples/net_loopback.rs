@@ -1,6 +1,9 @@
 //! Networked-runtime benchmark: handshakes/sec and echo round-trips/sec
-//! over real loopback TCP, printed as JSON (the record behind
-//! `BENCH_net.json`).
+//! over real loopback TCP, emitted as `BENCH_net.json` through the shared
+//! [`BenchReport`] emitter (schema `peace-bench-v1`, validated by
+//! `tools/check_bench.py`). The embedded `router` and `user` documents
+//! are full `peace-telemetry-v1` snapshots — counters plus the
+//! handshake-leg and frame-RTT latency histograms.
 //!
 //! ```sh
 //! cargo run --release --example net_loopback
@@ -14,8 +17,9 @@
 
 use std::time::{Duration, Instant};
 
-use peace::net::{build_world, clock::wall_ms, ConnConfig, DaemonConfig, UserAgent, WorldSpec};
+use peace::net::{build_world, ConnConfig, DaemonConfig, UserAgent, WorldSpec};
 use peace::net::{NoDaemon, RouterDaemon};
+use peace::telemetry::bench::BenchReport;
 
 const HANDSHAKES: u32 = 12;
 const ECHO_ROUNDS: u32 = 200;
@@ -127,20 +131,28 @@ fn main() {
     let echo_secs = t1.elapsed().as_secs_f64();
     sess.close();
 
-    let router_metrics = daemon.metrics();
-    let agent_metrics = agent.metrics();
-    println!(
-        "{{\n  \"bench\": \"net_loopback\",\n  \"when_ms\": {},\n  \"handshakes\": {},\n  \"handshakes_per_sec\": {:.2},\n  \"handshake_mean_ms\": {:.2},\n  \"echo_rounds\": {},\n  \"echo_rounds_per_sec\": {:.1},\n  \"echo_mean_us\": {:.1},\n  \"router\": {},\n  \"user\": {}\n}}",
-        wall_ms(),
-        HANDSHAKES,
-        f64::from(HANDSHAKES) / hs_secs,
-        hs_secs * 1_000.0 / f64::from(HANDSHAKES),
-        ECHO_ROUNDS,
-        f64::from(ECHO_ROUNDS) / echo_secs,
-        echo_secs * 1_000_000.0 / f64::from(ECHO_ROUNDS),
-        router_metrics.to_json(),
-        agent_metrics.to_json(),
-    );
+    let mut report = BenchReport::new("net_loopback");
+    report
+        .uint("handshakes", u64::from(HANDSHAKES))
+        .float("handshakes_per_sec", f64::from(HANDSHAKES) / hs_secs, 2)
+        .float(
+            "handshake_mean_ms",
+            hs_secs * 1_000.0 / f64::from(HANDSHAKES),
+            2,
+        )
+        .uint("echo_rounds", u64::from(ECHO_ROUNDS))
+        .float("echo_rounds_per_sec", f64::from(ECHO_ROUNDS) / echo_secs, 1)
+        .float(
+            "echo_mean_us",
+            echo_secs * 1_000_000.0 / f64::from(ECHO_ROUNDS),
+            1,
+        )
+        .json("router", &daemon.telemetry().to_json())
+        .json("user", &agent.telemetry().to_json());
+    if let Err(e) = report.emit("net") {
+        eprintln!("artifact write failed: {e}");
+        std::process::exit(1);
+    }
 
     if daemon.shutdown().is_err() || no.shutdown().is_err() {
         eprintln!("daemon shutdown failed");

@@ -9,6 +9,11 @@
 //! * the op-count breakdown (𝔾₁ muls, 𝔾_T exps, pairings, Miller loops,
 //!   final exponentiations) behind each number.
 //!
+//! Besides the human-readable table, the run emits `BENCH_perf.json`
+//! through the shared [`BenchReport`] emitter (schema `peace-bench-v1`,
+//! validated by `tools/check_bench.py`), with the process-global
+//! `crypto.*` op counters embedded as a `peace-telemetry-v1` snapshot.
+//!
 //! Run with: `cargo run --release --example perf_report`
 
 use std::time::Instant;
@@ -17,21 +22,23 @@ use peace::groupsig::{
     h0_bases, revocation_index, revocation_sweep, sign, token_matches, verify, BasesMode,
     IssuerKey, OpSnapshot, PreparedGpk,
 };
+use peace::telemetry::bench::BenchReport;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Times `f` over `iters` runs and returns (ops/sec, per-op cost).
+/// Times `f` over `iters` runs and returns (ops/sec, per-op cost). The
+/// op-counter scope guard serializes measured regions and restores a
+/// clean slate, so nesting or parallel harnesses cannot skew the counts.
 fn measure<F: FnMut()>(iters: u32, mut f: F) -> (f64, OpSnapshot) {
     // Warm-up run (builds lazy tables, faults in code paths).
     f();
-    OpSnapshot::reset_all();
-    let before = OpSnapshot::capture();
+    let scope = OpSnapshot::scope();
     let start = Instant::now();
     for _ in 0..iters {
         f();
     }
     let elapsed = start.elapsed().as_secs_f64();
-    let mut cost = OpSnapshot::capture().since(&before);
+    let mut cost = scope.counts();
     cost.g1_muls /= u64::from(iters);
     cost.gt_exps /= u64::from(iters);
     cost.pairings /= u64::from(iters);
@@ -47,6 +54,16 @@ fn print_row(label: &str, ops: f64, cost: &OpSnapshot) {
     );
 }
 
+/// Records one measured row into the artifact: ops/sec plus the per-op
+/// pairing-cost shape under `<key>_*`.
+fn report_row(r: &mut BenchReport, key: &str, ops: f64, cost: &OpSnapshot) {
+    r.float(&format!("{key}_ops_per_sec"), ops, 1);
+    r.uint(&format!("{key}_g1_muls"), cost.g1_muls);
+    r.uint(&format!("{key}_pairings"), cost.pairings);
+    r.uint(&format!("{key}_miller_loops"), cost.miller_loops);
+    r.uint(&format!("{key}_final_exps"), cost.final_exps);
+}
+
 fn main() {
     let mut rng = StdRng::seed_from_u64(2008);
     let issuer = IssuerKey::generate(&mut rng);
@@ -56,6 +73,7 @@ fn main() {
     let prepared = PreparedGpk::new(&gpk);
     let mode = BasesMode::PerMessage;
     let msg = b"perf report payload";
+    let mut report = BenchReport::new("perf_report");
 
     println!("== PEACE crypto perf snapshot (per-op counts in the right columns) ==\n");
 
@@ -65,21 +83,25 @@ fn main() {
         let _ = sign(&gpk, &member, msg, mode, &mut r);
     });
     print_row("sign (plain)", ops, &cost);
+    report_row(&mut report, "sign_plain", ops, &cost);
     let mut r = StdRng::seed_from_u64(1);
     let (ops, cost) = measure(30, || {
         let _ = prepared.sign(&member, msg, mode, &mut r);
     });
     print_row("sign (prepared tables)", ops, &cost);
+    report_row(&mut report, "sign_prepared", ops, &cost);
 
     let sig = sign(&gpk, &member, msg, mode, &mut rng);
     let (ops, cost) = measure(30, || {
         verify(&gpk, msg, &sig, mode).unwrap();
     });
     print_row("verify (plain)", ops, &cost);
+    report_row(&mut report, "verify_plain", ops, &cost);
     let (ops, cost) = measure(30, || {
         prepared.verify(msg, &sig, mode).unwrap();
     });
     print_row("verify (prepared tables)", ops, &cost);
+    report_row(&mut report, "verify_prepared", ops, &cost);
 
     println!("\nrevocation check, |URL| = n (signer unrevoked — full scan):");
     let tokens: Vec<_> = (0..64)
@@ -92,10 +114,12 @@ fn main() {
             assert!(revocation_sweep(&sig, url, &u_hat, &v_hat).is_none());
         });
         print_row(&format!("sweep        n={n}"), ops, &cost);
+        report_row(&mut report, &format!("sweep_n{n}"), ops, &cost);
         let (ops, cost) = measure(8, || {
             assert!(!url.iter().any(|t| token_matches(&sig, t, &u_hat, &v_hat)));
         });
         print_row(&format!("naive scan   n={n}"), ops, &cost);
+        report_row(&mut report, &format!("naive_n{n}"), ops, &cost);
     }
 
     println!("\ncombined router-side check (verify + sweep, shared H0 bases):");
@@ -104,11 +128,31 @@ fn main() {
         assert_eq!(prepared.verify_and_check(msg, &sig, url, mode), Ok(None));
     });
     print_row("verify_and_check n=16", ops, &cost);
+    report_row(&mut report, "verify_and_check_n16", ops, &cost);
     let (ops, cost) = measure(8, || {
         prepared.verify(msg, &sig, mode).unwrap();
         assert!(revocation_index(&gpk, msg, &sig, url, mode).is_none());
     });
     print_row("verify + separate scan", ops, &cost);
+    report_row(&mut report, "verify_separate_n16", ops, &cost);
 
-    println!("\n(sweep cost shape: n+1 Miller loops, 1 final exponentiation; naive: 2n pairings)");
+    println!(
+        "\n(sweep cost shape: n+1 Miller loops, 1 final exponentiation; naive: 2n pairings)\n"
+    );
+
+    // The process-global registry as the run left it. Each measure()
+    // scope zeroes the crypto.* counters on entry, so these are the ops
+    // of the last measured region — the registry-backed counterpart of
+    // the final table row.
+    report.json(
+        "telemetry",
+        &peace::telemetry::global().snapshot().to_json(),
+    );
+    match report.emit("perf") {
+        Ok(path) => println!("artifact written to {}", path.display()),
+        Err(e) => {
+            eprintln!("artifact write failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

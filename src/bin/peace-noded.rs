@@ -11,7 +11,14 @@
 //! so daemons started in separate processes share trust material without
 //! any key ever crossing a socket (see `peace::net::world`). `demo` runs
 //! the whole deployment — NO, two routers, `U` users — inside one process
-//! on loopback and prints the metrics of every daemon as JSON.
+//! on loopback and publishes the merged telemetry of every daemon.
+//!
+//! Every role merges the process-global registry (crypto op counters,
+//! ledger timings) with each daemon's private registry into one
+//! `peace-telemetry-v1` document. With `--metrics-json PATH` the document
+//! is written atomically to PATH (periodically for the long-running
+//! roles, once at the end for `user`/`demo`); without the flag it goes to
+//! stdout.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -23,6 +30,7 @@ use peace::net::{
     UserAgent, WorldSpec,
 };
 use peace::protocol::RetryPolicy;
+use peace::telemetry::{global, Snapshot};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,17 +55,20 @@ fn main() -> ExitCode {
         routers: flag("--routers", 2) as usize,
     };
 
+    let metrics_json = opt("--metrics-json");
     let outcome = match cmd {
         "no" => run_no(
             &spec,
             &opt("--bind").unwrap_or_else(|| "127.0.0.1:7100".into()),
             opt("--ledger").as_deref(),
+            metrics_json.as_deref(),
         ),
         "router" => run_router(
             &spec,
             &opt("--bind").unwrap_or_else(|| "127.0.0.1:7200".into()),
             opt("--no").as_deref(),
             flag("--index", 0) as usize,
+            metrics_json.as_deref(),
         ),
         "user" => run_user(
             &spec,
@@ -65,11 +76,13 @@ fn main() -> ExitCode {
             opt("--router").as_deref(),
             flag("--index", 0) as usize,
             flag("--rounds", 3) as u32,
+            metrics_json.as_deref(),
         ),
         "demo" => run_demo(
             &spec,
             flag("--rounds", 3) as u32,
             opt("--ledger").as_deref(),
+            metrics_json.as_deref(),
         ),
         "help" | "--help" | "-h" => {
             print_help();
@@ -99,6 +112,32 @@ fn print_help() {
     println!("  demo   [--users U --rounds N]    full deployment on loopback");
     println!("\nshared flags: --seed N --users U --routers R (world replay spec)");
     println!("ledger flags: --ledger DIR (no/demo: durable accountability ledger)");
+    println!("metrics flags: --metrics-json PATH (atomic peace-telemetry-v1 dumps;");
+    println!("               periodic for no/router, final for user/demo)");
+}
+
+/// Merges the process-global registry (crypto op counters, ledger
+/// timings) with each named daemon registry into one dump document.
+fn merged_snapshot(parts: &[(&str, Snapshot)]) -> Snapshot {
+    let mut top = global().snapshot();
+    for (prefix, snap) in parts {
+        top.merge_prefixed(snap, prefix);
+    }
+    top
+}
+
+/// Publishes a merged snapshot: atomically to `path` when given (a
+/// reader never observes a torn dump), else to stdout.
+fn dump_metrics(path: Option<&str>, parts: &[(&str, Snapshot)]) {
+    let snap = merged_snapshot(parts);
+    match path {
+        Some(p) => {
+            if let Err(e) = snap.write_atomic(std::path::Path::new(p)) {
+                eprintln!("metrics dump to {p} failed: {e}");
+            }
+        }
+        None => println!("{}", snap.to_json()),
+    }
 }
 
 fn daemon_cfg() -> DaemonConfig {
@@ -142,7 +181,12 @@ fn open_ledger(dir: &str) -> Result<Ledger, String> {
 /// kill mid-write is safe: each record is one `write(2)`, so recovery on
 /// the next start can only find (and discard) a torn tail, never a
 /// half-frame it would silently skip records over.
-fn run_no(spec: &WorldSpec, bind: &str, ledger_dir: Option<&str>) -> Result<(), String> {
+fn run_no(
+    spec: &WorldSpec,
+    bind: &str,
+    ledger_dir: Option<&str>,
+    metrics_json: Option<&str>,
+) -> Result<(), String> {
     let w = build_world(spec).map_err(|e| e.to_string())?;
     let no = NoDaemon::spawn(w.no, bind, daemon_cfg()).map_err(|e| e.to_string())?;
     if let Some(dir) = ledger_dir {
@@ -161,7 +205,7 @@ fn run_no(spec: &WorldSpec, bind: &str, ledger_dir: Option<&str>) -> Result<(), 
                 eprintln!("ledger checkpoint failed: {e}");
             }
         }
-        println!("{}", no.metrics().to_json());
+        dump_metrics(metrics_json, &[("no", no.telemetry())]);
     }
 }
 
@@ -172,6 +216,7 @@ fn run_router(
     bind: &str,
     no_addr: Option<&str>,
     index: usize,
+    metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let no_addr = parse_addr("--no", no_addr)?;
     let w = build_world(spec).map_err(|e| e.to_string())?;
@@ -197,7 +242,7 @@ fn run_router(
             Ok(n) => println!("reported {n} session transcript(s) to {no_addr}"),
             Err(e) => eprintln!("session report failed (will retry): {e}"),
         }
-        println!("{}", daemon.metrics().to_json());
+        dump_metrics(metrics_json, &[("router", daemon.telemetry())]);
     }
 }
 
@@ -209,6 +254,7 @@ fn run_user(
     router_addr: Option<&str>,
     index: usize,
     rounds: u32,
+    metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let no_addr = parse_addr("--no", no_addr)?;
     let router_addr = parse_addr("--router", router_addr)?;
@@ -242,12 +288,17 @@ fn run_user(
     }
     println!("{}", sess.stats().to_json());
     sess.close();
-    println!("{}", agent.metrics().to_json());
+    dump_metrics(metrics_json, &[("user", agent.telemetry())]);
     Ok(())
 }
 
 /// The whole deployment in one process on loopback.
-fn run_demo(spec: &WorldSpec, rounds: u32, ledger_dir: Option<&str>) -> Result<(), String> {
+fn run_demo(
+    spec: &WorldSpec,
+    rounds: u32,
+    ledger_dir: Option<&str>,
+    metrics_json: Option<&str>,
+) -> Result<(), String> {
     let w = build_world(spec).map_err(|e| e.to_string())?;
     let cfg = daemon_cfg();
     let no = NoDaemon::spawn(w.no, "127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
@@ -265,7 +316,7 @@ fn run_demo(spec: &WorldSpec, rounds: u32, ledger_dir: Option<&str>) -> Result<(
         routers.push(d);
     }
 
-    let mut user_metrics: Vec<(String, String)> = Vec::new();
+    let mut user_metrics: Vec<(String, Snapshot)> = Vec::new();
     for (i, user) in w.users.into_iter().enumerate() {
         let addr = routers[i % routers.len()].addr();
         let mut agent = UserAgent::new(user, spec.seed ^ 0xA6E0 ^ i as u64, cfg);
@@ -281,7 +332,7 @@ fn run_demo(spec: &WorldSpec, rounds: u32, ledger_dir: Option<&str>) -> Result<(
             }
         }
         sess.close();
-        user_metrics.push((format!("user-{i}"), agent.metrics().to_json()));
+        user_metrics.push((format!("user-{i}"), agent.telemetry()));
     }
 
     // Routers hand their session transcripts to NO (§IV.D step 1); with a
@@ -303,13 +354,20 @@ fn run_demo(spec: &WorldSpec, rounds: u32, ledger_dir: Option<&str>) -> Result<(
         }
     }
 
-    println!("\n--- metrics ---");
-    println!("no: {}", no.metrics().to_json());
-    for (i, r) in routers.iter().enumerate() {
-        println!("router-{i}: {}", r.metrics().to_json());
+    // One merged document: crypto.* + ledger.* from the global registry,
+    // every daemon's registry under its own prefix.
+    let mut parts: Vec<(&str, Snapshot)> = vec![("no", no.telemetry())];
+    let router_names: Vec<String> = (0..routers.len()).map(|i| format!("router-{i}")).collect();
+    for (name, r) in router_names.iter().zip(&routers) {
+        parts.push((name, r.telemetry()));
     }
-    for (label, json) in &user_metrics {
-        println!("{label}: {json}");
+    for (name, snap) in &user_metrics {
+        parts.push((name, snap.clone()));
+    }
+    println!("\n--- telemetry ---");
+    dump_metrics(metrics_json, &parts);
+    if let Some(p) = metrics_json {
+        println!("metrics written to {p}");
     }
 
     for r in routers {

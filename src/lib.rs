@@ -20,6 +20,7 @@
 //! | **group signatures** | [`groupsig`] | the paper's BS04-VLR variation |
 //! | **protocol** | [`protocol`] | NO/TTP/GM/router/user/law entities, AKA protocols, audit |
 //! | simulator | [`sim`] | discrete-event metropolitan WMN with adversaries |
+//! | telemetry | [`telemetry`] | counters, log-scale histograms, schema-versioned snapshots |
 //! | **runtime** | [`net`] | framed-TCP node daemons (NO, router, user) + fault proxy |
 //! | **ledger** | [`ledger`] | durable hash-chained accountability log, signed checkpoints, batch audit |
 //!
@@ -78,4 +79,5 @@ pub use peace_protocol as protocol;
 pub use peace_puzzle as puzzle;
 pub use peace_sim as sim;
 pub use peace_symmetric as symmetric;
+pub use peace_telemetry as telemetry;
 pub use peace_wire as wire;

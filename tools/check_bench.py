@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validate PEACE observability artifacts.
+
+Two schemas, auto-detected from the top-level ``schema`` field:
+
+* ``peace-bench-v1`` — a ``BENCH_*.json`` artifact from the shared
+  ``peace_telemetry::bench::BenchReport`` emitter: header fields
+  (``schema``, ``bench``, ``when_ms``) followed by scalar results. Any
+  embedded object carrying a telemetry schema (the ``telemetry`` /
+  ``router`` / ``user`` fields) is validated recursively.
+* ``peace-telemetry-v1`` — a registry snapshot
+  (``peace_telemetry::Snapshot::to_json``, also what
+  ``peace-noded --metrics-json`` writes): ``counters``, ``histograms``,
+  ``events``, with internal-consistency checks (bucket counts sum to
+  ``count``, ``min <= max``, sorted keys, monotone bucket floors).
+
+Usage: ``tools/check_bench.py FILE [FILE ...]``
+Exits non-zero (listing every violation) if any file is invalid.
+"""
+
+import json
+import sys
+
+BENCH_SCHEMA = "peace-bench-v1"
+TELEMETRY_SCHEMA = "peace-telemetry-v1"
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def fail(self, where, msg):
+        self.errors.append(f"{self.path}: {where}: {msg}")
+
+    def expect(self, cond, where, msg):
+        if not cond:
+            self.fail(where, msg)
+        return cond
+
+    # -- telemetry snapshots ------------------------------------------------
+
+    def check_histogram(self, where, h):
+        if not self.expect(isinstance(h, dict), where, "histogram must be an object"):
+            return
+        for field in ("buckets", "count", "max", "min", "sum"):
+            if field not in h:
+                self.fail(where, f"missing histogram field {field!r}")
+                return
+        for field in ("count", "max", "min", "sum"):
+            self.expect(
+                isinstance(h[field], int) and h[field] >= 0,
+                where,
+                f"{field} must be a non-negative integer",
+            )
+        buckets = h["buckets"]
+        if not self.expect(isinstance(buckets, list), where, "buckets must be a list"):
+            return
+        total, prev_floor = 0, -1
+        for i, b in enumerate(buckets):
+            ok = (
+                isinstance(b, list)
+                and len(b) == 2
+                and all(isinstance(x, int) and x >= 0 for x in b)
+            )
+            if not self.expect(ok, where, f"bucket[{i}] must be [floor, count]"):
+                return
+            floor, n = b
+            self.expect(
+                floor > prev_floor, where, f"bucket[{i}] floor {floor} not increasing"
+            )
+            self.expect(n > 0, where, f"bucket[{i}] is empty (never serialized)")
+            prev_floor, total = floor, total + n
+        if isinstance(h.get("count"), int):
+            self.expect(
+                total == h["count"],
+                where,
+                f"bucket counts sum to {total}, count says {h['count']}",
+            )
+            if h["count"] > 0:
+                self.expect(h["min"] <= h["max"], where, "min > max on non-empty histogram")
+
+    def check_telemetry(self, where, doc):
+        if not self.expect(isinstance(doc, dict), where, "snapshot must be an object"):
+            return
+        self.expect(
+            doc.get("schema") == TELEMETRY_SCHEMA,
+            where,
+            f"schema must be {TELEMETRY_SCHEMA!r}",
+        )
+        counters = doc.get("counters")
+        if self.expect(isinstance(counters, dict), where, "counters must be an object"):
+            for k, v in counters.items():
+                self.expect(
+                    isinstance(v, int) and v >= 0,
+                    f"{where}.counters[{k!r}]",
+                    "must be a non-negative integer",
+                )
+            self.expect(
+                list(counters) == sorted(counters), where, "counter keys not sorted"
+            )
+        hists = doc.get("histograms")
+        if self.expect(isinstance(hists, dict), where, "histograms must be an object"):
+            for k, h in hists.items():
+                self.check_histogram(f"{where}.histograms[{k!r}]", h)
+            self.expect(list(hists) == sorted(hists), where, "histogram keys not sorted")
+        events = doc.get("events")
+        if self.expect(isinstance(events, list), where, "events must be a list"):
+            for i, e in enumerate(events):
+                ew = f"{where}.events[{i}]"
+                if not self.expect(isinstance(e, dict), ew, "event must be an object"):
+                    continue
+                for field, ty in (
+                    ("at_ms", int),
+                    ("code", str),
+                    ("detail", str),
+                    ("seq", int),
+                ):
+                    self.expect(
+                        isinstance(e.get(field), ty), ew, f"{field} must be {ty.__name__}"
+                    )
+
+    # -- bench artifacts ----------------------------------------------------
+
+    def check_bench(self, doc):
+        keys = list(doc)
+        self.expect(
+            keys[:3] == ["schema", "bench", "when_ms"],
+            "header",
+            "first fields must be schema, bench, when_ms",
+        )
+        self.expect(isinstance(doc.get("bench"), str), "bench", "must be a string")
+        self.expect(
+            isinstance(doc.get("when_ms"), int) and doc.get("when_ms", -1) >= 0,
+            "when_ms",
+            "must be a non-negative integer",
+        )
+        for k, v in doc.items():
+            if k in ("schema", "bench", "when_ms"):
+                continue
+            if isinstance(v, dict):
+                # Embedded documents must themselves be schema-versioned.
+                self.check_telemetry(k, v)
+            else:
+                self.expect(
+                    isinstance(v, (int, float, str)),
+                    k,
+                    f"unsupported field type {type(v).__name__}",
+                )
+
+    def check(self):
+        try:
+            with open(self.path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            self.fail("parse", str(e))
+            return self.errors
+        if not isinstance(doc, dict):
+            self.fail("top", "document must be a JSON object")
+            return self.errors
+        schema = doc.get("schema")
+        if schema == BENCH_SCHEMA:
+            self.check_bench(doc)
+        elif schema == TELEMETRY_SCHEMA:
+            self.check_telemetry("top", doc)
+        else:
+            self.fail("schema", f"unknown or missing schema: {schema!r}")
+        return self.errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = Checker(path).check()
+        if errors:
+            failures += 1
+            for e in errors:
+                print(f"FAIL {e}", file=sys.stderr)
+        else:
+            print(f"ok   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
