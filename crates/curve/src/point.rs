@@ -139,9 +139,13 @@ impl AffinePoint {
     }
 
     /// Multiplies by the curve cofactor `c = (p+1)/q`, mapping any curve
-    /// point into the order-`q` subgroup.
+    /// point into the order-`q` subgroup. The 352-bit cofactor is fixed for
+    /// the lifetime of the process, so its wNAF recoding is computed once
+    /// and shared by every hash-to-curve call.
     pub fn clear_cofactor(&self) -> Self {
-        self.mul_uint(&cofactor())
+        self.to_projective()
+            .mul_wnaf_digits(cofactor_wnaf())
+            .to_affine()
     }
 
     /// Whether the point lies in the order-`q` subgroup.
@@ -416,6 +420,19 @@ impl ProjectivePoint {
         acc
     }
 
+    /// Scalar multiplication driven by a precomputed width-5 wNAF digit
+    /// schedule — lets fixed scalars (the cofactor) share one recoding.
+    fn mul_wnaf_digits(&self, digits: &[i8]) -> Self {
+        ops::record_g1_mul();
+        let table = self.odd_multiples::<8>();
+        let mut acc = Self::IDENTITY;
+        for &d in digits.iter().rev() {
+            acc = acc.double();
+            acc = add_digit(&acc, &table, d);
+        }
+        acc
+    }
+
     /// The odd multiples `P, 3P, 5P, …, (2T−1)P` (wNAF lookup table).
     fn odd_multiples<const T: usize>(&self) -> [Self; T] {
         let twice = self.double();
@@ -543,6 +560,13 @@ impl ProjectivePoint {
 
 /// wNAF window width for single-scalar multiplication.
 const WNAF_WIDTH: u32 = 5;
+
+/// Width-5 wNAF digit schedule of the fixed curve cofactor, recoded once
+/// per process (hash-to-curve clears the cofactor on every call).
+fn cofactor_wnaf() -> &'static [i8] {
+    static DIGITS: std::sync::OnceLock<Vec<i8>> = std::sync::OnceLock::new();
+    DIGITS.get_or_init(|| cofactor().wnaf(WNAF_WIDTH))
+}
 
 /// wNAF window width per scalar in interleaved double-mul (smaller: two
 /// tables are built per call).

@@ -305,6 +305,97 @@ mod tests {
         }
 
         #[test]
+        fn prop_sparse_cios_matches_generic_reference(
+            a in proptest::array::uniform8(any::<u64>()),
+            b in proptest::array::uniform8(any::<u64>()),
+        ) {
+            // Random full 512-bit inputs, reduced into the field; the hot
+            // zero-limb-skip CIOS must agree with the retained generic
+            // reference limb-for-limb.
+            let a = Fp::from_uint(&Uint::from_limbs(a));
+            let b = Fp::from_uint(&Uint::from_limbs(b));
+            let reference = Fp::from_mont(Fp::mont_mul_generic(a.mont_repr(), b.mont_repr()));
+            prop_assert_eq!(a.mul(&b), reference);
+        }
+
+        #[test]
+        fn prop_square_kernel_matches_mul(
+            a in proptest::array::uniform8(any::<u64>()),
+        ) {
+            let a = Fp::from_uint(&Uint::from_limbs(a));
+            prop_assert_eq!(a.square(), a.mul(&a));
+            let generic = Fp::from_mont(Fp::mont_mul_generic(a.mont_repr(), a.mont_repr()));
+            prop_assert_eq!(a.square(), generic);
+            // Widening-square + wide-reduce alternate must agree too.
+            prop_assert_eq!(a.square_via_wide(), generic);
+        }
+
+        #[test]
+        fn prop_binary_gcd_inverse_matches_fermat(
+            a in proptest::array::uniform8(any::<u64>()),
+            b in proptest::array::uniform3(any::<u64>()),
+        ) {
+            // The binary-xgcd inversion kernel must agree with the retained
+            // Fermat-exponentiation oracle over both moduli (sparse 512-bit
+            // p and dense 160-bit q), zero included.
+            let a = Fp::from_uint(&Uint::from_limbs(a));
+            prop_assert_eq!(a.invert(), a.invert_fermat());
+            let b = Fq::from_uint(&Uint::from_limbs(b));
+            prop_assert_eq!(b.invert(), b.invert_fermat());
+            prop_assert_eq!(Fp::ZERO.invert(), None);
+        }
+
+        #[test]
+        fn prop_from_wide_matches_long_division(
+            lo in proptest::array::uniform8(any::<u64>()),
+            hi in proptest::array::uniform8(any::<u64>()),
+        ) {
+            let lo = Uint::from_limbs(lo);
+            let hi = Uint::from_limbs(hi);
+            let fast = Fp::from_wide(&lo, &hi);
+            let slow = Fp::from_uint(&Uint::reduce_wide(&lo, &hi, &base_modulus()));
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_fq_sparse_and_wide_consistency(
+            lo in proptest::array::uniform3(any::<u64>()),
+            hi in proptest::array::uniform3(any::<u64>()),
+        ) {
+            // Same checks over the dense 160-bit modulus: the zero-limb skip
+            // must be a no-op there and the wide reduction exact.
+            let a = Fq::from_uint(&Uint::from_limbs(lo));
+            let b = Fq::from_uint(&Uint::from_limbs(hi));
+            let reference = Fq::from_mont(Fq::mont_mul_generic(a.mont_repr(), b.mont_repr()));
+            prop_assert_eq!(a.mul(&b), reference);
+            prop_assert_eq!(a.square(), a.mul(&a));
+            let (lo, hi) = (Uint::from_limbs(lo), Uint::from_limbs(hi));
+            let fast = Fq::from_wide(&lo, &hi);
+            let slow = Fq::from_uint(&Uint::reduce_wide(&lo, &hi, &subgroup_order()));
+            prop_assert_eq!(fast, slow);
+        }
+
+        #[test]
+        fn prop_fp2_lazy_mul_matches_schoolbook(
+            a0 in proptest::array::uniform8(any::<u64>()),
+            a1 in proptest::array::uniform8(any::<u64>()),
+            b0 in proptest::array::uniform8(any::<u64>()),
+            b1 in proptest::array::uniform8(any::<u64>()),
+        ) {
+            let a = Fp2::new(
+                Fp::from_uint(&Uint::from_limbs(a0)),
+                Fp::from_uint(&Uint::from_limbs(a1)),
+            );
+            let b = Fp2::new(
+                Fp::from_uint(&Uint::from_limbs(b0)),
+                Fp::from_uint(&Uint::from_limbs(b1)),
+            );
+            prop_assert_eq!(a.mul(&b), a.mul_schoolbook(&b));
+            prop_assert_eq!(a.square(), a.square_schoolbook());
+            prop_assert_eq!(a.square(), a.mul(&a));
+        }
+
+        #[test]
         fn prop_fq_pow_small(a in 1u64..1000, e in 0u32..16) {
             let base = Fq::from_u64(a);
             let mut expect = Fq::ONE;

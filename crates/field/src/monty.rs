@@ -56,14 +56,32 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
     pub const NUM_BITS: u32 = P::NUM_BITS;
 
     #[inline]
-    const fn from_mont(mont: Uint<N>) -> Self {
+    pub(crate) const fn from_mont(mont: Uint<N>) -> Self {
         Self {
             mont,
             _p: PhantomData,
         }
     }
 
-    /// Montgomery reduction of the product accumulator (CIOS main loop).
+    /// The raw Montgomery representation (for the lazy-reduction `F_p²`
+    /// kernels, which operate on unreduced wide products of these limbs).
+    #[inline]
+    pub(crate) const fn mont_repr(&self) -> &Uint<N> {
+        &self.mont
+    }
+
+    /// Montgomery multiplication: CIOS with a zero-limb skip in the
+    /// reduction phase.
+    ///
+    /// `P::MODULUS.as_limbs()[j]` is a compile-time constant after
+    /// monomorphization, so the `ml[j] == 0` branch folds away entirely:
+    /// a sparse modulus (the 512-bit `p` has four nonzero limbs) pays only
+    /// a carry propagation for each zero limb instead of a multiply.
+    ///
+    /// Accepts any `a < 2^(64N)` as long as `b < MODULUS` (or vice versa):
+    /// the accumulator then stays below `2·MODULUS` and the single final
+    /// conditional subtraction still canonicalizes — which is what lets
+    /// [`Self::from_uint`] and [`Self::from_wide`] skip long division.
     #[allow(clippy::needless_range_loop)]
     fn mont_mul(a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
         let al = a.as_limbs();
@@ -85,7 +103,11 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
             let m = t[0].wrapping_mul(P::INV);
             let (_, mut carry) = mac(t[0], m, ml[0], 0);
             for j in 1..N {
-                let (v, c) = mac(t[j], m, ml[j], carry);
+                let (v, c) = if ml[j] == 0 {
+                    adc(t[j], carry, 0)
+                } else {
+                    mac(t[j], m, ml[j], carry)
+                };
                 t[j - 1] = v;
                 carry = c;
             }
@@ -102,14 +124,143 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
         res
     }
 
+    /// Reference CIOS without the zero-limb skip — retained verbatim as the
+    /// oracle for the kernel-equivalence proptests, never on the hot path.
+    #[doc(hidden)]
+    #[allow(clippy::needless_range_loop)]
+    pub fn mont_mul_generic(a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let al = a.as_limbs();
+        let bl = b.as_limbs();
+        let ml = P::MODULUS.as_limbs();
+        let mut t = [0u64; N];
+        let mut t_n = 0u64;
+        for i in 0..N {
+            let mut carry = 0u64;
+            for j in 0..N {
+                let (v, c) = mac(t[j], al[j], bl[i], carry);
+                t[j] = v;
+                carry = c;
+            }
+            let (v, t_np1) = adc(t_n, carry, 0);
+            t_n = v;
+            let m = t[0].wrapping_mul(P::INV);
+            let (_, mut carry) = mac(t[0], m, ml[0], 0);
+            for j in 1..N {
+                let (v, c) = mac(t[j], m, ml[j], carry);
+                t[j - 1] = v;
+                carry = c;
+            }
+            let (v, c) = adc(t_n, carry, 0);
+            t[N - 1] = v;
+            t_n = t_np1.wrapping_add(c);
+        }
+        let mut res = Uint::from_limbs(t);
+        let (sub, borrow) = res.overflowing_sub(&P::MODULUS);
+        if t_n != 0 || !borrow {
+            res = sub;
+        }
+        res
+    }
+
+    /// Dedicated Montgomery squaring: symmetric widening square
+    /// (`N(N+1)/2` limb products instead of `N²`) followed by one wide
+    /// Montgomery reduction. `a² < p² < p·R` satisfies the reduction
+    /// contract.
+    ///
+    /// Measured *slower* than the interleaved CIOS multiply on this
+    /// portable backend (the split widening-then-reduce pass spills the
+    /// 2N-limb accumulator to memory), so [`Self::square`] does not use
+    /// it; retained as the equivalence oracle for the widening-square
+    /// primitive that backs the lazy-reduction `F_p²` kernels.
+    fn mont_sqr(a: &Uint<N>) -> Uint<N> {
+        let (lo, hi) = a.square_wide();
+        Self::mont_reduce_wide(&lo, &hi)
+    }
+
+    /// Squaring through [`Self::mont_sqr`] — oracle entry point for the
+    /// equivalence proptests; not on the hot path.
+    #[doc(hidden)]
+    pub fn square_via_wide(&self) -> Self {
+        Self::from_mont(Self::mont_sqr(&self.mont))
+    }
+
+    /// Montgomery reduction of a double-width value `T = hi·2^(64N) + lo`.
+    ///
+    /// **Contract:** `T < MODULUS·2^(64N)`. The reduced accumulator is then
+    /// below `2·MODULUS`, so a single conditional subtraction (driven by the
+    /// overflow bit plus a comparison) canonicalizes the result. This is the
+    /// primitive behind the lazy-reduction `F_p²` kernels: sums and
+    /// differences of wide products are reduced *once*, after the additions,
+    /// instead of once per product.
+    ///
+    /// Zero modulus limbs skip their multiply exactly as in [`mont_mul`].
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn mont_reduce_wide(lo: &Uint<N>, hi: &Uint<N>) -> Uint<N> {
+        #[inline(always)]
+        fn get<const N: usize>(lo: &[u64; N], hi: &[u64; N], k: usize) -> u64 {
+            if k < N {
+                lo[k]
+            } else {
+                hi[k - N]
+            }
+        }
+        #[inline(always)]
+        fn set<const N: usize>(lo: &mut [u64; N], hi: &mut [u64; N], k: usize, v: u64) {
+            if k < N {
+                lo[k] = v;
+            } else {
+                hi[k - N] = v;
+            }
+        }
+        let ml = P::MODULUS.as_limbs();
+        let mut tl = *lo.as_limbs();
+        let mut th = *hi.as_limbs();
+        // Deferred carry flowing into position i+N of the next round: each
+        // round's carry-out lands one position later, so a single rolling
+        // limb suffices.
+        let mut deferred = 0u64;
+        for i in 0..N {
+            let m = get(&tl, &th, i).wrapping_mul(P::INV);
+            let (_, mut carry) = mac(get(&tl, &th, i), m, ml[0], 0);
+            for j in 1..N {
+                let (v, c) = if ml[j] == 0 {
+                    adc(get(&tl, &th, i + j), carry, 0)
+                } else {
+                    mac(get(&tl, &th, i + j), m, ml[j], carry)
+                };
+                set(&mut tl, &mut th, i + j, v);
+                carry = c;
+            }
+            let (v, c) = adc(get(&tl, &th, i + N), carry, deferred);
+            set(&mut tl, &mut th, i + N, v);
+            deferred = c;
+        }
+        let mut res = Uint::from_limbs(th);
+        let (sub, borrow) = res.overflowing_sub(&P::MODULUS);
+        if deferred != 0 || !borrow {
+            res = sub;
+        }
+        res
+    }
+
     /// Constructs a field element from an integer, reducing mod the modulus.
+    ///
+    /// No long division: CIOS against `R²` accepts a full-width (unreduced)
+    /// multiplicand directly — see [`mont_mul`]'s relaxed input bound.
     pub fn from_uint(v: &Uint<N>) -> Self {
-        let reduced = if *v < P::MODULUS {
-            *v
-        } else {
-            v.rem(&P::MODULUS)
-        };
-        Self::from_mont(Self::mont_mul(&reduced, &P::R2))
+        Self::from_mont(Self::mont_mul(v, &P::R2))
+    }
+
+    /// Reduces a double-width integer `hi·2^(64N) + lo` into the field.
+    ///
+    /// Three CIOS passes (`mont(lo)` plus `mont(hi·2^(64N)) =
+    /// mont_mul(mont_mul(hi, R²), R²)`) replace the bitwise long division of
+    /// [`Uint::reduce_wide`] — this is what hash-to-field and rejection-free
+    /// random sampling run per draw, so it must not cost O(bits²).
+    pub fn from_wide(lo: &Uint<N>, hi: &Uint<N>) -> Self {
+        let lo_m = Self::mont_mul(lo, &P::R2);
+        let hi_m = Self::mont_mul(&Self::mont_mul(hi, &P::R2), &P::R2);
+        Self::from_mont(lo_m.add_mod(&hi_m, &P::MODULUS))
     }
 
     /// Constructs from a `u64`.
@@ -157,9 +308,14 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
         Self::from_mont(Self::mont_mul(&self.mont, &rhs.mont))
     }
 
-    /// Squaring (delegates to multiplication; adequate for this workload).
+    /// Squaring. The interleaved CIOS multiply beats the symmetric
+    /// widening square + separate wide reduction ([`Self::mont_sqr`]) on
+    /// this portable backend — the fused reduction keeps the accumulator
+    /// in registers, which outweighs halving the limb products — so the
+    /// dedicated kernel stays reserved for the lazy-reduction `F_p²` paths
+    /// where the wide form is what enables deferring reductions.
     pub fn square(&self) -> Self {
-        self.mul(self)
+        Self::from_mont(Self::mont_mul(&self.mont, &self.mont))
     }
 
     /// Doubling.
@@ -167,8 +323,18 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
         self.add(self)
     }
 
-    /// Exponentiation by a little-endian limb slice (left-to-right binary).
+    /// Exponentiation by a little-endian limb slice: left-to-right sliding
+    /// window (width 4) over a table of the 8 odd powers `self^1 … self^15`.
+    ///
+    /// Versus plain binary, the multiply count for a `b`-bit exponent drops
+    /// from ≈`b/2` to ≈`b/5` (+7 table setup) while the square count is
+    /// unchanged — square-root extraction (a fixed 510-bit exponent on the
+    /// hash-to-curve path) is the main beneficiary.
     pub fn pow_limbs(&self, exp: &[u64]) -> Self {
+        #[inline]
+        fn bit(exp: &[u64], i: u32) -> bool {
+            (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1
+        }
         // Find the highest set bit.
         let mut top = None;
         for (i, &l) in exp.iter().enumerate().rev() {
@@ -178,12 +344,32 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
             }
         }
         let Some(top) = top else { return Self::ONE };
+        // Odd powers: table[i] = self^(2i+1).
+        let sq = self.square();
+        let mut table = [*self; 8];
+        for i in 1..8 {
+            table[i] = table[i - 1].mul(&sq);
+        }
         let mut acc = Self::ONE;
-        for i in (0..=top).rev() {
-            acc = acc.square();
-            if (exp[(i / 64) as usize] >> (i % 64)) & 1 == 1 {
-                acc = acc.mul(self);
+        let mut i = top as i64;
+        while i >= 0 {
+            if !bit(exp, i as u32) {
+                acc = acc.square();
+                i -= 1;
+                continue;
             }
+            // Longest window ending on a set bit, at most 4 bits wide.
+            let mut j = (i - 3).max(0);
+            while !bit(exp, j as u32) {
+                j += 1;
+            }
+            let mut window = 0usize;
+            for k in (j..=i).rev() {
+                acc = acc.square();
+                window = (window << 1) | usize::from(bit(exp, k as u32));
+            }
+            acc = acc.mul(&table[window >> 1]);
+            i = j - 1;
         }
         acc
     }
@@ -193,15 +379,82 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
         self.pow_limbs(exp.as_limbs())
     }
 
-    /// Multiplicative inverse via Fermat's little theorem.
+    /// Multiplicative inverse via the binary extended Euclidean algorithm
+    /// (~10× faster than the Fermat exponentiation it replaced; retained as
+    /// [`Self::invert_fermat`] for the equivalence proptests).
+    ///
+    /// Runs in time dependent on the value (fine here: inversions touch
+    /// projective z-coordinates and pairing values, never long-term keys).
     ///
     /// Returns `None` for zero.
     pub fn invert(&self) -> Option<Self> {
         if self.is_zero() {
             return None;
         }
+        // The stored representation is m = a·R mod p. Binary xgcd gives
+        // z ≡ m⁻¹ = a⁻¹·R⁻¹; two ladder steps by R² lift it back to
+        // Montgomery form: (z·R²·R⁻¹)·R²·R⁻¹ = a⁻¹·R.
+        let z = Self::inv_mod_binary(&self.mont);
+        let t = Self::mont_mul(&z, &P::R2);
+        Some(Self::from_mont(Self::mont_mul(&t, &P::R2)))
+    }
+
+    /// Reference Fermat-exponentiation inverse (`self^(p−2)`), kept as the
+    /// oracle for the binary-GCD kernel. Returns `None` for zero.
+    #[doc(hidden)]
+    pub fn invert_fermat(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
         let exp = P::MODULUS.wrapping_sub(&Uint::from_u64(2));
         Some(self.pow(&exp))
+    }
+
+    /// `m⁻¹ mod p` for `m ≢ 0` via binary extended GCD (p odd prime).
+    ///
+    /// Invariants: `u·m ≡ a` and `v·m ≡ b (mod p)`; when `a` reaches 0,
+    /// `b = gcd(m, p) = 1` and `v` is the inverse.
+    fn inv_mod_binary(m: &Uint<N>) -> Uint<N> {
+        // Halves `x` mod p: even values shift, odd values add the (odd)
+        // modulus first; the add may carry one bit past the top limb.
+        #[inline]
+        fn half_mod<const N: usize>(x: &Uint<N>, p: &Uint<N>) -> Uint<N> {
+            if x.is_even() {
+                x.shr1()
+            } else {
+                let (s, carry) = x.overflowing_add(p);
+                let mut h = s.shr1().into_limbs();
+                if carry {
+                    h[N - 1] |= 1 << 63;
+                }
+                Uint::from_limbs(h)
+            }
+        }
+        let p = P::MODULUS;
+        let mut a = *m;
+        let mut b = p;
+        let mut u = Uint::<N>::ONE;
+        let mut v = Uint::<N>::ZERO;
+        while !a.is_zero() {
+            while a.is_even() {
+                a = a.shr1();
+                u = half_mod(&u, &p);
+            }
+            while b.is_even() {
+                b = b.shr1();
+                v = half_mod(&v, &p);
+            }
+            let (d, borrow) = a.overflowing_sub(&b);
+            if !borrow {
+                a = d;
+                u = u.sub_mod(&v, &p);
+            } else {
+                b = b.wrapping_sub(&a);
+                v = v.sub_mod(&u, &p);
+            }
+        }
+        debug_assert_eq!(b, Uint::ONE, "modulus is prime, input nonzero");
+        v
     }
 
     /// Legendre symbol: `1` for quadratic residues, `-1` for non-residues,
@@ -244,7 +497,7 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
         rng.fill_bytes(&mut bytes);
         let lo = Uint::from_be_bytes(&bytes[..8 * N]).expect("exact length");
         let hi = Uint::from_be_bytes(&bytes[8 * N..]).expect("exact length");
-        Self::from_uint(&Uint::reduce_wide(&lo, &hi, &P::MODULUS))
+        Self::from_wide(&lo, &hi)
     }
 
     /// Uniformly random *nonzero* field element.
@@ -266,7 +519,7 @@ impl<P: FieldParams<N>, const N: usize> Fe<P, N> {
             full[16 * N - bytes.len()..].copy_from_slice(bytes);
             let hi = Uint::from_be_bytes(&full[..8 * N]).expect("exact length");
             let lo = Uint::from_be_bytes(&full[8 * N..]).expect("exact length");
-            return Self::from_uint(&Uint::reduce_wide(&lo, &hi, &P::MODULUS));
+            return Self::from_wide(&lo, &hi);
         }
         // Longer inputs: Horner evaluation base 2^(64·N) over N-limb chunks.
         let chunk_bytes = 8 * N;

@@ -5,11 +5,48 @@ use core::fmt;
 
 use peace_curve::{psi, FixedBaseTable, G1, G2};
 use peace_field::Fq;
-use peace_pairing::{miller, pairing, pairing_product, Gt, GtPowTable, MillerValue};
+use peace_pairing::{
+    miller, pairing, pairing_pair, pairing_product, pairing_ratio, Gt, GtPowTable, MillerValue,
+};
 use peace_wire::{Decode, Encode, Reader, Writer};
 use rand::RngCore;
 
 use crate::keys::{GroupPublicKey, MemberKey, RevocationToken};
+
+/// Process-wide memo of the constant pairing `ê(g₁, g₂)` for recently seen
+/// group public keys.
+///
+/// The stateless [`verify`] path recomputes this gpk *constant* with a full
+/// pairing on every call — a third of its pairing budget. Deployments
+/// verify against a handful of groups at a time, so a tiny move-to-front
+/// list captures effectively every call after the first without changing
+/// the stateless API. [`PreparedGpk`] keeps its own copy (plus a power
+/// table) and never consults this.
+static E_G1_G2_MEMO: std::sync::Mutex<Vec<(G1, G2, Gt)>> = std::sync::Mutex::new(Vec::new());
+const E_G1_G2_MEMO_CAP: usize = 8;
+
+/// `ê(g₁, g₂)` for this gpk, memoized across calls.
+fn constant_pairing(gpk: &GroupPublicKey) -> Gt {
+    if let Ok(mut memo) = E_G1_G2_MEMO.lock() {
+        if let Some(i) = memo
+            .iter()
+            .position(|(a, b, _)| *a == gpk.g1 && *b == gpk.g2)
+        {
+            let hit = memo.remove(i);
+            let value = hit.2;
+            memo.insert(0, hit);
+            return value;
+        }
+    }
+    let value = pairing(&gpk.g1, &gpk.g2);
+    if let Ok(mut memo) = E_G1_G2_MEMO.lock() {
+        if !memo.iter().any(|(a, b, _)| *a == gpk.g1 && *b == gpk.g2) {
+            memo.insert(0, (gpk.g1, gpk.g2, value));
+            memo.truncate(E_G1_G2_MEMO_CAP);
+        }
+    }
+    value
+}
 
 /// How the per-signature bases `(û, v̂)` are derived.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -173,11 +210,12 @@ pub fn sign(
     // 2.2.3 helper values. Pairings are merged as in BS04's accounting
     // ("about 8 exponentiations and 2 bilinear map computations"):
     //   ê(v,w)^{−r_α} · ê(v,g₂)^{−r_δ} = ê(v, w^{r_α}·g₂^{r_δ})⁻¹
+    // and the two evaluations share one batched reduction.
     let r1 = u.mul(&r_alpha);
-    let e_t2_g2 = pairing(&t2, &gpk.g2);
-    let merged = gpk.w.mul(&r_alpha).add(&gpk.g2.mul(&r_delta));
-    let r2 = e_t2_g2.pow(&r_x).mul(&pairing(&v, &merged).invert());
-    let r3 = t1.mul(&r_x).add(&u.mul(&r_delta).neg());
+    let merged = gpk.w.mul_mul(&r_alpha, &gpk.g2, &r_delta);
+    let (e_t2_g2, e_v_merged) = pairing_pair(&t2, &gpk.g2, &v, &merged);
+    let r2 = e_t2_g2.pow(&r_x).mul(&e_v_merged.invert());
+    let r3 = t1.mul_mul(&r_x, &u, &r_delta.neg());
     let c = challenge(gpk, msg, &r, &t1, &t2, &r1, &r2, &r3);
 
     // 2.2.4 responses
@@ -241,15 +279,16 @@ impl PreparedGpk {
         G1::from_point_unchecked(self.g1_table.mul(k))
     }
 
-    /// `g₂^a · w^b` from the comb tables — two lookup sweeps and one point
-    /// addition, with no doublings at all.
+    /// `g₂^a · w^b` — one fused two-table sweep: a single accumulator,
+    /// a single normalization, one recorded exponentiation (keeping the
+    /// prepared verifier at op-count parity with the plain one).
     fn mul_g2_w(&self, a: &Fq, b: &Fq) -> G2 {
-        G2::from_point_unchecked(self.g2_table.mul(a).add(&self.w_table.mul(b)))
+        G2::from_point_unchecked(self.g2_table.mul2(a, &self.w_table, b))
     }
 
-    /// `w^a · g₂^b` from the comb tables.
+    /// `w^a · g₂^b` from the fused comb-table sweep.
     fn mul_w_g2(&self, a: &Fq, b: &Fq) -> G2 {
-        G2::from_point_unchecked(self.w_table.mul(a).add(&self.g2_table.mul(b)))
+        G2::from_point_unchecked(self.w_table.mul2(a, &self.g2_table, b))
     }
 
     /// Signs `msg` under `gsk` using the precomputed tables for the
@@ -284,10 +323,10 @@ impl PreparedGpk {
         // 2.2.3 — identical formulas to `sign`, with the fixed-base factor
         // from the tables.
         let r1 = u.mul(&r_alpha);
-        let e_t2_g2 = pairing(&t2, &self.gpk.g2);
         let merged = self.mul_w_g2(&r_alpha, &r_delta);
-        let r2 = e_t2_g2.pow(&r_x).mul(&pairing(&v, &merged).invert());
-        let r3 = t1.mul(&r_x).add(&u.mul(&r_delta).neg());
+        let (e_t2_g2, e_v_merged) = pairing_pair(&t2, &self.gpk.g2, &v, &merged);
+        let r2 = e_t2_g2.pow(&r_x).mul(&e_v_merged.invert());
+        let r3 = t1.mul_mul(&r_x, &u, &r_delta.neg());
         let c = challenge(&self.gpk, msg, &r, &t1, &t2, &r1, &r2, &r3);
 
         // 2.2.4 responses
@@ -363,8 +402,7 @@ impl PreparedGpk {
         let r1 = u.mul_mul(&sig.s_alpha, &sig.t1, &neg_c);
         let t2_side = self.mul_g2_w(&sig.s_x, &sig.c);
         let v_side = self.mul_w_g2(&sig.s_alpha, &sig.s_delta);
-        let r2 = pairing(&sig.t2, &t2_side)
-            .mul(&pairing(&v, &v_side).invert())
+        let r2 = pairing_ratio(&sig.t2, &t2_side, &v, &v_side)
             .mul(&self.e_g1_g2_table.pow(&sig.c).invert());
         let neg_s_delta = sig.s_delta.neg();
         let r3 = sig.t1.mul_mul(&sig.s_x, &u, &neg_s_delta);
@@ -374,6 +412,225 @@ impl PreparedGpk {
             Err(VerifyError::BadChallenge)
         }
     }
+
+    /// Batch verification of many `(msg, sig)` pairs with **one** final
+    /// exponentiation for the whole batch (see the free-standing
+    /// [`verify_batch`] for the construction). `out[i]` matches what
+    /// [`Self::verify`] would return for `items[i]`.
+    pub fn verify_batch(
+        &self,
+        items: &[(&[u8], &GroupSignature)],
+        mode: BasesMode,
+    ) -> Vec<Result<(), VerifyError>> {
+        let legs = sigma_legs(&self.gpk, items, mode, &|sig| {
+            (
+                self.mul_g2_w(&sig.s_x, &sig.c),
+                self.mul_w_g2(&sig.s_alpha, &sig.s_delta),
+            )
+        });
+        finish_sigma_batch(&self.gpk, items, &legs, &|c| {
+            self.e_g1_g2_table.pow(c).invert()
+        })
+    }
+
+    /// Batched [`Self::verify_and_check`]: one shared final exponentiation
+    /// for all the Σ-protocol checks, then one more for the revocation
+    /// sweep of every signature that passed — two hard-part passes for the
+    /// entire burst, however many requests and URL tokens it spans. The H₀
+    /// bases derived for the Σ check are reused by the sweep.
+    ///
+    /// `out[i]` matches what [`Self::verify_and_check`] would return for
+    /// `items[i]`: `Ok(None)` valid and unrevoked, `Ok(Some(t))` valid but
+    /// matching URL token `t`, `Err` invalid (URL not consulted).
+    pub fn verify_and_check_batch(
+        &self,
+        items: &[(&[u8], &GroupSignature)],
+        url: &[RevocationToken],
+        mode: BasesMode,
+    ) -> Vec<Result<Option<usize>, VerifyError>> {
+        let legs = sigma_legs(&self.gpk, items, mode, &|sig| {
+            (
+                self.mul_g2_w(&sig.s_x, &sig.c),
+                self.mul_w_g2(&sig.s_alpha, &sig.s_delta),
+            )
+        });
+        let sigma = finish_sigma_batch(&self.gpk, items, &legs, &|c| {
+            self.e_g1_g2_table.pow(c).invert()
+        });
+        let mut out: Vec<Result<Option<usize>, VerifyError>> =
+            sigma.iter().map(|r| r.map(|()| None)).collect();
+        let live: Vec<usize> = (0..items.len()).filter(|&i| sigma[i].is_ok()).collect();
+        if live.is_empty() || url.is_empty() {
+            return out;
+        }
+        // Revocation grid: one row per valid signature, one column per URL
+        // token, every cell an independent Miller product — flattened into
+        // a single batched reduction. The row-shared factor f_{q,−T₁}(φ(v̂))
+        // is computed once per row, as in `revocation_sweep`.
+        let shared = fill_indexed(
+            live.len(),
+            PARALLEL_VERIFY_THRESHOLD,
+            MillerValue::ONE,
+            &|j| {
+                let SigmaLeg::Live { v_hat, .. } = &legs[live[j]] else {
+                    unreachable!("live indices point at live legs");
+                };
+                miller(&items[live[j]].1.t1.neg(), v_hat)
+            },
+        );
+        let n = url.len();
+        let cells = fill_indexed(
+            live.len() * n,
+            PARALLEL_SWEEP_THRESHOLD,
+            MillerValue::ONE,
+            &|k| {
+                let (row, col) = (k / n, k % n);
+                let i = live[row];
+                let SigmaLeg::Live { u_hat, .. } = &legs[i] else {
+                    unreachable!("live indices point at live legs");
+                };
+                miller(&items[i].1.t2.sub(&url[col].0), u_hat).mul(&shared[row])
+            },
+        );
+        let finals = MillerValue::finalize_batch(&cells);
+        for (row, &i) in live.iter().enumerate() {
+            out[i] = Ok(finals[row * n..(row + 1) * n].iter().position(Gt::is_one));
+        }
+        out
+    }
+}
+
+/// Per-item Σ-protocol legs computed before the batch's shared final
+/// exponentiation: the recomputed `R̃₁`, `R̃₃`, the merged unreduced pairing
+/// value for `R̃₂`, and the H₀ bases (kept for revocation reuse).
+// Almost every element of a batch is `Live` (`Degenerate` is the malformed-
+// signature path), so boxing the large variant would cost an allocation per
+// verified signature to shrink a vector that lives for one batch call.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone)]
+enum SigmaLeg {
+    /// `T₁` or `T₂` degenerate — rejected without any pairing work.
+    Degenerate,
+    /// All group-side work done; awaiting the shared reduction.
+    Live {
+        u_hat: G2,
+        v_hat: G2,
+        r1: G1,
+        r3: G1,
+        f: MillerValue,
+    },
+}
+
+/// Computes every item's Σ-protocol legs (bases, 𝔾₁ side, two Miller loops
+/// merged by conjugation), fanning out across OS threads for larger
+/// batches. `sides(sig)` supplies `(g₂^{s_x}·w^c, w^{s_α}·g₂^{s_δ})` — the
+/// only step that differs between the plain and table-driven verifiers.
+fn sigma_legs(
+    gpk: &GroupPublicKey,
+    items: &[(&[u8], &GroupSignature)],
+    mode: BasesMode,
+    sides: &(dyn Fn(&GroupSignature) -> (G2, G2) + Sync),
+) -> Vec<SigmaLeg> {
+    fill_indexed(
+        items.len(),
+        PARALLEL_VERIFY_THRESHOLD,
+        SigmaLeg::Degenerate,
+        &|i| {
+            let (msg, sig) = items[i];
+            if sig.t1.is_identity() || sig.t2.is_identity() {
+                return SigmaLeg::Degenerate;
+            }
+            let (u_hat, v_hat) = h0_bases(gpk, msg, &sig.r, mode);
+            let u = psi(&u_hat);
+            let v = psi(&v_hat);
+            let neg_c = sig.c.neg();
+            let r1 = u.mul_mul(&sig.s_alpha, &sig.t1, &neg_c);
+            let (t2_side, v_side) = sides(sig);
+            // Unreduced R̃₂ numerator: f(T₂, t2_side) · conj(f(v, v_side))
+            // — the quotient's final exponentiation is deferred to the
+            // batch-wide reduction.
+            let f = miller(&sig.t2, &t2_side).mul(&miller(&v, &v_side).conjugate());
+            let neg_s_delta = sig.s_delta.neg();
+            let r3 = sig.t1.mul_mul(&sig.s_x, &u, &neg_s_delta);
+            SigmaLeg::Live {
+                u_hat,
+                v_hat,
+                r1,
+                r3,
+                f,
+            }
+        },
+    )
+}
+
+/// Reduces every leg's Miller value in one [`MillerValue::finalize_batch`]
+/// pass, applies the per-item `ê(g₁,g₂)^{−c}` correction and recomputes the
+/// Fiat–Shamir challenge. `eg_pow_inv(c)` supplies `ê(g₁,g₂)^{−c}`.
+fn finish_sigma_batch(
+    gpk: &GroupPublicKey,
+    items: &[(&[u8], &GroupSignature)],
+    legs: &[SigmaLeg],
+    eg_pow_inv: &dyn Fn(&Fq) -> Gt,
+) -> Vec<Result<(), VerifyError>> {
+    let values: Vec<MillerValue> = legs
+        .iter()
+        .map(|leg| match leg {
+            SigmaLeg::Live { f, .. } => *f,
+            SigmaLeg::Degenerate => MillerValue::ONE,
+        })
+        .collect();
+    let finals = MillerValue::finalize_batch(&values);
+    items
+        .iter()
+        .zip(legs)
+        .zip(&finals)
+        .map(|((&(msg, sig), leg), g)| {
+            let SigmaLeg::Live { r1, r3, .. } = leg else {
+                return Err(VerifyError::DegenerateCommitment);
+            };
+            let r2 = g.mul(&eg_pow_inv(&sig.c));
+            if challenge(gpk, msg, &sig.r, &sig.t1, &sig.t2, r1, &r2, r3) == sig.c {
+                Ok(())
+            } else {
+                Err(VerifyError::BadChallenge)
+            }
+        })
+        .collect()
+}
+
+/// Batch verification (paper step 3.2 over a burst of access requests).
+///
+/// Each signature's Σ-protocol transcript must be recomputed individually —
+/// the Fiat–Shamir hash binds each `R̃₂` — so the batch cannot collapse into
+/// one aggregate equation. What *can* be shared is the expensive half of
+/// every pairing: per item the quotient
+/// `ê(T₂, g₂^{s_x}·w^c) · ê(v, w^{s_α}·g₂^{s_δ})⁻¹` stays an unreduced
+/// Miller value (the inverse becomes a conjugation,
+/// [`MillerValue::conjugate`]), and the whole batch is reduced by a single
+/// [`MillerValue::finalize_batch`] pass — one field inversion and one
+/// recorded final exponentiation for `k` signatures, where `k` separate
+/// verifications pay `2k`. Per-item Miller loops and hash-to-curve runs fan
+/// out across OS threads for batches of [`PARALLEL_VERIFY_THRESHOLD`] or
+/// more.
+///
+/// `out[i]` is exactly what [`verify`] would return for `items[i]` — the
+/// batch changes the schedule, not the decision.
+pub fn verify_batch(
+    gpk: &GroupPublicKey,
+    items: &[(&[u8], &GroupSignature)],
+    mode: BasesMode,
+) -> Vec<Result<(), VerifyError>> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let legs = sigma_legs(gpk, items, mode, &|sig| {
+        (
+            gpk.g2.mul_mul(&sig.s_x, &gpk.w, &sig.c),
+            gpk.w.mul_mul(&sig.s_alpha, &gpk.g2, &sig.s_delta),
+        )
+    });
+    let e_g1_g2 = constant_pairing(gpk);
+    finish_sigma_batch(gpk, items, &legs, &|c| e_g1_g2.pow(c).invert())
 }
 
 /// Verifies a signature against the group public key (paper step 3.2).
@@ -398,14 +655,14 @@ pub fn verify(
     // 3.2.2 — pairings merged as in BS04's accounting ("6 exponentiations
     // and 3 + 2|URL| computations of the bilinear map"):
     //   R̃₂ = ê(T₂, g₂^{s_x}·w^{c}) · ê(v, w^{s_α}·g₂^{s_δ})⁻¹ · ê(g₁,g₂)^{−c}
+    // The quotient reduces with one shared final exponentiation
+    // (see `pairing_ratio`).
     let neg_c = sig.c.neg();
     let r1 = u.mul_mul(&sig.s_alpha, &sig.t1, &neg_c);
     let t2_side = gpk.g2.mul_mul(&sig.s_x, &gpk.w, &sig.c);
     let v_side = gpk.w.mul_mul(&sig.s_alpha, &gpk.g2, &sig.s_delta);
-    let e_g1_g2 = pairing(&gpk.g1, &gpk.g2);
-    let r2 = pairing(&sig.t2, &t2_side)
-        .mul(&pairing(&v, &v_side).invert())
-        .mul(&e_g1_g2.pow(&sig.c).invert());
+    let e_g1_g2 = constant_pairing(gpk);
+    let r2 = pairing_ratio(&sig.t2, &t2_side, &v, &v_side).mul(&e_g1_g2.pow(&sig.c).invert());
     let neg_s_delta = sig.s_delta.neg();
     let r3 = sig.t1.mul_mul(&sig.s_x, &u, &neg_s_delta);
     // 3.2.3
@@ -434,6 +691,43 @@ pub fn token_matches(
 /// the ~0.5 ms a Miller loop costs.
 const PARALLEL_SWEEP_THRESHOLD: usize = 32;
 
+/// Batch size at and above which [`verify_batch`] fans per-signature work
+/// out across OS threads. Each item costs two hash-to-curve runs, six
+/// fixed-base sweeps and two Miller loops (milliseconds), so the fan-out
+/// pays for itself almost immediately.
+const PARALLEL_VERIFY_THRESHOLD: usize = 4;
+
+/// Computes `f(0..len)` positionally, fanning contiguous chunks out across
+/// OS threads once `len` reaches `threshold` (per-element work is at least
+/// one Miller loop). Single-threaded below the threshold; results are
+/// index-ordered either way.
+fn fill_indexed<T: Clone + Send>(
+    len: usize,
+    threshold: usize,
+    placeholder: T,
+    f: &(dyn Fn(usize) -> T + Sync),
+) -> Vec<T> {
+    if len < threshold {
+        return (0..len).map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len);
+    let chunk = len.div_ceil(workers);
+    let mut out = vec![placeholder; len];
+    std::thread::scope(|s| {
+        for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    *slot = f(ci * chunk + off);
+                }
+            });
+        }
+    });
+    out
+}
+
 /// Shared-Miller revocation sweep over a whole URL (paper step 3.3,
 /// restructured).
 ///
@@ -460,28 +754,12 @@ pub fn revocation_sweep(
     }
     // Token-independent factor: f_{q,−T₁}(φ(v̂)), one Miller loop.
     let shared = miller(&sig.t1.neg(), v_hat);
-    let per_token = |t: &RevocationToken| miller(&sig.t2.sub(&t.0), u_hat).mul(&shared);
-    let values: Vec<MillerValue> = if tokens.len() >= PARALLEL_SWEEP_THRESHOLD {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(tokens.len());
-        let chunk = tokens.len().div_ceil(workers);
-        let mut values = vec![MillerValue::ONE; tokens.len()];
-        let per_token = &per_token;
-        std::thread::scope(|s| {
-            for (in_chunk, out_chunk) in tokens.chunks(chunk).zip(values.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (t, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = per_token(t);
-                    }
-                });
-            }
-        });
-        values
-    } else {
-        tokens.iter().map(per_token).collect()
-    };
+    let values = fill_indexed(
+        tokens.len(),
+        PARALLEL_SWEEP_THRESHOLD,
+        MillerValue::ONE,
+        &|i| miller(&sig.t2.sub(&tokens[i].0), u_hat).mul(&shared),
+    );
     MillerValue::finalize_batch(&values)
         .iter()
         .position(Gt::is_one)
@@ -559,31 +837,15 @@ pub fn open_batch(
         if live.is_empty() {
             break;
         }
-        let cell = |k: usize| {
-            let (u_hat, shared, t2) = &prep[k];
-            miller(&t2.sub(&token.0), u_hat).mul(shared)
-        };
-        let vals: Vec<MillerValue> = if live.len() >= PARALLEL_SWEEP_THRESHOLD {
-            let workers = std::thread::available_parallelism()
-                .map(|w| w.get())
-                .unwrap_or(1)
-                .min(live.len());
-            let chunk = live.len().div_ceil(workers);
-            let mut vals = vec![MillerValue::ONE; live.len()];
-            let cell = &cell;
-            std::thread::scope(|s| {
-                for (in_chunk, out_chunk) in live.chunks(chunk).zip(vals.chunks_mut(chunk)) {
-                    s.spawn(move || {
-                        for (&k, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                            *slot = cell(k);
-                        }
-                    });
-                }
-            });
-            vals
-        } else {
-            live.iter().map(|&k| cell(k)).collect()
-        };
+        let vals = fill_indexed(
+            live.len(),
+            PARALLEL_SWEEP_THRESHOLD,
+            MillerValue::ONE,
+            &|j| {
+                let (u_hat, shared, t2) = &prep[live[j]];
+                miller(&t2.sub(&token.0), u_hat).mul(shared)
+            },
+        );
         let finals = MillerValue::finalize_batch(&vals);
         let mut still = Vec::with_capacity(live.len());
         for (&k, g) in live.iter().zip(&finals) {

@@ -43,7 +43,7 @@ pub mod sweep;
 pub mod timing;
 
 pub use checkpoint::Checkpoint;
-pub use record::{AccessRecord, Entry, LedgerRecord, RecordKind};
+pub use record::{AccessRecord, Entry, IndexFacts, LedgerRecord, RecordKind, ShallowEntry};
 pub use segment::{SegmentHeader, FRAME_OVERHEAD, SEGMENT_HEADER_LEN};
 pub use store::{
     verify_chain, ChainReport, CompactReport, Ledger, LedgerConfig, LedgerHead, LedgerQuery,

@@ -13,6 +13,111 @@ use peace_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::checkpoint::Checkpoint;
 
+/// The index-relevant facts of one record, extracted without
+/// deserializing any group elements.
+///
+/// Recovery builds its in-memory indexes from these. The expensive parts
+/// of a record — curve points inside group signatures and revocation
+/// tokens, each costing a field square root plus a subgroup check to
+/// decode — stay on disk until [`get`](crate::Ledger::get) actually
+/// needs them. The frame CRC and the hash chain still cover every byte,
+/// so a shallow scan keeps the full crash-recovery and tamper-evidence
+/// guarantees; only the structural validation of group elements moves
+/// from open-time to read-time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IndexFacts {
+    /// An access transcript: reporting router + canonical session-id
+    /// bytes (the log key).
+    Access {
+        /// The reporting router.
+        router: String,
+        /// `SessionId::to_bytes()` of the logged session.
+        session_id: Vec<u8>,
+    },
+    /// User/router revocations carry nothing the indexes need.
+    Revocation,
+    /// An epoch rollover mark.
+    EpochRollover {
+        /// The new epoch number.
+        epoch: u64,
+    },
+    /// A full checkpoint (cheap to decode: no group elements).
+    Checkpoint(Checkpoint),
+    /// A post-audit attribution.
+    Attribution {
+        /// Sequence number of the attributed access record.
+        session_seq: u64,
+        /// The responsible user group.
+        group: u32,
+    },
+}
+
+/// The envelope and index facts of one entry, decoded shallowly from its
+/// frame payload (see [`IndexFacts`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShallowEntry {
+    /// Ledger-wide sequence number.
+    pub seq: u64,
+    /// Wall-clock milliseconds when the record was appended.
+    pub at_ms: u64,
+    /// Coarse record classification.
+    pub kind: RecordKind,
+    /// What the recovery indexes need from the record body.
+    pub facts: IndexFacts,
+}
+
+impl ShallowEntry {
+    /// Parses the envelope and index facts from an entry payload without
+    /// touching any group-element bytes. Trailing payload bytes past the
+    /// facts are intentionally left unread — the frame CRC already
+    /// guards them.
+    pub fn parse(payload: &[u8]) -> peace_wire::Result<Self> {
+        let mut r = Reader::new(payload);
+        let seq = r.get_u64()?;
+        let at_ms = r.get_u64()?;
+        let (kind, facts) = match r.get_u8()? {
+            tag::ACCESS => {
+                let router = r.get_str()?;
+                // SessionId encodes as its two DH-share byte strings;
+                // its canonical bytes are their concatenation.
+                let responder = r.get_bytes()?;
+                let mut session_id = responder.to_vec();
+                session_id.extend_from_slice(r.get_bytes()?);
+                (
+                    RecordKind::Access,
+                    IndexFacts::Access { router, session_id },
+                )
+            }
+            tag::USER_REVOCATION => (RecordKind::UserRevocation, IndexFacts::Revocation),
+            tag::ROUTER_REVOCATION => (RecordKind::RouterRevocation, IndexFacts::Revocation),
+            tag::EPOCH_ROLLOVER => (
+                RecordKind::EpochRollover,
+                IndexFacts::EpochRollover {
+                    epoch: r.get_u64()?,
+                },
+            ),
+            tag::CHECKPOINT => (
+                RecordKind::Checkpoint,
+                IndexFacts::Checkpoint(Checkpoint::decode(&mut r)?),
+            ),
+            tag::ATTRIBUTION => (
+                RecordKind::Attribution,
+                IndexFacts::Attribution {
+                    session_seq: r.get_u64()?,
+                    group: r.get_u32()?,
+                },
+            ),
+            _ => return Err(WireError::Invalid("ledger record tag")),
+        };
+        Ok(Self {
+            seq,
+            at_ms,
+            kind,
+            facts,
+        })
+    }
+}
+
 mod tag {
     pub const ACCESS: u8 = 1;
     pub const USER_REVOCATION: u8 = 2;
@@ -216,6 +321,36 @@ pub struct Entry {
     pub at_ms: u64,
     /// The accountability record.
     pub record: LedgerRecord,
+}
+
+impl Entry {
+    /// The same facts [`ShallowEntry::parse`] extracts from this entry's
+    /// wire form, derived from the decoded record (append-path indexing).
+    pub fn to_shallow(&self) -> ShallowEntry {
+        let facts = match &self.record {
+            LedgerRecord::Access(a) => IndexFacts::Access {
+                router: a.router.clone(),
+                session_id: a.session.session_id.to_bytes(),
+            },
+            LedgerRecord::UserRevocation { .. } | LedgerRecord::RouterRevocation { .. } => {
+                IndexFacts::Revocation
+            }
+            LedgerRecord::EpochRollover { epoch } => IndexFacts::EpochRollover { epoch: *epoch },
+            LedgerRecord::Checkpoint(ck) => IndexFacts::Checkpoint(ck.clone()),
+            LedgerRecord::Attribution {
+                session_seq, group, ..
+            } => IndexFacts::Attribution {
+                session_seq: *session_seq,
+                group: *group,
+            },
+        };
+        ShallowEntry {
+            seq: self.seq,
+            at_ms: self.at_ms,
+            kind: self.record.kind(),
+            facts,
+        }
+    }
 }
 
 impl Encode for Entry {

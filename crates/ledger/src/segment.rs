@@ -25,7 +25,7 @@ use peace_hash::sha256;
 use peace_wire::Decode;
 
 use crate::crc::crc32;
-use crate::record::Entry;
+use crate::record::{Entry, IndexFacts, ShallowEntry};
 
 /// Segment file magic.
 pub const SEG_MAGIC: [u8; 4] = *b"PLG1";
@@ -253,6 +253,143 @@ pub fn scan(
         entries,
         valid_len: pos,
         chain,
+        flaw,
+    }
+}
+
+/// How [`scan_shallow`] treats the SHA-256 record chain.
+#[derive(Clone, Copy, Debug)]
+pub enum ChainMode {
+    /// Replay the chain from this seed (the segment header's
+    /// `prev_chain`) and pin every checkpoint record against it.
+    Replay([u8; 32]),
+    /// Skip hashing entirely — a later ECDSA-signed checkpoint attests
+    /// this segment. The result's `chain` is dead (`chain_live` false).
+    Skip,
+    /// Skip hashing until the frame at `offset`, which must hold the
+    /// signed checkpoint attesting the skipped prefix; seed the chain
+    /// with the checkpoint's attested value there and replay onward.
+    Resume {
+        /// Byte offset (within the segment) of the checkpoint frame.
+        offset: usize,
+        /// The checkpoint's attested chain value at that frame.
+        chain: [u8; 32],
+    },
+}
+
+/// One shallowly-decoded entry plus its frame location.
+#[derive(Clone, Debug)]
+pub struct ShallowScanned {
+    /// Envelope + index facts (no group elements decoded).
+    pub entry: ShallowEntry,
+    /// Byte offset of the frame (its length prefix) within the segment.
+    pub offset: usize,
+    /// Total frame length including the 8-byte overhead.
+    pub frame_len: usize,
+}
+
+/// The outcome of a shallow scan.
+#[derive(Clone, Debug)]
+pub struct ShallowScanResult {
+    /// Entries accepted, in order.
+    pub entries: Vec<ShallowScanned>,
+    /// Byte length of the valid prefix (header included).
+    pub valid_len: usize,
+    /// The running chain value after the last accepted entry; only
+    /// meaningful when `chain_live` is true.
+    pub chain: [u8; 32],
+    /// Whether `chain` was actually replayed (always for
+    /// [`ChainMode::Replay`]; for [`ChainMode::Resume`] only once the
+    /// resume frame was reached; never for [`ChainMode::Skip`]).
+    pub chain_live: bool,
+    /// Why the scan stopped early, if it did.
+    pub flaw: Option<ScanFlaw>,
+}
+
+/// The recovery scanner: identical frame validation to [`scan`] (length,
+/// CRC, dense sequence numbers, torn-tail detection) but decodes only the
+/// entry envelope and index facts — no curve points — and can resume the
+/// SHA-256 chain replay from a signed checkpoint instead of the segment
+/// head (see [`ChainMode`]).
+pub fn scan_shallow(
+    bytes: &[u8],
+    header_len: usize,
+    base_seq: u64,
+    mode: ChainMode,
+    max_record: u32,
+) -> ShallowScanResult {
+    let mut entries = Vec::new();
+    let (mut live, mut chain, resume_at) = match mode {
+        ChainMode::Replay(c) => (true, c, None),
+        ChainMode::Skip => (false, [0u8; 32], None),
+        ChainMode::Resume { offset, chain } => (false, chain, Some(offset)),
+    };
+    let mut seq = base_seq;
+    let mut pos = header_len;
+    let mut flaw = None;
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < FRAME_OVERHEAD {
+            flaw = Some(ScanFlaw::TornFrame);
+            break;
+        }
+        let len = u32::from_be_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        if len > max_record as usize {
+            flaw = Some(ScanFlaw::Oversized);
+            break;
+        }
+        if remaining < FRAME_OVERHEAD + len {
+            flaw = Some(ScanFlaw::TornFrame);
+            break;
+        }
+        let crc = u32::from_be_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        let payload = &bytes[pos + FRAME_OVERHEAD..pos + FRAME_OVERHEAD + len];
+        if crc32(payload) != crc {
+            flaw = Some(ScanFlaw::CrcMismatch);
+            break;
+        }
+        let Ok(entry) = ShallowEntry::parse(payload) else {
+            flaw = Some(ScanFlaw::Undecodable);
+            break;
+        };
+        if entry.seq != seq {
+            flaw = Some(ScanFlaw::SequenceBreak);
+            break;
+        }
+        if resume_at == Some(pos) {
+            // `chain` already holds the checkpoint's attested value; the
+            // pinning check below verifies the frame really is that
+            // checkpoint.
+            live = true;
+        }
+        if live {
+            if let IndexFacts::Checkpoint(ck) = &entry.facts {
+                if ck.seq != seq || ck.chain != chain {
+                    flaw = Some(ScanFlaw::CheckpointMismatch);
+                    break;
+                }
+            }
+            chain = extend_chain(&chain, payload);
+        }
+        entries.push(ShallowScanned {
+            entry,
+            offset: pos,
+            frame_len: FRAME_OVERHEAD + len,
+        });
+        seq += 1;
+        pos += FRAME_OVERHEAD + len;
+    }
+    ShallowScanResult {
+        entries,
+        valid_len: pos,
+        chain,
+        chain_live: live,
         flaw,
     }
 }

@@ -7,12 +7,13 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use peace_ecdsa::{SigningKey, VerifyingKey};
-use peace_wire::{Decode, Encode};
+use peace_wire::{Decode, Encode, Reader, Writer};
 
 use crate::checkpoint::Checkpoint;
-use crate::record::{Entry, LedgerRecord, RecordKind};
+use crate::record::{Entry, IndexFacts, LedgerRecord, RecordKind, ShallowEntry};
 use crate::segment::{
-    extend_chain, frame, genesis_chain, scan, SegmentHeader, FRAME_OVERHEAD, SEGMENT_HEADER_LEN,
+    extend_chain, frame, genesis_chain, scan, scan_shallow, ChainMode, SegmentHeader,
+    ShallowScanResult, FRAME_OVERHEAD, SEGMENT_HEADER_LEN,
 };
 use crate::{LedgerError, Result};
 
@@ -63,6 +64,10 @@ pub struct RecoveryReport {
     pub torn_bytes: u64,
     /// Description of the tail flaw, if one was repaired.
     pub tail_flaw: Option<&'static str>,
+    /// When [`Ledger::open_resumed`] trusted an ECDSA-signed checkpoint,
+    /// the sequence number the chain replay resumed from; `None` on a
+    /// full from-the-head replay.
+    pub resumed_from: Option<u64>,
 }
 
 /// A point-in-time description of the chain head.
@@ -177,6 +182,159 @@ fn read_file(path: &Path) -> Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Per-segment recovery plan, decided before the (possibly parallel)
+/// scan fan-out.
+#[derive(Clone, Copy)]
+enum ScanPlan {
+    /// Replay and verify the SHA-256 chain from the segment header.
+    Verify,
+    /// Prefix segment attested by a later signed checkpoint: CRC + index
+    /// facts only, no chain replay.
+    Trusted,
+    /// The segment holding the signed checkpoint: skip hashing up to its
+    /// frame, then seed the chain from the attested value and replay on.
+    Resume { offset: usize, chain: [u8; 32] },
+}
+
+/// One scanned segment: parsed header, shallow scan outcome, file size.
+struct SegScan {
+    header: SegmentHeader,
+    res: ShallowScanResult,
+    file_len: u64,
+}
+
+fn scan_segment(seg: &SegmentMeta, plan: ScanPlan, max_record: u32) -> Result<SegScan> {
+    let bytes = read_file(&seg.path)?;
+    let header = SegmentHeader::parse(&bytes).ok_or(LedgerError::Corrupt {
+        segment: seg.base_seq,
+        offset: 0,
+        what: "segment header unreadable",
+    })?;
+    if header.base_seq != seg.base_seq {
+        return Err(LedgerError::Corrupt {
+            segment: seg.base_seq,
+            offset: 0,
+            what: "segment header/filename base mismatch",
+        });
+    }
+    let mode = match plan {
+        ScanPlan::Verify => ChainMode::Replay(header.prev_chain),
+        ScanPlan::Trusted => ChainMode::Skip,
+        ScanPlan::Resume { offset, chain } => ChainMode::Resume { offset, chain },
+    };
+    let res = scan_shallow(
+        &bytes,
+        SEGMENT_HEADER_LEN,
+        header.base_seq,
+        mode,
+        max_record,
+    );
+    Ok(SegScan {
+        header,
+        res,
+        file_len: bytes.len() as u64,
+    })
+}
+
+/// Scans every segment, fanning the independent per-segment work
+/// (read + CRC + shallow decode + chunked SHA-256 chain replay from each
+/// header's pinned seed) across threads when the machine and the log are
+/// both big enough. Cross-segment chain stitching happens afterwards in
+/// sequence order.
+fn scan_segments(
+    segments: &[SegmentMeta],
+    plans: &[ScanPlan],
+    max_record: u32,
+) -> Vec<Result<SegScan>> {
+    let n = segments.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 || n < 2 {
+        return segments
+            .iter()
+            .zip(plans)
+            .map(|(s, p)| scan_segment(s, *p, max_record))
+            .collect();
+    }
+    let mut out: Vec<Result<SegScan>> = (0..n)
+        .map(|_| {
+            Err(LedgerError::Corrupt {
+                segment: 0,
+                offset: 0,
+                what: "segment scan worker never ran",
+            })
+        })
+        .collect();
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|sc| {
+        for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            sc.spawn(move || {
+                for (off, slot) in out_chunk.iter_mut().enumerate() {
+                    let i = ci * chunk + off;
+                    *slot = scan_segment(&segments[i], plans[i], max_record);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Advisory sidecar naming the latest signed checkpoint's frame, written
+/// on every [`Ledger::checkpoint`] so [`Ledger::open_resumed`] can find
+/// its resume point without scanning. Self-checked (magic + CRC) and
+/// cross-checked against the log before use; stale or damaged hints just
+/// fall back to a full from-the-head replay.
+const RESUME_HINT_FILE: &str = "resume.pch";
+const HINT_MAGIC: [u8; 4] = *b"PRH1";
+
+struct ResumeHint {
+    base_seq: u64,
+    offset: u64,
+    ck: Checkpoint,
+}
+
+fn write_resume_hint(dir: &Path, base_seq: u64, offset: u64, ck: &Checkpoint) -> Result<()> {
+    let mut w = Writer::new();
+    w.put_fixed(&HINT_MAGIC);
+    w.put_u64(base_seq);
+    w.put_u64(offset);
+    ck.encode(&mut w);
+    let crc = crate::crc::crc32(w.as_bytes());
+    w.put_u32(crc);
+    std::fs::write(dir.join(RESUME_HINT_FILE), w.into_bytes())?;
+    Ok(())
+}
+
+/// Maps a checkpoint signer name to its trusted verifying key.
+type KeyResolver<'a> = &'a dyn Fn(&str) -> Option<VerifyingKey>;
+
+fn read_resume_hint(dir: &Path, resolve: KeyResolver<'_>) -> Option<ResumeHint> {
+    let bytes = std::fs::read(dir.join(RESUME_HINT_FILE)).ok()?;
+    if bytes.len() < 4 {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_be_bytes(crc_bytes.try_into().ok()?);
+    if crate::crc::crc32(body) != stored {
+        return None;
+    }
+    let mut r = Reader::new(body);
+    if r.get_fixed(4).ok()? != HINT_MAGIC {
+        return None;
+    }
+    let base_seq = r.get_u64().ok()?;
+    let offset = r.get_u64().ok()?;
+    let ck = Checkpoint::decode(&mut r).ok()?;
+    let key = resolve(&ck.signer)?;
+    ck.verify(&key).then_some(ResumeHint {
+        base_seq,
+        offset,
+        ck,
+    })
+}
+
 impl Ledger {
     /// Opens (or creates) the ledger in `dir`, running crash recovery:
     /// segments are validated in order, the chain is replayed across
@@ -185,8 +343,33 @@ impl Ledger {
     /// [`LedgerError::Corrupt`] / [`LedgerError::ChainBroken`] — a crash
     /// can only tear the end of the log, so interior damage is tampering.
     pub fn open(dir: impl AsRef<Path>, cfg: LedgerConfig) -> Result<(Self, RecoveryReport)> {
+        Self::open_inner(dir.as_ref(), cfg, None)
+    }
+
+    /// Like [`open`](Self::open), but O(tail) on the hash chain: when the
+    /// `resume.pch` sidecar names a checkpoint whose ECDSA signature
+    /// verifies under `resolve`, the SHA-256 chain replay starts at that
+    /// checkpoint's frame instead of the log head. Every frame is still
+    /// CRC-checked and shallow-decoded for the indexes; only the hashing
+    /// of the attested prefix is skipped — the signature vouches for it.
+    /// A missing, damaged, or stale hint falls back to the full replay
+    /// of [`open`](Self::open), so this is always safe to prefer when a
+    /// trusted verifying key is available.
+    pub fn open_resumed(
+        dir: impl AsRef<Path>,
+        cfg: LedgerConfig,
+        resolve: impl Fn(&str) -> Option<VerifyingKey>,
+    ) -> Result<(Self, RecoveryReport)> {
+        Self::open_inner(dir.as_ref(), cfg, Some(&resolve))
+    }
+
+    fn open_inner(
+        dir: &Path,
+        cfg: LedgerConfig,
+        resolve: Option<KeyResolver<'_>>,
+    ) -> Result<(Self, RecoveryReport)> {
         let recover_start = std::time::Instant::now();
-        let dir = dir.as_ref().to_path_buf();
+        let dir = dir.to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let mut segments = list_segments(&dir)?;
         let mut report = RecoveryReport::default();
@@ -223,7 +406,49 @@ impl Ledger {
             segments.push(SegmentMeta { base_seq: 0, path });
         }
 
+        // An ECDSA-verified resume hint (when the caller supplied a key
+        // resolver) lets the chain replay start at the attested
+        // checkpoint instead of the log head.
+        let hint = resolve
+            .and_then(|res| read_resume_hint(&dir, res))
+            .filter(|h| segments.iter().any(|s| s.base_seq == h.base_seq));
+        let plans: Vec<ScanPlan> = segments
+            .iter()
+            .map(|s| match &hint {
+                Some(h) if s.base_seq < h.base_seq => ScanPlan::Trusted,
+                Some(h) if s.base_seq == h.base_seq => ScanPlan::Resume {
+                    offset: h.offset as usize,
+                    chain: h.ck.chain,
+                },
+                _ => ScanPlan::Verify,
+            })
+            .collect();
+        let scans = scan_segments(&segments, &plans, cfg.max_record_bytes);
+
+        // The hint is advisory: if the scan did not find the exact
+        // checkpoint frame it names (stale sidecar, torn tail before
+        // it, compacted-away segment contents), redo a full replay.
+        if let Some(h) = &hint {
+            let found = segments
+                .iter()
+                .zip(&scans)
+                .filter(|(seg, _)| seg.base_seq == h.base_seq)
+                .any(|(_, scan)| match scan {
+                    Ok(s) => s.res.entries.iter().any(|se| {
+                        se.offset as u64 == h.offset
+                            && matches!(&se.entry.facts,
+                                        IndexFacts::Checkpoint(ck) if *ck == h.ck)
+                    }),
+                    Err(_) => false,
+                });
+            if !found {
+                return Self::open_inner(&dir, cfg, None);
+            }
+            report.resumed_from = Some(h.ck.seq);
+        }
+
         let mut chain = [0u8; 32];
+        let mut chain_live = false;
         let mut next_seq = 0u64;
         let mut first_seq = 0u64;
         let mut locs: Vec<EntryMeta> = Vec::new();
@@ -236,38 +461,22 @@ impl Ledger {
         let mut seg_bytes = 0u64;
 
         let count = segments.len();
-        for (i, seg) in segments.iter().enumerate() {
-            let bytes = read_file(&seg.path)?;
-            let header = SegmentHeader::parse(&bytes).ok_or(LedgerError::Corrupt {
-                segment: seg.base_seq,
-                offset: 0,
-                what: "segment header unreadable",
-            })?;
-            if header.base_seq != seg.base_seq {
-                return Err(LedgerError::Corrupt {
-                    segment: seg.base_seq,
-                    offset: 0,
-                    what: "segment header/filename base mismatch",
-                });
-            }
+        for (i, (seg, scan)) in segments.iter().zip(scans).enumerate() {
+            let SegScan {
+                header,
+                res,
+                file_len,
+            } = scan?;
             if i == 0 {
-                chain = header.prev_chain;
                 first_seq = header.base_seq;
-                if header.base_seq == 0 && chain != genesis_chain() {
+                if header.base_seq == 0 && header.prev_chain != genesis_chain() {
                     return Err(LedgerError::ChainBroken { segment: 0 });
                 }
-            } else if header.base_seq != next_seq || header.prev_chain != chain {
+            } else if header.base_seq != next_seq || (chain_live && header.prev_chain != chain) {
                 return Err(LedgerError::ChainBroken {
                     segment: seg.base_seq,
                 });
             }
-            let res = scan(
-                &bytes,
-                SEGMENT_HEADER_LEN,
-                header.base_seq,
-                header.prev_chain,
-                cfg.max_record_bytes,
-            );
             if let Some(flaw) = res.flaw {
                 if i + 1 != count {
                     return Err(LedgerError::Corrupt {
@@ -277,14 +486,14 @@ impl Ledger {
                     });
                 }
                 // Torn tail of the live segment: truncate it away.
-                report.torn_bytes += bytes.len() as u64 - res.valid_len as u64;
+                report.torn_bytes += file_len - res.valid_len as u64;
                 report.tail_flaw = Some(flaw.describe());
                 let f = OpenOptions::new().write(true).open(&seg.path)?;
                 f.set_len(res.valid_len as u64)?;
                 f.sync_data()?;
             }
             for se in &res.entries {
-                index_entry(
+                index_shallow(
                     &se.entry,
                     &mut by_router,
                     &mut by_group,
@@ -295,13 +504,14 @@ impl Ledger {
                 );
                 locs.push(EntryMeta {
                     at_ms: se.entry.at_ms,
-                    kind: se.entry.record.kind(),
+                    kind: se.entry.kind,
                     seg: i,
                     offset: se.offset as u64,
                     frame_len: se.frame_len,
                 });
             }
             chain = res.chain;
+            chain_live = res.chain_live;
             next_seq = header.base_seq + res.entries.len() as u64;
             if i + 1 == count {
                 seg_bytes = res.valid_len as u64;
@@ -396,8 +606,8 @@ impl Ledger {
             SyncPolicy::OnFlush => self.dirty = true,
         }
         let seq = entry.seq;
-        index_entry(
-            &entry,
+        index_shallow(
+            &entry.to_shallow(),
             &mut self.by_router,
             &mut self.by_group,
             &mut self.by_session,
@@ -470,6 +680,17 @@ impl Ledger {
         self.append(LedgerRecord::Checkpoint(ck.clone()), at_ms)?;
         self.dirty = true;
         self.flush()?;
+        // Name the checkpoint's frame in the advisory resume sidecar so
+        // the next open can replay the chain from here instead of the
+        // log head (see [`Ledger::open_resumed`]).
+        if let Some(meta) = self.locs.last() {
+            write_resume_hint(
+                &self.dir,
+                self.segments[meta.seg].base_seq,
+                meta.offset,
+                &ck,
+            )?;
+        }
         Ok(ck)
     }
 
@@ -647,8 +868,8 @@ impl Drop for Ledger {
     }
 }
 
-fn index_entry(
-    entry: &Entry,
+fn index_shallow(
+    entry: &ShallowEntry,
     by_router: &mut HashMap<String, Vec<u64>>,
     by_group: &mut HashMap<u32, Vec<u64>>,
     by_session: &mut HashMap<Vec<u8>, u64>,
@@ -656,23 +877,18 @@ fn index_entry(
     attributed: &mut HashSet<u64>,
     last_checkpoint: &mut Option<(u64, [u8; 32])>,
 ) {
-    match &entry.record {
-        LedgerRecord::Access(a) => {
-            by_router
-                .entry(a.router.clone())
-                .or_default()
-                .push(entry.seq);
-            by_session.insert(a.session.session_id.to_bytes(), entry.seq);
+    match &entry.facts {
+        IndexFacts::Access { router, session_id } => {
+            by_router.entry(router.clone()).or_default().push(entry.seq);
+            by_session.insert(session_id.clone(), entry.seq);
         }
-        LedgerRecord::EpochRollover { epoch } => epoch_marks.push((entry.seq, *epoch)),
-        LedgerRecord::Checkpoint(ck) => *last_checkpoint = Some((ck.seq, ck.chain)),
-        LedgerRecord::Attribution {
-            session_seq, group, ..
-        } => {
+        IndexFacts::EpochRollover { epoch } => epoch_marks.push((entry.seq, *epoch)),
+        IndexFacts::Checkpoint(ck) => *last_checkpoint = Some((ck.seq, ck.chain)),
+        IndexFacts::Attribution { session_seq, group } => {
             by_group.entry(*group).or_default().push(*session_seq);
             attributed.insert(*session_seq);
         }
-        LedgerRecord::UserRevocation { .. } | LedgerRecord::RouterRevocation { .. } => {}
+        IndexFacts::Revocation => {}
     }
 }
 

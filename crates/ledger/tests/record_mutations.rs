@@ -237,6 +237,20 @@ fn fixture_token() -> peace_groupsig::RevocationToken {
     })
 }
 
+/// The recovery scanner's shallow parse extracts exactly the facts the
+/// full decoder derives, for every record kind (a real group-signed
+/// access transcript included) — so index-only recovery can never build
+/// different indexes than a deep replay would.
+#[test]
+fn shallow_parse_matches_full_decode() {
+    let fx = fixture();
+    assert!(!fx.originals.is_empty());
+    for e in &fx.originals {
+        let shallow = peace_ledger::ShallowEntry::parse(&e.to_wire()).unwrap();
+        assert_eq!(shallow, e.to_shallow());
+    }
+}
+
 /// The untouched image opens cleanly and round-trips every record.
 #[test]
 fn pristine_image_roundtrips() {

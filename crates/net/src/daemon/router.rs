@@ -9,10 +9,10 @@
 //! connections churn.
 
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 
 use peace_protocol::entities::MeshRouter;
-use peace_protocol::{ProtocolError, Session};
+use peace_protocol::{AccessConfirm, AccessRequest, ProtocolError, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,6 +26,18 @@ use peace_telemetry::Snapshot;
 
 use super::{lock_recover, DaemonConfig};
 
+/// Most access requests drained from the verify queue into one batched
+/// verification pass. Bounds both latency (a huge backlog cannot starve the
+/// requests at its head forever) and the allocation for one batch.
+const VERIFY_BATCH_MAX: usize = 64;
+
+/// An access request in flight from a connection handler to the shared
+/// verifier thread, with the channel its M.3/rejection travels back on.
+struct VerifyJob {
+    req: Box<AccessRequest>,
+    reply: mpsc::Sender<std::result::Result<(AccessConfirm, Session), ProtocolError>>,
+}
+
 /// A running mesh-router daemon.
 pub struct RouterDaemon {
     router: Arc<Mutex<MeshRouter>>,
@@ -33,11 +45,20 @@ pub struct RouterDaemon {
     acceptor: Acceptor,
     metrics: Arc<NetMetrics>,
     cfg: DaemonConfig,
+    verify_tx: mpsc::Sender<VerifyJob>,
+    verifier: Option<std::thread::JoinHandle<()>>,
 }
 
 impl RouterDaemon {
     /// Takes ownership of the router entity and starts serving on `bind`.
     /// `rng_seed` feeds the daemon's beacon/nonce randomness.
+    ///
+    /// Access requests (M.2) from all connections funnel through one
+    /// verifier thread that drains whatever burst has queued and verifies
+    /// it as a single batch
+    /// ([`MeshRouter::process_access_requests`]) — under concurrent load
+    /// the whole burst shares two final exponentiations; an idle daemon
+    /// degenerates to batches of one with one queue hop of overhead.
     ///
     /// # Errors
     ///
@@ -47,12 +68,19 @@ impl RouterDaemon {
         let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(rng_seed)));
         let metrics = Arc::new(NetMetrics::default());
 
+        let (verify_tx, verify_rx) = mpsc::channel::<VerifyJob>();
+        let v_router = Arc::clone(&router);
+        let v_metrics = Arc::clone(&metrics);
+        let verifier =
+            std::thread::spawn(move || verify_batches(&verify_rx, &v_router, &v_metrics));
+
         let h_router = Arc::clone(&router);
         let h_rng = Arc::clone(&rng);
         let h_metrics = Arc::clone(&metrics);
+        let h_verify_tx = verify_tx.clone();
         let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
             Arc::new(move |stream, _conn_id| {
-                serve(stream, &h_router, &h_rng, &h_metrics, cfg);
+                serve(stream, &h_router, &h_rng, &h_metrics, &h_verify_tx, cfg);
             });
         let acceptor = Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
         Ok(Self {
@@ -61,6 +89,8 @@ impl RouterDaemon {
             acceptor,
             metrics,
             cfg,
+            verify_tx,
+            verifier: Some(verifier),
         })
     }
 
@@ -180,12 +210,50 @@ impl RouterDaemon {
         self.acceptor.shutdown(self.cfg.drain);
         drop(self.acceptor);
         drop(self.rng);
+        // All handler threads are gone, so every sender clone is dropped
+        // once ours is; the verifier drains, exits, and releases its router
+        // handle before the unwrap below.
+        drop(self.verify_tx);
+        if let Some(verifier) = self.verifier.take() {
+            let _ = verifier.join();
+        }
         Arc::try_unwrap(self.router)
             .map_err(|_| NetError::Unexpected("router still shared at shutdown"))
             .map(|m| match m.into_inner() {
                 Ok(r) => r,
                 Err(p) => p.into_inner(),
             })
+    }
+}
+
+/// The shared verifier loop: blocks for the first queued access request,
+/// drains whatever else has accumulated (up to [`VERIFY_BATCH_MAX`]), and
+/// verifies the burst as one batch under a single router-lock hold. Exits
+/// when every [`VerifyJob`] sender is gone.
+fn verify_batches(
+    rx: &mpsc::Receiver<VerifyJob>,
+    router: &Mutex<MeshRouter>,
+    metrics: &NetMetrics,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut reqs = vec![*first.req];
+        let mut replies = vec![first.reply];
+        while reqs.len() < VERIFY_BATCH_MAX {
+            match rx.try_recv() {
+                Ok(job) => {
+                    reqs.push(*job.req);
+                    replies.push(job.reply);
+                }
+                Err(_) => break,
+            }
+        }
+        let verify_start = std::time::Instant::now();
+        let outcomes = lock_recover(router).process_access_requests(&reqs, wall_ms());
+        metrics.access_verify_us.record_since(verify_start);
+        for (reply, outcome) in replies.iter().zip(outcomes) {
+            // A handler that hung up mid-verify just discards its result.
+            let _ = reply.send(outcome);
+        }
     }
 }
 
@@ -206,6 +274,7 @@ fn serve(
     router: &Mutex<MeshRouter>,
     rng: &Mutex<StdRng>,
     metrics: &Arc<NetMetrics>,
+    verify_tx: &mpsc::Sender<VerifyJob>,
     cfg: DaemonConfig,
 ) {
     let Ok(mut conn) = Connection::new(stream, cfg.conn, Arc::clone(metrics)) else {
@@ -244,9 +313,21 @@ fn serve(
                 }
             }
             NodeMessage::AccessRequest(req) => {
-                let verify_start = std::time::Instant::now();
-                let outcome = lock_recover(router).process_access_request(&req, wall_ms());
-                metrics.access_verify_us.record_since(verify_start);
+                // Hand the request to the shared verifier thread: bursts
+                // arriving across connections verify as one batch.
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if verify_tx
+                    .send(VerifyJob {
+                        req,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    return; // daemon shutting down
+                }
+                let Ok(outcome) = reply_rx.recv() else {
+                    return; // verifier gone: daemon shutting down
+                };
                 match outcome {
                     Ok((confirm, sess)) => {
                         metrics.handshakes_ok.inc();

@@ -58,6 +58,31 @@ pub fn pairing_product(pairs: &[(G1, G2)]) -> Gt {
     miller::tate_pairing_product(&raw)
 }
 
+/// Pairing ratio `ê(P₁, Q₁) · ê(P₂, Q₂)⁻¹` with a single shared final
+/// exponentiation.
+///
+/// The second Miller value is conjugated *before* reduction
+/// ([`MillerValue::conjugate`]), so the quotient reduces as one product —
+/// one field inversion and one hard-part pass instead of two of each plus a
+/// `𝔾_T` inversion. Counts as two logical bilinear-map evaluations (the
+/// paper's unit).
+pub fn pairing_ratio(p1: &G1, q1: &G2, p2: &G1, q2: &G2) -> Gt {
+    ops::record_pairing();
+    ops::record_pairing();
+    miller(p1, q1).mul(&miller(p2, q2).conjugate()).finalize()
+}
+
+/// Evaluates two pairings whose reductions share one batched final
+/// exponentiation (one field inversion via Montgomery's trick, one
+/// hard-part pass in lock-step). Counts as two logical bilinear-map
+/// evaluations.
+pub fn pairing_pair(p1: &G1, q1: &G2, p2: &G1, q2: &G2) -> (Gt, Gt) {
+    ops::record_pairing();
+    ops::record_pairing();
+    let reduced = MillerValue::finalize_batch(&[miller(p1, q1), miller(p2, q2)]);
+    (reduced[0], reduced[1])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +299,51 @@ mod tests {
         assert!(batch[1].is_one());
         assert_eq!(batch[0], values[0].finalize());
         assert!(MillerValue::finalize_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn conjugate_finalizes_to_inverse() {
+        let mut r = rng();
+        let p = G1::random(&mut r);
+        let q = G2::random(&mut r);
+        let m = miller(&p, &q);
+        assert_eq!(m.conjugate().finalize(), pairing(&p, &q).invert());
+        assert!(m.mul(&m.conjugate()).finalize().is_one());
+        assert!(MillerValue::ONE.conjugate().finalize().is_one());
+    }
+
+    #[test]
+    fn pairing_ratio_matches_quotient() {
+        let mut r = rng();
+        let (p1, q1) = (G1::random(&mut r), G2::random(&mut r));
+        let (p2, q2) = (G1::random(&mut r), G2::random(&mut r));
+        let expect = pairing(&p1, &q1).div(&pairing(&p2, &q2));
+        let scope = OpSnapshot::scope();
+        let got = pairing_ratio(&p1, &q1, &p2, &q2);
+        let cost = scope.counts();
+        assert_eq!(got, expect);
+        assert_eq!(cost.pairings, 2, "two logical bilinear maps");
+        assert_eq!(cost.miller_loops, 2);
+        assert_eq!(cost.final_exps, 1, "shared reduction");
+        // Identity slots collapse to the plain inverse / plain value.
+        assert_eq!(
+            pairing_ratio(&G1::IDENTITY, &q1, &p2, &q2),
+            pairing(&p2, &q2).invert()
+        );
+        assert_eq!(
+            pairing_ratio(&p1, &q1, &p2, &G2::IDENTITY),
+            pairing(&p1, &q1)
+        );
+    }
+
+    #[test]
+    fn pairing_pair_matches_individual() {
+        let mut r = rng();
+        let (p1, q1) = (G1::random(&mut r), G2::random(&mut r));
+        let (p2, q2) = (G1::random(&mut r), G2::random(&mut r));
+        let (a, b) = pairing_pair(&p1, &q1, &p2, &q2);
+        assert_eq!(a, pairing(&p1, &q1));
+        assert_eq!(b, pairing(&p2, &q2));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use peace_curve::G1;
 use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
 use peace_field::Fq;
-use peace_groupsig::{GroupPublicKey, PreparedGpk};
+use peace_groupsig::{GroupPublicKey, GroupSignature, PreparedGpk};
 use peace_puzzle::Puzzle;
 use peace_symmetric::seal_oneshot;
 use peace_wire::Writer;
@@ -246,6 +246,96 @@ impl MeshRouter {
         req: &AccessRequest,
         now: u64,
     ) -> Result<(AccessConfirm, Session)> {
+        let state = self.precheck_access_request(req, now)?;
+        // 3.2 + 3.3: group-signature verification and URL revocation sweep,
+        // sharing one H₀ base derivation.
+        let payload = AccessRequest::signed_payload(&req.g_rj, &req.g_rr, req.ts2);
+        match self.prepared_gpk.verify_and_check(
+            &payload,
+            &req.gsig,
+            &self.url.tokens,
+            self.config.bases_mode,
+        ) {
+            Err(_) => {
+                // Failed expensive verification: evidence for the §V.A flood
+                // detector.
+                self.record_failure(now);
+                Err(ProtocolError::BadGroupSignature)
+            }
+            Ok(Some(_)) => Err(ProtocolError::SignerRevoked),
+            Ok(None) => self.admit_access_request(req, &state, payload, now),
+        }
+    }
+
+    /// Processes a burst of access requests (M.2) as **one batch**: the
+    /// cheap §IV.B gates (beacon correlation, freshness, idempotency,
+    /// puzzle) run per request, and all surviving requests share one
+    /// batched group-signature verification plus one batched revocation
+    /// sweep ([`PreparedGpk::verify_and_check_batch`]) — two final
+    /// exponentiations for the whole burst instead of two-plus per request.
+    ///
+    /// `out[i]` corresponds to `reqs[i]` and matches what
+    /// [`Self::process_access_request`] would have returned had the
+    /// requests arrived one at a time in the same order.
+    pub fn process_access_requests(
+        &mut self,
+        reqs: &[AccessRequest],
+        now: u64,
+    ) -> Vec<Result<(AccessConfirm, Session)>> {
+        // Phase 1: cheap gates, no pairing work.
+        let mut out: Vec<Result<(AccessConfirm, Session)>> = Vec::with_capacity(reqs.len());
+        let mut gated: Vec<Option<(BeaconState, Vec<u8>)>> = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            match self.precheck_access_request(req, now) {
+                Ok(state) => {
+                    let payload = AccessRequest::signed_payload(&req.g_rj, &req.g_rr, req.ts2);
+                    gated.push(Some((state, payload)));
+                    // Placeholder; overwritten in phase 3.
+                    out.push(Err(ProtocolError::BadGroupSignature));
+                }
+                Err(e) => {
+                    gated.push(None);
+                    out.push(Err(e));
+                }
+            }
+        }
+        // Phase 2: one batched verify + revocation sweep over the survivors.
+        let mut survivors: Vec<usize> = Vec::with_capacity(reqs.len());
+        let mut items: Vec<(&[u8], &GroupSignature)> = Vec::with_capacity(reqs.len());
+        for (i, slot) in gated.iter().enumerate() {
+            if let Some((_, payload)) = slot {
+                survivors.push(i);
+                items.push((payload.as_slice(), &reqs[i].gsig));
+            }
+        }
+        let verdicts = self.prepared_gpk.verify_and_check_batch(
+            &items,
+            &self.url.tokens,
+            self.config.bases_mode,
+        );
+        drop(items);
+        // Phase 3: mint confirmations in input order (idempotency re-checks
+        // catch duplicates *within* the burst, same as sequential arrival).
+        for (&i, verdict) in survivors.iter().zip(verdicts) {
+            // Survivor slots are `Some` by construction of `survivors`.
+            if let Some((state, payload)) = gated[i].take() {
+                out[i] = match verdict {
+                    Err(_) => {
+                        self.record_failure(now);
+                        Err(ProtocolError::BadGroupSignature)
+                    }
+                    Ok(Some(_)) => Err(ProtocolError::SignerRevoked),
+                    Ok(None) => self.admit_access_request(&reqs[i], &state, payload, now),
+                };
+            }
+        }
+        out
+    }
+
+    /// The cheap §IV.B 3.1 gates, run before any pairing work: beacon
+    /// correlation, timestamp freshness, replay idempotency, and (in
+    /// DoS-defense mode) the client puzzle.
+    fn precheck_access_request(&mut self, req: &AccessRequest, now: u64) -> Result<BeaconState> {
         // 3.1 freshness and beacon correlation
         let state = self
             .active_beacons
@@ -259,8 +349,7 @@ impl MeshRouter {
         }
         // Idempotency: a duplicated/replayed M.2 (same DH shares) must not
         // mint a second session — rejected before any expensive crypto.
-        let session_id = SessionId::from_points(&req.g_rr, &req.g_rj);
-        let session_key = session_id.to_bytes();
+        let session_key = SessionId::from_points(&req.g_rr, &req.g_rj).to_bytes();
         self.recent_sessions.expire(now);
         if self.recent_sessions.contains(&session_key) {
             return Err(ProtocolError::DuplicateMessage);
@@ -275,23 +364,24 @@ impl MeshRouter {
                 return Err(ProtocolError::PuzzleInvalid);
             }
         }
-        // 3.2 + 3.3: group-signature verification and URL revocation sweep,
-        // sharing one H₀ base derivation.
-        let payload = AccessRequest::signed_payload(&req.g_rj, &req.g_rr, req.ts2);
-        match self.prepared_gpk.verify_and_check(
-            &payload,
-            &req.gsig,
-            &self.url.tokens,
-            self.config.bases_mode,
-        ) {
-            Err(_) => {
-                // Failed expensive verification: evidence for the §V.A flood
-                // detector.
-                self.record_failure(now);
-                return Err(ProtocolError::BadGroupSignature);
-            }
-            Ok(Some(_)) => return Err(ProtocolError::SignerRevoked),
-            Ok(None) => {}
+        Ok(state)
+    }
+
+    /// §IV.B 3.4 for an authenticated request: derives the session key,
+    /// mints M.3, and logs the transcript for NO's audit. Re-checks the
+    /// idempotency table so duplicates inside one batch cannot mint two
+    /// sessions.
+    fn admit_access_request(
+        &mut self,
+        req: &AccessRequest,
+        state: &BeaconState,
+        payload: Vec<u8>,
+        now: u64,
+    ) -> Result<(AccessConfirm, Session)> {
+        let session_id = SessionId::from_points(&req.g_rr, &req.g_rj);
+        let session_key = session_id.to_bytes();
+        if self.recent_sessions.contains(&session_key) {
+            return Err(ProtocolError::DuplicateMessage);
         }
         // 3.4 session key and confirmation
         let dh_secret = req.g_rj.mul(&state.r_r);
@@ -308,7 +398,7 @@ impl MeshRouter {
         );
         // Log M.2 for audit (§IV.D step 1).
         self.log_outbox.push(LoggedSession {
-            session_id: session_id.clone(),
+            session_id,
             signed_payload: payload,
             gsig: req.gsig,
             established_at: now,

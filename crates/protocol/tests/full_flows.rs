@@ -639,3 +639,77 @@ fn automatic_dos_detection_toggles_puzzles() {
     let auto_again = router.beacon(later + window + 5_000, &mut w.rng);
     assert!(auto_again.puzzle.is_none());
 }
+
+#[test]
+fn batched_access_requests_match_sequential_semantics() {
+    let mut w = World::new(41);
+    let gid = w.add_group("Batch Co", 6);
+    let mut users: Vec<_> = (0..4)
+        .map(|i| w.enroll_user(&format!("user{i}"), gid))
+        .collect();
+    let mut mallory = w.enroll_user("mallory", gid);
+    let mut router = w.router("MR-1");
+
+    // Mallory misbehaves once; NO revokes her so her token lands in the URL.
+    let beacon0 = router.beacon(1_000, &mut w.rng);
+    let (req0, _) = mallory.process_beacon(&beacon0, 1_010, &mut w.rng).unwrap();
+    let _ = router.process_access_request(&req0, 1_020).unwrap();
+    w.no.ingest_router_log(&mut router);
+    let sid = peace_protocol::SessionId::from_points(&req0.g_rr, &req0.g_rj);
+    let finding = w.no.audit(&sid).unwrap();
+    assert!(w.no.revoke_member(&finding.token));
+    router.update_lists(w.no.publish_crl(2_000), w.no.publish_url(2_000));
+
+    // One beacon serves the whole burst.
+    let beacon = router.beacon(2_000, &mut w.rng);
+    let mut reqs = Vec::new();
+    let mut pendings = Vec::new();
+    for (i, u) in users.iter_mut().enumerate() {
+        let (req, pending) = u
+            .process_beacon(&beacon, 2_010 + i as u64, &mut w.rng)
+            .unwrap();
+        reqs.push(req);
+        pendings.push(pending);
+    }
+    // A tampered request: payload changed after signing → challenge mismatch.
+    let mut forged = reqs[1].clone();
+    forged.ts2 += 1;
+    reqs.push(forged);
+    // The revoked signer's request: valid Σ-proof, but token is on the URL.
+    let (req_rev, _) = mallory.process_beacon(&beacon, 2_020, &mut w.rng).unwrap();
+    reqs.push(req_rev);
+    // An exact duplicate inside the same burst.
+    reqs.push(reqs[0].clone());
+
+    let outcomes = router.process_access_requests(&reqs, 2_030);
+    assert_eq!(outcomes.len(), 7);
+
+    // The four honest users all get sessions they can finalize.
+    for i in 0..4 {
+        let (confirm, _) = outcomes[i].as_ref().expect("honest request admitted");
+        assert!(users[i]
+            .finalize_router_session(&pendings[i], confirm)
+            .is_ok());
+    }
+    assert_eq!(
+        *outcomes[4].as_ref().unwrap_err(),
+        ProtocolError::BadGroupSignature
+    );
+    assert_eq!(
+        *outcomes[5].as_ref().unwrap_err(),
+        ProtocolError::SignerRevoked
+    );
+    assert_eq!(
+        *outcomes[6].as_ref().unwrap_err(),
+        ProtocolError::DuplicateMessage
+    );
+
+    // Exactly the four admissions were logged.
+    assert_eq!(router.drain_log().len(), 4);
+
+    // Replaying an admitted request later is still rejected.
+    assert_eq!(
+        router.process_access_request(&reqs[0], 2_040).unwrap_err(),
+        ProtocolError::DuplicateMessage
+    );
+}

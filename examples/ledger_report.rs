@@ -29,6 +29,8 @@ use peace::protocol::audit::LoggedSession;
 use peace::telemetry::bench::BenchReport;
 
 const APPEND_RECORDS: u32 = 2_000;
+const CHECKPOINT_EVERY: u32 = 500;
+const RECOVERY_CURVE: [u32; 3] = [500, 2_000, 8_000];
 const AUDIT_RECORDS: usize = 24;
 const GRT_ROWS: usize = 16;
 
@@ -36,6 +38,44 @@ fn bench_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("peace-ledger-bench-{name}"));
     let _ = std::fs::remove_dir_all(&dir);
     dir
+}
+
+/// Appends `n` access records with a signed checkpoint every
+/// [`CHECKPOINT_EVERY`] (the deployed NO cadence); returns the total
+/// record count (appends + checkpoint records).
+fn build_log(
+    dir: &std::path::Path,
+    sessions: &[(String, LoggedSession)],
+    n: u32,
+    no: &peace::protocol::entities::NetworkOperator,
+) -> u64 {
+    let (mut ledger, _) = Ledger::open(
+        dir,
+        LedgerConfig {
+            sync: SyncPolicy::OnFlush,
+            ..LedgerConfig::default()
+        },
+    )
+    .expect("open build ledger");
+    for i in 0..n {
+        let (router, session) = &sessions[i as usize % sessions.len()];
+        ledger
+            .append(
+                LedgerRecord::Access(AccessRecord {
+                    router: router.clone(),
+                    session: session.clone(),
+                }),
+                u64::from(i),
+            )
+            .expect("append");
+        if (i + 1) % CHECKPOINT_EVERY == 0 {
+            ledger
+                .checkpoint(no.signing_key(), "NO", u64::from(i))
+                .expect("checkpoint");
+        }
+    }
+    ledger.flush().expect("flush");
+    ledger.len()
 }
 
 fn main() {
@@ -72,52 +112,67 @@ fn main() {
 
     // ------------------------------------------------------------------
     // Append throughput: group-signed access records through the framed,
-    // CRC-guarded, hash-chained segment writer (fsync deferred to flush).
+    // CRC-guarded, hash-chained segment writer (fsync deferred to
+    // flush), with a signed checkpoint every CHECKPOINT_EVERY records —
+    // the deployed NO cadence that also feeds the resume sidecar.
     // ------------------------------------------------------------------
     let dir = bench_dir("append");
-    let (mut ledger, _) = Ledger::open(
-        &dir,
-        LedgerConfig {
-            sync: SyncPolicy::OnFlush,
-            ..LedgerConfig::default()
-        },
-    )
-    .expect("open append ledger");
     let t0 = Instant::now();
-    for i in 0..APPEND_RECORDS {
-        let (router, session) = &sessions[i as usize % sessions.len()];
-        ledger
-            .append(
-                LedgerRecord::Access(AccessRecord {
-                    router: router.clone(),
-                    session: session.clone(),
-                }),
-                u64::from(i),
-            )
-            .expect("append");
-    }
-    ledger.flush().expect("flush");
+    let total_records = build_log(&dir, &sessions, APPEND_RECORDS, &w.no);
     let append_secs = t0.elapsed().as_secs_f64();
-    let head = ledger.head();
     let log_bytes: u64 = std::fs::read_dir(&dir)
         .expect("list segments")
         .filter_map(|e| e.ok())
         .filter_map(|e| e.metadata().ok())
         .map(|m| m.len())
         .sum();
-    drop(ledger);
 
     // ------------------------------------------------------------------
     // Recovery: a cold open replays every frame — CRC per record, hash
-    // chain across records, torn-tail scan on the active segment.
+    // chain across records, torn-tail scan on the active segment. The
+    // scan is index-only (no group-element decoding), so the cost is
+    // framing + SHA-256, not curve arithmetic.
     // ------------------------------------------------------------------
     let t1 = Instant::now();
     let (ledger, report) = Ledger::open(&dir, LedgerConfig::default()).expect("recovery open");
     let recovery_secs = t1.elapsed().as_secs_f64();
-    assert_eq!(ledger.len(), u64::from(APPEND_RECORDS));
+    assert_eq!(ledger.len(), total_records);
     assert!(report.tail_flaw.is_none());
-    let segments = head.segments;
+    let segments = ledger.head().segments;
     drop(ledger);
+
+    // ------------------------------------------------------------------
+    // Resumed recovery: the ECDSA-signed checkpoint sidecar lets the
+    // open skip hashing the attested prefix and replay only the tail
+    // after the last checkpoint — O(tail) instead of O(log).
+    // ------------------------------------------------------------------
+    let npk = *w.no.npk();
+    let t = Instant::now();
+    let (ledger, resumed_report) = Ledger::open_resumed(&dir, LedgerConfig::default(), move |s| {
+        (s == "NO").then_some(npk)
+    })
+    .expect("resumed open");
+    let resumed_secs = t.elapsed().as_secs_f64();
+    assert!(
+        resumed_report.resumed_from.is_some(),
+        "resume hint must be honored"
+    );
+    assert_eq!(ledger.len(), total_records);
+    drop(ledger);
+
+    // Recovery-size curve: cold full opens across growing logs show the
+    // per-record scan cost staying flat as the log grows.
+    let mut curve: Vec<(u32, f64)> = Vec::new();
+    for n in RECOVERY_CURVE {
+        let cdir = bench_dir(&format!("recover-{n}"));
+        let total = build_log(&cdir, &sessions, n, &w.no);
+        let t = Instant::now();
+        let (ledger, rep) = Ledger::open(&cdir, LedgerConfig::default()).expect("curve open");
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(ledger.len(), total);
+        assert!(rep.tail_flaw.is_none());
+        curve.push((n, total as f64 / secs));
+    }
 
     // ------------------------------------------------------------------
     // Batch Open/Audit vs one-by-one over a fresh ledger of distinct
@@ -177,6 +232,10 @@ fn main() {
     let mut report = BenchReport::new("ledger_report");
     report
         .uint("append_records", u64::from(APPEND_RECORDS))
+        .uint(
+            "checkpoint_records",
+            u64::from(APPEND_RECORDS / CHECKPOINT_EVERY),
+        )
         .float(
             "appends_per_sec",
             f64::from(APPEND_RECORDS) / append_secs,
@@ -189,13 +248,19 @@ fn main() {
         )
         .uint("log_bytes", log_bytes)
         .uint("segments", segments as u64)
-        .uint("recovery_records", u64::from(APPEND_RECORDS))
+        .uint("recovery_records", total_records)
         .float("recovery_ms", recovery_secs * 1_000.0, 2)
         .float(
             "recovery_records_per_sec",
-            f64::from(APPEND_RECORDS) / recovery_secs,
+            total_records as f64 / recovery_secs,
             0,
         )
+        .float("recovery_resumed_ms", resumed_secs * 1_000.0, 2)
+        .float("recovery_resumed_speedup", recovery_secs / resumed_secs, 2);
+    for (n, rps) in &curve {
+        report.float(&format!("recovery_n{n}_records_per_sec"), *rps, 0);
+    }
+    report
         .uint("audit_records", AUDIT_RECORDS as u64)
         .uint("grt_rows", spec.users as u64)
         .float("audit_single_records_per_sec", single_rps, 2)

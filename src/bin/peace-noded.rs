@@ -159,13 +159,20 @@ fn parse_addr(label: &str, s: Option<&str>) -> Result<SocketAddr, String> {
 }
 
 /// Opens (recovering) a ledger at `dir`, reporting what recovery found.
-fn open_ledger(dir: &str) -> Result<Ledger, String> {
-    let (ledger, report) = Ledger::open(dir, LedgerConfig::default())
-        .map_err(|e| format!("ledger open failed: {e}"))?;
+/// NO's own key resolves its signed checkpoints, so the chain replay
+/// resumes from the latest one instead of the log head (O(tail) opens).
+fn open_ledger(dir: &str, npk: peace::ecdsa::VerifyingKey) -> Result<Ledger, String> {
+    let (ledger, report) = Ledger::open_resumed(dir, LedgerConfig::default(), move |s| {
+        (s == "NO").then_some(npk)
+    })
+    .map_err(|e| format!("ledger open failed: {e}"))?;
     println!(
         "ledger: {} records in {} segment(s) at {dir}",
         report.records, report.segments
     );
+    if let Some(seq) = report.resumed_from {
+        println!("ledger: chain replay resumed from signed checkpoint at seq {seq}");
+    }
     if let Some(flaw) = report.tail_flaw {
         println!(
             "ledger: recovered from torn tail ({} byte(s) discarded: {flaw})",
@@ -188,9 +195,10 @@ fn run_no(
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let w = build_world(spec).map_err(|e| e.to_string())?;
+    let npk = *w.no.npk();
     let no = NoDaemon::spawn(w.no, bind, daemon_cfg()).map_err(|e| e.to_string())?;
     if let Some(dir) = ledger_dir {
-        no.attach_ledger(open_ledger(dir)?);
+        no.attach_ledger(open_ledger(dir, npk)?);
     }
     println!("peace-noded: NO bulletin daemon on {}", no.addr());
     println!(
@@ -300,10 +308,11 @@ fn run_demo(
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let w = build_world(spec).map_err(|e| e.to_string())?;
+    let npk = *w.no.npk();
     let cfg = daemon_cfg();
     let no = NoDaemon::spawn(w.no, "127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
     if let Some(dir) = ledger_dir {
-        no.attach_ledger(open_ledger(dir)?);
+        no.attach_ledger(open_ledger(dir, npk)?);
     }
     println!("NO bulletin daemon on {}", no.addr());
 

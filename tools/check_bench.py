@@ -24,6 +24,31 @@ import sys
 BENCH_SCHEMA = "peace-bench-v1"
 TELEMETRY_SCHEMA = "peace-telemetry-v1"
 
+# Regression floors, keyed by bench name then result field: the artifact
+# fails validation if a floored field is missing or below its minimum.
+#
+# Floors sit at roughly half the throughput the current implementation
+# measures on the slowest box in use — absolute numbers swing ~1.8x across
+# machines and ±30% under thermal throttling, so these are deliberately
+# loose. They exist to catch *structural* regressions (losing the O(tail)
+# ledger recovery path, a Montgomery-kernel pessimization, re-introducing
+# the per-call constant pairing), not 10% drift.
+FLOORS = {
+    "perf_report": {
+        "sign_plain_ops_per_sec": 130.0,
+        "sign_prepared_ops_per_sec": 130.0,
+        "verify_plain_ops_per_sec": 130.0,
+        "verify_prepared_ops_per_sec": 140.0,
+        "verify_batch_k1_ops_per_sec": 140.0,
+        "verify_batch_k4_ops_per_sec": 140.0,
+        "verify_batch_k16_ops_per_sec": 140.0,
+        "verify_batch_k64_ops_per_sec": 140.0,
+    },
+    "ledger_report": {
+        "recovery_records_per_sec": 20_000.0,
+    },
+}
+
 
 class Checker:
     def __init__(self, path):
@@ -146,6 +171,16 @@ class Checker:
                     isinstance(v, (int, float, str)),
                     k,
                     f"unsupported field type {type(v).__name__}",
+                )
+        for field, floor in FLOORS.get(doc.get("bench"), {}).items():
+            v = doc.get(field)
+            if self.expect(
+                isinstance(v, (int, float)), field, "floored result field missing"
+            ):
+                self.expect(
+                    v >= floor,
+                    field,
+                    f"{v} below regression floor {floor}",
                 )
 
     def check(self):

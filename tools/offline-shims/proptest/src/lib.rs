@@ -109,24 +109,29 @@ impl<T: Arbitrary> Strategy for Any<T> {
 pub mod array {
     use super::{Strategy, TestRng};
 
-    /// Strategy for `[S::Value; 4]`.
-    pub struct Uniform4<S>(S);
+    macro_rules! uniform_array {
+        ($($name:ident, $ctor:ident, $n:literal, $doc:literal;)*) => {$(
+            #[doc = concat!("Strategy for `[S::Value; ", $n, "]`.")]
+            pub struct $name<S>(S);
 
-    /// Four independent draws from `strategy`.
-    pub fn uniform4<S: Strategy>(strategy: S) -> Uniform4<S> {
-        Uniform4(strategy)
+            #[doc = $doc]
+            pub fn $ctor<S: Strategy>(strategy: S) -> $name<S> {
+                $name(strategy)
+            }
+
+            impl<S: Strategy> Strategy for $name<S> {
+                type Value = [S::Value; $n];
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    core::array::from_fn(|_| self.0.sample(rng))
+                }
+            }
+        )*};
     }
 
-    impl<S: Strategy> Strategy for Uniform4<S> {
-        type Value = [S::Value; 4];
-        fn sample(&self, rng: &mut TestRng) -> Self::Value {
-            [
-                self.0.sample(rng),
-                self.0.sample(rng),
-                self.0.sample(rng),
-                self.0.sample(rng),
-            ]
-        }
+    uniform_array! {
+        Uniform3, uniform3, 3, "Three independent draws from `strategy`.";
+        Uniform4, uniform4, 4, "Four independent draws from `strategy`.";
+        Uniform8, uniform8, 8, "Eight independent draws from `strategy`.";
     }
 }
 
