@@ -37,6 +37,7 @@ use core::fmt;
 pub mod checkpoint;
 pub mod crc;
 pub mod record;
+pub mod replica;
 pub mod segment;
 pub mod store;
 pub mod sweep;
@@ -44,6 +45,10 @@ pub mod timing;
 
 pub use checkpoint::Checkpoint;
 pub use record::{AccessRecord, Entry, IndexFacts, LedgerRecord, RecordKind, ShallowEntry};
+pub use replica::{
+    valid_writer_id, verify_replica, MergedEntry, RangeData, ReplicaRecovery, ReplicaVerifyReport,
+    ReplicatedLedger, WriterDigest, MAX_RANGE_BYTES,
+};
 pub use segment::{SegmentHeader, FRAME_OVERHEAD, SEGMENT_HEADER_LEN};
 pub use store::{
     verify_chain, ChainReport, CompactReport, Ledger, LedgerConfig, LedgerHead, LedgerQuery,
@@ -92,6 +97,27 @@ pub enum LedgerError {
     CannotCompact(&'static str),
     /// A query or sweep referenced a sequence number outside the ledger.
     NoSuchRecord(u64),
+    /// A replication range was refused without implicating the writer:
+    /// unknown writer, sequence gap, bad signature, non-canonical
+    /// encoding, oversized range, or a missing trusted key. Retrying
+    /// after state changes (a key arrives, the gap fills) can succeed.
+    Replication {
+        /// The shard writer the refused range belonged to.
+        writer: String,
+        /// Why it was refused.
+        what: &'static str,
+    },
+    /// A replication range carried equivocation evidence — a replayed
+    /// chain conflicting with a validly signed checkpoint, or overlap
+    /// bytes diverging from the mirrored history. The writer's shard is
+    /// quarantined and excluded from the merged view until an operator
+    /// clears it.
+    Quarantined {
+        /// The quarantined shard writer.
+        writer: String,
+        /// The conflict found.
+        what: &'static str,
+    },
 }
 
 impl LedgerError {
@@ -107,6 +133,8 @@ impl LedgerError {
             LedgerError::RecordTooLarge { .. } => "record_too_large",
             LedgerError::CannotCompact(_) => "cannot_compact",
             LedgerError::NoSuchRecord(_) => "no_such_record",
+            LedgerError::Replication { .. } => "replication",
+            LedgerError::Quarantined { .. } => "quarantined",
         }
     }
 }
@@ -145,6 +173,12 @@ impl fmt::Display for LedgerError {
             }
             LedgerError::CannotCompact(why) => write!(f, "cannot compact: {why}"),
             LedgerError::NoSuchRecord(seq) => write!(f, "no ledger record with seq {seq}"),
+            LedgerError::Replication { writer, what } => {
+                write!(f, "replication refused for writer {writer:?}: {what}")
+            }
+            LedgerError::Quarantined { writer, what } => {
+                write!(f, "writer {writer:?} quarantined: {what}")
+            }
         }
     }
 }

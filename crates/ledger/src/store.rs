@@ -68,6 +68,11 @@ pub struct RecoveryReport {
     /// the sequence number the chain replay resumed from; `None` on a
     /// full from-the-head replay.
     pub resumed_from: Option<u64>,
+    /// When [`Ledger::open_resumed`] found a `resume.pch` sidecar but had
+    /// to reject it and fall back to a full replay, the rejection reason
+    /// (`hint_crc_mismatch`, `hint_bad_signature`, `hint_frame_not_found`,
+    /// …). `None` when the hint was used or simply absent.
+    pub resume_fallback: Option<&'static str>,
 }
 
 /// A point-in-time description of the chain head.
@@ -310,29 +315,51 @@ fn write_resume_hint(dir: &Path, base_seq: u64, offset: u64, ck: &Checkpoint) ->
 /// Maps a checkpoint signer name to its trusted verifying key.
 type KeyResolver<'a> = &'a dyn Fn(&str) -> Option<VerifyingKey>;
 
-fn read_resume_hint(dir: &Path, resolve: KeyResolver<'_>) -> Option<ResumeHint> {
-    let bytes = std::fs::read(dir.join(RESUME_HINT_FILE)).ok()?;
+/// Reason the sidecar hint was absent — distinguished from damage so the
+/// caller can skip fallback accounting on a first-ever open.
+const HINT_ABSENT: &str = "hint_absent";
+
+fn read_resume_hint(
+    dir: &Path,
+    resolve: KeyResolver<'_>,
+) -> core::result::Result<ResumeHint, &'static str> {
+    let bytes = match std::fs::read(dir.join(RESUME_HINT_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(HINT_ABSENT),
+        Err(_) => return Err("hint_unreadable"),
+    };
     if bytes.len() < 4 {
-        return None;
+        return Err("hint_truncated");
     }
     let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
-    let stored = u32::from_be_bytes(crc_bytes.try_into().ok()?);
+    let stored = u32::from_be_bytes(crc_bytes.try_into().map_err(|_| "hint_truncated")?);
     if crate::crc::crc32(body) != stored {
-        return None;
+        return Err("hint_crc_mismatch");
     }
     let mut r = Reader::new(body);
-    if r.get_fixed(4).ok()? != HINT_MAGIC {
-        return None;
+    if r.get_fixed(4).map_err(|_| "hint_truncated")? != HINT_MAGIC {
+        return Err("hint_bad_magic");
     }
-    let base_seq = r.get_u64().ok()?;
-    let offset = r.get_u64().ok()?;
-    let ck = Checkpoint::decode(&mut r).ok()?;
-    let key = resolve(&ck.signer)?;
-    ck.verify(&key).then_some(ResumeHint {
+    let base_seq = r.get_u64().map_err(|_| "hint_undecodable")?;
+    let offset = r.get_u64().map_err(|_| "hint_undecodable")?;
+    let ck = Checkpoint::decode(&mut r).map_err(|_| "hint_undecodable")?;
+    let key = resolve(&ck.signer).ok_or("hint_unknown_signer")?;
+    if !ck.verify(&key) {
+        return Err("hint_bad_signature");
+    }
+    Ok(ResumeHint {
         base_seq,
         offset,
         ck,
     })
+}
+
+/// Records a resumed-open fallback in the process-wide registry: counter
+/// bump plus an event naming the rejection reason, so a fleet operator
+/// can see hint damage instead of just a silently slower open.
+fn note_resume_fallback(reason: &'static str) {
+    crate::timing::resume_fallback().inc();
+    crate::timing::replication_event("ledger.resume_fallback", reason);
 }
 
 impl Ledger {
@@ -408,10 +435,26 @@ impl Ledger {
 
         // An ECDSA-verified resume hint (when the caller supplied a key
         // resolver) lets the chain replay start at the attested
-        // checkpoint instead of the log head.
-        let hint = resolve
-            .and_then(|res| read_resume_hint(&dir, res))
-            .filter(|h| segments.iter().any(|s| s.base_seq == h.base_seq));
+        // checkpoint instead of the log head. A damaged, stale, or
+        // unverifiable hint falls back to the full replay — observably:
+        // the reason lands in the report, a counter, and an event.
+        let hint = match resolve {
+            Some(res) => match read_resume_hint(&dir, res) {
+                Ok(h) if segments.iter().any(|s| s.base_seq == h.base_seq) => Some(h),
+                Ok(_) => {
+                    report.resume_fallback = Some("hint_stale_segment");
+                    note_resume_fallback("hint_stale_segment");
+                    None
+                }
+                Err(HINT_ABSENT) => None,
+                Err(reason) => {
+                    report.resume_fallback = Some(reason);
+                    note_resume_fallback(reason);
+                    None
+                }
+            },
+            None => None,
+        };
         let plans: Vec<ScanPlan> = segments
             .iter()
             .map(|s| match &hint {
@@ -442,7 +485,10 @@ impl Ledger {
                     Err(_) => false,
                 });
             if !found {
-                return Self::open_inner(&dir, cfg, None);
+                note_resume_fallback("hint_frame_not_found");
+                let (ledger, mut rep) = Self::open_inner(&dir, cfg, None)?;
+                rep.resume_fallback = Some("hint_frame_not_found");
+                return Ok((ledger, rep));
             }
             report.resumed_from = Some(h.ck.seq);
         }
@@ -781,6 +827,62 @@ impl Ledger {
             });
         }
         Ok(Some(Entry::from_wire(payload)?))
+    }
+
+    /// First retained checkpoint record at or after `seq`, if any.
+    /// Replication serves ranges whose last entry is a signed checkpoint;
+    /// this locates the boundary without decoding records.
+    pub fn next_checkpoint_at_or_after(&self, seq: u64) -> Option<u64> {
+        let start = seq.max(self.first_seq);
+        if start >= self.next_seq {
+            return None;
+        }
+        self.locs[(start - self.first_seq) as usize..]
+            .iter()
+            .position(|m| m.kind == RecordKind::Checkpoint)
+            .map(|i| start + i as u64)
+    }
+
+    /// Reads the raw (CRC-checked) entry payload bytes for the inclusive
+    /// sequence range, segment-file handles reused across consecutive
+    /// records. These are the exact bytes the hash chain covers, so a
+    /// replica can replay the chain over them without re-encoding.
+    pub fn payloads_range(&self, from: u64, to_incl: u64) -> Result<Vec<Vec<u8>>> {
+        if from > to_incl {
+            return Ok(Vec::new());
+        }
+        if from < self.first_seq {
+            return Err(LedgerError::NoSuchRecord(from));
+        }
+        if to_incl >= self.next_seq {
+            return Err(LedgerError::NoSuchRecord(to_incl));
+        }
+        let mut out = Vec::with_capacity((to_incl - from + 1) as usize);
+        let mut open: Option<(usize, File)> = None;
+        for seq in from..=to_incl {
+            let meta = &self.locs[(seq - self.first_seq) as usize];
+            let seg = &self.segments[meta.seg];
+            if open.as_ref().map(|(i, _)| *i) != Some(meta.seg) {
+                open = Some((meta.seg, File::open(&seg.path)?));
+            }
+            let Some((_, f)) = open.as_mut() else {
+                return Err(LedgerError::NoSuchRecord(seq));
+            };
+            f.seek(SeekFrom::Start(meta.offset))?;
+            let mut buf = vec![0u8; meta.frame_len];
+            f.read_exact(&mut buf)?;
+            let stored = u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]);
+            let payload = buf.split_off(FRAME_OVERHEAD);
+            if crate::crc::crc32(&payload) != stored {
+                return Err(LedgerError::Corrupt {
+                    segment: seg.base_seq,
+                    offset: meta.offset,
+                    what: "frame CRC mismatch on range read",
+                });
+            }
+            out.push(payload);
+        }
+        Ok(out)
     }
 
     /// The sequence number of the access record for a session id, if that

@@ -9,7 +9,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use peace_telemetry::{global, Histogram};
+use peace_telemetry::{global, Counter, Histogram};
 
 /// Registry name of the whole-append duration histogram (µs).
 pub const APPEND_US: &str = "ledger.append_us";
@@ -19,9 +19,24 @@ pub const FSYNC_US: &str = "ledger.fsync_us";
 pub const RECOVER_US: &str = "ledger.recover_us";
 /// Registry name of the batched audit-sweep duration histogram (µs).
 pub const SWEEP_US: &str = "ledger.sweep_us";
+/// Registry name of the resumed-open fallback counter (a `resume.pch`
+/// hint was present but unusable, forcing a full chain replay).
+pub const RESUME_FALLBACK: &str = "ledger.resume_fallback";
+/// Registry name of the replication catch-up duration histogram (µs per
+/// ingested range).
+pub const CATCHUP_US: &str = "ledger.catchup_us";
+/// Registry name of the replication catch-up record counter.
+pub const CATCHUP_RECORDS: &str = "ledger.catchup_records";
+/// Registry name of the writer-quarantine counter (chain conflict or
+/// equivocation evidence during replication).
+pub const QUARANTINE_TOTAL: &str = "ledger.quarantine_total";
 
 fn handle(name: &'static str, cell: &'static OnceLock<Arc<Histogram>>) -> &'static Arc<Histogram> {
     cell.get_or_init(|| global().histogram(name))
+}
+
+fn counter(name: &'static str, cell: &'static OnceLock<Arc<Counter>>) -> &'static Arc<Counter> {
+    cell.get_or_init(|| global().counter(name))
 }
 
 /// Whole [`crate::Ledger::append`] duration, µs.
@@ -48,6 +63,42 @@ pub fn recover_us() -> &'static Arc<Histogram> {
 pub fn sweep_us() -> &'static Arc<Histogram> {
     static H: OnceLock<Arc<Histogram>> = OnceLock::new();
     handle(SWEEP_US, &H)
+}
+
+/// Resumed opens that fell back to a full chain replay because the
+/// `resume.pch` sidecar was damaged, stale, or unverifiable.
+pub fn resume_fallback() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(RESUME_FALLBACK, &C)
+}
+
+/// One [`crate::replica::ReplicatedLedger::ingest_range`] that appended
+/// new records, µs.
+pub fn catchup_us() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    handle(CATCHUP_US, &H)
+}
+
+/// Records appended to mirror shards by replication catch-up.
+pub fn catchup_records() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(CATCHUP_RECORDS, &C)
+}
+
+/// Writers quarantined for chain conflict / equivocation evidence.
+pub fn quarantine_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    counter(QUARANTINE_TOTAL, &C)
+}
+
+/// Emits a replication/recovery event into the process-wide event ring.
+/// Wall-clock stamping is best-effort (0 on a pre-epoch clock).
+pub fn replication_event(code: &str, detail: &str) {
+    let at_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    global().event(code, detail, at_ms);
 }
 
 #[cfg(test)]

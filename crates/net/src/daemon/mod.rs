@@ -11,7 +11,7 @@ mod no;
 mod router;
 mod user;
 
-pub use no::NoDaemon;
+pub use no::{NoDaemon, PeerKeyResolver};
 pub use router::RouterDaemon;
 pub use user::{UserAgent, UserSession};
 
@@ -31,6 +31,10 @@ pub struct DaemonConfig {
     pub connect_timeout: Duration,
     /// How long shutdown waits for in-flight handlers.
     pub drain: Duration,
+    /// Cap on a router's pending-transcript outbox: after a failed report
+    /// requeue, the oldest overflow is dropped (and counted) so a long NO
+    /// outage cannot grow router memory without limit.
+    pub max_pending_transcripts: usize,
 }
 
 impl Default for DaemonConfig {
@@ -40,6 +44,7 @@ impl Default for DaemonConfig {
             max_connections: 64,
             connect_timeout: Duration::from_secs(5),
             drain: Duration::from_secs(2),
+            max_pending_transcripts: 1024,
         }
     }
 }

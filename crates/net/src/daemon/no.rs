@@ -7,11 +7,14 @@
 //! `Bulletin`) so that propagation latency is explicit and measurable —
 //! see the revocation-latency discussion in DESIGN.md.
 
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
+use peace_ecdsa::VerifyingKey;
 use peace_groupsig::RevocationToken;
-use peace_ledger::{AccessRecord, Checkpoint, Ledger, LedgerRecord};
+use peace_ledger::{AccessRecord, Checkpoint, Ledger, LedgerRecord, ReplicatedLedger};
 use peace_protocol::entities::NetworkOperator;
 
 use crate::clock::wall_ms;
@@ -23,10 +26,26 @@ use crate::server::Acceptor;
 
 use super::{lock_recover, DaemonConfig};
 
+/// Shared, thread-safe map from a checkpoint-signer / writer name to its
+/// trusted verifying key, used by replication ingest and gossip.
+pub type PeerKeyResolver = Arc<dyn Fn(&str) -> Option<VerifyingKey> + Send + Sync>;
+
+/// The background checkpoint-gossip loop of a federated NO.
+struct GossipLoop {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
 /// A running NO bulletin server.
 pub struct NoDaemon {
     no: Arc<Mutex<NetworkOperator>>,
-    ledger: Arc<Mutex<Option<Ledger>>>,
+    ledger: Arc<Mutex<Option<ReplicatedLedger>>>,
+    resolver: Arc<Mutex<Option<PeerKeyResolver>>>,
+    /// When replication is attached: checkpoint the local shard after each
+    /// accepted report batch, so peers can pull it promptly (ranges only
+    /// travel up to a signed checkpoint).
+    auto_checkpoint: Arc<AtomicBool>,
+    gossip: Mutex<Option<GossipLoop>>,
     acceptor: Acceptor,
     metrics: Arc<NetMetrics>,
     cfg: DaemonConfig,
@@ -41,20 +60,25 @@ impl NoDaemon {
     /// [`NetError::Io`] if the listener cannot bind.
     pub fn spawn(no: NetworkOperator, bind: &str, cfg: DaemonConfig) -> Result<Self> {
         let no = Arc::new(Mutex::new(no));
-        let ledger: Arc<Mutex<Option<Ledger>>> = Arc::new(Mutex::new(None));
+        let ledger: Arc<Mutex<Option<ReplicatedLedger>>> = Arc::new(Mutex::new(None));
         let metrics = Arc::new(NetMetrics::default());
+        let auto_checkpoint = Arc::new(AtomicBool::new(false));
 
         let h_no = Arc::clone(&no);
         let h_ledger = Arc::clone(&ledger);
         let h_metrics = Arc::clone(&metrics);
+        let h_auto = Arc::clone(&auto_checkpoint);
         let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
             Arc::new(move |stream, _conn_id| {
-                serve(stream, &h_no, &h_ledger, &h_metrics, cfg);
+                serve(stream, &h_no, &h_ledger, &h_auto, &h_metrics, cfg);
             });
         let acceptor = Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
         Ok(Self {
             no,
             ledger,
+            resolver: Arc::new(Mutex::new(None)),
+            auto_checkpoint,
+            gossip: Mutex::new(None),
             acceptor,
             metrics,
             cfg,
@@ -125,41 +149,142 @@ impl NoDaemon {
         f(&mut lock_recover(&self.no))
     }
 
-    /// Attaches a durable accountability ledger. Session reports,
-    /// revocations, and epoch rollovers are persisted from now on.
+    /// Attaches a durable accountability ledger as a single-writer
+    /// replica store (writer id `"NO"`). Session reports, revocations,
+    /// and epoch rollovers are persisted from now on.
     pub fn attach_ledger(&self, ledger: Ledger) {
-        *lock_recover(&self.ledger) = Some(ledger);
+        *lock_recover(&self.ledger) = Some(ReplicatedLedger::from_single(ledger, "NO"));
     }
 
-    /// Detaches the ledger (flushed), handing it back to the caller.
+    /// Detaches the ledger (flushed), handing back the writable local
+    /// shard. Mirror shards, if any, stay on disk and reopen with the
+    /// replica store.
     pub fn detach_ledger(&self) -> Option<Ledger> {
         let mut slot = lock_recover(&self.ledger);
-        if let Some(l) = slot.as_mut() {
-            let _ = l.flush();
+        if let Some(rl) = slot.as_mut() {
+            let _ = rl.flush();
+        }
+        slot.take().map(ReplicatedLedger::into_local)
+    }
+
+    /// Attaches a multi-writer replica store plus the trusted-key map its
+    /// checkpoint verification uses, enabling federation: gossip
+    /// endpoints answer, report batches are checkpointed for prompt
+    /// replication, and [`sync_once`](Self::sync_once) can pull peers.
+    pub fn attach_replica(&self, replica: ReplicatedLedger, resolve: PeerKeyResolver) {
+        *lock_recover(&self.resolver) = Some(resolve);
+        self.auto_checkpoint.store(true, Ordering::Relaxed);
+        *lock_recover(&self.ledger) = Some(replica);
+    }
+
+    /// Detaches the whole replica store (flushed), stopping federation
+    /// behavior.
+    pub fn detach_replica(&self) -> Option<ReplicatedLedger> {
+        self.auto_checkpoint.store(false, Ordering::Relaxed);
+        *lock_recover(&self.resolver) = None;
+        let mut slot = lock_recover(&self.ledger);
+        if let Some(rl) = slot.as_mut() {
+            let _ = rl.flush();
         }
         slot.take()
     }
 
-    /// Runs `f` against the attached ledger, if any.
+    /// Runs `f` against the writable local ledger shard, if attached.
     pub fn with_ledger<R>(&self, f: impl FnOnce(&mut Ledger) -> R) -> Option<R> {
+        lock_recover(&self.ledger)
+            .as_mut()
+            .map(|rl| f(rl.local_mut()))
+    }
+
+    /// Runs `f` against the whole replica store, if attached.
+    pub fn with_replica<R>(&self, f: impl FnOnce(&mut ReplicatedLedger) -> R) -> Option<R> {
         lock_recover(&self.ledger).as_mut().map(f)
     }
 
-    /// Appends a signed checkpoint over the current ledger head using the
-    /// operator's certified signing key, then syncs it to disk. Returns
-    /// `None` when no ledger is attached.
+    /// Appends a signed checkpoint over the local shard head using the
+    /// operator's certified signing key (signer = the replica's writer
+    /// id), then syncs it to disk. Returns `None` when no ledger is
+    /// attached.
     pub fn checkpoint_now(&self) -> Option<peace_ledger::Result<Checkpoint>> {
         let op = lock_recover(&self.no);
         let mut slot = lock_recover(&self.ledger);
-        slot.as_mut()
-            .map(|l| l.checkpoint(op.signing_key(), "NO", wall_ms()))
+        slot.as_mut().map(|rl| {
+            let signer = rl.local_id().to_owned();
+            rl.local_mut()
+                .checkpoint(op.signing_key(), &signer, wall_ms())
+        })
+    }
+
+    /// One pull-based gossip round with a peer replica: exchange
+    /// checkpoint digests, then pull every writer the peer is ahead on
+    /// (in checkpoint-bounded ranges, each verified before it lands).
+    /// Returns the number of records ingested.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the dial/exchange; [`NetError::Unexpected`]
+    /// when no replica or resolver is attached.
+    pub fn sync_once(&self, peer: SocketAddr) -> Result<u64> {
+        sync_with_peer(&self.ledger, &self.resolver, &self.metrics, self.cfg, peer)
+    }
+
+    /// Starts the background gossip loop: every `every`, one
+    /// [`sync_once`](Self::sync_once) round against each peer (failures
+    /// are counted and retried next tick — a dead peer never stops the
+    /// loop). Stopped and joined by [`shutdown`](Self::shutdown);
+    /// starting twice replaces the previous loop.
+    pub fn start_gossip(&self, peers: Vec<SocketAddr>, every: Duration) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let t_stop = Arc::clone(&stop);
+        let t_ledger = Arc::clone(&self.ledger);
+        let t_resolver = Arc::clone(&self.resolver);
+        let t_metrics = Arc::clone(&self.metrics);
+        let cfg = self.cfg;
+        let handle = std::thread::spawn(move || {
+            // Sub-divide each interval so shutdown never waits a full tick.
+            let nap = every
+                .min(Duration::from_millis(50))
+                .max(Duration::from_millis(1));
+            let mut elapsed = Duration::ZERO;
+            while !t_stop.load(Ordering::Relaxed) {
+                std::thread::sleep(nap);
+                elapsed += nap;
+                if elapsed < every {
+                    continue;
+                }
+                elapsed = Duration::ZERO;
+                for &peer in &peers {
+                    if t_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Err(e) = sync_with_peer(&t_ledger, &t_resolver, &t_metrics, cfg, peer) {
+                        t_metrics.event("gossip_fail", e.code());
+                    }
+                }
+            }
+        });
+        let mut slot = lock_recover(&self.gossip);
+        if let Some(old) = slot.take() {
+            old.stop.store(true, Ordering::Relaxed);
+            let _ = old.handle.join();
+        }
+        *slot = Some(GossipLoop { stop, handle });
+    }
+
+    /// Stops the background gossip loop, if running.
+    pub fn stop_gossip(&self) {
+        if let Some(g) = lock_recover(&self.gossip).take() {
+            g.stop.store(true, Ordering::Relaxed);
+            let _ = g.handle.join();
+        }
     }
 
     /// Best-effort ledger append (errors are counted, not fatal: losing a
     /// revocation *record* must not block the revocation itself).
     fn ledger_append(&self, record: LedgerRecord) {
         let mut slot = lock_recover(&self.ledger);
-        if let Some(l) = slot.as_mut() {
+        if let Some(rl) = slot.as_mut() {
+            let l = rl.local_mut();
             if let Err(e) = l.append(record, wall_ms()).and_then(|_| l.flush()) {
                 self.metrics.ledger_errors.inc();
                 self.metrics.event("ledger_error", e.code());
@@ -177,12 +302,13 @@ impl NoDaemon {
     /// [`NetError::Unexpected`] if another handle still holds the operator
     /// (cannot happen through this API).
     pub fn shutdown(mut self) -> Result<NetworkOperator> {
+        self.stop_gossip();
         self.acceptor.shutdown(self.cfg.drain);
         drop(self.acceptor);
         // In-flight handlers have drained: make their appends durable
         // before the daemon disappears.
-        if let Some(l) = lock_recover(&self.ledger).as_mut() {
-            if l.flush().is_err() {
+        if let Some(rl) = lock_recover(&self.ledger).as_mut() {
+            if rl.flush().is_err() {
                 self.metrics.ledger_errors.inc();
             }
         }
@@ -201,7 +327,8 @@ impl NoDaemon {
 fn serve(
     stream: TcpStream,
     no: &Mutex<NetworkOperator>,
-    ledger: &Mutex<Option<Ledger>>,
+    ledger: &Mutex<Option<ReplicatedLedger>>,
+    auto_checkpoint: &AtomicBool,
     metrics: &Arc<NetMetrics>,
     cfg: DaemonConfig,
 ) {
@@ -233,18 +360,21 @@ fn serve(
                     let mut op = lock_recover(no);
                     let mut slot = lock_recover(ledger);
                     for session in sessions {
-                        if let Some(l) = slot.as_mut() {
+                        if let Some(rl) = slot.as_mut() {
                             // Idempotent ingestion: a router that retries a
-                            // report after a lost ack must not duplicate
-                            // transcripts in the chain.
-                            if l.find_session(&session.session_id.to_bytes()).is_some() {
+                            // report after a lost ack — or fails over to
+                            // this replica with a batch another replica
+                            // already mirrored here — must not duplicate
+                            // transcripts. Checked across every shard.
+                            let sid = session.session_id.to_bytes();
+                            if rl.find_session(&sid).is_some() {
                                 continue;
                             }
                             let rec = LedgerRecord::Access(AccessRecord {
                                 router: router.clone(),
                                 session: session.clone(),
                             });
-                            if let Err(e) = l.append(rec, now) {
+                            if let Err(e) = rl.local_mut().append(rec, now) {
                                 metrics.ledger_errors.inc();
                                 metrics.event("ledger_error", e.code());
                                 continue;
@@ -254,15 +384,74 @@ fn serve(
                         op.record_session(session);
                         accepted += 1;
                     }
-                    if let Some(l) = slot.as_mut() {
+                    if let Some(rl) = slot.as_mut() {
                         // One durability point per report, not per record.
-                        if let Err(e) = l.flush() {
+                        if let Err(e) = rl.flush() {
                             metrics.ledger_errors.inc();
                             metrics.event("ledger_error", e.code());
+                        }
+                        // Federated mode: checkpoint the accepted batch so
+                        // peers can pull it on the next gossip round
+                        // (ranges only travel up to a signed checkpoint).
+                        if accepted > 0 && auto_checkpoint.load(Ordering::Relaxed) {
+                            let signer = rl.local_id().to_owned();
+                            if let Err(e) =
+                                rl.local_mut().checkpoint(op.signing_key(), &signer, now)
+                            {
+                                metrics.ledger_errors.inc();
+                                metrics.event("ledger_error", e.code());
+                            }
                         }
                     }
                 }
                 if conn.send(&NodeMessage::ReportAck { accepted }).is_err() {
+                    return;
+                }
+            }
+            Ok(NodeMessage::CkptGossip { .. }) => {
+                let digests = {
+                    let slot = lock_recover(ledger);
+                    slot.as_ref()
+                        .map(|rl| (rl.local_id().to_owned(), rl.digests()))
+                };
+                let reply = match digests {
+                    Some((from_no, digests)) => NodeMessage::CkptGossip { from_no, digests },
+                    None => NodeMessage::Reject {
+                        code: reject_code::INTERNAL,
+                        detail: "no replica ledger attached".to_owned(),
+                    },
+                };
+                if conn.send(&reply).is_err() {
+                    return;
+                }
+            }
+            Ok(NodeMessage::RangePull { writer, from_seq }) => {
+                let served = {
+                    let slot = lock_recover(ledger);
+                    slot.as_ref().map(|rl| rl.serve_range(&writer, from_seq))
+                };
+                let reply = match served {
+                    Some(Ok(range)) => {
+                        if range.is_some() {
+                            metrics.repl_ranges_out.inc();
+                        }
+                        NodeMessage::RangePush {
+                            range: range.map(Box::new),
+                        }
+                    }
+                    Some(Err(e)) => {
+                        metrics.event("repl_refuse", e.code());
+                        NodeMessage::Reject {
+                            code: reject_code::INTERNAL,
+                            detail: e.code().to_owned(),
+                        }
+                    }
+                    None => NodeMessage::Reject {
+                        code: reject_code::INTERNAL,
+                        detail: "no replica ledger attached".to_owned(),
+                    },
+                };
+                if conn.send(&reply).is_err() {
                     return;
                 }
             }
@@ -279,4 +468,114 @@ fn serve(
             Err(_) => return,
         }
     }
+}
+
+/// One pull-based gossip round against `peer`.
+///
+/// Exchanges checkpoint digests, then for every writer the peer holds a
+/// signed checkpoint for, pulls checkpoint-bounded ranges until local
+/// state reaches the advertised checkpoint. The ledger mutex is held only
+/// in short scopes (digest snapshot, head read, ingest) — never across
+/// network I/O — so two replicas gossiping at each other concurrently
+/// cannot deadlock.
+fn sync_with_peer(
+    ledger: &Mutex<Option<ReplicatedLedger>>,
+    resolver: &Mutex<Option<PeerKeyResolver>>,
+    metrics: &Arc<NetMetrics>,
+    cfg: DaemonConfig,
+    peer: SocketAddr,
+) -> Result<u64> {
+    let resolve = lock_recover(resolver)
+        .clone()
+        .ok_or(NetError::Unexpected("no replica key resolver attached"))?;
+    let (local_id, my_digests) = {
+        let slot = lock_recover(ledger);
+        let rl = slot
+            .as_ref()
+            .ok_or(NetError::Unexpected("no replica ledger attached"))?;
+        (rl.local_id().to_owned(), rl.digests())
+    };
+
+    let mut conn = Connection::dial(peer, cfg.connect_timeout, cfg.conn, Arc::clone(metrics))?;
+    conn.send(&NodeMessage::CkptGossip {
+        from_no: local_id.clone(),
+        digests: my_digests,
+    })?;
+    let peer_digests = match conn.recv()? {
+        NodeMessage::CkptGossip { digests, .. } => digests,
+        NodeMessage::Reject { code, detail } => return Err(NetError::Rejected { code, detail }),
+        _ => return Err(NetError::Unexpected("expected CkptGossip reply")),
+    };
+
+    let mut total: u64 = 0;
+    'writers: for d in peer_digests {
+        if d.writer == local_id || d.quarantined {
+            continue;
+        }
+        // Only attested history travels: nothing to pull until the peer
+        // holds a signed checkpoint for this writer.
+        let Some(target) = d.ckpt_seq else { continue };
+        loop {
+            let from_seq = {
+                let slot = lock_recover(ledger);
+                let rl = slot
+                    .as_ref()
+                    .ok_or(NetError::Unexpected("replica ledger detached mid-sync"))?;
+                if rl.is_quarantined(&d.writer) {
+                    continue 'writers;
+                }
+                rl.shard_next_seq(&d.writer)
+            };
+            if from_seq > target {
+                break;
+            }
+            conn.send(&NodeMessage::RangePull {
+                writer: d.writer.clone(),
+                from_seq,
+            })?;
+            match conn.recv()? {
+                NodeMessage::RangePush { range: Some(range) } => {
+                    let ingested = {
+                        let mut slot = lock_recover(ledger);
+                        let rl = slot
+                            .as_mut()
+                            .ok_or(NetError::Unexpected("replica ledger detached mid-sync"))?;
+                        rl.ingest_range(&range, &|s| resolve(s))
+                    };
+                    match ingested {
+                        Ok(n) => {
+                            metrics.repl_records_in.add(n);
+                            total += n;
+                        }
+                        Err(e) if matches!(e.code(), "replication" | "quarantined") => {
+                            // Deterministic refusal or equivocation
+                            // evidence: skip this writer, keep syncing the
+                            // rest. The quarantine (if any) is already
+                            // recorded in the replica store.
+                            metrics.event("repl_refuse", e.code());
+                            continue 'writers;
+                        }
+                        Err(e) => {
+                            return Err(NetError::Ledger {
+                                code: e.code(),
+                                detail: e.to_string(),
+                            });
+                        }
+                    }
+                }
+                // Peer has nothing (more) attested to serve from here.
+                NodeMessage::RangePush { range: None } => continue 'writers,
+                NodeMessage::Reject { .. } => {
+                    // Compacted-away range, transient refusal, …: skip the
+                    // writer this round rather than failing the whole sync.
+                    metrics.event("repl_refuse", "peer_rejected_pull");
+                    continue 'writers;
+                }
+                _ => return Err(NetError::Unexpected("expected RangePush reply")),
+            }
+        }
+    }
+    conn.close();
+    metrics.repl_rounds.inc();
+    Ok(total)
 }

@@ -12,7 +12,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::{mpsc, Arc, Mutex};
 
 use peace_protocol::entities::MeshRouter;
-use peace_protocol::{AccessConfirm, AccessRequest, ProtocolError, Session};
+use peace_protocol::{
+    AccessConfirm, AccessRequest, LoggedSession, ProtocolError, ReplicaSet, Session,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -176,28 +178,101 @@ impl RouterDaemon {
             return Ok(0);
         }
         let router_name = lock_recover(&self.router).id().0.clone();
-        let attempt = (|| -> Result<u32> {
-            let mut conn = Connection::dial(
-                no_addr,
-                self.cfg.connect_timeout,
-                self.cfg.conn,
-                Arc::clone(&self.metrics),
-            )?;
-            conn.send(&NodeMessage::ReportSessions {
-                router: router_name,
-                sessions: sessions.clone(),
-            })?;
-            let reply = conn.recv()?;
-            conn.close();
-            match reply {
-                NodeMessage::ReportAck { accepted } => Ok(accepted),
-                _ => Err(NetError::Unexpected("NO replied with a non-ack")),
-            }
-        })();
+        let attempt = self.ship(no_addr, &router_name, &sessions);
         if attempt.is_err() {
-            lock_recover(&self.router).requeue_log(sessions);
+            self.requeue_bounded(sessions);
         }
         attempt
+    }
+
+    /// Like [`report_sessions`](Self::report_sessions), but against a
+    /// health-tracked NO replica set: tries each candidate in the set's
+    /// priority order (alive first, benched last) until one accepts the
+    /// batch, recording success/failure back into the set so the next call
+    /// prefers proven-alive replicas. A success on a non-primary replica
+    /// counts as a failover. Only if *every* replica refuses is the batch
+    /// requeued (bounded) and the last error returned.
+    ///
+    /// # Errors
+    ///
+    /// The last replica's transport error when all candidates failed;
+    /// [`NetError::Unexpected`] for an empty replica set.
+    pub fn report_sessions_failover(&self, set: &mut ReplicaSet<SocketAddr>) -> Result<u32> {
+        if set.is_empty() {
+            return Err(NetError::Unexpected("empty NO replica set"));
+        }
+        let sessions = lock_recover(&self.router).drain_log();
+        if sessions.is_empty() {
+            return Ok(0);
+        }
+        let router_name = lock_recover(&self.router).id().0.clone();
+        let mut last_err = NetError::Unexpected("empty NO replica set");
+        for (i, addr) in set.candidates(wall_ms()) {
+            match self.ship(addr, &router_name, &sessions) {
+                Ok(accepted) => {
+                    set.report_ok(i);
+                    if i != 0 {
+                        // The primary was skipped or had failed: this batch
+                        // landed on a backup replica.
+                        self.metrics.failovers.inc();
+                        self.metrics
+                            .event("report_failover", &format!("replica_{i}"));
+                    }
+                    return Ok(accepted);
+                }
+                Err(e) => {
+                    set.report_failure(i, wall_ms());
+                    self.metrics.event("report_fail", e.code());
+                    last_err = e;
+                }
+            }
+        }
+        self.requeue_bounded(sessions);
+        Err(last_err)
+    }
+
+    /// One report exchange with one NO replica: dial, send the batch, wait
+    /// for the ack.
+    fn ship(
+        &self,
+        no_addr: SocketAddr,
+        router_name: &str,
+        sessions: &[LoggedSession],
+    ) -> Result<u32> {
+        let mut conn = Connection::dial(
+            no_addr,
+            self.cfg.connect_timeout,
+            self.cfg.conn,
+            Arc::clone(&self.metrics),
+        )?;
+        conn.send(&NodeMessage::ReportSessions {
+            router: router_name.to_owned(),
+            sessions: sessions.to_vec(),
+        })?;
+        let reply = conn.recv()?;
+        conn.close();
+        match reply {
+            NodeMessage::ReportAck { accepted } => Ok(accepted),
+            _ => Err(NetError::Unexpected("NO replied with a non-ack")),
+        }
+    }
+
+    /// Requeues a failed batch at the front of the outbox, then enforces
+    /// the [`DaemonConfig::max_pending_transcripts`] cap by dropping the
+    /// oldest overflow (counted in `net.transcripts_dropped`): a long NO
+    /// outage trades the stalest evidence away instead of growing router
+    /// memory without bound.
+    fn requeue_bounded(&self, sessions: Vec<LoggedSession>) {
+        let dropped = {
+            let mut r = lock_recover(&self.router);
+            r.requeue_log(sessions);
+            r.cap_log(self.cfg.max_pending_transcripts)
+        };
+        if dropped > 0 {
+            self.metrics.transcripts_dropped.add(dropped as u64);
+            self.metrics
+                .event("transcripts_dropped", &format!("{dropped}"));
+        }
     }
 
     /// Graceful shutdown; hands the router entity back.

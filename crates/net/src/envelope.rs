@@ -6,6 +6,7 @@
 //! wire byte-identical to how they are hashed and signed). Unknown magic,
 //! versions, or kinds are clean decode errors, never panics.
 
+use peace_ledger::{RangeData, WriterDigest};
 use peace_protocol::audit::LoggedSession;
 use peace_protocol::{AccessConfirm, AccessRequest, Beacon, SignedCrl, SignedUrl};
 use peace_wire::{Decode, Encode, Reader, WireError, Writer};
@@ -44,6 +45,9 @@ mod kind {
     pub const BYE: u8 = 9;
     pub const REPORT_SESSIONS: u8 = 10;
     pub const REPORT_ACK: u8 = 11;
+    pub const CKPT_GOSSIP: u8 = 12;
+    pub const RANGE_PULL: u8 = 13;
+    pub const RANGE_PUSH: u8 = 14;
 }
 
 /// The revocation bulletin served by the NO daemon: epoch number plus the
@@ -119,6 +123,31 @@ pub enum NodeMessage {
         /// Number of transcripts newly persisted.
         accepted: u32,
     },
+    /// Federation: one NO replica advertising (or answering with) the
+    /// signed-checkpoint digests of every ledger shard it holds. Sent
+    /// both ways — the opener's digests prompt the responder's, and each
+    /// side pulls whatever the other is ahead on.
+    CkptGossip {
+        /// The advertising replica's NO writer id.
+        from_no: String,
+        /// Per-shard replication summaries.
+        digests: Vec<WriterDigest>,
+    },
+    /// Federation: ask a peer replica for one writer's entries starting
+    /// at `from_seq`, up to that writer's next signed checkpoint.
+    RangePull {
+        /// The shard writer id to pull.
+        writer: String,
+        /// First sequence number wanted.
+        from_seq: u64,
+    },
+    /// Federation: the answer to a [`NodeMessage::RangePull`] — a
+    /// checkpoint-terminated entry range, or `None` when nothing attested
+    /// lies at or past the requested sequence.
+    RangePush {
+        /// The served range (boxed: ranges dwarf every other body).
+        range: Option<Box<RangeData>>,
+    },
 }
 
 impl NodeMessage {
@@ -136,6 +165,9 @@ impl NodeMessage {
             NodeMessage::Bye => "bye",
             NodeMessage::ReportSessions { .. } => "report-sessions",
             NodeMessage::ReportAck { .. } => "report-ack",
+            NodeMessage::CkptGossip { .. } => "ckpt-gossip",
+            NodeMessage::RangePull { .. } => "range-pull",
+            NodeMessage::RangePush { .. } => "range-push",
         }
     }
 }
@@ -185,6 +217,26 @@ impl Encode for NodeMessage {
                 w.put_u8(kind::REPORT_ACK);
                 w.put_u32(*accepted);
             }
+            NodeMessage::CkptGossip { from_no, digests } => {
+                w.put_u8(kind::CKPT_GOSSIP);
+                w.put_str(from_no);
+                w.put_seq(digests);
+            }
+            NodeMessage::RangePull { writer, from_seq } => {
+                w.put_u8(kind::RANGE_PULL);
+                w.put_str(writer);
+                w.put_u64(*from_seq);
+            }
+            NodeMessage::RangePush { range } => {
+                w.put_u8(kind::RANGE_PUSH);
+                match range {
+                    Some(r) => {
+                        w.put_u8(1);
+                        r.encode(w);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
         }
     }
 }
@@ -227,6 +279,22 @@ impl Decode for NodeMessage {
             kind::REPORT_ACK => Ok(NodeMessage::ReportAck {
                 accepted: r.get_u32()?,
             }),
+            kind::CKPT_GOSSIP => Ok(NodeMessage::CkptGossip {
+                from_no: r.get_str()?,
+                digests: r.get_seq()?,
+            }),
+            kind::RANGE_PULL => Ok(NodeMessage::RangePull {
+                writer: r.get_str()?,
+                from_seq: r.get_u64()?,
+            }),
+            kind::RANGE_PUSH => {
+                let range = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(Box::new(RangeData::decode(r)?)),
+                    _ => return Err(WireError::Invalid("envelope.range flag")),
+                };
+                Ok(NodeMessage::RangePush { range })
+            }
             _ => Err(WireError::Invalid("envelope.kind")),
         }
     }
@@ -258,6 +326,42 @@ mod tests {
             sessions: Vec::new(),
         });
         roundtrip(&NodeMessage::ReportAck { accepted: 17 });
+    }
+
+    #[test]
+    fn federation_kinds_roundtrip() {
+        roundtrip(&NodeMessage::CkptGossip {
+            from_no: "NO-1".into(),
+            digests: vec![WriterDigest {
+                writer: "NO-0".into(),
+                next_seq: 9,
+                chain: [4u8; 32],
+                ckpt_seq: Some(8),
+                quarantined: false,
+            }],
+        });
+        roundtrip(&NodeMessage::CkptGossip {
+            from_no: "NO-2".into(),
+            digests: Vec::new(),
+        });
+        roundtrip(&NodeMessage::RangePull {
+            writer: "NO-0".into(),
+            from_seq: 3,
+        });
+        roundtrip(&NodeMessage::RangePush { range: None });
+        // A populated push needs a real signed checkpoint.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let key = peace_ecdsa::SigningKey::random(&mut StdRng::seed_from_u64(5));
+        let ck = peace_ledger::Checkpoint::sign(&key, "NO-0", 2, [7u8; 32], 99);
+        roundtrip(&NodeMessage::RangePush {
+            range: Some(Box::new(RangeData {
+                writer: "NO-0".into(),
+                from_seq: 0,
+                payloads: vec![vec![1, 2], vec![3]],
+                ck,
+            })),
+        });
     }
 
     #[test]
@@ -310,6 +414,15 @@ mod tests {
                 sessions: Vec::new(),
             },
             NodeMessage::ReportAck { accepted: 0 },
+            NodeMessage::CkptGossip {
+                from_no: String::new(),
+                digests: Vec::new(),
+            },
+            NodeMessage::RangePull {
+                writer: String::new(),
+                from_seq: 0,
+            },
+            NodeMessage::RangePush { range: None },
         ];
         let names: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind_name()).collect();
         assert_eq!(names.len(), msgs.len());

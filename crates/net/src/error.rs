@@ -45,6 +45,15 @@ pub enum NetError {
     },
     /// A local protocol-layer check failed (stale beacon, bad signature…).
     Protocol(ProtocolError),
+    /// A ledger-layer failure during replication (verification refusal,
+    /// writer quarantine, local I/O). Carries the ledger error's stable
+    /// code plus its display text.
+    Ledger {
+        /// The [`peace_ledger::LedgerError::code`] of the root cause.
+        code: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
     /// The peer sent a well-formed message of an unexpected kind.
     Unexpected(&'static str),
 }
@@ -69,6 +78,7 @@ impl NetError {
             NetError::ConnLimit => "conn_limit",
             NetError::Rejected { .. } => "rejected",
             NetError::Protocol(e) => e.code(),
+            NetError::Ledger { code, .. } => code,
             NetError::Unexpected(_) => "unexpected_message",
         }
     }
@@ -97,6 +107,9 @@ impl Transient for NetError {
             | NetError::Unexpected(_) => true,
             NetError::Encode(_) => false,
             NetError::Rejected { code, .. } => *code != reject_code::REVOKED,
+            // Only a ledger I/O failure is worth a blind retry; refusals
+            // and quarantines re-detect deterministically.
+            NetError::Ledger { code, .. } => *code == "io",
             NetError::Protocol(e) => !matches!(
                 e,
                 ProtocolError::SignerRevoked
@@ -125,6 +138,7 @@ impl fmt::Display for NetError {
                 write!(f, "peer rejected (code {code}): {detail}")
             }
             NetError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            NetError::Ledger { detail, .. } => write!(f, "ledger failure: {detail}"),
             NetError::Unexpected(what) => write!(f, "unexpected message: {what}"),
         }
     }

@@ -42,7 +42,7 @@ mod server;
 pub mod world;
 
 pub use conn::{ConnConfig, Connection, OutboundQueue};
-pub use daemon::{DaemonConfig, NoDaemon, RouterDaemon, UserAgent, UserSession};
+pub use daemon::{DaemonConfig, NoDaemon, PeerKeyResolver, RouterDaemon, UserAgent, UserSession};
 pub use envelope::{reject_code, Bulletin, NodeMessage};
 pub use error::{NetError, Result};
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN};

@@ -52,6 +52,17 @@ pub struct NetMetrics {
     pub ledger_errors: Arc<Counter>,
     /// Session transcripts durably appended to the ledger.
     pub ledger_sessions: Arc<Counter>,
+    /// Completed checkpoint-gossip sync rounds with a peer replica.
+    pub repl_rounds: Arc<Counter>,
+    /// Replication ranges served to pulling peers.
+    pub repl_ranges_out: Arc<Counter>,
+    /// Records ingested into mirror shards from peer replicas.
+    pub repl_records_in: Arc<Counter>,
+    /// Transcript reports that succeeded only on a non-primary NO replica.
+    pub failovers: Arc<Counter>,
+    /// Pending transcripts dropped (oldest-first) at the outbox cap after
+    /// every configured NO replica refused a report.
+    pub transcripts_dropped: Arc<Counter>,
     /// User side: GetBeacon → Beacon leg of the handshake (µs).
     pub hs_beacon_us: Arc<Histogram>,
     /// User side: AccessRequest → AccessConfirm leg (µs).
@@ -87,6 +98,11 @@ impl NetMetrics {
             handler_panics: c("net.handler_panics"),
             ledger_errors: c("net.ledger_errors"),
             ledger_sessions: c("net.ledger_sessions"),
+            repl_rounds: c("net.repl_rounds"),
+            repl_ranges_out: c("net.repl_ranges_out"),
+            repl_records_in: c("net.repl_records_in"),
+            failovers: c("net.failovers"),
+            transcripts_dropped: c("net.transcripts_dropped"),
             hs_beacon_us: h("net.hs_beacon_us"),
             hs_confirm_us: h("net.hs_confirm_us"),
             hs_total_us: h("net.hs_total_us"),
@@ -126,6 +142,11 @@ impl NetMetrics {
             handler_panics: self.handler_panics.get(),
             ledger_errors: self.ledger_errors.get(),
             ledger_sessions: self.ledger_sessions.get(),
+            repl_rounds: self.repl_rounds.get(),
+            repl_ranges_out: self.repl_ranges_out.get(),
+            repl_records_in: self.repl_records_in.get(),
+            failovers: self.failovers.get(),
+            transcripts_dropped: self.transcripts_dropped.get(),
         }
     }
 
@@ -176,6 +197,16 @@ pub struct MetricsSnapshot {
     pub ledger_errors: u64,
     /// Session transcripts durably appended.
     pub ledger_sessions: u64,
+    /// Completed gossip sync rounds.
+    pub repl_rounds: u64,
+    /// Replication ranges served to peers.
+    pub repl_ranges_out: u64,
+    /// Records ingested from peer replicas.
+    pub repl_records_in: u64,
+    /// Reports that failed over to a non-primary replica.
+    pub failovers: u64,
+    /// Transcripts dropped at the bounded outbox cap.
+    pub transcripts_dropped: u64,
 }
 
 /// Per-connection statistics, kept as plain integers on the connection

@@ -23,6 +23,7 @@ fn fast_cfg() -> DaemonConfig {
         max_connections: 16,
         connect_timeout: Duration::from_secs(2),
         drain: Duration::from_secs(2),
+        ..DaemonConfig::default()
     }
 }
 

@@ -35,6 +35,7 @@ fn test_cfg() -> DaemonConfig {
         max_connections: 32,
         connect_timeout: Duration::from_secs(5),
         drain: Duration::from_secs(3),
+        ..DaemonConfig::default()
     }
 }
 

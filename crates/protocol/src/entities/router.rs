@@ -425,6 +425,24 @@ impl MeshRouter {
         self.log_outbox.extend(tail);
     }
 
+    /// Bounds the pending transcript outbox to `cap` entries by dropping
+    /// the *oldest* (front) overflow, returning how many were dropped.
+    /// Applied after a failed report requeue so a long NO outage trades
+    /// the stalest evidence away instead of growing router memory without
+    /// limit.
+    pub fn cap_log(&mut self, cap: usize) -> usize {
+        let over = self.log_outbox.len().saturating_sub(cap);
+        if over > 0 {
+            self.log_outbox.drain(..over);
+        }
+        over
+    }
+
+    /// Number of transcripts waiting to be reported to NO.
+    pub fn pending_log_len(&self) -> usize {
+        self.log_outbox.len()
+    }
+
     /// Total beacons emitted.
     pub fn beacons_sent(&self) -> u64 {
         self.beacons_sent

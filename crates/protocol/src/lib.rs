@@ -68,6 +68,7 @@ pub mod ids;
 pub mod messages;
 pub mod pending;
 pub mod relay;
+pub mod replica;
 pub mod revocation;
 pub mod session;
 pub mod setup;
@@ -79,6 +80,7 @@ pub use error::{ProtocolError, Result, Transient};
 pub use ids::{GroupId, RouterId, SessionId, ShareIndex, UserId};
 pub use messages::{AccessConfirm, AccessRequest, Beacon, PeerConfirm, PeerHello, PeerResponse};
 pub use pending::PendingTable;
+pub use replica::ReplicaSet;
 pub use revocation::{SignedCrl, SignedUrl};
 pub use session::{PendingSession, Role, Session};
 pub use transport::{Channel, Delivery, FaultKind, FaultPlan, FaultStats, RetryPolicy};

@@ -26,6 +26,7 @@
 
 pub mod attacks;
 pub mod chaos;
+pub mod federation;
 pub mod metrics;
 pub mod topology;
 pub mod world;
@@ -36,6 +37,7 @@ pub use attacks::{
     UrlGrowthPoint,
 };
 pub use chaos::{run_chaos_soak, ChaosConfig, ChaosReport};
+pub use federation::{run_federation_soak, FederationConfig, FederationReport};
 pub use metrics::SimMetrics;
 pub use topology::{Position, Topology, TopologyConfig};
 pub use world::{Event, SimConfig, SimWorld};

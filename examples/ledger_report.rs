@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use peace::ledger::{
     audit_sweep, AccessRecord, Ledger, LedgerConfig, LedgerQuery, LedgerRecord, RecordKind,
-    SyncPolicy,
+    ReplicatedLedger, SyncPolicy,
 };
 use peace::net::{build_world, WorldSpec};
 use peace::protocol::audit::LoggedSession;
@@ -160,6 +160,87 @@ fn main() {
     assert_eq!(ledger.len(), total_records);
     drop(ledger);
 
+    // ------------------------------------------------------------------
+    // Replica catch-up: a follower replica pulls the whole writer shard
+    // as checkpoint-attested ranges — the rejoin path of a federated NO.
+    // Each range costs wire decode + per-record CRC + hash chain + one
+    // ECDSA checkpoint verification, then chained re-appends into the
+    // mirror shard.
+    // ------------------------------------------------------------------
+    let wdir = bench_dir("catchup-writer");
+    let npk_ref = *w.no.npk();
+    let resolve = move |s: &str| (s == "NO" || s.starts_with("NO-")).then_some(npk_ref);
+    let (mut writer, _) = ReplicatedLedger::open(
+        &wdir,
+        "NO-0",
+        LedgerConfig {
+            sync: SyncPolicy::OnFlush,
+            ..LedgerConfig::default()
+        },
+        &resolve,
+    )
+    .expect("open writer replica");
+    for i in 0..APPEND_RECORDS {
+        let (router, session) = &sessions[i as usize % sessions.len()];
+        writer
+            .local_mut()
+            .append(
+                LedgerRecord::Access(AccessRecord {
+                    router: router.clone(),
+                    session: session.clone(),
+                }),
+                u64::from(i),
+            )
+            .expect("append");
+        if (i + 1) % CHECKPOINT_EVERY == 0 {
+            writer
+                .local_mut()
+                .checkpoint(w.no.signing_key(), "NO-0", u64::from(i))
+                .expect("checkpoint");
+        }
+    }
+    writer.flush().expect("flush writer replica");
+
+    let fdir = bench_dir("catchup-follower");
+    let (mut follower, _) = ReplicatedLedger::open(
+        &fdir,
+        "NO-1",
+        LedgerConfig {
+            sync: SyncPolicy::OnFlush,
+            ..LedgerConfig::default()
+        },
+        &resolve,
+    )
+    .expect("open follower replica");
+    let target = writer.digests()[0].ckpt_seq.expect("writer checkpointed");
+    let t = Instant::now();
+    let mut caught_up = 0u64;
+    let mut ranges = 0u64;
+    loop {
+        let from = follower.shard_next_seq("NO-0");
+        if from > target {
+            break;
+        }
+        let range = writer
+            .serve_range("NO-0", from)
+            .expect("serve range")
+            .expect("range available");
+        caught_up += follower
+            .ingest_range(&range, &resolve)
+            .expect("ingest range");
+        ranges += 1;
+    }
+    follower.flush().expect("flush follower");
+    let catchup_secs = t.elapsed().as_secs_f64();
+    assert_eq!(caught_up, target + 1);
+    assert_eq!(
+        follower.merged_digest().expect("follower digest"),
+        writer.merged_digest().expect("writer digest"),
+        "catch-up must converge byte-identically"
+    );
+    drop(writer);
+    drop(follower);
+
     // Recovery-size curve: cold full opens across growing logs show the
     // per-record scan cost staying flat as the log grows.
     let mut curve: Vec<(u32, f64)> = Vec::new();
@@ -256,7 +337,14 @@ fn main() {
             0,
         )
         .float("recovery_resumed_ms", resumed_secs * 1_000.0, 2)
-        .float("recovery_resumed_speedup", recovery_secs / resumed_secs, 2);
+        .float("recovery_resumed_speedup", recovery_secs / resumed_secs, 2)
+        .uint("catchup_records", caught_up)
+        .uint("catchup_ranges", ranges)
+        .float(
+            "catchup_records_per_sec",
+            caught_up as f64 / catchup_secs,
+            0,
+        );
     for (n, rps) in &curve {
         report.float(&format!("recovery_n{n}_records_per_sec"), *rps, 0);
     }

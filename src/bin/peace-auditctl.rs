@@ -2,12 +2,13 @@
 //! queries, batched Open/Audit sweeps, and JSON export.
 //!
 //! ```text
-//! peace-auditctl verify-chain --dir D [--seed N --users U --routers R]
-//! peace-auditctl query        --dir D [--router NAME --group G --epoch E
-//!                                      --kind K --since MS --until MS]
-//! peace-auditctl audit-sweep  --dir D [--since MS --until MS --apply]
-//! peace-auditctl export       --dir D [--out FILE]
-//! peace-auditctl gen-fixture  --dir D [--sessions N]
+//! peace-auditctl verify-chain   --dir D [--seed N --users U --routers R]
+//! peace-auditctl verify-replica --dir D [--seed N --users U --routers R]
+//! peace-auditctl query          --dir D [--router NAME --group G --epoch E
+//!                                        --kind K --since MS --until MS]
+//! peace-auditctl audit-sweep    --dir D [--since MS --until MS --apply]
+//! peace-auditctl export         --dir D [--out FILE]
+//! peace-auditctl gen-fixture    --dir D [--sessions N --replicate R]
 //! ```
 //!
 //! Trust material is replayed from the world spec (`--seed/--users/
@@ -45,6 +46,7 @@ fn main() -> ExitCode {
 
     let outcome = match cmd {
         "verify-chain" => cmd_verify(&spec, opt("--dir").as_deref()),
+        "verify-replica" => cmd_verify_replica(&spec, opt("--dir").as_deref()),
         "query" => cmd_query(
             opt("--dir").as_deref(),
             LedgerQuery {
@@ -64,7 +66,12 @@ fn main() -> ExitCode {
             args.iter().any(|a| a == "--apply"),
         ),
         "export" => cmd_export(opt("--dir").as_deref(), opt("--out").as_deref()),
-        "gen-fixture" => cmd_gen_fixture(&spec, opt("--dir").as_deref(), flag("--sessions", 3)),
+        "gen-fixture" => cmd_gen_fixture(
+            &spec,
+            opt("--dir").as_deref(),
+            flag("--sessions", 3),
+            flag("--replicate", 0) as usize,
+        ),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -88,12 +95,15 @@ fn print_help() {
     println!("PEACE accountability-ledger control tool\n");
     println!("commands:");
     println!("  verify-chain --dir D   replay the hash chain, check checkpoint signatures");
+    println!("  verify-replica --dir D replay every shard of a replica store, check each");
+    println!("                         chain and every pulled writer's signed checkpoints");
     println!(
         "  query        --dir D   indexed query (--router --group --epoch --kind --since --until)"
     );
     println!("  audit-sweep  --dir D   batch Open/Audit over a time range (--apply to persist)");
     println!("  export       --dir D   dump every record as JSON lines (--out FILE)");
-    println!("  gen-fixture  --dir D   build a small, checkpointed fixture ledger (--sessions N)");
+    println!("  gen-fixture  --dir D   build a small, checkpointed fixture ledger (--sessions N);");
+    println!("                         --replicate R builds R gossip-converged replica dirs");
     println!("\nworld flags: --seed N --users U --routers R (trust-material replay)");
 }
 
@@ -192,6 +202,36 @@ fn cmd_verify(spec: &WorldSpec, dir: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
+/// Offline verification of a whole replica directory: every shard chain
+/// replays (frames, hash chain) and every checkpoint signature — the
+/// local writer's and those pulled from peers — verifies against the
+/// replayed world's keys.
+fn cmd_verify_replica(spec: &WorldSpec, dir: Option<&str>) -> Result<(), String> {
+    let dir = need_dir(dir)?;
+    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let npk = *w.no.npk();
+    let report = peace::ledger::verify_replica(dir, &|signer: &str| {
+        (signer == "NO" || signer.starts_with("NO-")).then_some(npk)
+    })
+    .map_err(|e| format!("replica verification FAILED: {e}"))?;
+    for (writer, r) in &report.shards {
+        println!(
+            "shard {writer}: {} record(s) in {} segment(s), {} checkpoint(s) verified, head {}",
+            r.records,
+            r.segments,
+            r.checkpoints_verified,
+            hex32(&r.chain)
+        );
+    }
+    println!(
+        "replica OK: {} shard(s), {} record(s), {} checkpoint(s) verified",
+        report.shards.len(),
+        report.records(),
+        report.checkpoints_verified()
+    );
+    Ok(())
+}
+
 fn cmd_query(dir: Option<&str>, q: LedgerQuery) -> Result<(), String> {
     let ledger = open(need_dir(dir)?)?;
     let entries = ledger.query(&q).map_err(|e| e.to_string())?;
@@ -258,9 +298,19 @@ fn cmd_export(dir: Option<&str>, out: Option<&str>) -> Result<(), String> {
 /// Builds a small but fully featured fixture: real handshakes through the
 /// replayed world's routers, the transcripts chained as access records, a
 /// user revocation, and a final NO-signed checkpoint. Used by CI as the
-/// `verify-chain` smoke-test input.
-fn cmd_gen_fixture(spec: &WorldSpec, dir: Option<&str>, sessions: u64) -> Result<(), String> {
+/// `verify-chain` smoke-test input. With `--replicate R` it instead
+/// builds `R` gossip-converged replica directories (`replica-<i>`), the
+/// `verify-replica` smoke-test input.
+fn cmd_gen_fixture(
+    spec: &WorldSpec,
+    dir: Option<&str>,
+    sessions: u64,
+    replicate: usize,
+) -> Result<(), String> {
     let dir = need_dir(dir)?;
+    if replicate > 0 {
+        return gen_replicated_fixture(spec, dir, sessions, replicate);
+    }
     let mut w: BuiltWorld = build_world(spec).map_err(|e| e.to_string())?;
     let (mut ledger, _) = Ledger::open(dir, LedgerConfig::default()).map_err(|e| e.to_string())?;
     if !ledger.is_empty() {
@@ -315,6 +365,132 @@ fn cmd_gen_fixture(spec: &WorldSpec, dir: Option<&str>, sessions: u64) -> Result
         "fixture: {} record(s), checkpoint at seq {} in {dir}",
         ledger.len(),
         ck.seq
+    );
+    Ok(())
+}
+
+/// Builds `replicate` gossip-converged replica directories under `dir`:
+/// real handshake transcripts are accepted round-robin across the
+/// replicas (each acceptance checkpointed by that replica's shard), then
+/// every replica pulls every peer's checkpoint-attested ranges until all
+/// merged digests agree.
+fn gen_replicated_fixture(
+    spec: &WorldSpec,
+    dir: &str,
+    sessions: u64,
+    replicate: usize,
+) -> Result<(), String> {
+    use peace::ledger::{LedgerConfig, ReplicatedLedger};
+    if replicate < 2 {
+        return Err("--replicate needs at least 2 replicas".into());
+    }
+    let mut w: BuiltWorld = build_world(spec).map_err(|e| e.to_string())?;
+    let npk = *w.no.npk();
+    let resolve = move |s: &str| (s == "NO" || s.starts_with("NO-")).then_some(npk);
+
+    let mut replicas: Vec<ReplicatedLedger> = Vec::new();
+    for i in 0..replicate {
+        let path = std::path::Path::new(dir).join(format!("replica-{i}"));
+        let (mut rl, _) =
+            ReplicatedLedger::open(&path, &format!("NO-{i}"), LedgerConfig::default(), &resolve)
+                .map_err(|e| format!("replica {i} open failed: {e}"))?;
+        if !rl.local_mut().is_empty() {
+            return Err(format!(
+                "{} already holds a ledger; use an empty dir",
+                path.display()
+            ));
+        }
+        replicas.push(rl);
+    }
+
+    // Real transcripts, accepted round-robin across the replicas.
+    let mut now = 1_000u64;
+    for s in 0..sessions as usize {
+        let router = &mut w.routers[s % spec.routers];
+        let user = &mut w.users[s % spec.users];
+        let beacon = router.beacon(now, &mut w.rng);
+        let req = user
+            .request_access(&beacon, now + 50, &mut w.rng)
+            .map_err(|e| format!("fixture handshake failed: {e:?}"))?;
+        router
+            .process_access_request(&req, now + 100)
+            .map_err(|e| format!("fixture handshake rejected: {e:?}"))?;
+        now += 1_000;
+    }
+    let mut transcripts = Vec::new();
+    for router in &mut w.routers {
+        let name = router.id().0.clone();
+        for session in router.drain_log() {
+            transcripts.push((name.clone(), session));
+        }
+    }
+    for (i, (router, session)) in transcripts.into_iter().enumerate() {
+        let rl = &mut replicas[i % replicate];
+        rl.local_mut()
+            .append(
+                LedgerRecord::Access(peace::ledger::AccessRecord { router, session }),
+                now,
+            )
+            .map_err(|e| e.to_string())?;
+    }
+    for rl in &mut replicas {
+        if !rl.local_mut().is_empty() {
+            let signer = rl.local_id().to_owned();
+            rl.local_mut()
+                .checkpoint(w.no.signing_key(), &signer, now)
+                .map_err(|e| e.to_string())?;
+        }
+        rl.flush().map_err(|e| e.to_string())?;
+    }
+
+    // All-pairs pull gossip: each replica mirrors every peer writer's
+    // checkpoint-attested ranges, verifying the signature on each.
+    for dst in 0..replicate {
+        for src in 0..replicate {
+            if src == dst {
+                continue;
+            }
+            let (a, b) = if dst < src {
+                let (l, r) = replicas.split_at_mut(src);
+                (&mut l[dst], &r[0])
+            } else {
+                let (l, r) = replicas.split_at_mut(dst);
+                (&mut r[0], &l[src])
+            };
+            for d in b.digests() {
+                if d.writer == a.local_id() {
+                    continue;
+                }
+                let Some(target) = d.ckpt_seq else { continue };
+                loop {
+                    let from = a.shard_next_seq(&d.writer);
+                    if from > target {
+                        break;
+                    }
+                    match b.serve_range(&d.writer, from).map_err(|e| e.to_string())? {
+                        Some(range) => {
+                            a.ingest_range(&range, &resolve)
+                                .map_err(|e| e.to_string())?;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
+    let mut digests = Vec::new();
+    for rl in &mut replicas {
+        rl.flush().map_err(|e| e.to_string())?;
+        digests.push(rl.merged_digest().map_err(|e| e.to_string())?);
+    }
+    if !digests.windows(2).all(|w| w[0] == w[1]) {
+        return Err("replica fixture did not converge".into());
+    }
+    let records = replicas[0].total_records();
+    println!(
+        "replicated fixture: {replicate} replica(s) in {dir}, {records} record(s) each, merged digest {}",
+        hex32(&digests[0])
     );
     Ok(())
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! peace-noded no     --bind 127.0.0.1:7100 [--seed N --users U --routers R --ledger DIR]
-//! peace-noded router --bind 127.0.0.1:7200 --no ADDR --index K [--seed N ...]
+//!                    [--no-id NO-0 --peers ADDR,ADDR --gossip-ms N]
+//! peace-noded router --bind 127.0.0.1:7200 --no ADDR[,ADDR...] --index K [--seed N ...]
 //! peace-noded user   --no ADDR --router ADDR --index J [--seed N ...]
 //! peace-noded demo   [--users U --rounds N --ledger DIR]
 //! ```
@@ -12,6 +13,13 @@
 //! any key ever crossing a socket (see `peace::net::world`). `demo` runs
 //! the whole deployment — NO, two routers, `U` users — inside one process
 //! on loopback and publishes the merged telemetry of every daemon.
+//!
+//! With `--peers`, the NO role joins a replica federation: its ledger
+//! becomes a per-writer shard store (`--no-id` names the local shard),
+//! and a background gossip loop pulls checkpoint-attested entry ranges
+//! from each peer so every replica converges on the same merged view.
+//! Routers accept a comma-separated NO replica list and fail over to the
+//! next alive replica when a transcript report cannot reach the primary.
 //!
 //! Every role merges the process-global registry (crypto op counters,
 //! ledger timings) with each daemon's private registry into one
@@ -24,12 +32,12 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use peace::ledger::{Ledger, LedgerConfig};
+use peace::ledger::{Ledger, LedgerConfig, ReplicatedLedger};
 use peace::net::{
-    build_world, clock::wall_ms, ConnConfig, DaemonConfig, NetError, NoDaemon, RouterDaemon,
-    UserAgent, WorldSpec,
+    build_world, clock::wall_ms, ConnConfig, DaemonConfig, NetError, NoDaemon, PeerKeyResolver,
+    RouterDaemon, UserAgent, WorldSpec,
 };
-use peace::protocol::RetryPolicy;
+use peace::protocol::{ReplicaSet, RetryPolicy};
 use peace::telemetry::{global, Snapshot};
 
 fn main() -> ExitCode {
@@ -61,6 +69,9 @@ fn main() -> ExitCode {
             &spec,
             &opt("--bind").unwrap_or_else(|| "127.0.0.1:7100".into()),
             opt("--ledger").as_deref(),
+            opt("--no-id").as_deref(),
+            opt("--peers").as_deref(),
+            flag("--gossip-ms", 2_000),
             metrics_json.as_deref(),
         ),
         "router" => run_router(
@@ -107,11 +118,16 @@ fn print_help() {
     println!("PEACE node daemon — framed TCP runtime for the three node roles\n");
     println!("commands:");
     println!("  no     --bind A                  serve the revocation bulletin");
-    println!("  router --bind A --no A --index K serve beacons + access protocol");
+    println!("  router --bind A --no A[,A] --index K  serve beacons + access protocol");
     println!("  user   --no A --router A         poll bulletin, authenticate, echo");
     println!("  demo   [--users U --rounds N]    full deployment on loopback");
     println!("\nshared flags: --seed N --users U --routers R (world replay spec)");
     println!("ledger flags: --ledger DIR (no/demo: durable accountability ledger)");
+    println!("replica flags (no): --no-id NO-k --peers A,A --gossip-ms N");
+    println!("               joins a replica federation: per-writer shard store,");
+    println!("               background checkpoint gossip against each peer");
+    println!("failover (router): give --no a comma-separated replica list;");
+    println!("               transcript reports fail over to the next alive NO");
     println!("metrics flags: --metrics-json PATH (atomic peace-telemetry-v1 dumps;");
     println!("               periodic for no/router, final for user/demo)");
 }
@@ -150,12 +166,22 @@ fn daemon_cfg() -> DaemonConfig {
         max_connections: 64,
         connect_timeout: Duration::from_secs(5),
         drain: Duration::from_secs(3),
+        ..DaemonConfig::default()
     }
 }
 
 fn parse_addr(label: &str, s: Option<&str>) -> Result<SocketAddr, String> {
     let s = s.ok_or_else(|| format!("missing required {label} ADDR"))?;
     s.parse().map_err(|_| format!("bad {label} address: {s}"))
+}
+
+/// Parses a comma-separated address list (`--peers A,B` / `--no A,B`).
+fn parse_addr_list(label: &str, s: Option<&str>) -> Result<Vec<SocketAddr>, String> {
+    let s = s.ok_or_else(|| format!("missing required {label} ADDR[,ADDR...]"))?;
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.parse().map_err(|_| format!("bad {label} address: {p}")))
+        .collect()
 }
 
 /// Opens (recovering) a ledger at `dir`, reporting what recovery found.
@@ -188,16 +214,54 @@ fn open_ledger(dir: &str, npk: peace::ecdsa::VerifyingKey) -> Result<Ledger, Str
 /// kill mid-write is safe: each record is one `write(2)`, so recovery on
 /// the next start can only find (and discard) a torn tail, never a
 /// half-frame it would silently skip records over.
+#[allow(clippy::too_many_arguments)]
 fn run_no(
     spec: &WorldSpec,
     bind: &str,
     ledger_dir: Option<&str>,
+    no_id: Option<&str>,
+    peers: Option<&str>,
+    gossip_ms: u64,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let w = build_world(spec).map_err(|e| e.to_string())?;
     let npk = *w.no.npk();
     let no = NoDaemon::spawn(w.no, bind, daemon_cfg()).map_err(|e| e.to_string())?;
-    if let Some(dir) = ledger_dir {
+    let federated = no_id.is_some() || peers.is_some();
+    if federated {
+        // Replica federation: the ledger becomes a per-writer shard
+        // store, peers gossip checkpoint-attested ranges in the
+        // background. All replicas replay the same ceremony, so NO's
+        // certified key verifies every writer's checkpoints.
+        let dir =
+            ledger_dir.ok_or("replication (--no-id/--peers) requires --ledger DIR".to_string())?;
+        let id = no_id.unwrap_or("NO-0");
+        let resolve = move |s: &str| (s == "NO" || s.starts_with("NO-")).then_some(npk);
+        let (replica, recovery) =
+            ReplicatedLedger::open(dir, id, LedgerConfig::default(), &resolve)
+                .map_err(|e| format!("replica open failed: {e}"))?;
+        for (writer, rep) in &recovery.shards {
+            let how = match rep.resumed_from {
+                Some(seq) => format!("resumed from checkpoint seq {seq}"),
+                None => "full chain replay".into(),
+            };
+            println!("replica shard {writer}: {} record(s), {how}", rep.records);
+        }
+        no.attach_replica(replica, std::sync::Arc::new(resolve) as PeerKeyResolver);
+        let peer_addrs = match peers {
+            Some(p) => parse_addr_list("--peers", Some(p))?,
+            None => Vec::new(),
+        };
+        if peer_addrs.is_empty() {
+            println!("replica {id}: no peers yet (standalone shard store)");
+        } else {
+            println!(
+                "replica {id}: gossiping with {} peer(s) every {gossip_ms} ms",
+                peer_addrs.len()
+            );
+            no.start_gossip(peer_addrs, Duration::from_millis(gossip_ms));
+        }
+    } else if let Some(dir) = ledger_dir {
         no.attach_ledger(open_ledger(dir, npk)?);
     }
     println!("peace-noded: NO bulletin daemon on {}", no.addr());
@@ -218,7 +282,9 @@ fn run_no(
 }
 
 /// Runs router `--index` from the replayed world, refreshing lists from NO
-/// and reporting accumulated session transcripts every 15 seconds.
+/// and reporting accumulated session transcripts every 15 seconds. With a
+/// comma-separated `--no` list, reports fail over across the NO replicas
+/// (primary first, then the next alive one).
 fn run_router(
     spec: &WorldSpec,
     bind: &str,
@@ -226,7 +292,11 @@ fn run_router(
     index: usize,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
-    let no_addr = parse_addr("--no", no_addr)?;
+    let no_addrs = parse_addr_list("--no", no_addr)?;
+    if no_addrs.is_empty() {
+        return Err("--no needs at least one address".into());
+    }
+    let mut replicas = ReplicaSet::new(no_addrs.iter().copied(), RetryPolicy::default());
     let w = build_world(spec).map_err(|e| e.to_string())?;
     let router = w.routers.into_iter().nth(index).ok_or_else(|| {
         format!(
@@ -238,17 +308,30 @@ fn run_router(
         .map_err(|e| e.to_string())?;
     println!("peace-noded: router MR-{index} on {}", daemon.addr());
     loop {
-        match daemon.refresh_lists(no_addr) {
-            Ok(v) => println!("lists refreshed from {no_addr}: URL v{v}"),
-            Err(e) => eprintln!("list refresh failed (will retry): {e}"),
+        // Lists come from whichever replica answers first — every replica
+        // replays the same ceremony, so the bulletin is identical.
+        let mut refreshed = false;
+        for &addr in &no_addrs {
+            match daemon.refresh_lists(addr) {
+                Ok(v) => {
+                    println!("lists refreshed from {addr}: URL v{v}");
+                    refreshed = true;
+                    break;
+                }
+                Err(e) => eprintln!("list refresh from {addr} failed: {e}"),
+            }
+        }
+        if !refreshed {
+            eprintln!("no NO replica reachable for lists (will retry)");
         }
         std::thread::sleep(Duration::from_secs(15));
-        // Ship accumulated transcripts to NO; unreported sessions are
-        // requeued on failure, so the next cycle retries them.
-        match daemon.report_sessions(no_addr) {
+        // Ship accumulated transcripts with failover; unreported sessions
+        // are requeued (bounded) on total failure, so the next cycle
+        // retries them.
+        match daemon.report_sessions_failover(&mut replicas) {
             Ok(0) => {}
-            Ok(n) => println!("reported {n} session transcript(s) to {no_addr}"),
-            Err(e) => eprintln!("session report failed (will retry): {e}"),
+            Ok(n) => println!("reported {n} session transcript(s)"),
+            Err(e) => eprintln!("session report failed on every replica (will retry): {e}"),
         }
         dump_metrics(metrics_json, &[("router", daemon.telemetry())]);
     }

@@ -46,6 +46,12 @@ FLOORS = {
     },
     "ledger_report": {
         "recovery_records_per_sec": 20_000.0,
+        # Replica catch-up (pull + verify + re-chain) is recovery plus an
+        # ECDSA checkpoint verification per range and a second chained
+        # write path, so its floor sits well below the raw recovery floor
+        # (measured ~1.9k/s; the floor catches losing range-bounded pulls,
+        # not drift).
+        "catchup_records_per_sec": 300.0,
     },
 }
 
