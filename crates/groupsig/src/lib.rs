@@ -35,8 +35,10 @@ mod sig;
 
 pub use keys::{GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken};
 pub use sig::{
-    h0_bases, open, open_batch, revocation_index, revocation_sweep, sign, token_matches, verify,
-    verify_batch, BasesMode, GroupSignature, PreparedGpk, RevocationTable, VerifyError,
+    h0_bases, open, open_batch, revocation_index, revocation_sweep, revocation_sweep_grid,
+    set_sweep_spawn_threshold, sign, sweep_spawn_threshold, token_matches, verify, verify_batch,
+    BasesMode, GroupSignature, PreparedGpk, RevocationTable, VerifyError,
+    DEFAULT_SWEEP_SPAWN_THRESHOLD,
 };
 
 // Re-export the op-counter snapshot and scope guard for the E2 benchmark.

@@ -385,6 +385,58 @@ impl PreparedGpk {
         Ok(revocation_sweep(sig, url, &u_hat, &v_hat))
     }
 
+    /// Σ-protocol verification that **returns the derived H₀ bases** on
+    /// success, so a staged revocation pipeline (prefilter → cache →
+    /// sweep; see `peace-revoke`) can reuse them without re-running the
+    /// two hash-to-curve derivations [`Self::verify_and_check`] shares
+    /// internally.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::verify`].
+    pub fn verify_bases(
+        &self,
+        msg: &[u8],
+        sig: &GroupSignature,
+        mode: BasesMode,
+    ) -> Result<(G2, G2), VerifyError> {
+        let (u_hat, v_hat) = h0_bases(&self.gpk, msg, &sig.r, mode);
+        self.verify_with_bases(msg, sig, &u_hat, &v_hat)?;
+        Ok((u_hat, v_hat))
+    }
+
+    /// Batched [`Self::verify_bases`]: one shared final exponentiation for
+    /// the whole burst's Σ-protocol checks, each success carrying its H₀
+    /// bases out for an external revocation stage. `out[i]` is `Ok` exactly
+    /// when [`Self::verify`] would accept `items[i]`.
+    pub fn verify_batch_bases(
+        &self,
+        items: &[(&[u8], &GroupSignature)],
+        mode: BasesMode,
+    ) -> Vec<Result<(G2, G2), VerifyError>> {
+        let legs = sigma_legs(&self.gpk, items, mode, &|sig| {
+            (
+                self.mul_g2_w(&sig.s_x, &sig.c),
+                self.mul_w_g2(&sig.s_alpha, &sig.s_delta),
+            )
+        });
+        let sigma = finish_sigma_batch(&self.gpk, items, &legs, &|c| {
+            self.e_g1_g2_table.pow(c).invert()
+        });
+        sigma
+            .into_iter()
+            .zip(&legs)
+            .map(|(r, leg)| {
+                r.map(|()| {
+                    let SigmaLeg::Live { u_hat, v_hat, .. } = leg else {
+                        unreachable!("a degenerate leg never verifies");
+                    };
+                    (*u_hat, *v_hat)
+                })
+            })
+            .collect()
+    }
+
     fn verify_with_bases(
         &self,
         msg: &[u8],
@@ -481,7 +533,7 @@ impl PreparedGpk {
         let n = url.len();
         let cells = fill_indexed(
             live.len() * n,
-            PARALLEL_SWEEP_THRESHOLD,
+            sweep_spawn_threshold(),
             MillerValue::ONE,
             &|k| {
                 let (row, col) = (k / n, k % n);
@@ -686,10 +738,34 @@ pub fn token_matches(
     pairing_product(&[(lhs, *u_hat), (sig.t1.neg(), *v_hat)]).is_one()
 }
 
-/// Token count at and above which [`revocation_sweep`] fans the per-token
-/// Miller loops out across OS threads. Below this the spawn overhead beats
-/// the ~0.5 ms a Miller loop costs.
-const PARALLEL_SWEEP_THRESHOLD: usize = 32;
+/// Default token count at and above which [`revocation_sweep`] fans the
+/// per-token Miller loops out across OS threads — the break-even measured
+/// on the reference box (a full scoped fan-out costs tens of microseconds;
+/// a Miller loop ~0.4 ms, so threading pays from a handful of tokens with
+/// headroom for slower spawn paths).
+pub const DEFAULT_SWEEP_SPAWN_THRESHOLD: usize = 8;
+
+/// Process-wide sweep fan-out threshold (see
+/// [`set_sweep_spawn_threshold`]). Stored as an atomic so long-lived
+/// verifiers (router daemons) can retune it from telemetry without a lock
+/// on the hot path.
+static SWEEP_SPAWN_THRESHOLD: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(DEFAULT_SWEEP_SPAWN_THRESHOLD);
+
+/// The current sweep fan-out threshold: URLs with at least this many
+/// tokens spread their Miller loops across OS threads.
+pub fn sweep_spawn_threshold() -> usize {
+    SWEEP_SPAWN_THRESHOLD.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Sets the sweep fan-out threshold, returning the previous value.
+///
+/// Values are clamped to at least 2 — a 1-element sweep never spawns
+/// (there is nothing to parallelize and the spawn overhead is pure loss),
+/// which [`fill_indexed`] additionally guarantees structurally.
+pub fn set_sweep_spawn_threshold(n: usize) -> usize {
+    SWEEP_SPAWN_THRESHOLD.swap(n.max(2), std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Batch size at and above which [`verify_batch`] fans per-signature work
 /// out across OS threads. Each item costs two hash-to-curve runs, six
@@ -699,7 +775,9 @@ const PARALLEL_VERIFY_THRESHOLD: usize = 4;
 
 /// Computes `f(0..len)` positionally, fanning contiguous chunks out across
 /// OS threads once `len` reaches `threshold` (per-element work is at least
-/// one Miller loop). Single-threaded below the threshold; results are
+/// one Miller loop). Single-threaded below the threshold — and always for
+/// `len <= 1`, whatever the threshold says: a single element has nothing to
+/// parallelize, so spawn overhead would be pure regression. Results are
 /// index-ordered either way.
 fn fill_indexed<T: Clone + Send>(
     len: usize,
@@ -707,7 +785,7 @@ fn fill_indexed<T: Clone + Send>(
     placeholder: T,
     f: &(dyn Fn(usize) -> T + Sync),
 ) -> Vec<T> {
-    if len < threshold {
+    if len < threshold || len <= 1 {
         return (0..len).map(f).collect();
     }
     let workers = std::thread::available_parallelism()
@@ -756,13 +834,57 @@ pub fn revocation_sweep(
     let shared = miller(&sig.t1.neg(), v_hat);
     let values = fill_indexed(
         tokens.len(),
-        PARALLEL_SWEEP_THRESHOLD,
+        sweep_spawn_threshold(),
         MillerValue::ONE,
         &|i| miller(&sig.t2.sub(&tokens[i].0), u_hat).mul(&shared),
     );
     MillerValue::finalize_batch(&values)
         .iter()
         .position(Gt::is_one)
+}
+
+/// Shared-Miller revocation sweep over **many signatures at once** against
+/// one token list: the full signature×token grid of Eq.3 checks collapses
+/// into a single [`MillerValue::finalize_batch`] pass (one field inversion,
+/// one hard-part exponentiation for the whole grid), with each row's
+/// token-independent `f_{q,−T₁}(φ(v̂))` factor computed once. Rows carry
+/// their own H₀ bases — typically the ones
+/// [`PreparedGpk::verify_batch_bases`] returned.
+///
+/// `out[i]` is the matching token index for `rows[i]`, or `None` when the
+/// signer is unrevoked — exactly what a per-row [`revocation_sweep`] would
+/// return.
+pub fn revocation_sweep_grid(
+    rows: &[(&GroupSignature, G2, G2)],
+    tokens: &[RevocationToken],
+) -> Vec<Option<usize>> {
+    let n = tokens.len();
+    if rows.is_empty() || n == 0 {
+        return vec![None; rows.len()];
+    }
+    let shared = fill_indexed(
+        rows.len(),
+        PARALLEL_VERIFY_THRESHOLD,
+        MillerValue::ONE,
+        &|j| {
+            let (sig, _, v_hat) = &rows[j];
+            miller(&sig.t1.neg(), v_hat)
+        },
+    );
+    let cells = fill_indexed(
+        rows.len() * n,
+        sweep_spawn_threshold(),
+        MillerValue::ONE,
+        &|k| {
+            let (row, col) = (k / n, k % n);
+            let (sig, u_hat, _) = &rows[row];
+            miller(&sig.t2.sub(&tokens[col].0), u_hat).mul(&shared[row])
+        },
+    );
+    let finals = MillerValue::finalize_batch(&cells);
+    (0..rows.len())
+        .map(|r| finals[r * n..(r + 1) * n].iter().position(Gt::is_one))
+        .collect()
 }
 
 /// Scans the URL for a token encoded in `(T₁, T₂)` (paper step 3.3).
@@ -839,7 +961,7 @@ pub fn open_batch(
         }
         let vals = fill_indexed(
             live.len(),
-            PARALLEL_SWEEP_THRESHOLD,
+            sweep_spawn_threshold(),
             MillerValue::ONE,
             &|j| {
                 let (u_hat, shared, t2) = &prep[live[j]];
@@ -928,5 +1050,51 @@ impl RevocationTable {
         let (u_hat, v_hat) = self.u_hat.as_ref()?;
         let d = pairing(&sig.t2, u_hat).div(&pairing(&sig.t1, v_hat));
         self.entries.get(&d.to_bytes()).copied()
+    }
+}
+
+#[cfg(test)]
+mod threshold_tests {
+    use super::*;
+
+    /// Regression (scalable-revocation satellite): a 1-element URL must
+    /// never spawn threads, no matter how aggressive the fan-out threshold
+    /// is — the spawn overhead cannot be repaid by a single Miller loop.
+    #[test]
+    fn one_element_fill_never_spawns() {
+        let main_id = std::thread::current().id();
+        for threshold in [0usize, 1, 2] {
+            let ids = fill_indexed(1, threshold, None, &|_| Some(std::thread::current().id()));
+            assert_eq!(ids, vec![Some(main_id)], "threshold {threshold} spawned");
+        }
+        // Zero elements: nothing runs, nothing spawns.
+        let empty = fill_indexed(0, 0, None::<std::thread::ThreadId>, &|_| {
+            unreachable!("no elements to fill")
+        });
+        assert!(empty.is_empty());
+    }
+
+    /// Two elements at a permissive threshold *do* fan out (the guard is
+    /// specifically about the 1-element case, not a blanket serialization).
+    #[test]
+    fn two_elements_fan_out_at_low_threshold() {
+        let main_id = std::thread::current().id();
+        let ids = fill_indexed(2, 2, None, &|_| Some(std::thread::current().id()));
+        assert_eq!(ids.len(), 2);
+        assert!(
+            ids.iter().all(|id| id.is_some() && *id != Some(main_id)),
+            "a met threshold must spawn workers"
+        );
+    }
+
+    #[test]
+    fn threshold_setter_clamps_and_roundtrips() {
+        let prior = sweep_spawn_threshold();
+        let returned = set_sweep_spawn_threshold(1);
+        assert_eq!(returned, prior);
+        assert_eq!(sweep_spawn_threshold(), 2, "clamped to the minimum of 2");
+        set_sweep_spawn_threshold(64);
+        assert_eq!(sweep_spawn_threshold(), 64);
+        set_sweep_spawn_threshold(prior);
     }
 }

@@ -455,6 +455,38 @@ fn serve(
                     return;
                 }
             }
+            Ok(NodeMessage::GetUrlDelta {
+                epoch,
+                have_version,
+            }) => {
+                // O(churn) fast lane: a signed diff when one chains from
+                // the caller's (epoch, version), else None → full bulletin.
+                // A freshly-signed CRL and a detached URL re-stamp ride
+                // along either way: the CRL is router-scale (small) and
+                // the re-stamp is O(1), and the caller's beacons need
+                // both lists younger than list_max_age between full
+                // fetches.
+                let now = wall_ms();
+                let (crl, restamp, delta) = {
+                    let op = lock_recover(no);
+                    (
+                        op.publish_crl(now),
+                        op.restamp_url(now),
+                        op.publish_url_delta(epoch, have_version, now),
+                    )
+                };
+                if delta.is_some() {
+                    metrics.url_deltas_out.inc();
+                }
+                let reply = NodeMessage::UrlDelta {
+                    crl: Box::new(crl),
+                    restamp,
+                    delta: delta.map(Box::new),
+                };
+                if conn.send(&reply).is_err() {
+                    return;
+                }
+            }
             Ok(NodeMessage::Bye) | Err(NetError::Closed) => return,
             Ok(_) => {
                 let _ = conn.send(&NodeMessage::Reject {

@@ -155,6 +155,78 @@ impl RouterDaemon {
         Ok(version)
     }
 
+    /// Refreshes the router's URL by the O(churn) delta path: asks NO for
+    /// a signed diff from the router's current `(epoch, version)` and
+    /// chains it onto the enforcement engine. Falls back to a full
+    /// [`Self::refresh_lists`] when NO cannot serve a chaining delta, or
+    /// when the served delta fails to chain locally (both counted in
+    /// `url_delta_fallbacks`). Returns the URL version now in force.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the poll; [`NetError::Protocol`] if the delta
+    /// signature/freshness check fails; [`NetError::Unexpected`] on a
+    /// non-delta reply.
+    pub fn refresh_lists_delta(&self, no_addr: SocketAddr) -> Result<u64> {
+        let (epoch, have_version) = {
+            let router = lock_recover(&self.router);
+            (
+                router.revocation().epoch(),
+                router.revocation().url_version(),
+            )
+        };
+        let mut conn = Connection::dial(
+            no_addr,
+            self.cfg.connect_timeout,
+            self.cfg.conn,
+            Arc::clone(&self.metrics),
+        )?;
+        conn.send(&NodeMessage::GetUrlDelta {
+            epoch,
+            have_version,
+        })?;
+        let reply = conn.recv()?;
+        conn.close();
+        let NodeMessage::UrlDelta {
+            crl,
+            restamp,
+            delta,
+        } = reply
+        else {
+            return Err(NetError::Unexpected("NO replied with a non-delta"));
+        };
+        let Some(signed) = delta else {
+            // NO cannot chain from our state (epoch rotated away, or we
+            // are behind the retained diff log): full fetch.
+            self.metrics.url_delta_fallbacks.inc();
+            return self.refresh_lists(no_addr);
+        };
+        let applied = {
+            let now = wall_ms();
+            let mut router = lock_recover(&self.router);
+            // The piggybacked CRL and URL re-stamp keep beacons fresh
+            // across delta-only refresh cycles; without them clients
+            // reject beacons as stale once the provisioning lists age
+            // past list_max_age.
+            router.update_crl(*crl, now).map_err(NetError::Protocol)?;
+            router
+                .apply_url_delta(&signed, now)
+                .and_then(|outcome| router.adopt_url_restamp(&restamp, now).map(|()| outcome))
+        };
+        match applied {
+            Ok(_) => {
+                self.metrics.url_deltas_out.inc();
+                Ok(lock_recover(&self.router).revocation().url_version())
+            }
+            Err(peace_protocol::ProtocolError::UrlDeltaChain) => {
+                // Chain refusal is transient by contract: resync in full.
+                self.metrics.url_delta_fallbacks.inc();
+                self.refresh_lists(no_addr)
+            }
+            Err(e) => Err(NetError::Protocol(e)),
+        }
+    }
+
     /// Runs `f` against the live router entity (log draining, attack-mode
     /// overrides).
     pub fn with_router<R>(&self, f: impl FnOnce(&mut MeshRouter) -> R) -> R {

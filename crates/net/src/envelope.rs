@@ -8,7 +8,9 @@
 
 use peace_ledger::{RangeData, WriterDigest};
 use peace_protocol::audit::LoggedSession;
-use peace_protocol::{AccessConfirm, AccessRequest, Beacon, SignedCrl, SignedUrl};
+use peace_protocol::{
+    AccessConfirm, AccessRequest, Beacon, SignedCrl, SignedUrl, SignedUrlDelta, UrlRestamp,
+};
 use peace_wire::{Decode, Encode, Reader, WireError, Writer};
 
 /// Envelope magic: "PCN" + format revision.
@@ -48,6 +50,8 @@ mod kind {
     pub const CKPT_GOSSIP: u8 = 12;
     pub const RANGE_PULL: u8 = 13;
     pub const RANGE_PUSH: u8 = 14;
+    pub const GET_URL_DELTA: u8 = 15;
+    pub const URL_DELTA: u8 = 16;
 }
 
 /// The revocation bulletin served by the NO daemon: epoch number plus the
@@ -148,6 +152,31 @@ pub enum NodeMessage {
         /// The served range (boxed: ranges dwarf every other body).
         range: Option<Box<RangeData>>,
     },
+    /// Ask the NO daemon for a delta-compressed URL diff from the caller's
+    /// current `(epoch, have_version)` — O(churn) bytes instead of the
+    /// full bulletin.
+    GetUrlDelta {
+        /// The caller's URL epoch partition.
+        epoch: u64,
+        /// The caller's current URL version.
+        have_version: u64,
+    },
+    /// The NO daemon's delta response: a signed diff, or `None` when no
+    /// delta can chain from the requested point (wrong epoch or behind
+    /// the retained diff log) — fall back to a full bulletin fetch.
+    UrlDelta {
+        /// A freshly-signed CRL, always included: the CRL is O(revoked
+        /// routers) — small — and beacons must carry one younger than
+        /// `list_max_age`, so delta-only refresh cycles re-ship it whole
+        /// while the user-scale URL travels as a diff.
+        crl: Box<SignedCrl>,
+        /// A detached URL freshness re-stamp (O(1) bytes): the caller
+        /// materializes a fresh beacon-carried `SignedUrl` from its
+        /// delta-synced token set plus this signature.
+        restamp: UrlRestamp,
+        /// The signed diff (boxed: carries token lists).
+        delta: Option<Box<SignedUrlDelta>>,
+    },
 }
 
 impl NodeMessage {
@@ -168,6 +197,8 @@ impl NodeMessage {
             NodeMessage::CkptGossip { .. } => "ckpt-gossip",
             NodeMessage::RangePull { .. } => "range-pull",
             NodeMessage::RangePush { .. } => "range-push",
+            NodeMessage::GetUrlDelta { .. } => "get-url-delta",
+            NodeMessage::UrlDelta { .. } => "url-delta",
         }
     }
 }
@@ -237,6 +268,30 @@ impl Encode for NodeMessage {
                     None => w.put_u8(0),
                 }
             }
+            NodeMessage::GetUrlDelta {
+                epoch,
+                have_version,
+            } => {
+                w.put_u8(kind::GET_URL_DELTA);
+                w.put_u64(*epoch);
+                w.put_u64(*have_version);
+            }
+            NodeMessage::UrlDelta {
+                crl,
+                restamp,
+                delta,
+            } => {
+                w.put_u8(kind::URL_DELTA);
+                crl.encode(w);
+                restamp.encode(w);
+                match delta {
+                    Some(d) => {
+                        w.put_u8(1);
+                        d.encode(w);
+                    }
+                    None => w.put_u8(0),
+                }
+            }
         }
     }
 }
@@ -294,6 +349,24 @@ impl Decode for NodeMessage {
                     _ => return Err(WireError::Invalid("envelope.range flag")),
                 };
                 Ok(NodeMessage::RangePush { range })
+            }
+            kind::GET_URL_DELTA => Ok(NodeMessage::GetUrlDelta {
+                epoch: r.get_u64()?,
+                have_version: r.get_u64()?,
+            }),
+            kind::URL_DELTA => {
+                let crl = Box::new(SignedCrl::decode(r)?);
+                let restamp = UrlRestamp::decode(r)?;
+                let delta = match r.get_u8()? {
+                    0 => None,
+                    1 => Some(Box::new(SignedUrlDelta::decode(r)?)),
+                    _ => return Err(WireError::Invalid("envelope.delta flag")),
+                };
+                Ok(NodeMessage::UrlDelta {
+                    crl,
+                    restamp,
+                    delta,
+                })
             }
             _ => Err(WireError::Invalid("envelope.kind")),
         }
@@ -365,6 +438,42 @@ mod tests {
     }
 
     #[test]
+    fn url_delta_kinds_roundtrip() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        roundtrip(&NodeMessage::GetUrlDelta {
+            epoch: 2,
+            have_version: 41,
+        });
+        let mut rng = StdRng::seed_from_u64(6);
+        let key = peace_ecdsa::SigningKey::random(&mut rng);
+        let crl = SignedCrl::issue(&key, 3, 1_200, vec![9, 11]);
+        let tok = peace_groupsig::RevocationToken(peace_curve::G1::random(&mut rng));
+        let restamp = UrlRestamp::issue(&key, 43, 1_200, std::slice::from_ref(&tok));
+        roundtrip(&NodeMessage::UrlDelta {
+            crl: Box::new(crl.clone()),
+            restamp: restamp.clone(),
+            delta: None,
+        });
+        let signed = SignedUrlDelta::issue(
+            &key,
+            peace_revoke::UrlDelta {
+                epoch: 2,
+                from_version: 41,
+                to_version: 43,
+                added: vec![tok],
+                removed: vec![],
+            },
+            1_234,
+        );
+        roundtrip(&NodeMessage::UrlDelta {
+            crl: Box::new(crl),
+            restamp,
+            delta: Some(Box::new(signed)),
+        });
+    }
+
+    #[test]
     fn bad_magic_version_kind_rejected() {
         let mut bytes = NodeMessage::GetBeacon.to_wire();
         bytes[0] ^= 0xFF;
@@ -423,6 +532,20 @@ mod tests {
                 from_seq: 0,
             },
             NodeMessage::RangePush { range: None },
+            NodeMessage::GetUrlDelta {
+                epoch: 0,
+                have_version: 0,
+            },
+            {
+                let key = peace_ecdsa::SigningKey::random(
+                    &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
+                );
+                NodeMessage::UrlDelta {
+                    crl: Box::new(SignedCrl::issue(&key, 0, 0, vec![])),
+                    restamp: UrlRestamp::issue(&key, 0, 0, &[]),
+                    delta: None,
+                }
+            },
         ];
         let names: std::collections::HashSet<_> = msgs.iter().map(|m| m.kind_name()).collect();
         assert_eq!(names.len(), msgs.len());

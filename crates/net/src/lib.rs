@@ -49,4 +49,4 @@ pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN};
 pub use metrics::{ConnStats, MetricsSnapshot, NetMetrics};
 pub use peace_protocol::Transient;
 pub use proxy::{FaultProxy, ProxyConfig, ProxyStats};
-pub use world::{build_world, BuiltWorld, WorldSpec};
+pub use world::{build_world, build_world_with, BuiltWorld, WorldSpec};

@@ -63,6 +63,11 @@ pub struct NetMetrics {
     /// Pending transcripts dropped (oldest-first) at the outbox cap after
     /// every configured NO replica refused a report.
     pub transcripts_dropped: Arc<Counter>,
+    /// Signed URL deltas served (NO side) or applied (router side).
+    pub url_deltas_out: Arc<Counter>,
+    /// Router delta refreshes that had to fall back to a full bulletin
+    /// fetch (stale epoch, behind the diff log, or a chain refusal).
+    pub url_delta_fallbacks: Arc<Counter>,
     /// User side: GetBeacon → Beacon leg of the handshake (µs).
     pub hs_beacon_us: Arc<Histogram>,
     /// User side: AccessRequest → AccessConfirm leg (µs).
@@ -103,6 +108,8 @@ impl NetMetrics {
             repl_records_in: c("net.repl_records_in"),
             failovers: c("net.failovers"),
             transcripts_dropped: c("net.transcripts_dropped"),
+            url_deltas_out: c("net.url_deltas_out"),
+            url_delta_fallbacks: c("net.url_delta_fallbacks"),
             hs_beacon_us: h("net.hs_beacon_us"),
             hs_confirm_us: h("net.hs_confirm_us"),
             hs_total_us: h("net.hs_total_us"),
@@ -147,6 +154,8 @@ impl NetMetrics {
             repl_records_in: self.repl_records_in.get(),
             failovers: self.failovers.get(),
             transcripts_dropped: self.transcripts_dropped.get(),
+            url_deltas_out: self.url_deltas_out.get(),
+            url_delta_fallbacks: self.url_delta_fallbacks.get(),
         }
     }
 
@@ -207,6 +216,10 @@ pub struct MetricsSnapshot {
     pub failovers: u64,
     /// Transcripts dropped at the bounded outbox cap.
     pub transcripts_dropped: u64,
+    /// Signed URL deltas served/applied.
+    pub url_deltas_out: u64,
+    /// Delta refreshes that fell back to a full bulletin fetch.
+    pub url_delta_fallbacks: u64,
 }
 
 /// Per-connection statistics, kept as plain integers on the connection

@@ -66,8 +66,21 @@ pub struct BuiltWorld {
 /// [`NetError::Unexpected`] if any ceremony step fails — impossible for a
 /// well-formed spec, but the runtime never panics.
 pub fn build_world(spec: &WorldSpec) -> Result<BuiltWorld> {
+    build_world_with(spec, ProtocolConfig::default())
+}
+
+/// [`build_world`] with an explicit protocol configuration — e.g.
+/// fixed-bases mode with the router-side revocation prefilter armed
+/// (`peace-noded --prefilter`). The config does not feed the RNG, but
+/// every process in a deployment must pass the same one so signers and
+/// verifiers agree on the bases mode.
+///
+/// # Errors
+///
+/// [`NetError::Unexpected`] if any ceremony step fails.
+pub fn build_world_with(spec: &WorldSpec, config: ProtocolConfig) -> Result<BuiltWorld> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let mut no = NetworkOperator::new(ProtocolConfig::default(), &mut rng);
+    let mut no = NetworkOperator::new(config, &mut rng);
 
     let gid: GroupId = no.register_group("metro-users", &mut rng);
     let (gm_bundle, ttp_bundle) = no

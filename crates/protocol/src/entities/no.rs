@@ -6,13 +6,14 @@ use std::collections::HashMap;
 
 use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
 use peace_groupsig::{open, GroupPublicKey, GroupSecret, IssuerKey, MemberKey, RevocationToken};
+use peace_revoke::{DeltaPlan, EpochUrlStore};
 use rand::RngCore;
 
 use crate::audit::{AuditFinding, LoggedSession, NetworkLog};
 use crate::config::ProtocolConfig;
 use crate::error::{ProtocolError, Result};
 use crate::ids::{GroupId, RouterId, SessionId, ShareIndex};
-use crate::revocation::{SignedCrl, SignedUrl};
+use crate::revocation::{SignedCrl, SignedUrl, SignedUrlDelta};
 use crate::setup::{blind_a, GmBundle, GmShare, TtpBundle, TtpShare};
 
 use super::router::MeshRouter;
@@ -33,8 +34,8 @@ pub struct NetworkOperator {
     /// Full registry `grt`: token bytes → share index.
     grt: HashMap<Vec<u8>, ShareIndex>,
     grt_order: Vec<RevocationToken>,
-    revoked_tokens: Vec<RevocationToken>,
-    url_version: u64,
+    /// The live URL: epoch-partitioned, versioned, delta-loggable.
+    url: EpochUrlStore,
     crl_serials: Vec<u64>,
     crl_version: u64,
     next_serial: u64,
@@ -48,7 +49,7 @@ impl std::fmt::Debug for NetworkOperator {
         f.debug_struct("NetworkOperator")
             .field("groups", &self.groups.len())
             .field("grt", &self.grt_order.len())
-            .field("revoked", &self.revoked_tokens.len())
+            .field("revoked", &self.url.len())
             .finish()
     }
 }
@@ -67,8 +68,7 @@ impl NetworkOperator {
             next_slot: HashMap::new(),
             grt: HashMap::new(),
             grt_order: Vec::new(),
-            revoked_tokens: Vec::new(),
-            url_version: 0,
+            url: EpochUrlStore::new(0),
             crl_serials: Vec::new(),
             crl_version: 0,
             next_serial: 1,
@@ -177,6 +177,7 @@ impl NetworkOperator {
             *self.gpk(),
             *self.npk(),
             self.config,
+            self.epoch,
             self.publish_crl(0),
             self.publish_url(0),
         )
@@ -196,10 +197,51 @@ impl NetworkOperator {
     pub fn publish_url(&self, now: u64) -> SignedUrl {
         SignedUrl::issue(
             &self.signing,
-            self.url_version,
+            self.url.version(),
             now,
-            self.revoked_tokens.clone(),
+            self.url.tokens().to_vec(),
         )
+    }
+
+    /// Publishes a detached URL freshness re-stamp: an O(1)-size
+    /// signature over the canonical ordering of the current list, from
+    /// which a delta-synced consumer materializes a fresh
+    /// [`SignedUrl`](crate::revocation::SignedUrl) without the token
+    /// list crossing the wire.
+    pub fn restamp_url(&self, now: u64) -> crate::revocation::UrlRestamp {
+        crate::revocation::UrlRestamp::issue(
+            &self.signing,
+            self.url.version(),
+            now,
+            self.url.tokens(),
+        )
+    }
+
+    /// Publishes a signed delta bringing a consumer at
+    /// `(epoch, have_version)` up to the current URL, containing only the
+    /// churn since then. Returns `None` when no delta can chain (wrong
+    /// epoch or the consumer is behind the retained diff log) — the caller
+    /// must fall back to [`Self::publish_url`]. A consumer that is already
+    /// current receives an empty delta (applies as a no-op), so the reply
+    /// is still operator-authenticated.
+    pub fn publish_url_delta(
+        &self,
+        epoch: u64,
+        have_version: u64,
+        now: u64,
+    ) -> Option<SignedUrlDelta> {
+        let delta = match self.url.delta_since(epoch, have_version) {
+            DeltaPlan::Delta(d) => d,
+            DeltaPlan::UpToDate => peace_revoke::UrlDelta {
+                epoch: self.url.epoch(),
+                from_version: self.url.version(),
+                to_version: self.url.version(),
+                added: Vec::new(),
+                removed: Vec::new(),
+            },
+            DeltaPlan::NeedFull => return None,
+        };
+        Some(SignedUrlDelta::issue(&self.signing, delta, now))
     }
 
     /// Revokes a member key by its revocation token (dynamic user
@@ -208,11 +250,14 @@ impl NetworkOperator {
         if !self.grt.contains_key(&token.to_bytes()) {
             return false;
         }
-        if !self.revoked_tokens.contains(token) {
-            self.revoked_tokens.push(*token);
-            self.url_version += 1;
-        }
+        self.url.record_add(token);
         true
+    }
+
+    /// Lifts a member revocation (e.g. a resolved dispute), removing the
+    /// token from the URL. Returns `false` if it was not listed.
+    pub fn reinstate_member(&mut self, token: &RevocationToken) -> bool {
+        self.url.record_remove(token)
     }
 
     /// Revokes a router certificate by serial.
@@ -225,7 +270,7 @@ impl NetworkOperator {
 
     /// Number of revoked member keys (|URL|).
     pub fn revoked_member_count(&self) -> usize {
-        self.revoked_tokens.len()
+        self.url.len()
     }
 
     /// Total issued member keys (|grt|).
@@ -305,7 +350,7 @@ impl NetworkOperator {
 
     /// The current URL version (bumped by revocations and rotations).
     pub fn url_version(&self) -> u64 {
-        self.url_version
+        self.url.version()
     }
 
     /// The current CRL version (bumped by router revocations).
@@ -336,9 +381,10 @@ impl NetworkOperator {
         for gid in group_ids {
             self.groups.insert(gid, self.issuer.new_group_secret(rng));
         }
-        // Every old key is dead by construction: empty the URL.
-        self.revoked_tokens.clear();
-        self.url_version += 1;
+        // Every old key is dead by construction: empty the URL. The store's
+        // epoch partition advances with the key epoch, so stale-epoch delta
+        // requests are refused (forcing a full refresh) instead of chained.
+        self.url.rotate_epoch(self.epoch);
         *self.gpk()
     }
 

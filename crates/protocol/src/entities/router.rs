@@ -6,6 +6,7 @@ use peace_ecdsa::{Certificate, SigningKey, VerifyingKey};
 use peace_field::Fq;
 use peace_groupsig::{GroupPublicKey, GroupSignature, PreparedGpk};
 use peace_puzzle::Puzzle;
+use peace_revoke::{DeltaOutcome, EngineConfig, RevocationEngine};
 use peace_symmetric::seal_oneshot;
 use peace_wire::Writer;
 use rand::RngCore;
@@ -16,7 +17,7 @@ use crate::error::{ProtocolError, Result};
 use crate::ids::{RouterId, SessionId};
 use crate::messages::{AccessConfirm, AccessRequest, Beacon};
 use crate::pending::PendingTable;
-use crate::revocation::{SignedCrl, SignedUrl};
+use crate::revocation::{SignedCrl, SignedUrl, SignedUrlDelta};
 use crate::session::{Role, Session};
 
 /// Per-beacon DH state retained until the beacon expires (the expiry clock
@@ -37,7 +38,14 @@ pub struct MeshRouter {
     npk: VerifyingKey,
     config: ProtocolConfig,
     crl: SignedCrl,
+    /// Last *full* operator-signed URL — what beacons broadcast (users
+    /// verify NO's signature over the complete list). Enforcement runs
+    /// against [`Self::revocation`], which deltas advance between full
+    /// refreshes.
     url: SignedUrl,
+    /// The staged revocation engine: epoch-partitioned list, sweep cache,
+    /// optional Bloom prefilter.
+    revocation: RevocationEngine,
     /// Per-beacon DH state, bounded by `config.max_active_beacons` (LRU)
     /// and expired after `config.beacon_lifetime`.
     active_beacons: PendingTable<BeaconState>,
@@ -72,9 +80,20 @@ impl MeshRouter {
         gpk: GroupPublicKey,
         npk: VerifyingKey,
         config: ProtocolConfig,
+        epoch: u64,
         crl: SignedCrl,
         url: SignedUrl,
     ) -> Self {
+        let mut revocation = RevocationEngine::new(
+            &gpk,
+            EngineConfig {
+                bases_mode: config.bases_mode,
+                prefilter: config.revoke_prefilter,
+                cache_capacity: config.revoke_cache_capacity,
+                ..EngineConfig::default()
+            },
+        );
+        revocation.install_full(epoch, url.version, &url.tokens);
         Self {
             id,
             signing,
@@ -85,6 +104,7 @@ impl MeshRouter {
             config,
             crl,
             url,
+            revocation,
             active_beacons: PendingTable::new(config.max_active_beacons, config.beacon_lifetime),
             recent_sessions: PendingTable::new(
                 config.max_active_beacons.saturating_mul(2),
@@ -159,10 +179,92 @@ impl MeshRouter {
     }
 
     /// Installs fresh revocation lists pushed by NO over the pre-established
-    /// secure channel.
+    /// secure channel (a full resync — the enforcement engine adopts the
+    /// list and its sweep cache invalidates on any version change).
     pub fn update_lists(&mut self, crl: SignedCrl, url: SignedUrl) {
         self.crl = crl;
+        self.revocation
+            .install_full(self.revocation.epoch(), url.version, &url.tokens);
         self.url = url;
+    }
+
+    /// Installs a freshly-signed CRL alone, validating signature and
+    /// freshness. The delta refresh path uses this: URL churn travels as
+    /// an O(churn) diff, but beacons must still carry a CRL younger than
+    /// `list_max_age` or every client rejects them as stale — and the
+    /// CRL (revoked *routers*) is small enough to re-ship whole.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadCrlSignature`] / [`ProtocolError::StaleCrl`]
+    /// from validation; version regressions are refused the same way the
+    /// full bulletin path refuses them (the stored CRL is unchanged).
+    pub fn update_crl(&mut self, crl: SignedCrl, now: u64) -> Result<()> {
+        crl.validate(&self.npk, now, self.config.list_max_age)?;
+        if crl.version < self.crl.version {
+            return Err(ProtocolError::StaleCrl);
+        }
+        self.crl = crl;
+        Ok(())
+    }
+
+    /// Adopts a detached URL freshness re-stamp: materializes a fresh
+    /// [`SignedUrl`] from the engine's current token set plus the
+    /// operator's O(1)-size canonical-order signature, and installs it
+    /// as the list beacons carry. This is the delta refresh path's
+    /// answer to beacon URL freshness — the full list never re-crosses
+    /// the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::UrlDeltaChain`] when the re-stamp attests a
+    /// version other than the engine's (caller should resync);
+    /// [`ProtocolError::BadUrlSignature`] when the signature does not
+    /// cover the engine's set; [`ProtocolError::StaleUrl`] on expiry.
+    /// The stored URL is unchanged on any error.
+    pub fn adopt_url_restamp(
+        &mut self,
+        restamp: &crate::revocation::UrlRestamp,
+        now: u64,
+    ) -> Result<()> {
+        if restamp.version != self.revocation.url_version() {
+            return Err(ProtocolError::UrlDeltaChain);
+        }
+        let url = restamp.into_signed_url(self.revocation.tokens());
+        url.validate(&self.npk, now, self.config.list_max_age)?;
+        self.url = url;
+        Ok(())
+    }
+
+    /// Applies an operator-signed delta-compressed URL diff — the
+    /// O(churn) fast lane between full list refreshes. Validates the
+    /// operator signature and freshness, then chains the diff onto the
+    /// engine's list (a version advance invalidates the sweep cache).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::BadUrlSignature`] / [`ProtocolError::StaleUrl`]
+    /// from validation, or [`ProtocolError::UrlDeltaChain`] when the diff
+    /// does not chain onto the local state — the caller falls back to a
+    /// full fetch ([`Self::update_lists`]); the engine is unchanged.
+    pub fn apply_url_delta(&mut self, signed: &SignedUrlDelta, now: u64) -> Result<DeltaOutcome> {
+        signed.validate(&self.npk, now, self.config.list_max_age)?;
+        self.revocation
+            .apply_delta(&signed.delta)
+            .map_err(|_| ProtocolError::UrlDeltaChain)
+    }
+
+    /// The staged revocation engine (observability: URL version, cache
+    /// fill, prefilter state).
+    pub fn revocation(&self) -> &RevocationEngine {
+        &self.revocation
+    }
+
+    /// Retunes the process-wide sweep fan-out threshold from this router's
+    /// measured sweep latency histograms; returns the threshold now in
+    /// force (see [`RevocationEngine::autotune_spawn_threshold`]).
+    pub fn autotune_sweep_threshold(&self) -> usize {
+        self.revocation.autotune_spawn_threshold()
     }
 
     /// Installs a new-epoch group public key (after
@@ -173,6 +275,12 @@ impl MeshRouter {
         self.gpk = gpk;
         self.prepared_gpk = PreparedGpk::new(&gpk);
         self.crl = crl;
+        // New epoch partition: fixed bases, fingerprints, and cache all
+        // derive from the gpk and reset with it.
+        let epoch = self.revocation.epoch() + 1;
+        self.revocation.install_gpk(&gpk);
+        self.revocation
+            .install_full(epoch, url.version, &url.tokens);
         self.url = url;
         self.active_beacons.clear();
         self.recent_sessions.clear();
@@ -250,12 +358,10 @@ impl MeshRouter {
         // 3.2 + 3.3: group-signature verification and URL revocation sweep,
         // sharing one H₀ base derivation.
         let payload = AccessRequest::signed_payload(&req.g_rj, &req.g_rr, req.ts2);
-        match self.prepared_gpk.verify_and_check(
-            &payload,
-            &req.gsig,
-            &self.url.tokens,
-            self.config.bases_mode,
-        ) {
+        match self
+            .revocation
+            .verify_and_check(&self.prepared_gpk, &payload, &req.gsig)
+        {
             Err(_) => {
                 // Failed expensive verification: evidence for the §V.A flood
                 // detector.
@@ -308,11 +414,9 @@ impl MeshRouter {
                 items.push((payload.as_slice(), &reqs[i].gsig));
             }
         }
-        let verdicts = self.prepared_gpk.verify_and_check_batch(
-            &items,
-            &self.url.tokens,
-            self.config.bases_mode,
-        );
+        let verdicts = self
+            .revocation
+            .verify_and_check_batch(&self.prepared_gpk, &items);
         drop(items);
         // Phase 3: mint confirmations in input order (idempotency re-checks
         // catch duplicates *within* the burst, same as sequential arrival).

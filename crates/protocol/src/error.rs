@@ -64,6 +64,10 @@ pub enum ProtocolError {
     Wire(WireError),
     /// The entity does not hold a key/credential required for the operation.
     MissingCredential,
+    /// A URL delta did not chain onto the local list state (epoch
+    /// mismatch, version gap, or inconsistent diff) — fall back to a full
+    /// list fetch.
+    UrlDeltaChain,
     /// A handshake message was delivered more than once; the session it
     /// completes already exists and the duplicate is rejected idempotently.
     DuplicateMessage,
@@ -100,6 +104,7 @@ impl ProtocolError {
             ProtocolError::Setup(_) => "setup",
             ProtocolError::Wire(_) => "wire",
             ProtocolError::MissingCredential => "missing_credential",
+            ProtocolError::UrlDeltaChain => "url_delta_chain",
             ProtocolError::DuplicateMessage => "duplicate_message",
             ProtocolError::RetriesExhausted => "retries_exhausted",
         }
@@ -128,6 +133,7 @@ impl Transient for ProtocolError {
             | ProtocolError::DecryptFailed
             | ProtocolError::SessionMismatch
             | ProtocolError::HandshakeTimeout
+            | ProtocolError::UrlDeltaChain
             | ProtocolError::Wire(_) => true,
             // Identity/credential failures: retrying the same exchange is
             // pointless (and feeds the flood detector).
@@ -168,6 +174,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Setup(what) => write!(f, "setup failure: {what}"),
             ProtocolError::Wire(e) => write!(f, "malformed message: {e}"),
             ProtocolError::MissingCredential => write!(f, "required credential not held"),
+            ProtocolError::UrlDeltaChain => {
+                write!(f, "URL delta does not chain onto local list state")
+            }
             ProtocolError::DuplicateMessage => write!(f, "duplicate handshake message"),
             ProtocolError::RetriesExhausted => write!(f, "handshake retry budget exhausted"),
         }

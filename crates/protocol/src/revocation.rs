@@ -8,6 +8,7 @@
 
 use peace_ecdsa::{Signature, SigningKey, VerifyingKey};
 use peace_groupsig::RevocationToken;
+use peace_revoke::UrlDelta;
 use peace_wire::{Decode, Encode, Reader, Writer};
 
 use crate::error::{ProtocolError, Result};
@@ -162,6 +163,148 @@ impl Decode for SignedUrl {
     }
 }
 
+/// Signed delta-compressed URL diff (the O(churn) alternative to
+/// re-broadcasting the full [`SignedUrl`]): an operator-signed
+/// [`UrlDelta`] that advances a consumer from `delta.from_version` to
+/// `delta.to_version` within one epoch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SignedUrlDelta {
+    /// The version-chained diff.
+    pub delta: UrlDelta,
+    /// Issue time (protocol ms).
+    pub issued_at: u64,
+    /// Operator signature over the diff.
+    pub signature: Signature,
+}
+
+impl SignedUrlDelta {
+    fn tbs(delta: &UrlDelta, issued_at: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str("peace-url-delta-v1");
+        w.put_u64(issued_at);
+        delta.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Issues a signed URL delta.
+    pub fn issue(signer: &SigningKey, delta: UrlDelta, issued_at: u64) -> Self {
+        let signature = signer.sign(&Self::tbs(&delta, issued_at));
+        Self {
+            delta,
+            issued_at,
+            signature,
+        }
+    }
+
+    /// Validates signature and freshness (same `max_age` discipline as the
+    /// full lists: a delta is a list update and ages the same way).
+    pub fn validate(&self, issuer: &VerifyingKey, now: u64, max_age: u64) -> Result<()> {
+        if !issuer.verify(&Self::tbs(&self.delta, self.issued_at), &self.signature) {
+            return Err(ProtocolError::BadUrlSignature);
+        }
+        if now > self.issued_at.saturating_add(max_age) {
+            return Err(ProtocolError::StaleUrl);
+        }
+        Ok(())
+    }
+}
+
+impl Encode for SignedUrlDelta {
+    fn encode(&self, w: &mut Writer) {
+        self.delta.encode(w);
+        w.put_u64(self.issued_at);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for SignedUrlDelta {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        Ok(Self {
+            delta: UrlDelta::decode(r)?,
+            issued_at: r.get_u64()?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+/// The canonical (sorted-by-encoding) ordering of a token set — the
+/// order-insensitive form both sides of a re-stamp can reconstruct.
+fn canonical_tokens(tokens: &[RevocationToken]) -> Vec<RevocationToken> {
+    let mut v = tokens.to_vec();
+    v.sort_unstable_by_key(RevocationToken::to_bytes);
+    v
+}
+
+/// A detached URL freshness re-stamp: the operator's signature over the
+/// *same* transcript as [`SignedUrl`], with the token sequence in
+/// canonical order. A delta-synced consumer already holds the token set,
+/// so it reconstructs the canonical sequence locally and materializes a
+/// fresh, fully-valid [`SignedUrl`] from O(1) wire bytes — this is what
+/// keeps beacons' URL freshness alive across delta-only refresh cycles.
+/// (Canonical order matters: stores on the two sides may hold the same
+/// set in different `swap_remove` orders after interleaved churn.)
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UrlRestamp {
+    /// The URL version this re-stamp attests.
+    pub version: u64,
+    /// Issue time (protocol ms).
+    pub issued_at: u64,
+    /// Operator signature over the canonical-order [`SignedUrl`] transcript.
+    pub signature: Signature,
+}
+
+impl UrlRestamp {
+    /// Issues a re-stamp over the canonical ordering of `tokens`.
+    pub fn issue(
+        signer: &SigningKey,
+        version: u64,
+        issued_at: u64,
+        tokens: &[RevocationToken],
+    ) -> Self {
+        let signature = signer.sign(&SignedUrl::tbs(
+            version,
+            issued_at,
+            &canonical_tokens(tokens),
+        ));
+        Self {
+            version,
+            issued_at,
+            signature,
+        }
+    }
+
+    /// Materializes the full [`SignedUrl`] this re-stamp attests, given
+    /// the token set the consumer holds (any order). The result verifies
+    /// under [`SignedUrl::validate`] iff the set matches what the
+    /// operator signed.
+    pub fn into_signed_url(&self, tokens: &[RevocationToken]) -> SignedUrl {
+        SignedUrl {
+            version: self.version,
+            issued_at: self.issued_at,
+            tokens: canonical_tokens(tokens),
+            signature: self.signature,
+        }
+    }
+}
+
+impl Encode for UrlRestamp {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.version);
+        w.put_u64(self.issued_at);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for UrlRestamp {
+    fn decode(r: &mut Reader<'_>) -> peace_wire::Result<Self> {
+        Ok(Self {
+            version: r.get_u64()?,
+            issued_at: r.get_u64()?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +353,66 @@ mod tests {
         let sk = signer();
         let crl = SignedCrl::issue(&sk, 7, 100, vec![1, 2, 3]);
         assert_eq!(SignedCrl::from_wire(&crl.to_wire()).unwrap(), crl);
+    }
+
+    #[test]
+    fn url_delta_validate_tamper_and_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sk = signer();
+        let tok = peace_groupsig::RevocationToken(peace_curve::G1::random(&mut rng));
+        let delta = UrlDelta {
+            epoch: 0,
+            from_version: 3,
+            to_version: 4,
+            added: vec![tok],
+            removed: vec![],
+        };
+        let signed = SignedUrlDelta::issue(&sk, delta, 200);
+        assert!(signed.validate(sk.verifying_key(), 250, 1000).is_ok());
+        assert_eq!(
+            SignedUrlDelta::from_wire(&signed.to_wire()).unwrap(),
+            signed
+        );
+        let mut bad = signed.clone();
+        bad.delta.to_version = 9;
+        assert_eq!(
+            bad.validate(sk.verifying_key(), 250, 1000),
+            Err(ProtocolError::BadUrlSignature)
+        );
+        assert_eq!(
+            signed.validate(sk.verifying_key(), 200 + 1001, 1000),
+            Err(ProtocolError::StaleUrl)
+        );
+    }
+
+    #[test]
+    fn url_restamp_order_insensitive_and_set_bound() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sk = signer();
+        let tokens: Vec<RevocationToken> = (0..5)
+            .map(|_| RevocationToken(peace_curve::G1::random(&mut rng)))
+            .collect();
+        let restamp = UrlRestamp::issue(&sk, 7, 500, &tokens);
+        assert_eq!(UrlRestamp::from_wire(&restamp.to_wire()).unwrap(), restamp);
+
+        // The consumer may hold the same set in any order (swap_remove
+        // divergence): the materialized SignedUrl still verifies.
+        let mut shuffled = tokens.clone();
+        shuffled.reverse();
+        shuffled.swap(0, 2);
+        let url = restamp.into_signed_url(&shuffled);
+        assert!(url.validate(sk.verifying_key(), 600, 1_000).is_ok());
+        assert_eq!(url.version, 7);
+
+        // A different set must not verify — the re-stamp binds the set.
+        let mut other = tokens.clone();
+        other[0] = RevocationToken(peace_curve::G1::random(&mut rng));
+        assert_eq!(
+            restamp
+                .into_signed_url(&other)
+                .validate(sk.verifying_key(), 600, 1_000),
+            Err(ProtocolError::BadUrlSignature)
+        );
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! `peace-revoke` — the metropolitan-scale revocation subsystem.
+//!
+//! The paper's verifier-local revocation check (Eq.3) costs O(|URL|)
+//! Miller loops per access request; with millions of users and realistic
+//! churn the URL dwarfs every other verification cost. This crate stages
+//! the check so the expensive sweep is the *last* resort:
+//!
+//! * [`EpochUrlStore`] — epoch-partitioned, versioned list storage with
+//!   delta-compressed diffs ([`UrlDelta`]): consumers fetch O(churn)
+//!   bytes instead of O(|URL|), under the same exact version-chaining
+//!   discipline the full-list path enforces.
+//! * [`TokenPrefilter`] — a seeded Bloom filter over revocation-token
+//!   fingerprints with **no false negatives** (a miss proves the signer
+//!   is unrevoked); sound in fixed-bases mode, where a signature links to
+//!   its token in two Miller loops.
+//! * [`SweepCache`] — a bounded `work unit → verdict` cache, wholesale-
+//!   invalidated on every URL version bump.
+//! * [`RevocationEngine`] — the staged pipeline (cache → prefilter →
+//!   shared-Miller sweep) that replaces
+//!   [`PreparedGpk::verify_and_check`](peace_groupsig::PreparedGpk)
+//!   verdict-for-verdict, plus telemetry-driven retuning of the sweep's
+//!   thread fan-out threshold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod cache;
+mod engine;
+mod prefilter;
+mod store;
+
+pub use cache::{CacheKey, SweepCache, Verdict};
+pub use engine::{EngineConfig, RevocationEngine, FANOUT_SPAWN_OVERHEAD_NS};
+pub use prefilter::TokenPrefilter;
+pub use store::{
+    digest_of, DeltaError, DeltaOutcome, DeltaPlan, EpochUrlStore, UrlDelta, DEFAULT_DELTA_LOG_CAP,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peace_groupsig::{sign, BasesMode, IssuerKey, MemberKey, PreparedGpk, RevocationToken};
+    use peace_wire::{Decode, Encode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tokens(n: usize, seed: u64) -> Vec<RevocationToken> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| RevocationToken(peace_curve::G1::random(&mut rng)))
+            .collect()
+    }
+
+    // ---- store ----
+
+    #[test]
+    fn delta_roundtrip_matches_full_install() {
+        let toks = tokens(6, 1);
+        let mut operator = EpochUrlStore::new(3);
+        let mut router = EpochUrlStore::new(3);
+        for t in &toks[..4] {
+            assert!(operator.record_add(t));
+        }
+        assert!(!operator.record_add(&toks[0]), "duplicate add is a no-op");
+        match operator.delta_since(3, 0) {
+            DeltaPlan::Delta(d) => {
+                assert_eq!(d.from_version, 0);
+                assert_eq!(d.to_version, 4);
+                assert_eq!(d.added.len(), 4);
+                assert_eq!(router.apply_delta(&d).unwrap(), DeltaOutcome::Applied);
+                // Duplicated frame: idempotent.
+                assert_eq!(
+                    router.apply_delta(&d).unwrap(),
+                    DeltaOutcome::AlreadyCurrent
+                );
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        assert_eq!(router.digest(), operator.digest());
+        assert_eq!(operator.delta_since(3, 4), DeltaPlan::UpToDate);
+    }
+
+    #[test]
+    fn delta_coalesces_add_then_remove() {
+        let toks = tokens(3, 2);
+        let mut op = EpochUrlStore::new(0);
+        op.record_add(&toks[0]);
+        op.record_add(&toks[1]);
+        op.record_remove(&toks[0]);
+        let DeltaPlan::Delta(d) = op.delta_since(0, 0) else {
+            panic!("expected delta");
+        };
+        // toks[0] was revoked and lifted inside the window: cancels out.
+        assert_eq!(d.added, vec![toks[1]]);
+        assert!(d.removed.is_empty());
+        let mut consumer = EpochUrlStore::new(0);
+        consumer.apply_delta(&d).unwrap();
+        assert_eq!(consumer.digest(), op.digest());
+    }
+
+    #[test]
+    fn gapped_and_cross_epoch_deltas_refused() {
+        let toks = tokens(4, 3);
+        let mut op = EpochUrlStore::new(0);
+        for t in &toks {
+            op.record_add(t);
+        }
+        let DeltaPlan::Delta(tail) = op.delta_since(0, 2) else {
+            panic!("expected delta");
+        };
+        let mut behind = EpochUrlStore::new(0); // at version 0, delta starts at 2
+        assert_eq!(behind.apply_delta(&tail), Err(DeltaError::VersionGap));
+        let mut other_epoch = EpochUrlStore::new(1);
+        assert_eq!(
+            other_epoch.apply_delta(&tail),
+            Err(DeltaError::EpochMismatch)
+        );
+        // Consumer behind the retained log → full fetch.
+        let mut tiny = EpochUrlStore::new(0);
+        tiny.set_log_cap(1);
+        for t in &toks {
+            tiny.record_add(t);
+        }
+        assert_eq!(tiny.delta_since(0, 0), DeltaPlan::NeedFull);
+    }
+
+    #[test]
+    fn rotation_empties_and_advances() {
+        let toks = tokens(2, 4);
+        let mut op = EpochUrlStore::new(0);
+        for t in &toks {
+            op.record_add(t);
+        }
+        let v = op.version();
+        op.rotate_epoch(1);
+        assert_eq!(op.epoch(), 1);
+        assert!(op.is_empty());
+        assert!(op.version() > v, "version stays monotone across rotation");
+        // Pre-rotation consumers cannot delta across the boundary.
+        assert_eq!(op.delta_since(0, v), DeltaPlan::NeedFull);
+    }
+
+    #[test]
+    fn url_delta_wire_roundtrip() {
+        let toks = tokens(3, 5);
+        let d = UrlDelta {
+            epoch: 7,
+            from_version: 41,
+            to_version: 44,
+            added: toks[..2].to_vec(),
+            removed: toks[2..].to_vec(),
+        };
+        assert_eq!(UrlDelta::from_wire(&d.to_wire()).unwrap(), d);
+    }
+
+    #[test]
+    fn digest_is_order_insensitive() {
+        let toks = tokens(5, 6);
+        let mut rev: Vec<RevocationToken> = toks.clone();
+        rev.reverse();
+        assert_eq!(digest_of(1, 9, &toks), digest_of(1, 9, &rev));
+        assert_ne!(digest_of(1, 9, &toks), digest_of(1, 10, &toks));
+        assert_ne!(digest_of(2, 9, &toks), digest_of(1, 9, &toks));
+    }
+
+    // ---- prefilter ----
+
+    #[test]
+    fn prefilter_basic_membership() {
+        let mut pf = TokenPrefilter::new(128, 1e-3, 42);
+        let keys: Vec<[u8; 32]> = (0u8..100).map(|i| [i; 32]).collect();
+        for k in &keys {
+            pf.insert(k);
+        }
+        for k in &keys {
+            assert!(pf.contains(k), "inserted key must always hit");
+        }
+        assert!(pf.estimated_fp_rate() < 0.01);
+        assert!(pf.bit_len() >= 512);
+        assert!(pf.hash_count() >= 1);
+    }
+
+    #[test]
+    fn prefilter_seed_changes_layout() {
+        let mut a = TokenPrefilter::new(64, 1e-3, 1);
+        let mut b = TokenPrefilter::new(64, 1e-3, 2);
+        a.insert(b"the same key");
+        b.insert(b"the same key");
+        // Different seeds, same guarantees — both must contain the key.
+        assert!(a.contains(b"the same key"));
+        assert!(b.contains(b"the same key"));
+    }
+
+    // ---- cache ----
+
+    #[test]
+    fn cache_version_bump_invalidates_everything() {
+        let mut c = SweepCache::new(8);
+        c.note_version(1);
+        c.insert([1u8; 32], 1, None);
+        c.insert([2u8; 32], 1, Some(7));
+        assert_eq!(c.get(&[1u8; 32], 1), Some(None));
+        assert_eq!(c.get(&[2u8; 32], 1), Some(Some(7)));
+        c.note_version(2);
+        assert!(c.is_empty(), "a version bump clears the whole cache");
+        assert_eq!(c.get(&[1u8; 32], 2), None);
+        // Stale-version lookups and inserts are ignored.
+        c.insert([3u8; 32], 1, None);
+        assert_eq!(c.get(&[3u8; 32], 1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cache_stays_bounded() {
+        let cap = 16;
+        let mut c = SweepCache::new(cap);
+        for i in 0u32..10_000 {
+            let mut k = [0u8; 32];
+            k[..4].copy_from_slice(&i.to_be_bytes());
+            c.insert(k, 0, None);
+            assert!(c.len() <= cap, "cache exceeded its bound at insert {i}");
+        }
+    }
+
+    // ---- engine ----
+
+    struct World {
+        prepared: PreparedGpk,
+        members: Vec<MemberKey>,
+        rng: StdRng,
+    }
+
+    fn world(n_members: usize, seed: u64) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let issuer = IssuerKey::generate(&mut rng);
+        let grp = issuer.new_group_secret(&mut rng);
+        let members: Vec<MemberKey> = (0..n_members)
+            .map(|_| issuer.issue(&grp, &mut rng))
+            .collect();
+        World {
+            prepared: PreparedGpk::new(issuer.public_key()),
+            members,
+            rng,
+        }
+    }
+
+    fn engine_cfg(mode: BasesMode, prefilter: bool) -> EngineConfig {
+        EngineConfig {
+            bases_mode: mode,
+            prefilter,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn engine_matches_direct_verify_and_check_per_message() {
+        let mut w = world(4, 10);
+        let mode = BasesMode::PerMessage;
+        let url: Vec<RevocationToken> = vec![
+            w.members[1].revocation_token(),
+            w.members[3].revocation_token(),
+        ];
+        let mut eng = RevocationEngine::new(w.prepared.gpk(), engine_cfg(mode, false));
+        eng.install_full(0, 2, &url);
+        for (i, m) in w.members.iter().enumerate() {
+            let msg = format!("access-{i}").into_bytes();
+            let sig = sign(w.prepared.gpk(), m, &msg, mode, &mut w.rng);
+            let direct = w.prepared.verify_and_check(&msg, &sig, &url, mode).unwrap();
+            let staged = eng.verify_and_check(&w.prepared, &msg, &sig).unwrap();
+            assert_eq!(staged, direct, "member {i}");
+            // Repeat: served from the cache, same verdict.
+            let again = eng.verify_and_check(&w.prepared, &msg, &sig).unwrap();
+            assert_eq!(again, direct, "cached verdict diverged for member {i}");
+        }
+        assert!(eng.cache_len() > 0);
+    }
+
+    #[test]
+    fn engine_matches_direct_verify_and_check_fixed_bases_with_prefilter() {
+        let mut w = world(4, 11);
+        let mode = BasesMode::FixedBases;
+        let url: Vec<RevocationToken> = vec![w.members[0].revocation_token()];
+        let mut eng = RevocationEngine::new(w.prepared.gpk(), engine_cfg(mode, true));
+        eng.install_full(0, 1, &url);
+        assert!(eng.armed());
+        for (i, m) in w.members.iter().enumerate() {
+            let msg = format!("fb-{i}").into_bytes();
+            let sig = sign(w.prepared.gpk(), m, &msg, mode, &mut w.rng);
+            let direct = w.prepared.verify_and_check(&msg, &sig, &url, mode).unwrap();
+            let staged = eng.verify_and_check(&w.prepared, &msg, &sig).unwrap();
+            assert_eq!(staged, direct, "member {i}");
+        }
+        // Linkable cache: a *different* message from the same revoked key
+        // still hits (fingerprint key, not message key).
+        let before = eng.cache_len();
+        let msg2 = b"fb-0-second-session".to_vec();
+        let sig2 = sign(w.prepared.gpk(), &w.members[0], &msg2, mode, &mut w.rng);
+        assert_eq!(
+            eng.verify_and_check(&w.prepared, &msg2, &sig2).unwrap(),
+            Some(0)
+        );
+        assert_eq!(
+            eng.cache_len(),
+            before,
+            "same-signer traffic reuses its entry"
+        );
+    }
+
+    #[test]
+    fn engine_batch_matches_direct_batch() {
+        let mut w = world(5, 12);
+        let mode = BasesMode::PerMessage;
+        let url: Vec<RevocationToken> = vec![w.members[2].revocation_token()];
+        let mut eng = RevocationEngine::new(w.prepared.gpk(), engine_cfg(mode, false));
+        eng.install_full(0, 1, &url);
+        let msgs: Vec<Vec<u8>> = (0..5).map(|i| format!("burst-{i}").into_bytes()).collect();
+        let mut sigs: Vec<_> = w
+            .members
+            .iter()
+            .zip(&msgs)
+            .map(|(m, msg)| sign(w.prepared.gpk(), m, msg, mode, &mut w.rng))
+            .collect();
+        // Corrupt one signature: the batch must classify it Err like the
+        // direct path does.
+        sigs[4].c = sigs[4].c.add(&peace_field::Fq::ONE);
+        let items: Vec<(&[u8], &peace_groupsig::GroupSignature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        let direct = w.prepared.verify_and_check_batch(&items, &url, mode);
+        let staged = eng.verify_and_check_batch(&w.prepared, &items);
+        assert_eq!(staged, direct);
+        // Second pass: everything valid is now cache-served, verdicts equal.
+        let staged2 = eng.verify_and_check_batch(&w.prepared, &items);
+        assert_eq!(staged2, direct);
+    }
+
+    /// The cache-invalidation regression the ISSUE pins: a signer verified
+    /// clean (verdict cached), *then revoked*, must be rejected when the
+    /// same work unit is re-presented — the version bump from the delta
+    /// must have flushed the stale "unrevoked" entry.
+    #[test]
+    fn revoked_then_reused_is_rejected_not_cache_served() {
+        let mut w = world(2, 13);
+        let mode = BasesMode::PerMessage;
+        let mut eng = RevocationEngine::new(w.prepared.gpk(), engine_cfg(mode, false));
+        eng.install_full(0, 0, &[]);
+        let msg = b"session-establishment".to_vec();
+        let sig = sign(w.prepared.gpk(), &w.members[0], &msg, mode, &mut w.rng);
+        assert_eq!(eng.verify_and_check(&w.prepared, &msg, &sig).unwrap(), None);
+        assert_eq!(eng.verify_and_check(&w.prepared, &msg, &sig).unwrap(), None);
+        // Operator revokes member 0 and ships the delta.
+        let mut op = EpochUrlStore::new(0);
+        op.record_add(&w.members[0].revocation_token());
+        let DeltaPlan::Delta(d) = op.delta_since(0, 0) else {
+            panic!("expected delta");
+        };
+        assert_eq!(eng.apply_delta(&d).unwrap(), DeltaOutcome::Applied);
+        assert_eq!(eng.cache_len(), 0, "version bump must flush the cache");
+        // The very same (msg, sig) — a replayed/retried frame — must now
+        // be flagged revoked, not served from a stale cache entry.
+        assert_eq!(
+            eng.verify_and_check(&w.prepared, &msg, &sig).unwrap(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn engine_autotune_respects_pin_and_data() {
+        let w = world(1, 14);
+        let mut cfg = engine_cfg(BasesMode::PerMessage, false);
+        cfg.spawn_threshold = Some(17);
+        let eng = RevocationEngine::new(w.prepared.gpk(), cfg);
+        assert_eq!(eng.autotune_spawn_threshold(), 17);
+        assert_eq!(peace_groupsig::sweep_spawn_threshold(), 17);
+        peace_groupsig::set_sweep_spawn_threshold(peace_groupsig::DEFAULT_SWEEP_SPAWN_THRESHOLD);
+    }
+
+    // ---- proptests ----
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The load-bearing guarantee: whatever was inserted is always
+            /// found — the prefilter admits **zero false negatives**, so a
+            /// miss may definitively skip the revocation sweep.
+            #[test]
+            fn prefilter_has_no_false_negatives(
+                keys in proptest::collection::vec(
+                    proptest::collection::vec(any::<u8>(), 1..64),
+                    1..128,
+                ),
+                expected in 1usize..256,
+                fp in 1e-4f64..0.3,
+                seed in any::<u64>(),
+            ) {
+                let mut pf = TokenPrefilter::new(expected, fp, seed);
+                for k in &keys {
+                    pf.insert(k);
+                }
+                for k in &keys {
+                    prop_assert!(pf.contains(k), "false negative for {k:?}");
+                }
+            }
+
+            /// Delta application converges to the operator state (same
+            /// digest) for any add/remove interleaving.
+            #[test]
+            fn delta_stream_converges(ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..40)) {
+                let pool = tokens(16, 99);
+                let mut operator = EpochUrlStore::new(0);
+                let mut consumer = EpochUrlStore::new(0);
+                for (pick, add) in ops {
+                    let t = &pool[pick as usize % pool.len()];
+                    if add {
+                        operator.record_add(t);
+                    } else {
+                        operator.record_remove(t);
+                    }
+                    // Sync the consumer at every step (worst-case chatty).
+                    match operator.delta_since(consumer.epoch(), consumer.version()) {
+                        DeltaPlan::UpToDate => {}
+                        DeltaPlan::Delta(d) => {
+                            consumer.apply_delta(&d).unwrap();
+                        }
+                        DeltaPlan::NeedFull => {
+                            consumer.install_full(
+                                operator.epoch(),
+                                operator.version(),
+                                operator.tokens(),
+                            );
+                        }
+                    }
+                }
+                prop_assert_eq!(consumer.digest(), operator.digest());
+            }
+        }
+    }
+}

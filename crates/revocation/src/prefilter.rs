@@ -1,0 +1,118 @@
+//! Seeded Bloom prefilter over revocation-token fingerprints.
+//!
+//! The shared-Miller sweep costs one Miller loop per URL token; at
+//! |URL| = 10⁵ that is seconds per access request. In
+//! [`BasesMode::FixedBases`](peace_groupsig::BasesMode) a signature by a
+//! revoked key exposes `D = ê(T₂, û)/ê(T₁, v̂) = ê(A, û)` — two Miller
+//! loops regardless of |URL| — so the engine inserts each listed token's
+//! fingerprint `SHA-256(ê(Aᵢ, û))` here and tests `SHA-256(D)` per
+//! signature. A **miss is definitive**: Bloom filters admit no false
+//! negatives over inserted elements (every set bit of an inserted key
+//! stays set — bits are never cleared), so a miss proves the signer is
+//! not on the URL and the sweep is skipped entirely. A hit is only a
+//! suspicion (false-positive rate `(1 − e^{−kn/m})^k`), resolved by an
+//! exact map or the sweep.
+//!
+//! The filter is *seeded*: index derivation is keyed by a caller-chosen
+//! seed, so an adversary cannot precompute fingerprints that collide into
+//! a deployment's filter and inflate its false-positive rate.
+
+/// Hard floor on filter size; tiny expected counts still get a usable
+/// filter instead of a degenerate handful of bits.
+const MIN_BITS: usize = 512;
+
+/// Maximum hash functions — beyond ~16 the FP-rate curve is flat and the
+/// per-probe cost is pure loss.
+const MAX_HASHES: u32 = 16;
+
+/// A seeded Bloom filter over byte-string keys (see module docs).
+#[derive(Clone, Debug)]
+pub struct TokenPrefilter {
+    bits: Vec<u64>,
+    m_bits: u64,
+    k: u32,
+    seed: u64,
+    inserted: usize,
+}
+
+impl TokenPrefilter {
+    /// Sizes the filter for `expected` insertions at `fp_target`
+    /// false-positive rate: `m = −n·ln p / (ln 2)²` bits and
+    /// `k = (m/n)·ln 2` hashes, both clamped to sane ranges.
+    pub fn new(expected: usize, fp_target: f64, seed: u64) -> Self {
+        let n = expected.max(1) as f64;
+        let p = fp_target.clamp(1e-9, 0.5);
+        let ln2 = core::f64::consts::LN_2;
+        let m = ((-n * p.ln()) / (ln2 * ln2)).ceil() as usize;
+        let m_bits = m.max(MIN_BITS).next_multiple_of(64);
+        let k = ((m_bits as f64 / n) * ln2).round() as u32;
+        Self {
+            bits: vec![0u64; m_bits / 64],
+            m_bits: m_bits as u64,
+            k: k.clamp(1, MAX_HASHES),
+            seed,
+            inserted: 0,
+        }
+    }
+
+    /// The `k` bit indices for `key`, derived by double hashing over a
+    /// seeded XOF block: `idx_i = (h₁ + i·h₂) mod m` (Kirsch–Mitzenmacher,
+    /// FP-rate-equivalent to k independent hashes).
+    fn indexes(&self, key: &[u8]) -> impl Iterator<Item = u64> + '_ {
+        let mut data = Vec::with_capacity(8 + key.len());
+        data.extend_from_slice(&self.seed.to_be_bytes());
+        data.extend_from_slice(key);
+        let block = peace_hash::xof(b"peace-revoke-bloom-v1", &data, 16);
+        let word = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&block[i * 8..(i + 1) * 8]);
+            u64::from_be_bytes(b)
+        };
+        let (h1, h2) = (word(0), word(1) | 1);
+        let m = self.m_bits;
+        (0..self.k as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % m)
+    }
+
+    /// Inserts `key`.
+    pub fn insert(&mut self, key: &[u8]) {
+        let idx: Vec<u64> = self.indexes(key).collect();
+        for i in idx {
+            self.bits[(i / 64) as usize] |= 1u64 << (i % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Membership test: `false` is definitive ("not inserted"), `true` is
+    /// a suspicion.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.indexes(key)
+            .all(|i| self.bits[(i / 64) as usize] & (1u64 << (i % 64)) != 0)
+    }
+
+    /// Number of insertions so far (counts duplicates).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Filter size in bits.
+    pub fn bit_len(&self) -> usize {
+        self.m_bits as usize
+    }
+
+    /// Hash-function count `k`.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// The seed the filter was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Estimated false-positive rate at the current load:
+    /// `(1 − e^{−k·n/m})^k`.
+    pub fn estimated_fp_rate(&self) -> f64 {
+        let kn_m = self.k as f64 * self.inserted as f64 / self.m_bits as f64;
+        (1.0 - (-kn_m).exp()).powi(self.k as i32)
+    }
+}

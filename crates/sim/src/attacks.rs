@@ -555,6 +555,14 @@ pub struct UrlGrowthPoint {
     pub scan_pairings_accumulating: usize,
     /// Scan pairings with rotation.
     pub scan_pairings_with_rotation: usize,
+    /// Tokens a delta-syncing router fetched that day from the
+    /// accumulating operator — the O(churn) bulletin cost, flat while the
+    /// full list grows without bound.
+    pub delta_tokens_accumulating: usize,
+    /// Tokens fetched by delta from the rotating operator; `None` on days
+    /// where the epoch rotated away and the router was forced into a full
+    /// list fetch.
+    pub delta_tokens_with_rotation: Option<usize>,
 }
 
 /// Simulates long-run URL growth: `revocations_per_day` keys are revoked
@@ -571,6 +579,8 @@ pub fn run_url_growth(
     rotation_period_days: u64,
     seed: u64,
 ) -> Vec<UrlGrowthPoint> {
+    use peace_revoke::EpochUrlStore;
+
     let mut rng = StdRng::seed_from_u64(seed);
     let config = ProtocolConfig::default();
     let mut accumulating = NetworkOperator::new(config, &mut rng);
@@ -578,8 +588,15 @@ pub fn run_url_growth(
     let acc_group = accumulating.register_group("org", &mut rng);
     let rot_group = rotating.register_group("org", &mut rng);
 
+    // Router-side mirrors that follow each operator by signed URL deltas
+    // (the O(churn) bulletin path), falling back to a full fetch only when
+    // an epoch rotation makes chaining impossible.
+    let mut acc_mirror = EpochUrlStore::new(accumulating.epoch());
+    let mut rot_mirror = EpochUrlStore::new(rotating.epoch());
+
     let mut points = Vec::with_capacity(days as usize);
     for day in 1..=days {
+        let now = day * 86_400_000;
         // Fresh members join, misbehave, and are revoked the same day —
         // each revocation goes through the public flow (enroll → sign →
         // audit → revoke), so grt bookkeeping is exercised end to end.
@@ -589,6 +606,11 @@ pub fn run_url_growth(
         if day % rotation_period_days == 0 {
             rotating.rotate_system_key(&mut rng);
         }
+
+        let delta_tokens_accumulating =
+            sync_by_delta(&accumulating, &mut acc_mirror, now).expect("accumulating URL chains");
+        let delta_tokens_with_rotation = sync_by_delta(&rotating, &mut rot_mirror, now);
+
         let a = accumulating.revoked_member_count();
         let r = rotating.revoked_member_count();
         points.push(UrlGrowthPoint {
@@ -597,9 +619,41 @@ pub fn run_url_growth(
             url_len_with_rotation: r,
             scan_pairings_accumulating: 2 * a,
             scan_pairings_with_rotation: 2 * r,
+            delta_tokens_accumulating,
+            delta_tokens_with_rotation,
         });
     }
     points
+}
+
+/// Advances `mirror` to the operator's current URL by the delta path and
+/// checks convergence against the full published list. Returns the number
+/// of tokens carried over the wire, or `None` when no delta could chain
+/// (epoch rotated away) and a full fetch was required instead.
+fn sync_by_delta(
+    no: &NetworkOperator,
+    mirror: &mut peace_revoke::EpochUrlStore,
+    now: u64,
+) -> Option<usize> {
+    let fetched = match no.publish_url_delta(mirror.epoch(), mirror.version(), now) {
+        Some(signed) => {
+            let n = signed.delta.added.len() + signed.delta.removed.len();
+            mirror.apply_delta(&signed.delta).expect("delta chains");
+            Some(n)
+        }
+        None => {
+            let full = no.publish_url(now);
+            mirror.install_full(no.epoch(), full.version, &full.tokens);
+            None
+        }
+    };
+    let full = no.publish_url(now);
+    assert_eq!(
+        mirror.digest(),
+        peace_revoke::digest_of(no.epoch(), full.version, &full.tokens),
+        "delta-synced mirror must converge to the published list"
+    );
+    fetched
 }
 
 fn revoke_fresh_members(

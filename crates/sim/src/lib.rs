@@ -213,6 +213,11 @@ mod tests {
         assert_eq!(points[7].url_len_with_rotation, 0); // day 8
                                                         // Scan cost is 2|URL| by construction.
         assert_eq!(last.scan_pairings_accumulating, 48);
+        // Delta sync fetches O(churn) tokens/day while the full list grows
+        // without bound, and rotation days force a full fetch.
+        assert!(points.iter().all(|p| p.delta_tokens_accumulating == 2));
+        assert_eq!(points[3].delta_tokens_with_rotation, None); // day 4
+        assert_eq!(points[4].delta_tokens_with_rotation, Some(2)); // day 5
     }
 
     #[test]

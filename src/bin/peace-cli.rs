@@ -211,10 +211,14 @@ fn phishing(period_s: u64) {
 
 fn url_growth(days: u64) {
     println!("2 revocations/day, rotation every 4 days:");
-    println!("day | |URL| no renewal | |URL| with renewal");
+    println!("day | |URL| no renewal | |URL| with renewal | delta fetch");
     for p in run_url_growth(days, 2, 4, 5) {
+        let delta = match p.delta_tokens_with_rotation {
+            Some(n) => format!("{n} tokens"),
+            None => "full (epoch rotated)".to_owned(),
+        };
         println!(
-            "{:>3} | {:>15} | {:>17}",
+            "{:>3} | {:>15} | {:>17} | {delta}",
             p.day, p.url_len_accumulating, p.url_len_with_rotation
         );
     }

@@ -32,12 +32,13 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use peace::groupsig::BasesMode;
 use peace::ledger::{Ledger, LedgerConfig, ReplicatedLedger};
 use peace::net::{
-    build_world, clock::wall_ms, ConnConfig, DaemonConfig, NetError, NoDaemon, PeerKeyResolver,
-    RouterDaemon, UserAgent, WorldSpec,
+    build_world_with, clock::wall_ms, ConnConfig, DaemonConfig, NetError, NoDaemon,
+    PeerKeyResolver, RouterDaemon, UserAgent, WorldSpec,
 };
-use peace::protocol::{ReplicaSet, RetryPolicy};
+use peace::protocol::{ProtocolConfig, ReplicaSet, RetryPolicy};
 use peace::telemetry::{global, Snapshot};
 
 fn main() -> ExitCode {
@@ -62,11 +63,22 @@ fn main() -> ExitCode {
         users: flag("--users", 4) as usize,
         routers: flag("--routers", 2) as usize,
     };
+    // --prefilter arms the staged revocation fast path: fixed-bases mode
+    // (required for a sound prefilter) plus the router-side Bloom filter.
+    // Trade-off per the paper §V.C: revocation checks become O(1), but
+    // *listed* members become linkable. Every role in a deployment must
+    // agree on this flag, since it changes the signing bases.
+    let mut config = ProtocolConfig::default();
+    if args.iter().any(|a| a == "--prefilter") {
+        config.bases_mode = BasesMode::FixedBases;
+        config.revoke_prefilter = true;
+    }
 
     let metrics_json = opt("--metrics-json");
     let outcome = match cmd {
         "no" => run_no(
             &spec,
+            config,
             &opt("--bind").unwrap_or_else(|| "127.0.0.1:7100".into()),
             opt("--ledger").as_deref(),
             opt("--no-id").as_deref(),
@@ -76,6 +88,7 @@ fn main() -> ExitCode {
         ),
         "router" => run_router(
             &spec,
+            config,
             &opt("--bind").unwrap_or_else(|| "127.0.0.1:7200".into()),
             opt("--no").as_deref(),
             flag("--index", 0) as usize,
@@ -83,6 +96,7 @@ fn main() -> ExitCode {
         ),
         "user" => run_user(
             &spec,
+            config,
             opt("--no").as_deref(),
             opt("--router").as_deref(),
             flag("--index", 0) as usize,
@@ -91,6 +105,7 @@ fn main() -> ExitCode {
         ),
         "demo" => run_demo(
             &spec,
+            config,
             flag("--rounds", 3) as u32,
             opt("--ledger").as_deref(),
             metrics_json.as_deref(),
@@ -122,6 +137,10 @@ fn print_help() {
     println!("  user   --no A --router A         poll bulletin, authenticate, echo");
     println!("  demo   [--users U --rounds N]    full deployment on loopback");
     println!("\nshared flags: --seed N --users U --routers R (world replay spec)");
+    println!("              --prefilter  fixed-bases signing + router-side Bloom");
+    println!("              prefilter: O(1) revocation checks at metropolitan URL");
+    println!("              sizes, at the cost of linkability for *listed* members.");
+    println!("              Every role in a deployment must pass the same flag.");
     println!("ledger flags: --ledger DIR (no/demo: durable accountability ledger)");
     println!("replica flags (no): --no-id NO-k --peers A,A --gossip-ms N");
     println!("               joins a replica federation: per-writer shard store,");
@@ -217,6 +236,7 @@ fn open_ledger(dir: &str, npk: peace::ecdsa::VerifyingKey) -> Result<Ledger, Str
 #[allow(clippy::too_many_arguments)]
 fn run_no(
     spec: &WorldSpec,
+    config: ProtocolConfig,
     bind: &str,
     ledger_dir: Option<&str>,
     no_id: Option<&str>,
@@ -224,7 +244,7 @@ fn run_no(
     gossip_ms: u64,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
-    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let w = build_world_with(spec, config).map_err(|e| e.to_string())?;
     let npk = *w.no.npk();
     let no = NoDaemon::spawn(w.no, bind, daemon_cfg()).map_err(|e| e.to_string())?;
     let federated = no_id.is_some() || peers.is_some();
@@ -287,6 +307,7 @@ fn run_no(
 /// (primary first, then the next alive one).
 fn run_router(
     spec: &WorldSpec,
+    config: ProtocolConfig,
     bind: &str,
     no_addr: Option<&str>,
     index: usize,
@@ -297,7 +318,7 @@ fn run_router(
         return Err("--no needs at least one address".into());
     }
     let mut replicas = ReplicaSet::new(no_addrs.iter().copied(), RetryPolicy::default());
-    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let w = build_world_with(spec, config).map_err(|e| e.to_string())?;
     let router = w.routers.into_iter().nth(index).ok_or_else(|| {
         format!(
             "--index {index} out of range (world has {} routers)",
@@ -309,12 +330,15 @@ fn run_router(
     println!("peace-noded: router MR-{index} on {}", daemon.addr());
     loop {
         // Lists come from whichever replica answers first — every replica
-        // replays the same ceremony, so the bulletin is identical.
+        // replays the same ceremony, so the bulletin is identical. The
+        // delta path fetches O(churn) bytes against the router's current
+        // URL version and falls back to a full signed fetch on epoch
+        // rotation or a broken chain.
         let mut refreshed = false;
         for &addr in &no_addrs {
-            match daemon.refresh_lists(addr) {
+            match daemon.refresh_lists_delta(addr) {
                 Ok(v) => {
-                    println!("lists refreshed from {addr}: URL v{v}");
+                    println!("lists refreshed (delta) from {addr}: URL v{v}");
                     refreshed = true;
                     break;
                 }
@@ -341,6 +365,7 @@ fn run_router(
 /// `--rounds` AEAD echo round-trips, graceful close.
 fn run_user(
     spec: &WorldSpec,
+    config: ProtocolConfig,
     no_addr: Option<&str>,
     router_addr: Option<&str>,
     index: usize,
@@ -349,7 +374,7 @@ fn run_user(
 ) -> Result<(), String> {
     let no_addr = parse_addr("--no", no_addr)?;
     let router_addr = parse_addr("--router", router_addr)?;
-    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let w = build_world_with(spec, config).map_err(|e| e.to_string())?;
     let user = w.users.into_iter().nth(index).ok_or_else(|| {
         format!(
             "--index {index} out of range (world has {} users)",
@@ -386,11 +411,12 @@ fn run_user(
 /// The whole deployment in one process on loopback.
 fn run_demo(
     spec: &WorldSpec,
+    config: ProtocolConfig,
     rounds: u32,
     ledger_dir: Option<&str>,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
-    let w = build_world(spec).map_err(|e| e.to_string())?;
+    let w = build_world_with(spec, config).map_err(|e| e.to_string())?;
     let npk = *w.no.npk();
     let cfg = daemon_cfg();
     let no = NoDaemon::spawn(w.no, "127.0.0.1:0", cfg).map_err(|e| e.to_string())?;

@@ -77,6 +77,7 @@ pub use peace_net as net;
 pub use peace_pairing as pairing;
 pub use peace_protocol as protocol;
 pub use peace_puzzle as puzzle;
+pub use peace_revoke as revoke;
 pub use peace_sim as sim;
 pub use peace_symmetric as symmetric;
 pub use peace_telemetry as telemetry;

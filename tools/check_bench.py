@@ -43,6 +43,12 @@ FLOORS = {
         "verify_batch_k4_ops_per_sec": 140.0,
         "verify_batch_k16_ops_per_sec": 140.0,
         "verify_batch_k64_ops_per_sec": 140.0,
+        # Staged revocation engine at metropolitan list sizes (measured
+        # ~320 and ~220 ops/s): the floor catches losing the O(1) cache /
+        # prefilter fast paths, which would collapse these to the cold
+        # sweep's ~1 op/s at |URL| = 10⁴.
+        "vac_cached_n10000_ops_per_sec": 140.0,
+        "vac_prefilter_n10000_ops_per_sec": 90.0,
     },
     "ledger_report": {
         "recovery_records_per_sec": 20_000.0,
@@ -53,6 +59,19 @@ FLOORS = {
         # not drift).
         "catchup_records_per_sec": 300.0,
     },
+}
+
+# Ratio floors: ``numerator >= denominator * min_ratio``. Unlike the
+# absolute floors these are machine-independent — both sides move together
+# under throttling — so they pin *structural* relationships: the staged
+# engine's fast paths must stay within small multiples of a bare signature
+# verification no matter how large the URL is.
+RATIO_FLOORS = {
+    "perf_report": [
+        ("vac_cached_n100000_ops_per_sec", "verify_prepared_ops_per_sec", 1 / 3),
+        ("vac_cached_n10000_ops_per_sec", "verify_prepared_ops_per_sec", 1 / 3),
+        ("vac_prefilter_n10000_ops_per_sec", "verify_prepared_ops_per_sec", 1 / 3),
+    ],
 }
 
 
@@ -187,6 +206,15 @@ class Checker:
                     v >= floor,
                     field,
                     f"{v} below regression floor {floor}",
+                )
+        for num, den, min_ratio in RATIO_FLOORS.get(doc.get("bench"), []):
+            nv, dv = doc.get(num), doc.get(den)
+            ok = all(isinstance(x, (int, float)) for x in (nv, dv))
+            if self.expect(ok, num, f"ratio check needs both {num!r} and {den!r}"):
+                self.expect(
+                    dv > 0 and nv >= dv * min_ratio,
+                    num,
+                    f"{nv} is below {min_ratio:.3g}x of {den} ({dv})",
                 )
 
     def check(self):
