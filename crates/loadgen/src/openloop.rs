@@ -1,0 +1,241 @@
+//! The open-loop TCP driver: seeded arrival schedule in, latency
+//! distributions out.
+//!
+//! Arrivals are timestamped by [`build_schedule`] before the run starts.
+//! Worker threads (each owning one enrolled [`UserAgent`]) drain the
+//! arrival queue; a worker sleeps until an arrival's scheduled instant,
+//! then runs the full anonymous-access handshake against the target
+//! router via [`UserAgent::connect_with_retry`] — transient refusals
+//! (connection caps, accept-queue overflow, timeouts) back off and
+//! retry; terminal refusals (revocation) fail the session. Crucially the
+//! *schedule never moves*: if the system under test falls behind, later
+//! arrivals are served late and the lateness is measured, not forgiven —
+//! `session_us` latency counts from the **scheduled** arrival instant,
+//! so queueing delay lands in p99 where an operator would see it.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use peace_net::{UserAgent, UserSession};
+use peace_protocol::RetryPolicy;
+use peace_telemetry::{Histogram, HistogramSnapshot, Snapshot};
+
+use crate::schedule::{build_schedule, ArrivalProcess};
+
+/// Configuration for one open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadConfig {
+    /// Offered arrival rate (sessions per second).
+    pub rate_per_sec: f64,
+    /// Schedule length in wall milliseconds.
+    pub duration_ms: u64,
+    /// Inter-arrival process.
+    pub process: ArrivalProcess,
+    /// Schedule seed (worker jitter derives from it too).
+    pub seed: u64,
+    /// AEAD echo round-trips per established session.
+    pub echo_per_session: u32,
+    /// Keep established sessions open until the schedule drains (drives
+    /// peak *concurrent* session count instead of session churn).
+    pub hold_sessions: bool,
+    /// Backoff policy for transient handshake failures.
+    pub retry: RetryPolicy,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: 50.0,
+            duration_ms: 4_000,
+            process: ArrivalProcess::Poisson,
+            seed: 0x10AD_5EED,
+            echo_per_session: 1,
+            hold_sessions: false,
+            retry: RetryPolicy {
+                base_delay: 100,
+                max_delay: 1_500,
+                max_attempts: 6,
+            },
+        }
+    }
+}
+
+/// What one open-loop run measured.
+#[derive(Clone, Debug)]
+pub struct LoadOutcome {
+    /// Arrivals in the schedule.
+    pub offered: u64,
+    /// Sessions fully established (handshake completed).
+    pub completed: u64,
+    /// Sessions that exhausted retries or hit a terminal refusal.
+    pub failed: u64,
+    /// Client-observed connection-cap rejections (`net.conn_rejected`,
+    /// summed over workers — each one was retried, not failed).
+    pub conn_rejected: u64,
+    /// Successful AEAD echo round-trips.
+    pub echoes: u64,
+    /// Peak simultaneously-held session count (meaningful with
+    /// `hold_sessions`).
+    pub peak_concurrent: u64,
+    /// Wall time from first arrival to last completion (ms).
+    pub elapsed_ms: u64,
+    /// Handshake latency (dial → session key), merged over workers.
+    pub hs_total_us: HistogramSnapshot,
+    /// Scheduled-arrival → session-established latency: includes queue
+    /// wait and retries, the open-loop headline number.
+    pub session_us: HistogramSnapshot,
+    /// Merged worker telemetry (counters + histograms; events dropped).
+    pub telemetry: Snapshot,
+}
+
+/// Merges `src` into `dst` without prefixing: counters add, histograms
+/// merge on the shared grid. Events are dropped (their interleaving is
+/// not deterministic across workers).
+fn merge_unprefixed(dst: &mut Snapshot, src: &Snapshot) {
+    for (k, v) in &src.counters {
+        *dst.counters.entry(k.clone()).or_insert(0) += v;
+    }
+    for (k, h) in &src.histograms {
+        dst.histograms.entry(k.clone()).or_default().merge(h);
+    }
+}
+
+/// Runs one open-loop load generation pass.
+///
+/// Each element of `agents` becomes one worker thread; arrivals are
+/// assigned round-robin over `routers` by schedule index. Returns the
+/// outcome plus the agents (still enrolled, reusable for another pass).
+///
+/// # Panics
+///
+/// `agents` and `routers` must be non-empty.
+pub fn run_open_loop(
+    agents: Vec<UserAgent>,
+    routers: &[SocketAddr],
+    cfg: &LoadConfig,
+) -> (LoadOutcome, Vec<UserAgent>) {
+    assert!(!agents.is_empty(), "need at least one worker agent");
+    assert!(!routers.is_empty(), "need at least one target router");
+    let schedule = build_schedule(cfg.process, cfg.rate_per_sec, cfg.duration_ms, cfg.seed);
+    let offered = schedule.len() as u64;
+    let queue: Mutex<VecDeque<(u64, u64)>> = Mutex::new(
+        schedule
+            .into_iter()
+            .enumerate()
+            .map(|(i, at)| (i as u64, at))
+            .collect(),
+    );
+    let session_us = Arc::new(Histogram::default());
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let echoes = AtomicU64::new(0);
+    let held_now = AtomicU64::new(0);
+    let peak = AtomicU64::new(0);
+    let start = Instant::now();
+
+    let agents_back: Vec<UserAgent> = std::thread::scope(|s| {
+        let handles: Vec<_> = agents
+            .into_iter()
+            .map(|mut agent| {
+                let queue = &queue;
+                let completed = &completed;
+                let failed = &failed;
+                let echoes = &echoes;
+                let held_now = &held_now;
+                let peak = &peak;
+                let session_us = Arc::clone(&session_us);
+                s.spawn(move || {
+                    let mut held: Vec<UserSession> = Vec::new();
+                    loop {
+                        let next = {
+                            #[allow(clippy::unwrap_used)]
+                            let mut q = queue.lock().unwrap();
+                            q.pop_front()
+                        };
+                        let Some((idx, at_us)) = next else { break };
+                        let target = Duration::from_micros(at_us);
+                        let now = start.elapsed();
+                        if now < target {
+                            std::thread::sleep(target - now);
+                        }
+                        let addr = routers[idx as usize % routers.len()];
+                        match agent.connect_with_retry(addr, &cfg.retry) {
+                            Ok(mut sess) => {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                let established = start.elapsed();
+                                session_us.record(
+                                    established
+                                        .saturating_sub(target)
+                                        .as_micros()
+                                        .min(u128::from(u64::MAX))
+                                        as u64,
+                                );
+                                for round in 0..cfg.echo_per_session {
+                                    let payload = format!("load-{idx}-{round}");
+                                    if sess.echo(payload.as_bytes()).is_ok() {
+                                        echoes.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                if cfg.hold_sessions {
+                                    held.push(sess);
+                                    let cur = held_now.fetch_add(1, Ordering::Relaxed) + 1;
+                                    peak.fetch_max(cur, Ordering::Relaxed);
+                                } else {
+                                    sess.close();
+                                }
+                            }
+                            Err(_) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    let n = held.len() as u64;
+                    for sess in held {
+                        sess.close();
+                    }
+                    held_now.fetch_sub(n, Ordering::Relaxed);
+                    agent
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(agent) => agent,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    let elapsed_ms = start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64;
+
+    let mut telemetry = Snapshot::default();
+    let mut conn_rejected = 0u64;
+    for a in &agents_back {
+        merge_unprefixed(&mut telemetry, &a.telemetry());
+        conn_rejected += a.metrics().conn_rejected;
+    }
+    let hs_total_us = telemetry
+        .histograms
+        .get("net.hs_total_us")
+        .cloned()
+        .unwrap_or_default();
+
+    (
+        LoadOutcome {
+            offered,
+            completed: completed.load(Ordering::Relaxed),
+            failed: failed.load(Ordering::Relaxed),
+            conn_rejected,
+            echoes: echoes.load(Ordering::Relaxed),
+            peak_concurrent: peak.load(Ordering::Relaxed),
+            elapsed_ms,
+            hs_total_us,
+            session_us: session_us.snapshot(),
+            telemetry,
+        },
+        agents_back,
+    )
+}

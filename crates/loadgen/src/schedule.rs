@@ -1,0 +1,105 @@
+//! Seeded arrival schedules for the open-loop driver.
+//!
+//! A schedule is the full list of arrival instants (µs offsets from run
+//! start), generated *before* the run from a seed — the defining
+//! property of an open-loop harness. The same `(process, rate,
+//! duration, seed)` tuple always yields the byte-identical schedule
+//! (property-tested in `tests/schedule_props.rs`).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The inter-arrival process shaping a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrivals (a Poisson process) — the standard
+    /// model for independent user arrivals; produces natural bursts.
+    Poisson,
+    /// Fixed spacing at exactly the configured rate — the worst-case
+    /// *sustained* load with no recovery gaps.
+    Uniform,
+}
+
+/// Uniform `f64` in `[0, 1)` from one RNG draw (53 mantissa bits).
+#[inline]
+fn unit_f64(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Builds the arrival schedule: ascending arrival offsets in µs, all
+/// strictly below `duration_ms · 1000`.
+///
+/// # Panics
+///
+/// `rate_per_sec` must be positive and finite.
+pub fn build_schedule(
+    process: ArrivalProcess,
+    rate_per_sec: f64,
+    duration_ms: u64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(
+        rate_per_sec.is_finite() && rate_per_sec > 0.0,
+        "rate_per_sec must be positive"
+    );
+    let end_us = (duration_ms as f64) * 1_000.0;
+    let mut out = Vec::new();
+    match process {
+        ArrivalProcess::Uniform => {
+            let period_us = 1_000_000.0 / rate_per_sec;
+            // Centre each arrival in its slot so rate edges round evenly.
+            let mut t = period_us / 2.0;
+            while t < end_us {
+                out.push(t as u64);
+                t += period_us;
+            }
+        }
+        ArrivalProcess::Poisson => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = 0.0f64;
+            loop {
+                // Inverse-CDF exponential draw; `1 - u` keeps ln() away
+                // from zero.
+                let u = unit_f64(&mut rng);
+                t += -(1.0 - u).ln() * 1_000_000.0 / rate_per_sec;
+                if t >= end_us {
+                    break;
+                }
+                out.push(t as u64);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_hits_rate_exactly() {
+        let s = build_schedule(ArrivalProcess::Uniform, 100.0, 2_000, 7);
+        assert_eq!(s.len(), 200);
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert!(*s.last().unwrap() < 2_000_000);
+    }
+
+    #[test]
+    fn poisson_is_seed_deterministic_and_near_rate() {
+        let a = build_schedule(ArrivalProcess::Poisson, 200.0, 5_000, 99);
+        let b = build_schedule(ArrivalProcess::Poisson, 200.0, 5_000, 99);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = build_schedule(ArrivalProcess::Poisson, 200.0, 5_000, 100);
+        assert_ne!(a, c, "different seed, different schedule");
+        // Expected 1000 arrivals; allow ±6σ (σ = √1000 ≈ 32).
+        let n = a.len() as f64;
+        assert!((n - 1_000.0).abs() < 6.0 * 1_000.0f64.sqrt(), "n={n}");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    }
+
+    #[test]
+    fn empty_when_duration_too_short() {
+        assert!(build_schedule(ArrivalProcess::Uniform, 1.0, 0, 1).is_empty());
+        assert!(build_schedule(ArrivalProcess::Poisson, 1.0, 0, 1).is_empty());
+    }
+}

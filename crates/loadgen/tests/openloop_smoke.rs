@@ -1,0 +1,129 @@
+//! End-to-end smoke for the open-loop driver: a real router daemon on
+//! loopback, three worker agents, a short Poisson schedule — every
+//! arrival must complete and the latency distributions must be sane.
+
+use std::time::Duration;
+
+use peace_loadgen::{run_open_loop, ArrivalProcess, LoadConfig};
+use peace_net::{build_world, ConnConfig, DaemonConfig, RouterDaemon, UserAgent, WorldSpec};
+
+fn test_cfg() -> DaemonConfig {
+    DaemonConfig {
+        conn: ConnConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            ..ConnConfig::default()
+        },
+        max_connections: 64,
+        connect_timeout: Duration::from_secs(5),
+        drain: Duration::from_secs(3),
+        ..DaemonConfig::default()
+    }
+}
+
+#[test]
+fn open_loop_drives_real_daemon() {
+    let spec = WorldSpec {
+        seed: 0x10AD,
+        users: 3,
+        routers: 1,
+    };
+    let w = build_world(&spec).unwrap();
+    let cfg = test_cfg();
+    let mut router = w.routers.into_iter().next().unwrap();
+    let now = peace_net::clock::wall_ms();
+    router.update_lists(w.no.publish_crl(now), w.no.publish_url(now));
+    let daemon = RouterDaemon::spawn(router, 1, "127.0.0.1:0", cfg).unwrap();
+    let routers = vec![daemon.addr()];
+
+    let agents: Vec<UserAgent> = w
+        .users
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| UserAgent::new(u, 0x5EED + i as u64, cfg))
+        .collect();
+
+    let load = LoadConfig {
+        rate_per_sec: 25.0,
+        duration_ms: 1_200,
+        process: ArrivalProcess::Poisson,
+        echo_per_session: 1,
+        hold_sessions: false,
+        ..LoadConfig::default()
+    };
+    let (outcome, agents_back) = run_open_loop(agents, &routers, &load);
+
+    assert!(outcome.offered > 0, "schedule must offer arrivals");
+    assert_eq!(
+        outcome.completed, outcome.offered,
+        "healthy daemon completes every arrival: {outcome:?}"
+    );
+    assert_eq!(outcome.failed, 0);
+    assert_eq!(outcome.echoes, outcome.completed);
+    assert_eq!(outcome.hs_total_us.count, outcome.completed);
+    assert_eq!(outcome.session_us.count, outcome.completed);
+    // Session latency (from scheduled arrival) can never undercut the
+    // raw handshake, and percentiles must be ordered.
+    assert!(outcome.session_us.percentile(0.5) > 0);
+    let p50 = outcome.session_us.percentile(0.50);
+    let p99 = outcome.session_us.percentile(0.99);
+    assert!(p50 <= p99, "{p50} vs {p99}");
+    // Worker telemetry merged across agents.
+    assert_eq!(
+        outcome
+            .telemetry
+            .counters
+            .get("net.handshakes_ok")
+            .copied()
+            .unwrap_or(0),
+        outcome.completed
+    );
+    assert_eq!(agents_back.len(), 3, "agents returned for reuse");
+
+    assert_eq!(daemon.metrics().handler_panics, 0);
+    daemon.shutdown().unwrap();
+}
+
+#[test]
+fn hold_mode_tracks_peak_concurrency() {
+    let spec = WorldSpec {
+        seed: 0x401D,
+        users: 2,
+        routers: 1,
+    };
+    let w = build_world(&spec).unwrap();
+    let cfg = test_cfg();
+    let mut router = w.routers.into_iter().next().unwrap();
+    let now = peace_net::clock::wall_ms();
+    router.update_lists(w.no.publish_crl(now), w.no.publish_url(now));
+    let daemon = RouterDaemon::spawn(router, 2, "127.0.0.1:0", cfg).unwrap();
+    let routers = vec![daemon.addr()];
+
+    let agents: Vec<UserAgent> = w
+        .users
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| UserAgent::new(u, 0xA0 + i as u64, cfg))
+        .collect();
+
+    let load = LoadConfig {
+        rate_per_sec: 20.0,
+        duration_ms: 700,
+        process: ArrivalProcess::Uniform,
+        echo_per_session: 0,
+        hold_sessions: true,
+        ..LoadConfig::default()
+    };
+    let (outcome, _) = run_open_loop(agents, &routers, &load);
+    assert!(outcome.completed > 0);
+    // Workers release their held sessions only after the shared queue
+    // drains, so the peak reaches within one in-flight session per
+    // worker of the total.
+    assert!(
+        outcome.peak_concurrent >= outcome.completed.saturating_sub(2),
+        "peak {} vs completed {}",
+        outcome.peak_concurrent,
+        outcome.completed
+    );
+    daemon.shutdown().unwrap();
+}

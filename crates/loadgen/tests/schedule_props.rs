@@ -1,0 +1,63 @@
+//! Property tests for the arrival-schedule generator: byte-identical
+//! reproduction under a fixed seed, configured-rate adherence within
+//! statistical tolerance, and ordering invariants.
+
+use peace_loadgen::{build_schedule, ArrivalProcess};
+use proptest::prelude::*;
+
+proptest! {
+    /// The open-loop contract: a seeded schedule is a pure function of
+    /// its inputs — two builds are byte-identical.
+    #[test]
+    fn seeded_schedule_is_byte_identical(
+        seed in any::<u64>(),
+        rate in 20.0f64..400.0,
+        duration_ms in 500u64..4_000,
+        poisson in any::<bool>(),
+    ) {
+        let process = if poisson { ArrivalProcess::Poisson } else { ArrivalProcess::Uniform };
+        let a = build_schedule(process, rate, duration_ms, seed);
+        let b = build_schedule(process, rate, duration_ms, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Arrival counts track the configured rate: exactly for Uniform,
+    /// within ±6σ for Poisson (σ = √n for a Poisson count).
+    #[test]
+    fn schedule_hits_configured_rate(
+        seed in any::<u64>(),
+        rate in 50.0f64..400.0,
+        duration_ms in 1_000u64..5_000,
+    ) {
+        let expected = rate * duration_ms as f64 / 1_000.0;
+
+        let uni = build_schedule(ArrivalProcess::Uniform, rate, duration_ms, seed);
+        prop_assert!(
+            (uni.len() as f64 - expected).abs() <= 1.0,
+            "uniform: n={} expected={expected}", uni.len()
+        );
+
+        let poi = build_schedule(ArrivalProcess::Poisson, rate, duration_ms, seed);
+        let tol = 6.0 * expected.sqrt() + 1.0;
+        prop_assert!(
+            (poi.len() as f64 - expected).abs() <= tol,
+            "poisson: n={} expected={expected} tol={tol}", poi.len()
+        );
+    }
+
+    /// Every schedule is sorted and strictly inside the duration window.
+    #[test]
+    fn schedule_is_sorted_and_bounded(
+        seed in any::<u64>(),
+        rate in 20.0f64..300.0,
+        duration_ms in 200u64..3_000,
+        poisson in any::<bool>(),
+    ) {
+        let process = if poisson { ArrivalProcess::Poisson } else { ArrivalProcess::Uniform };
+        let s = build_schedule(process, rate, duration_ms, seed);
+        prop_assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        if let Some(&last) = s.last() {
+            prop_assert!(last < duration_ms * 1_000);
+        }
+    }
+}

@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use crate::clock::wall_ms;
 use crate::conn::Connection;
-use crate::envelope::NodeMessage;
+use crate::envelope::{reject_code, NodeMessage};
 use crate::error::{NetError, Result};
 use crate::metrics::{MetricsSnapshot, NetMetrics};
 use peace_telemetry::Snapshot;
@@ -120,6 +120,9 @@ impl UserAgent {
                 Ok(s)
             }
             Err(e) => {
+                if matches!(e, NetError::ConnLimit) {
+                    self.metrics.conn_rejected.inc();
+                }
                 self.metrics.handshakes_fail.inc();
                 self.metrics.event("handshake_fail", e.code());
                 Err(e)
@@ -139,6 +142,13 @@ impl UserAgent {
         conn.send(&NodeMessage::GetBeacon)?;
         let beacon = match conn.recv()? {
             NodeMessage::Beacon(b) => *b,
+            // A BUSY reject is the daemon's explicit connection-cap
+            // refusal: surface it as the dedicated transient variant so
+            // retry policies and load workers treat it as backpressure.
+            NodeMessage::Reject {
+                code: reject_code::BUSY,
+                ..
+            } => return Err(NetError::ConnLimit),
             NodeMessage::Reject { code, detail } => {
                 return Err(NetError::Rejected { code, detail })
             }
@@ -156,6 +166,10 @@ impl UserAgent {
                 .user
                 .handle_access_confirm(&c, wall_ms())
                 .map_err(NetError::Protocol)?,
+            NodeMessage::Reject {
+                code: reject_code::BUSY,
+                ..
+            } => return Err(NetError::ConnLimit),
             NodeMessage::Reject { code, detail } => {
                 return Err(NetError::Rejected { code, detail })
             }

@@ -44,6 +44,12 @@ pub struct NetMetrics {
     pub connections_accepted: Arc<Counter>,
     /// Connections turned away at the connection-count limit.
     pub connections_rejected: Arc<Counter>,
+    /// Client side: dials this endpoint made that the *peer* turned away
+    /// at its connection cap (an explicit BUSY reject, or an accept-queue
+    /// overflow surfacing as a refused/reset dial). Always a transient
+    /// outcome — open-loop load workers back off and retry instead of
+    /// counting a hard failure.
+    pub conn_rejected: Arc<Counter>,
     /// Sends refused because the bounded outbound queue was full.
     pub backpressure_events: Arc<Counter>,
     /// Handler threads that panicked (must stay 0; asserted by tests).
@@ -99,6 +105,7 @@ impl NetMetrics {
             decode_failures: c("net.decode_failures"),
             connections_accepted: c("net.connections_accepted"),
             connections_rejected: c("net.connections_rejected"),
+            conn_rejected: c("net.conn_rejected"),
             backpressure_events: c("net.backpressure_events"),
             handler_panics: c("net.handler_panics"),
             ledger_errors: c("net.ledger_errors"),
@@ -145,6 +152,7 @@ impl NetMetrics {
             decode_failures: self.decode_failures.get(),
             connections_accepted: self.connections_accepted.get(),
             connections_rejected: self.connections_rejected.get(),
+            conn_rejected: self.conn_rejected.get(),
             backpressure_events: self.backpressure_events.get(),
             handler_panics: self.handler_panics.get(),
             ledger_errors: self.ledger_errors.get(),
@@ -198,6 +206,8 @@ pub struct MetricsSnapshot {
     pub connections_accepted: u64,
     /// Connections rejected at the limit.
     pub connections_rejected: u64,
+    /// Client side: dials the peer turned away at its connection cap.
+    pub conn_rejected: u64,
     /// Backpressure refusals.
     pub backpressure_events: u64,
     /// Handler panics (must be 0).

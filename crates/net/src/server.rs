@@ -1,14 +1,57 @@
 //! Shared accept-loop machinery for the node daemons: connection-count
 //! limiting, panic containment, and graceful shutdown.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use peace_wire::Encode;
+
+use crate::envelope::{reject_code, NodeMessage};
+use crate::frame::read_frame;
 use crate::metrics::NetMetrics;
+
+/// How long a turned-away connection is serviced (one frame read, one
+/// reject write) before it is dropped regardless.
+const BUSY_REPLY_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// The pre-framed `Reject { code: BUSY }` a daemon writes to connections
+/// turned away at its connection cap, so clients observe an explicit,
+/// machine-readable *transient* refusal ([`crate::NetError::ConnLimit`])
+/// instead of an ambiguous severed stream.
+pub(crate) fn busy_frame() -> Vec<u8> {
+    let reject = NodeMessage::Reject {
+        code: reject_code::BUSY,
+        detail: "connection limit reached".to_owned(),
+    };
+    // Encoding a static reject cannot exceed any sane frame bound; fall
+    // back to an empty reply (plain close) rather than panicking.
+    let payload = reject.try_to_wire().unwrap_or_default();
+    let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Services one turned-away connection on its own short-lived thread:
+/// consume the client's first frame (so the close is a clean FIN, not a
+/// RST that could discard the reject in flight), write the pre-framed
+/// BUSY reject, and shut down. Every step is best-effort and bounded by
+/// [`BUSY_REPLY_TIMEOUT`].
+fn reject_busy(stream: TcpStream, busy: Arc<[u8]>) {
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let _ = stream.set_read_timeout(Some(BUSY_REPLY_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(BUSY_REPLY_TIMEOUT));
+        let _ = read_frame(&mut stream, crate::frame::DEFAULT_MAX_FRAME);
+        let _ = stream.write_all(&busy);
+        let _ = stream.flush();
+        let _ = stream.shutdown(Shutdown::Both);
+    });
+}
 
 /// Handle to a running accept loop.
 pub(crate) struct Acceptor {
@@ -32,6 +75,7 @@ impl Acceptor {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
+        let busy: Arc<[u8]> = busy_frame().into();
 
         let t_shutdown = Arc::clone(&shutdown);
         let t_live = Arc::clone(&live);
@@ -47,7 +91,7 @@ impl Acceptor {
                 };
                 if t_live.load(Ordering::SeqCst) >= max_connections {
                     metrics.connections_rejected.inc();
-                    drop(stream);
+                    reject_busy(stream, Arc::clone(&busy));
                     continue;
                 }
                 metrics.connections_accepted.inc();
@@ -135,15 +179,21 @@ mod tests {
         }
         assert_eq!(acc.live_connections(), 2);
 
-        // Third connection is turned away (closed without service).
+        // Third connection is turned away with an explicit BUSY reject.
         let mut c3 = TcpStream::connect(addr).unwrap();
         let deadline = Instant::now() + Duration::from_secs(2);
         while metrics.snapshot().connections_rejected == 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(metrics.snapshot().connections_rejected, 1);
-        let mut buf = [0u8; 1];
         c3.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let payload = read_frame(&mut c3, crate::frame::DEFAULT_MAX_FRAME).unwrap();
+        use peace_wire::Decode as _;
+        match NodeMessage::from_wire(&payload).unwrap() {
+            NodeMessage::Reject { code, .. } => assert_eq!(code, reject_code::BUSY),
+            other => panic!("expected BUSY reject, got {other:?}"),
+        }
+        let mut buf = [0u8; 1];
         assert_eq!(c3.read(&mut buf).unwrap_or(0), 0, "rejected conn closed");
 
         drop(c1);

@@ -1,0 +1,90 @@
+//! Connection-cap backpressure semantics: a daemon at its connection
+//! limit turns new dials away with an explicit BUSY reject, the client
+//! maps that to the *transient* [`NetError::ConnLimit`] (counted as
+//! `net.conn_rejected`), and `connect_with_retry` rides through the
+//! rejection once a slot frees up — the contract the open-loop load
+//! harness depends on to distinguish overload from hard failure.
+
+use std::time::Duration;
+
+use peace_net::{
+    build_world, ConnConfig, DaemonConfig, NetError, RouterDaemon, Transient, UserAgent, WorldSpec,
+};
+use peace_protocol::RetryPolicy;
+
+fn test_cfg() -> DaemonConfig {
+    DaemonConfig {
+        conn: ConnConfig {
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            ..ConnConfig::default()
+        },
+        max_connections: 1,
+        connect_timeout: Duration::from_secs(5),
+        drain: Duration::from_secs(3),
+        ..DaemonConfig::default()
+    }
+}
+
+#[test]
+fn conn_cap_rejection_is_transient_and_counted() {
+    let spec = WorldSpec {
+        seed: 0xCAB,
+        users: 2,
+        routers: 1,
+    };
+    let w = build_world(&spec).unwrap();
+    let cfg = test_cfg();
+    let mut router = w.routers.into_iter().next().unwrap();
+    let now = peace_net::clock::wall_ms();
+    router.update_lists(w.no.publish_crl(now), w.no.publish_url(now));
+    let daemon = RouterDaemon::spawn(router, 1, "127.0.0.1:0", cfg).unwrap();
+    let addr = daemon.addr();
+
+    let mut users = w.users.into_iter();
+    let mut holder = UserAgent::new(users.next().unwrap(), 11, cfg);
+    let mut second = UserAgent::new(users.next().unwrap(), 12, cfg);
+
+    // Occupy the single slot with an established session.
+    let sess = holder.connect(addr).expect("first connection");
+
+    // A plain connect while the slot is held surfaces the BUSY reject as
+    // the dedicated transient ConnLimit error and bumps the counter.
+    let err = match second.connect(addr) {
+        Ok(_) => panic!("second dial must be turned away at the cap"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, NetError::ConnLimit),
+        "expected ConnLimit, got {err:?}"
+    );
+    assert!(err.is_transient(), "cap rejection must invite a retry");
+    assert_eq!(second.metrics().conn_rejected, 1);
+    assert_eq!(second.metrics().handshakes_ok, 0);
+    assert!(daemon.metrics().connections_rejected >= 1);
+
+    // Release the slot in the background; a retrying connect backs off
+    // through the BUSY rejections and lands once capacity returns.
+    let releaser = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(400));
+        sess.close();
+    });
+    let policy = RetryPolicy {
+        base_delay: 150,
+        max_delay: 1000,
+        max_attempts: 20,
+    };
+    let sess2 = second
+        .connect_with_retry(addr, &policy)
+        .expect("retry must succeed once the slot frees");
+    releaser.join().unwrap();
+    assert_eq!(second.metrics().handshakes_ok, 1);
+    assert!(
+        second.metrics().conn_rejected >= 1,
+        "at least the initial rejection was counted"
+    );
+    sess2.close();
+
+    assert_eq!(daemon.metrics().handler_panics, 0);
+    daemon.shutdown().unwrap();
+}

@@ -171,18 +171,26 @@ fn connection_limit_and_oversize_frames_policed() {
     let mut agent = UserAgent::new(w.users.into_iter().next().unwrap(), 9, cfg);
     let sess = agent.connect(addr).expect("first connection");
 
-    // The second connection is turned away at accept.
+    // The second connection is turned away at accept with an explicit
+    // BUSY reject frame, then closed.
     let refused = std::net::TcpStream::connect(addr).unwrap();
     refused
         .set_read_timeout(Some(Duration::from_secs(3)))
         .unwrap();
     let mut probe = refused;
     use std::io::Read;
+    let payload = peace_net::read_frame(&mut probe, peace_net::DEFAULT_MAX_FRAME)
+        .expect("over-limit connection receives a reject frame");
+    use peace_wire::Decode as _;
+    match peace_net::NodeMessage::from_wire(&payload).unwrap() {
+        peace_net::NodeMessage::Reject { code, .. } => assert_eq!(code, reject_code::BUSY),
+        other => panic!("expected BUSY reject, got {other:?}"),
+    }
     let mut buf = [0u8; 1];
     assert_eq!(
         probe.read(&mut buf).unwrap_or(0),
         0,
-        "over-limit connection closed without service"
+        "over-limit connection closed after the reject"
     );
     assert!(daemon.metrics().connections_rejected >= 1);
 

@@ -26,6 +26,7 @@
 
 pub mod attacks;
 pub mod chaos;
+pub mod city;
 pub mod federation;
 pub mod metrics;
 pub mod topology;
@@ -37,6 +38,7 @@ pub use attacks::{
     UrlGrowthPoint,
 };
 pub use chaos::{run_chaos_soak, ChaosConfig, ChaosReport};
+pub use city::{run_city, CityConfig, CityReport, CityTotals, Scenario};
 pub use federation::{run_federation_soak, FederationConfig, FederationReport};
 pub use metrics::SimMetrics;
 pub use topology::{Position, Topology, TopologyConfig};

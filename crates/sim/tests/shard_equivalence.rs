@@ -1,0 +1,91 @@
+//! The sharding determinism contract: partitioning the city world into N
+//! parallel shards is a pure throughput knob — for a fixed seed the event
+//! digest and every per-phase telemetry snapshot are byte-identical
+//! whether the world steps on 1 shard or many.
+
+use peace_sim::{run_city, CityConfig, Scenario};
+
+fn assert_equivalent(base: CityConfig) {
+    let unsharded = run_city(&CityConfig { shards: 1, ..base });
+    let sharded = run_city(&CityConfig { shards: 7, ..base });
+    assert_eq!(
+        unsharded.digest, sharded.digest,
+        "digest must not depend on shard count ({:?})",
+        base.scenario
+    );
+    assert_eq!(unsharded.phases.len(), sharded.phases.len());
+    for ((name_a, snap_a), (name_b, snap_b)) in unsharded.phases.iter().zip(sharded.phases.iter()) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(
+            snap_a.to_json(),
+            snap_b.to_json(),
+            "phase {name_a} snapshot must be byte-identical across shard counts"
+        );
+    }
+    assert_eq!(unsharded.totals.auth_attempts, sharded.totals.auth_attempts);
+    assert_eq!(unsharded.totals.auth_accepted, sharded.totals.auth_accepted);
+    assert_eq!(unsharded.totals.roams, sharded.totals.roams);
+    assert_eq!(unsharded.totals.latency, sharded.totals.latency);
+}
+
+fn small(scenario: Scenario) -> CityConfig {
+    CityConfig {
+        users: 3_000,
+        routers_per_side: 4,
+        end_ms: 10_000,
+        scenario,
+        ..CityConfig::default()
+    }
+}
+
+#[test]
+fn steady_sharded_equals_unsharded() {
+    assert_equivalent(small(Scenario::Steady));
+}
+
+#[test]
+fn flash_crowd_sharded_equals_unsharded() {
+    assert_equivalent(small(Scenario::FlashCrowd {
+        at_ms: 3_000,
+        until_ms: 7_000,
+        hotspot_frac: 0.4,
+        multiplier: 5,
+    }));
+}
+
+#[test]
+fn mass_revocation_sharded_equals_unsharded() {
+    assert_equivalent(small(Scenario::MassRevocation {
+        at_ms: 5_000,
+        revoke_frac: 0.15,
+    }));
+}
+
+#[test]
+fn rollover_sharded_equals_unsharded() {
+    assert_equivalent(small(Scenario::EpochRollover { at_ms: 5_000 }));
+}
+
+#[test]
+fn partition_sharded_equals_unsharded() {
+    assert_equivalent(small(Scenario::Partition {
+        at_ms: 3_000,
+        heal_ms: 7_000,
+        region_frac: 0.5,
+    }));
+}
+
+#[test]
+fn uneven_shard_counts_agree() {
+    // Shard counts that do not divide the population evenly (last chunk
+    // short) must still agree with each other.
+    let base = small(Scenario::Steady);
+    let digests: Vec<u64> = [1usize, 2, 3, 5, 8, 13]
+        .iter()
+        .map(|&s| run_city(&CityConfig { shards: s, ..base }).digest)
+        .collect();
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "digests diverge across shard counts: {digests:?}"
+    );
+}

@@ -129,6 +129,41 @@ impl HistogramSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) reconstructed from the
+    /// bucket grid: the bucket holding the target rank is found exactly,
+    /// and the value is interpolated linearly inside it, clamped to the
+    /// exact observed `[min, max]`. With power-of-two buckets the answer
+    /// is within a factor of two of the true quantile — tight enough for
+    /// the p50/p95/p99 fields the bench artifacts report, and exact for
+    /// degenerate distributions (all values in one bucket with
+    /// `min == max`).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the target observation.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(floor, n) in &self.buckets {
+            if seen + n >= target {
+                // Bucket `[floor, upper)`: interpolate by rank fraction,
+                // clamped to the exact observed extrema.
+                let upper = if floor == 0 {
+                    2
+                } else {
+                    floor.saturating_mul(2)
+                };
+                let lo = floor.max(self.min);
+                let hi = upper.saturating_sub(1).min(self.max).max(lo);
+                let frac = (target - seen) as f64 / n as f64;
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            seen += n;
+        }
+        self.max
+    }
+
     /// Folds `other` into `self` (exact for totals; buckets merge on the
     /// shared grid).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
@@ -243,6 +278,54 @@ mod tests {
         assert_eq!(m.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 4);
         // bucket for 3 (floor 2) merged, not duplicated
         assert_eq!(m.buckets.iter().filter(|&&(f, _)| f == 2).count(), 1);
+    }
+
+    #[test]
+    fn percentile_degenerate_and_empty() {
+        assert_eq!(HistogramSnapshot::default().percentile(0.99), 0);
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(777);
+        }
+        let s = h.snapshot();
+        // One bucket, min == max: every quantile is the exact value.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_monotone_and_bounded() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.percentile(0.50);
+        let p95 = s.percentile(0.95);
+        let p99 = s.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= s.max);
+        assert!(p50 >= s.min);
+        // Power-of-two grid: within 2x of the true quantiles.
+        assert!((250..=1000).contains(&p50), "p50={p50}");
+        assert!((475..=1000).contains(&p95), "p95={p95}");
+    }
+
+    #[test]
+    fn percentile_picks_upper_bucket_for_tail() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        // Ranks 1..=99 stay in the [8, 16) bucket (within 2x of the true
+        // value 10); only the very top rank reaches the outlier.
+        assert!((10..=16).contains(&s.percentile(0.50)));
+        assert!((10..=16).contains(&s.percentile(0.99)));
+        assert_eq!(s.percentile(0.999), 1_000_000);
+        assert_eq!(s.percentile(1.0), 1_000_000);
     }
 
     #[test]

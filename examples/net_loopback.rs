@@ -21,7 +21,7 @@ use peace::net::{build_world, ConnConfig, DaemonConfig, UserAgent, WorldSpec};
 use peace::net::{NoDaemon, RouterDaemon};
 use peace::telemetry::bench::BenchReport;
 
-const HANDSHAKES: u32 = 12;
+const HANDSHAKES: u32 = 32;
 const ECHO_ROUNDS: u32 = 200;
 
 fn main() {
@@ -131,6 +131,16 @@ fn main() {
     let echo_secs = t1.elapsed().as_secs_f64();
     sess.close();
 
+    // Latency percentiles straight out of the agent's handshake
+    // histogram (includes the warm-up and echo-session handshakes — all
+    // successful full protocol runs).
+    let user_telemetry = agent.telemetry();
+    let hs_hist = user_telemetry
+        .histograms
+        .get("net.hs_total_us")
+        .cloned()
+        .unwrap_or_default();
+
     let mut report = BenchReport::new("net_loopback");
     report
         .uint("handshakes", u64::from(HANDSHAKES))
@@ -140,6 +150,9 @@ fn main() {
             hs_secs * 1_000.0 / f64::from(HANDSHAKES),
             2,
         )
+        .uint("hs_p50_us", hs_hist.percentile(0.50))
+        .uint("hs_p95_us", hs_hist.percentile(0.95))
+        .uint("hs_p99_us", hs_hist.percentile(0.99))
         .uint("echo_rounds", u64::from(ECHO_ROUNDS))
         .float("echo_rounds_per_sec", f64::from(ECHO_ROUNDS) / echo_secs, 1)
         .float(
@@ -148,7 +161,7 @@ fn main() {
             1,
         )
         .json("router", &daemon.telemetry().to_json())
-        .json("user", &agent.telemetry().to_json());
+        .json("user", &user_telemetry.to_json());
     if let Err(e) = report.emit("net") {
         eprintln!("artifact write failed: {e}");
         std::process::exit(1);

@@ -1,0 +1,392 @@
+//! City-scale load harness: sharded deterministic simulation plus an
+//! open-loop TCP driver against real daemons, reported as
+//! `BENCH_load.json` (`peace-bench-v1`).
+//!
+//! ```text
+//! peace-loadgen sim [--users N] [--shards S] [--seed X] [--scenario NAME] [--end-ms T]
+//! peace-loadgen tcp [--rate R] [--duration-ms T] [--workers W] [--routers N]
+//!                   [--echo E] [--hold] [--uniform] [--seed X] [--target ADDR]...
+//! peace-loadgen smoke     # CI: >=1k sim users + >=200 TCP sessions, emits BENCH_load.json
+//! peace-loadgen full      # acceptance: 10^5 sim users + >=1k held TCP sessions
+//! ```
+//!
+//! Scenarios: `steady`, `crowd`, `revoke`, `rollover`, `partition`.
+//! Simulation halves verify their own determinism by re-running the
+//! scenario with a different shard count and asserting digest equality.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use peace::loadgen::{
+    build_report, run_open_loop, ArrivalProcess, LoadConfig, SimRunSummary, TcpRunSummary,
+};
+use peace::net::{build_world, ConnConfig, DaemonConfig, RouterDaemon, UserAgent, WorldSpec};
+use peace::sim::{run_city, CityConfig, CityReport, Scenario};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "sim" => cmd_sim(&args),
+        "tcp" => cmd_tcp(&args),
+        "smoke" => cmd_combined(&args, false),
+        "full" => cmd_combined(&args, true),
+        "help" | "--help" | "-h" => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!("peace-loadgen: city-scale simulation + open-loop TCP load harness\n");
+    println!("commands:");
+    println!("  sim    [--users N] [--shards S] [--seed X] [--scenario NAME] [--end-ms T]");
+    println!("         run a sharded city scenario; verifies digest across shard counts");
+    println!("  tcp    [--rate R] [--duration-ms T] [--workers W] [--routers N] [--echo E]");
+    println!("         [--hold] [--uniform] [--seed X] [--target ADDR]...");
+    println!("         open-loop TCP load against loopback daemons (or --target daemons)");
+    println!("  smoke  short CI pass: >=1k sim users + >=200 TCP sessions -> BENCH_load.json");
+    println!("  full   acceptance pass: 10^5 sim users + >=1k held TCP sessions");
+    println!("\nscenarios: steady | crowd | revoke | rollover | partition");
+}
+
+fn flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn flag_f64(args: &[String], name: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn has(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn scenario_by_name(name: &str, end_ms: u64) -> Option<Scenario> {
+    Some(match name {
+        "steady" => Scenario::Steady,
+        "crowd" => Scenario::FlashCrowd {
+            at_ms: end_ms * 3 / 10,
+            until_ms: end_ms * 7 / 10,
+            hotspot_frac: 0.3,
+            multiplier: 8,
+        },
+        "revoke" => Scenario::MassRevocation {
+            at_ms: end_ms / 2,
+            revoke_frac: 0.1,
+        },
+        "rollover" => Scenario::EpochRollover { at_ms: end_ms / 2 },
+        "partition" => Scenario::Partition {
+            at_ms: end_ms * 3 / 10,
+            heal_ms: end_ms * 7 / 10,
+            region_frac: 0.4,
+        },
+        _ => return None,
+    })
+}
+
+/// Runs the scenario and proves shard-count invariance by re-running
+/// with a different shard count. Returns `(report, elapsed_ms)`.
+fn run_sim_verified(cfg: &CityConfig) -> (CityReport, u64) {
+    let t0 = Instant::now();
+    let report = run_city(cfg);
+    let elapsed_ms = t0.elapsed().as_millis() as u64;
+    let alt_shards = if cfg.shards == 1 { 3 } else { 1 };
+    let alt = run_city(&CityConfig {
+        shards: alt_shards,
+        ..*cfg
+    });
+    assert_eq!(
+        report.digest, alt.digest,
+        "DETERMINISM VIOLATION: digest differs between {} and {} shards",
+        cfg.shards, alt_shards
+    );
+    println!(
+        "sim: scenario={:?} users={} shards={} digest={:016x} (verified vs {} shards) {}ms",
+        cfg.scenario, cfg.users, cfg.shards, report.digest, alt_shards, elapsed_ms
+    );
+    (report, elapsed_ms)
+}
+
+fn cmd_sim(args: &[String]) -> ExitCode {
+    let end_ms = flag(args, "--end-ms", 30_000);
+    let name = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("steady");
+    let Some(scenario) = scenario_by_name(name, end_ms) else {
+        eprintln!("unknown scenario: {name}");
+        return ExitCode::FAILURE;
+    };
+    let cfg = CityConfig {
+        users: flag(args, "--users", 100_000) as u32,
+        shards: flag(args, "--shards", 4) as usize,
+        seed: flag(args, "--seed", 0xC17F_5EED),
+        routers_per_side: flag(args, "--routers-per-side", 8) as u32,
+        end_ms,
+        scenario,
+        ..CityConfig::default()
+    };
+    let (report, _) = run_sim_verified(&cfg);
+    let t = &report.totals;
+    println!(
+        "  attempts={} accepted={} dropped={} revoked_rejects={} roams={} url_len={}",
+        t.auth_attempts,
+        t.auth_accepted,
+        t.auth_dropped,
+        t.auth_rejected_revoked,
+        t.roams,
+        t.url_len
+    );
+    println!(
+        "  auth latency p50={}us p95={}us p99={}us",
+        t.latency.percentile(0.50),
+        t.latency.percentile(0.95),
+        t.latency.percentile(0.99)
+    );
+    for (name, snap) in &report.phases {
+        let att = snap
+            .counters
+            .get("city.auth_attempts")
+            .copied()
+            .unwrap_or(0);
+        let drop = snap.counters.get("city.auth_dropped").copied().unwrap_or(0);
+        println!("  phase {name}: attempts={att} dropped={drop}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn daemon_cfg(max_connections: usize) -> DaemonConfig {
+    DaemonConfig {
+        conn: ConnConfig {
+            read_timeout: Some(Duration::from_secs(20)),
+            write_timeout: Some(Duration::from_secs(20)),
+            ..ConnConfig::default()
+        },
+        max_connections,
+        connect_timeout: Duration::from_secs(5),
+        drain: Duration::from_secs(3),
+        ..DaemonConfig::default()
+    }
+}
+
+struct TcpRun {
+    cfg: LoadConfig,
+    outcome: peace::loadgen::LoadOutcome,
+    workers: u64,
+    routers: u64,
+}
+
+/// Builds the deterministic world, spawns loopback router daemons (or
+/// uses `targets`), enrolls one agent per worker, and drives the
+/// open-loop schedule.
+#[allow(clippy::too_many_arguments)]
+fn run_tcp(
+    workers: usize,
+    router_count: usize,
+    targets: &[SocketAddr],
+    world_seed: u64,
+    load: LoadConfig,
+) -> TcpRun {
+    let spec = WorldSpec {
+        seed: world_seed,
+        users: workers,
+        routers: if targets.is_empty() {
+            router_count
+        } else {
+            targets.len()
+        },
+    };
+    eprintln!(
+        "tcp: enrolling {} worker agents (world seed {:#x})...",
+        workers, world_seed
+    );
+    let w = build_world(&spec).expect("world setup ceremony");
+    // Size the cap for held sessions: every offered arrival may be open
+    // at once in hold mode.
+    let expected = (load.rate_per_sec * load.duration_ms as f64 / 1_000.0) as usize;
+    let cap = (expected * 2 + workers + 64).max(256);
+    let cfg = daemon_cfg(cap);
+
+    let mut daemons = Vec::new();
+    let router_addrs: Vec<SocketAddr> = if targets.is_empty() {
+        let now = peace::net::clock::wall_ms();
+        let crl = w.no.publish_crl(now);
+        let url = w.no.publish_url(now);
+        for (i, mut r) in w.routers.into_iter().enumerate() {
+            r.update_lists(crl.clone(), url.clone());
+            daemons.push(
+                RouterDaemon::spawn(r, world_seed ^ (i as u64 + 1), "127.0.0.1:0", cfg)
+                    .expect("router daemon spawn"),
+            );
+        }
+        daemons.iter().map(|d| d.addr()).collect()
+    } else {
+        targets.to_vec()
+    };
+
+    let agents: Vec<UserAgent> = w
+        .users
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| UserAgent::new(u, load.seed ^ (0xA6E57 + i as u64), cfg))
+        .collect();
+
+    eprintln!(
+        "tcp: open-loop {} arrivals/s for {}ms over {} workers -> {} routers (hold={})",
+        load.rate_per_sec,
+        load.duration_ms,
+        workers,
+        router_addrs.len(),
+        load.hold_sessions
+    );
+    let (outcome, _) = run_open_loop(agents, &router_addrs, &load);
+    for d in daemons {
+        assert_eq!(d.metrics().handler_panics, 0, "daemon handler panicked");
+        let _ = d.shutdown();
+    }
+    println!(
+        "tcp: offered={} completed={} failed={} conn_rejected={} peak_concurrent={} in {}ms",
+        outcome.offered,
+        outcome.completed,
+        outcome.failed,
+        outcome.conn_rejected,
+        outcome.peak_concurrent,
+        outcome.elapsed_ms
+    );
+    println!(
+        "  hs p50={}us p95={}us p99={}us | session p50={}us p99={}us",
+        outcome.hs_total_us.percentile(0.50),
+        outcome.hs_total_us.percentile(0.95),
+        outcome.hs_total_us.percentile(0.99),
+        outcome.session_us.percentile(0.50),
+        outcome.session_us.percentile(0.99)
+    );
+    TcpRun {
+        cfg: load,
+        outcome,
+        workers: workers as u64,
+        routers: router_addrs.len() as u64,
+    }
+}
+
+fn parse_targets(args: &[String]) -> Vec<SocketAddr> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--target" {
+            if let Some(addr) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                out.push(addr);
+            }
+        }
+    }
+    out
+}
+
+fn cmd_tcp(args: &[String]) -> ExitCode {
+    let load = LoadConfig {
+        rate_per_sec: flag_f64(args, "--rate", 40.0),
+        duration_ms: flag(args, "--duration-ms", 5_000),
+        process: if has(args, "--uniform") {
+            ArrivalProcess::Uniform
+        } else {
+            ArrivalProcess::Poisson
+        },
+        seed: flag(args, "--seed", 0x10AD_5EED),
+        echo_per_session: flag(args, "--echo", 1) as u32,
+        hold_sessions: has(args, "--hold"),
+        ..LoadConfig::default()
+    };
+    let run = run_tcp(
+        flag(args, "--workers", 8) as usize,
+        flag(args, "--routers", 2) as usize,
+        &parse_targets(args),
+        flag(args, "--world-seed", 0xB00B1E5),
+        load,
+    );
+    if run.outcome.completed == 0 {
+        eprintln!("no session completed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The combined pass behind `smoke` (CI) and `full` (acceptance): one
+/// sharded sim scenario + one open-loop TCP run, emitted as
+/// `BENCH_load.json`.
+fn cmd_combined(args: &[String], full: bool) -> ExitCode {
+    let (sim_users, end_ms) = if full {
+        (100_000, 30_000)
+    } else {
+        (2_000, 20_000)
+    };
+    let sim_cfg = CityConfig {
+        users: flag(args, "--users", sim_users) as u32,
+        shards: flag(args, "--shards", 4) as usize,
+        seed: flag(args, "--seed", 0xC17F_5EED),
+        end_ms,
+        scenario: scenario_by_name("crowd", end_ms).expect("known scenario"),
+        ..CityConfig::default()
+    };
+    let (sim_report, sim_elapsed) = run_sim_verified(&sim_cfg);
+
+    let load = if full {
+        LoadConfig {
+            rate_per_sec: flag_f64(args, "--rate", 120.0),
+            duration_ms: flag(args, "--duration-ms", 10_000),
+            echo_per_session: 1,
+            hold_sessions: true,
+            ..LoadConfig::default()
+        }
+    } else {
+        LoadConfig {
+            rate_per_sec: flag_f64(args, "--rate", 60.0),
+            duration_ms: flag(args, "--duration-ms", 4_000),
+            echo_per_session: 1,
+            hold_sessions: true,
+            ..LoadConfig::default()
+        }
+    };
+    let workers = flag(args, "--workers", if full { 32 } else { 8 }) as usize;
+    let run = run_tcp(workers, 2, &parse_targets(args), 0xB00B1E5, load);
+
+    let report = build_report(
+        Some(SimRunSummary {
+            cfg: &sim_cfg,
+            report: &sim_report,
+            elapsed_ms: sim_elapsed,
+        }),
+        Some(TcpRunSummary {
+            cfg: &run.cfg,
+            outcome: &run.outcome,
+            workers: run.workers,
+            routers: run.routers,
+        }),
+    );
+    match report.emit("load") {
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write BENCH_load.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -73,6 +73,7 @@ pub use peace_field as field;
 pub use peace_groupsig as groupsig;
 pub use peace_hash as hash;
 pub use peace_ledger as ledger;
+pub use peace_loadgen as loadgen;
 pub use peace_net as net;
 pub use peace_pairing as pairing;
 pub use peace_protocol as protocol;

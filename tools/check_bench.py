@@ -59,6 +59,32 @@ FLOORS = {
         # not drift).
         "catchup_records_per_sec": 300.0,
     },
+    # The CI smoke scenario: >=1k simulated users and >=200 real TCP
+    # sessions on loopback. Session counts are exact (the schedule is
+    # seeded), so those floors are tight; the rate floors are loose
+    # structural guards like everything else here.
+    "loadgen": {
+        "sim_users": 1_000,
+        "sim_auth_attempts": 1_000,
+        "tcp_offered": 200,
+        "tcp_sessions": 200,
+        "tcp_peak_concurrent": 100,
+        "tcp_handshakes_per_sec": 10.0,
+        "tcp_access_per_sec": 20.0,
+    },
+}
+
+# Latency ceilings: ``field <= max``. The open-loop harness measures
+# session latency from the *scheduled* arrival, so an overloaded or
+# deadlocked daemon shows up as a p99 explosion rather than a throughput
+# dip — these ceilings are the regression gate for that signal. Values
+# are generous multiples of the measured smoke numbers (p99 ~0.15 s on
+# the reference box) for the same machine-variance reasons as FLOORS.
+CEILINGS = {
+    "loadgen": {
+        "tcp_hs_p99_us": 5_000_000,
+        "tcp_session_p99_us": 10_000_000,
+    },
 }
 
 # Ratio floors: ``numerator >= denominator * min_ratio``. Unlike the
@@ -206,6 +232,16 @@ class Checker:
                     v >= floor,
                     field,
                     f"{v} below regression floor {floor}",
+                )
+        for field, ceiling in CEILINGS.get(doc.get("bench"), {}).items():
+            v = doc.get(field)
+            if self.expect(
+                isinstance(v, (int, float)), field, "ceilinged result field missing"
+            ):
+                self.expect(
+                    v <= ceiling,
+                    field,
+                    f"{v} above latency ceiling {ceiling}",
                 )
         for num, den, min_ratio in RATIO_FLOORS.get(doc.get("bench"), []):
             nv, dv = doc.get(num), doc.get(den)
