@@ -35,6 +35,8 @@ pub mod openloop;
 pub mod report;
 pub mod schedule;
 
-pub use openloop::{run_open_loop, LoadConfig, LoadOutcome};
-pub use report::{build_report, SimRunSummary, TcpRunSummary};
+pub use openloop::{
+    ramp_search, run_open_loop, LoadConfig, LoadOutcome, RampConfig, RampOutcome, RampProbe,
+};
+pub use report::{append_ramp, build_report, RampRunSummary, SimRunSummary, TcpRunSummary};
 pub use schedule::{build_schedule, ArrivalProcess};

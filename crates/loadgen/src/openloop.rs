@@ -103,6 +103,168 @@ fn merge_unprefixed(dst: &mut Snapshot, src: &Snapshot) {
     }
 }
 
+/// Configuration for a ramp search: find the highest offered rate the
+/// target sustains while honoring a p99 latency SLO.
+#[derive(Clone, Copy, Debug)]
+pub struct RampConfig {
+    /// Per-probe load shape (duration, process, echo count, retries).
+    /// `rate_per_sec` inside is ignored — the search chooses each rate.
+    pub base: LoadConfig,
+    /// Scheduled-arrival → session-established p99 budget (µs). A probe
+    /// whose `session_us` p99 exceeds this fails.
+    pub slo_p99_us: u64,
+    /// Fraction of offered arrivals that must complete for a probe to
+    /// pass (terminal failures and exhausted retries count against it).
+    pub min_success: f64,
+    /// Search floor (sessions/s). If even this rate fails, the search
+    /// reports `max_sustainable_rate = 0`.
+    pub min_rate: f64,
+    /// Search ceiling (sessions/s).
+    pub max_rate: f64,
+    /// Binary-search probe budget after the ceiling/floor probes.
+    pub probes: u32,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        Self {
+            base: LoadConfig::default(),
+            slo_p99_us: 500_000,
+            min_success: 0.99,
+            min_rate: 10.0,
+            max_rate: 2_000.0,
+            probes: 5,
+        }
+    }
+}
+
+/// One rate probe within a ramp search.
+#[derive(Clone, Debug)]
+pub struct RampProbe {
+    /// Offered rate this probe ran at (sessions/s).
+    pub rate_per_sec: f64,
+    /// Whether the probe met the SLO and the success floor.
+    pub passed: bool,
+    /// Arrivals in the probe's schedule.
+    pub offered: u64,
+    /// Sessions established.
+    pub completed: u64,
+    /// Sessions lost to terminal refusals or exhausted retries.
+    pub failed: u64,
+    /// Scheduled-arrival → established p99 (µs) the probe observed.
+    pub session_p99_us: u64,
+    /// Achieved handshake completion rate (sessions/s of wall time).
+    pub achieved_per_sec: f64,
+}
+
+/// What a ramp search concluded.
+#[derive(Clone, Debug)]
+pub struct RampOutcome {
+    /// Every probe, in execution order.
+    pub probes: Vec<RampProbe>,
+    /// Highest probed rate that met the SLO (0 when even the floor
+    /// failed).
+    pub max_sustainable_rate: f64,
+    /// The full outcome of the best passing probe.
+    pub best: Option<LoadOutcome>,
+}
+
+/// Binary-searches the highest sustainable offered rate under an SLO.
+///
+/// Probes the ceiling first (if the target absorbs `max_rate`, there is
+/// nothing to search), then the floor, then bisects: a passing rate
+/// moves the floor up, a failing one pulls the ceiling down. Each probe
+/// is a fresh [`run_open_loop`] pass with a distinct schedule seed, so
+/// probes are independent measurements, not replays. The agents thread
+/// through every probe (enrollment amortized once).
+///
+/// # Panics
+///
+/// `agents` and `routers` must be non-empty (see [`run_open_loop`]).
+pub fn ramp_search(
+    agents: Vec<UserAgent>,
+    routers: &[SocketAddr],
+    cfg: &RampConfig,
+) -> (RampOutcome, Vec<UserAgent>) {
+    let mut probes = Vec::new();
+    let mut best: Option<(f64, LoadOutcome)> = None;
+    let mut agents = agents;
+
+    let probe = |rate: f64,
+                 agents: Vec<UserAgent>,
+                 probes: &mut Vec<RampProbe>,
+                 best: &mut Option<(f64, LoadOutcome)>|
+     -> (bool, Vec<UserAgent>) {
+        let run_cfg = LoadConfig {
+            rate_per_sec: rate,
+            seed: cfg
+                .base
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(probes.len() as u64 + 1)),
+            ..cfg.base
+        };
+        let (outcome, back) = run_open_loop(agents, routers, &run_cfg);
+        let p99 = outcome.session_us.percentile(0.99);
+        let floor = (outcome.offered as f64 * cfg.min_success).ceil() as u64;
+        let passed = p99 <= cfg.slo_p99_us && outcome.completed >= floor;
+        probes.push(RampProbe {
+            rate_per_sec: rate,
+            passed,
+            offered: outcome.offered,
+            completed: outcome.completed,
+            failed: outcome.failed,
+            session_p99_us: p99,
+            achieved_per_sec: if outcome.elapsed_ms == 0 {
+                0.0
+            } else {
+                outcome.completed as f64 * 1_000.0 / outcome.elapsed_ms as f64
+            },
+        });
+        if passed && best.as_ref().is_none_or(|(r, _)| rate > *r) {
+            *best = Some((rate, outcome));
+        }
+        (passed, back)
+    };
+
+    // Ceiling first: if the target absorbs max_rate, search over.
+    let (ceiling_ok, back) = probe(cfg.max_rate, agents, &mut probes, &mut best);
+    agents = back;
+    if !ceiling_ok {
+        // Floor next: if even min_rate fails, report zero.
+        let (floor_ok, back) = probe(cfg.min_rate, agents, &mut probes, &mut best);
+        agents = back;
+        if floor_ok {
+            let (mut lo, mut hi) = (cfg.min_rate, cfg.max_rate);
+            for _ in 0..cfg.probes {
+                let mid = (lo + hi) / 2.0;
+                if hi - lo < 1.0 {
+                    break;
+                }
+                let (ok, back) = probe(mid, agents, &mut probes, &mut best);
+                agents = back;
+                if ok {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+    }
+
+    let (max_sustainable_rate, best) = match best {
+        Some((r, o)) => (r, Some(o)),
+        None => (0.0, None),
+    };
+    (
+        RampOutcome {
+            probes,
+            max_sustainable_rate,
+            best,
+        },
+        agents,
+    )
+}
+
 /// Runs one open-loop load generation pass.
 ///
 /// Each element of `agents` becomes one worker thread; arrivals are

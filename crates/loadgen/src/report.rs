@@ -4,7 +4,7 @@ use peace_sim::{CityConfig, CityReport};
 use peace_telemetry::bench::BenchReport;
 use peace_telemetry::Snapshot;
 
-use crate::openloop::{LoadConfig, LoadOutcome};
+use crate::openloop::{LoadConfig, LoadOutcome, RampConfig, RampOutcome};
 
 /// A completed city-simulation run plus its wall-clock cost.
 #[derive(Debug)]
@@ -29,6 +29,65 @@ pub struct TcpRunSummary<'a> {
     pub workers: u64,
     /// Target router count.
     pub routers: u64,
+}
+
+/// A completed ramp search.
+#[derive(Debug)]
+pub struct RampRunSummary<'a> {
+    /// The search configuration.
+    pub cfg: &'a RampConfig,
+    /// What the search concluded.
+    pub outcome: &'a RampOutcome,
+    /// Worker (agent) count.
+    pub workers: u64,
+    /// I/O shards the target daemons ran with (0 = blocking runtime).
+    pub shards: u64,
+}
+
+/// Appends the ramp-search results to a bench report: the headline
+/// `ramp_max_rate_per_sec`, the SLO it was measured against, and every
+/// probe as a JSON array so a regression is diagnosable from the
+/// artifact alone.
+pub fn append_ramp(r: &mut BenchReport, ramp: &RampRunSummary<'_>) {
+    let o = ramp.outcome;
+    r.uint("ramp_workers", ramp.workers)
+        .uint("ramp_shards", ramp.shards)
+        .uint("ramp_slo_p99_us", ramp.cfg.slo_p99_us)
+        .float("ramp_min_success", ramp.cfg.min_success, 3)
+        .float("ramp_floor_rate_per_sec", ramp.cfg.min_rate, 1)
+        .float("ramp_ceiling_rate_per_sec", ramp.cfg.max_rate, 1)
+        .uint("ramp_probe_count", o.probes.len() as u64)
+        .float("ramp_max_rate_per_sec", o.max_sustainable_rate, 1);
+    if let Some(best) = &o.best {
+        r.float(
+            "ramp_best_achieved_per_sec",
+            per_sec(best.completed, best.elapsed_ms),
+            1,
+        )
+        .uint("ramp_best_session_p99_us", best.session_us.percentile(0.99))
+        .uint("ramp_best_hs_p99_us", best.hs_total_us.percentile(0.99));
+    }
+    let probes: Vec<String> = o
+        .probes
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"rate_per_sec\":{:.1},\"passed\":{},\"offered\":{},",
+                    "\"completed\":{},\"failed\":{},\"session_p99_us\":{},",
+                    "\"achieved_per_sec\":{:.1}}}"
+                ),
+                p.rate_per_sec,
+                p.passed,
+                p.offered,
+                p.completed,
+                p.failed,
+                p.session_p99_us,
+                p.achieved_per_sec,
+            )
+        })
+        .collect();
+    r.json("ramp_probes", &format!("[{}]", probes.join(",")));
 }
 
 /// Builds the `loadgen` bench report from whichever halves ran.

@@ -11,7 +11,7 @@ use peace_wire::{Decode, Encode};
 
 use crate::envelope::NodeMessage;
 use crate::error::{NetError, Result};
-use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::frame::{write_frame, FrameDecoder, DEFAULT_MAX_FRAME};
 use crate::metrics::{ConnStats, NetMetrics};
 
 /// Per-connection tunables.
@@ -112,11 +112,18 @@ impl OutboundQueue {
 }
 
 /// One framed TCP connection carrying [`NodeMessage`] envelopes.
+///
+/// Inbound framing runs through the same incremental [`FrameDecoder`]
+/// the event-loop runtime uses: the socket is read in chunks, fragments
+/// accumulate in the decoder, and whole frames come out — so the
+/// blocking and non-blocking runtimes share one protocol core and the
+/// kernel's fragmentation of the stream is invisible to both.
 #[derive(Debug)]
 pub struct Connection {
     stream: TcpStream,
     cfg: ConnConfig,
     queue: OutboundQueue,
+    decoder: FrameDecoder,
     stats: ConnStats,
     metrics: Arc<NetMetrics>,
     peer: Option<SocketAddr>,
@@ -134,6 +141,7 @@ impl Connection {
             stream,
             cfg,
             queue: OutboundQueue::new(cfg.max_queue_frames, cfg.max_queue_bytes),
+            decoder: FrameDecoder::new(cfg.max_frame),
             stats: ConnStats::default(),
             metrics,
             peer,
@@ -212,10 +220,30 @@ impl Connection {
         self.flush()
     }
 
+    /// Pulls the next whole frame through the shared decoder, reading
+    /// the socket in chunks. Bytes past the frame boundary stay buffered
+    /// for the next call, so pipelined or coalesced frames are never
+    /// lost.
+    fn read_framed(&mut self) -> Result<Vec<u8>> {
+        use std::io::Read;
+        let mut scratch = [0u8; 8 * 1024];
+        loop {
+            if let Some(payload) = self.decoder.next_frame()? {
+                return Ok(payload);
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => self.decoder.feed(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
     /// Reads and decodes the next envelope, enforcing the read deadline and
     /// the frame-size bound.
     pub fn recv(&mut self) -> Result<NodeMessage> {
-        let payload = read_frame(&mut self.stream, self.cfg.max_frame).inspect_err(|e| {
+        let payload = self.read_framed().inspect_err(|e| {
             match e {
                 NetError::Timeout => {
                     self.stats.timeouts += 1;
@@ -248,6 +276,7 @@ impl Connection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::frame::read_frame;
 
     #[test]
     fn queue_bounds_enforced() {

@@ -35,6 +35,11 @@ pub struct DaemonConfig {
     /// requeue, the oldest overflow is dropped (and counted) so a long NO
     /// outage cannot grow router memory without limit.
     pub max_pending_transcripts: usize,
+    /// I/O shard threads for the event-loop runtime. `0` (the default)
+    /// selects the blocking thread-per-connection runtime; `n >= 1` runs
+    /// the non-blocking sharded reactor with `n` I/O threads plus a
+    /// crypto verify pool (see `crate::reactor`).
+    pub shards: usize,
 }
 
 impl Default for DaemonConfig {
@@ -45,6 +50,7 @@ impl Default for DaemonConfig {
             connect_timeout: Duration::from_secs(5),
             drain: Duration::from_secs(2),
             max_pending_transcripts: 1024,
+            shards: 0,
         }
     }
 }

@@ -14,15 +14,17 @@ use std::time::Duration;
 
 use peace_ecdsa::VerifyingKey;
 use peace_groupsig::RevocationToken;
-use peace_ledger::{AccessRecord, Checkpoint, Ledger, LedgerRecord, ReplicatedLedger};
+use peace_ledger::{Checkpoint, Ledger, LedgerRecord, ReplicatedLedger};
 use peace_protocol::entities::NetworkOperator;
 
 use crate::clock::wall_ms;
 use crate::conn::Connection;
-use crate::envelope::{reject_code, Bulletin, NodeMessage};
+use crate::envelope::NodeMessage;
 use crate::error::{NetError, Result};
 use crate::metrics::{MetricsSnapshot, NetMetrics};
+use crate::reactor::EventLoop;
 use crate::server::Acceptor;
+use crate::session::{NoShared, NoSm, Service, Step};
 
 use super::{lock_recover, DaemonConfig};
 
@@ -36,6 +38,14 @@ struct GossipLoop {
     handle: std::thread::JoinHandle<()>,
 }
 
+/// The transport serving this daemon's listener.
+enum Runtime {
+    /// Thread-per-connection (the default, `cfg.shards == 0`).
+    Blocking(Acceptor),
+    /// The sharded non-blocking reactor (`cfg.shards >= 1`).
+    Event(EventLoop),
+}
+
 /// A running NO bulletin server.
 pub struct NoDaemon {
     no: Arc<Mutex<NetworkOperator>>,
@@ -46,7 +56,7 @@ pub struct NoDaemon {
     /// travel up to a signed checkpoint).
     auto_checkpoint: Arc<AtomicBool>,
     gossip: Mutex<Option<GossipLoop>>,
-    acceptor: Acceptor,
+    runtime: Runtime,
     metrics: Arc<NetMetrics>,
     cfg: DaemonConfig,
 }
@@ -63,23 +73,34 @@ impl NoDaemon {
         let ledger: Arc<Mutex<Option<ReplicatedLedger>>> = Arc::new(Mutex::new(None));
         let metrics = Arc::new(NetMetrics::default());
         let auto_checkpoint = Arc::new(AtomicBool::new(false));
+        let shared = NoShared {
+            no: Arc::clone(&no),
+            ledger: Arc::clone(&ledger),
+            auto_checkpoint: Arc::clone(&auto_checkpoint),
+        };
 
-        let h_no = Arc::clone(&no);
-        let h_ledger = Arc::clone(&ledger);
-        let h_metrics = Arc::clone(&metrics);
-        let h_auto = Arc::clone(&auto_checkpoint);
-        let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
-            Arc::new(move |stream, _conn_id| {
-                serve(stream, &h_no, &h_ledger, &h_auto, &h_metrics, cfg);
-            });
-        let acceptor = Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
+        let runtime = if cfg.shards == 0 {
+            let h_metrics = Arc::clone(&metrics);
+            let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
+                Arc::new(move |stream, _conn_id| {
+                    serve(stream, &shared, &h_metrics, cfg);
+                });
+            Runtime::Blocking(Acceptor::spawn(
+                bind,
+                cfg.max_connections,
+                Arc::clone(&metrics),
+                handler,
+            )?)
+        } else {
+            Runtime::Event(EventLoop::spawn(bind, cfg, Service::No(shared))?)
+        };
         Ok(Self {
             no,
             ledger,
             resolver: Arc::new(Mutex::new(None)),
             auto_checkpoint,
             gossip: Mutex::new(None),
-            acceptor,
+            runtime,
             metrics,
             cfg,
         })
@@ -87,17 +108,38 @@ impl NoDaemon {
 
     /// The daemon's bound address.
     pub fn addr(&self) -> std::net::SocketAddr {
-        self.acceptor.addr()
+        match &self.runtime {
+            Runtime::Blocking(acceptor) => acceptor.addr(),
+            Runtime::Event(el) => el.addr(),
+        }
     }
 
-    /// A point-in-time copy of the daemon counters.
+    /// A point-in-time copy of the daemon counters (summed across every
+    /// shard under the event-loop runtime).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        if let Runtime::Event(el) = &self.runtime {
+            snap.merge(&el.metrics());
+        }
+        snap
     }
 
-    /// Full telemetry export: counters and ledger-failure events.
+    /// Full telemetry export: counters and ledger-failure events —
+    /// merged across shards under the event-loop runtime.
     pub fn telemetry(&self) -> peace_telemetry::Snapshot {
-        self.metrics.telemetry()
+        let mut snap = self.metrics.telemetry();
+        if let Runtime::Event(el) = &self.runtime {
+            snap.merge(&el.telemetry());
+        }
+        snap
+    }
+
+    /// Live connection count.
+    pub fn live_connections(&self) -> usize {
+        match &self.runtime {
+            Runtime::Blocking(acceptor) => acceptor.live_connections(),
+            Runtime::Event(el) => el.live_connections(),
+        }
     }
 
     /// Revokes a member key at runtime; subsequent bulletins carry the
@@ -301,10 +343,18 @@ impl NoDaemon {
     ///
     /// [`NetError::Unexpected`] if another handle still holds the operator
     /// (cannot happen through this API).
-    pub fn shutdown(mut self) -> Result<NetworkOperator> {
+    pub fn shutdown(self) -> Result<NetworkOperator> {
         self.stop_gossip();
-        self.acceptor.shutdown(self.cfg.drain);
-        drop(self.acceptor);
+        match self.runtime {
+            Runtime::Blocking(mut acceptor) => {
+                acceptor.shutdown(self.cfg.drain);
+                drop(acceptor);
+            }
+            Runtime::Event(mut el) => {
+                el.shutdown(self.cfg.drain);
+                drop(el);
+            }
+        }
         // In-flight handlers have drained: make their appends durable
         // before the daemon disappears.
         if let Some(rl) = lock_recover(&self.ledger).as_mut() {
@@ -321,183 +371,37 @@ impl NoDaemon {
     }
 }
 
-/// Per-connection request loop: answer any number of bulletin requests
-/// and session reports until the peer says `Bye`, closes, or goes quiet
-/// past the deadline.
-fn serve(
-    stream: TcpStream,
-    no: &Mutex<NetworkOperator>,
-    ledger: &Mutex<Option<ReplicatedLedger>>,
-    auto_checkpoint: &AtomicBool,
-    metrics: &Arc<NetMetrics>,
-    cfg: DaemonConfig,
-) {
+/// Blocking per-connection driver for the shared
+/// [`NoSm`](crate::session::NoSm): recv one envelope, feed the machine,
+/// act on its [`Step`] — until the peer says `Bye`, closes, goes quiet
+/// past the deadline, or misbehaves.
+fn serve(stream: TcpStream, shared: &NoShared, metrics: &Arc<NetMetrics>, cfg: DaemonConfig) {
     let Ok(mut conn) = Connection::new(stream, cfg.conn, Arc::clone(metrics)) else {
         return;
     };
+    let mut sm = NoSm::new(shared.clone());
     loop {
-        match conn.recv() {
-            Ok(NodeMessage::GetBulletin) => {
-                let bulletin = {
-                    let op = lock_recover(no);
-                    let now = wall_ms();
-                    Bulletin {
-                        epoch: op.epoch(),
-                        crl: op.publish_crl(now),
-                        url: op.publish_url(now),
-                    }
-                };
-                if conn.send(&NodeMessage::Bulletin(bulletin)).is_err() {
+        let step = match conn.recv() {
+            Ok(msg) => sm.on_message(msg, metrics),
+            // A mangled frame drops the peer (pre-refactor behavior);
+            // timeouts included — an idle bulletin poller gives up its
+            // slot rather than pinning a handler thread.
+            Err(NetError::Malformed(_)) => sm.on_decode_error(),
+            Err(_) => return,
+        };
+        match step {
+            Step::Reply(m) => {
+                if conn.send(&m).is_err() {
                     return;
                 }
             }
-            Ok(NodeMessage::ReportSessions { router, sessions }) => {
-                let now = wall_ms();
-                let mut accepted: u32 = 0;
-                {
-                    // Lock order: operator, then ledger (same as the
-                    // daemon-side methods).
-                    let mut op = lock_recover(no);
-                    let mut slot = lock_recover(ledger);
-                    for session in sessions {
-                        if let Some(rl) = slot.as_mut() {
-                            // Idempotent ingestion: a router that retries a
-                            // report after a lost ack — or fails over to
-                            // this replica with a batch another replica
-                            // already mirrored here — must not duplicate
-                            // transcripts. Checked across every shard.
-                            let sid = session.session_id.to_bytes();
-                            if rl.find_session(&sid).is_some() {
-                                continue;
-                            }
-                            let rec = LedgerRecord::Access(AccessRecord {
-                                router: router.clone(),
-                                session: session.clone(),
-                            });
-                            if let Err(e) = rl.local_mut().append(rec, now) {
-                                metrics.ledger_errors.inc();
-                                metrics.event("ledger_error", e.code());
-                                continue;
-                            }
-                            metrics.ledger_sessions.inc();
-                        }
-                        op.record_session(session);
-                        accepted += 1;
-                    }
-                    if let Some(rl) = slot.as_mut() {
-                        // One durability point per report, not per record.
-                        if let Err(e) = rl.flush() {
-                            metrics.ledger_errors.inc();
-                            metrics.event("ledger_error", e.code());
-                        }
-                        // Federated mode: checkpoint the accepted batch so
-                        // peers can pull it on the next gossip round
-                        // (ranges only travel up to a signed checkpoint).
-                        if accepted > 0 && auto_checkpoint.load(Ordering::Relaxed) {
-                            let signer = rl.local_id().to_owned();
-                            if let Err(e) =
-                                rl.local_mut().checkpoint(op.signing_key(), &signer, now)
-                            {
-                                metrics.ledger_errors.inc();
-                                metrics.event("ledger_error", e.code());
-                            }
-                        }
-                    }
-                }
-                if conn.send(&NodeMessage::ReportAck { accepted }).is_err() {
-                    return;
-                }
-            }
-            Ok(NodeMessage::CkptGossip { .. }) => {
-                let digests = {
-                    let slot = lock_recover(ledger);
-                    slot.as_ref()
-                        .map(|rl| (rl.local_id().to_owned(), rl.digests()))
-                };
-                let reply = match digests {
-                    Some((from_no, digests)) => NodeMessage::CkptGossip { from_no, digests },
-                    None => NodeMessage::Reject {
-                        code: reject_code::INTERNAL,
-                        detail: "no replica ledger attached".to_owned(),
-                    },
-                };
-                if conn.send(&reply).is_err() {
-                    return;
-                }
-            }
-            Ok(NodeMessage::RangePull { writer, from_seq }) => {
-                let served = {
-                    let slot = lock_recover(ledger);
-                    slot.as_ref().map(|rl| rl.serve_range(&writer, from_seq))
-                };
-                let reply = match served {
-                    Some(Ok(range)) => {
-                        if range.is_some() {
-                            metrics.repl_ranges_out.inc();
-                        }
-                        NodeMessage::RangePush {
-                            range: range.map(Box::new),
-                        }
-                    }
-                    Some(Err(e)) => {
-                        metrics.event("repl_refuse", e.code());
-                        NodeMessage::Reject {
-                            code: reject_code::INTERNAL,
-                            detail: e.code().to_owned(),
-                        }
-                    }
-                    None => NodeMessage::Reject {
-                        code: reject_code::INTERNAL,
-                        detail: "no replica ledger attached".to_owned(),
-                    },
-                };
-                if conn.send(&reply).is_err() {
-                    return;
-                }
-            }
-            Ok(NodeMessage::GetUrlDelta {
-                epoch,
-                have_version,
-            }) => {
-                // O(churn) fast lane: a signed diff when one chains from
-                // the caller's (epoch, version), else None → full bulletin.
-                // A freshly-signed CRL and a detached URL re-stamp ride
-                // along either way: the CRL is router-scale (small) and
-                // the re-stamp is O(1), and the caller's beacons need
-                // both lists younger than list_max_age between full
-                // fetches.
-                let now = wall_ms();
-                let (crl, restamp, delta) = {
-                    let op = lock_recover(no);
-                    (
-                        op.publish_crl(now),
-                        op.restamp_url(now),
-                        op.publish_url_delta(epoch, have_version, now),
-                    )
-                };
-                if delta.is_some() {
-                    metrics.url_deltas_out.inc();
-                }
-                let reply = NodeMessage::UrlDelta {
-                    crl: Box::new(crl),
-                    restamp,
-                    delta: delta.map(Box::new),
-                };
-                if conn.send(&reply).is_err() {
-                    return;
-                }
-            }
-            Ok(NodeMessage::Bye) | Err(NetError::Closed) => return,
-            Ok(_) => {
-                let _ = conn.send(&NodeMessage::Reject {
-                    code: reject_code::MALFORMED,
-                    detail: "NO serves bulletins and session reports only".to_owned(),
-                });
+            Step::ReplyClose(m) => {
+                let _ = conn.send(&m);
                 return;
             }
-            // Timeout included: an idle bulletin poller gives up its slot
-            // rather than pinning a handler thread.
-            Err(_) => return,
+            // The NO machine never offloads; treat a stray offload as a
+            // close so the invariant is locally obvious.
+            Step::Close | Step::Offload(_) => return,
         }
     }
 }

@@ -2,28 +2,40 @@
 //! the anonymous access protocol (M.2 → M.3), and echoes AEAD traffic on
 //! established sessions.
 //!
-//! Each accepted connection gets its own handler thread and at most one
-//! session; all shared router state (beacon DH table, revocation lists,
-//! DoS detector) lives behind one mutex on the [`MeshRouter`] entity,
-//! which stays bounded by its own `PendingTable`s no matter how many
-//! connections churn.
+//! All per-connection protocol behavior lives in the shared
+//! [`RouterSm`](crate::session::RouterSm) state machine; this module
+//! only supplies a transport to drive it. Two runtimes exist:
+//!
+//! * **blocking** (`cfg.shards == 0`): one handler thread per accepted
+//!   connection, synchronous offload to the shared verifier thread —
+//!   the original runtime, still the default for tests and small
+//!   deployments;
+//! * **event loop** (`cfg.shards >= 1`): `N` non-blocking I/O shard
+//!   threads plus a verify pool (see [`crate::reactor`]), for
+//!   metropolitan-scale held-session counts.
+//!
+//! Shared router state (beacon DH table, revocation lists, DoS detector)
+//! lives behind one mutex on the [`MeshRouter`] entity either way, and
+//! access-request bursts are verified as single batches
+//! ([`MeshRouter::process_access_requests`]) in both runtimes.
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{mpsc, Arc, Mutex};
 
 use peace_protocol::entities::MeshRouter;
-use peace_protocol::{
-    AccessConfirm, AccessRequest, LoggedSession, ProtocolError, ReplicaSet, Session,
-};
+use peace_protocol::{AccessConfirm, LoggedSession, ProtocolError, ReplicaSet, Session};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::clock::wall_ms;
 use crate::conn::Connection;
-use crate::envelope::{reject_code, NodeMessage};
+use crate::envelope::NodeMessage;
 use crate::error::{NetError, Result};
 use crate::metrics::{MetricsSnapshot, NetMetrics};
+use crate::reactor::EventLoop;
 use crate::server::Acceptor;
+use crate::session::{RouterShared, RouterSm, Service, Step};
+use peace_protocol::AccessRequest;
 use peace_telemetry::Snapshot;
 
 use super::{lock_recover, DaemonConfig};
@@ -40,27 +52,42 @@ struct VerifyJob {
     reply: mpsc::Sender<std::result::Result<(AccessConfirm, Session), ProtocolError>>,
 }
 
+/// The transport serving this daemon's listener.
+enum Runtime {
+    /// Thread-per-connection with a shared batching verifier thread.
+    Blocking {
+        acceptor: Acceptor,
+        verify_tx: mpsc::Sender<VerifyJob>,
+        verifier: Option<std::thread::JoinHandle<()>>,
+    },
+    /// The sharded non-blocking reactor with its own verify pool.
+    Event(EventLoop),
+}
+
 /// A running mesh-router daemon.
 pub struct RouterDaemon {
     router: Arc<Mutex<MeshRouter>>,
     rng: Arc<Mutex<StdRng>>,
-    acceptor: Acceptor,
+    /// Daemon-initiated outbound connections (bulletin refresh, session
+    /// reports) record here; the listener side records into the runtime's
+    /// registries (same `Arc` for the blocking runtime, per-shard for the
+    /// event loop, merged at export).
     metrics: Arc<NetMetrics>,
     cfg: DaemonConfig,
-    verify_tx: mpsc::Sender<VerifyJob>,
-    verifier: Option<std::thread::JoinHandle<()>>,
+    runtime: Runtime,
 }
 
 impl RouterDaemon {
     /// Takes ownership of the router entity and starts serving on `bind`.
     /// `rng_seed` feeds the daemon's beacon/nonce randomness.
+    /// `cfg.shards` picks the runtime: `0` for blocking
+    /// thread-per-connection, `n >= 1` for the sharded event loop.
     ///
-    /// Access requests (M.2) from all connections funnel through one
-    /// verifier thread that drains whatever burst has queued and verifies
-    /// it as a single batch
-    /// ([`MeshRouter::process_access_requests`]) — under concurrent load
-    /// the whole burst shares two final exponentiations; an idle daemon
-    /// degenerates to batches of one with one queue hop of overhead.
+    /// Access requests (M.2) from all connections funnel into batched
+    /// verification ([`MeshRouter::process_access_requests`]) — under
+    /// concurrent load the whole burst shares two final exponentiations;
+    /// an idle daemon degenerates to batches of one with one queue hop
+    /// of overhead.
     ///
     /// # Errors
     ///
@@ -69,52 +96,78 @@ impl RouterDaemon {
         let router = Arc::new(Mutex::new(router));
         let rng = Arc::new(Mutex::new(StdRng::seed_from_u64(rng_seed)));
         let metrics = Arc::new(NetMetrics::default());
+        let shared = RouterShared {
+            router: Arc::clone(&router),
+            rng: Arc::clone(&rng),
+        };
 
-        let (verify_tx, verify_rx) = mpsc::channel::<VerifyJob>();
-        let v_router = Arc::clone(&router);
-        let v_metrics = Arc::clone(&metrics);
-        let verifier =
-            std::thread::spawn(move || verify_batches(&verify_rx, &v_router, &v_metrics));
+        let runtime = if cfg.shards == 0 {
+            let (verify_tx, verify_rx) = mpsc::channel::<VerifyJob>();
+            let v_router = Arc::clone(&router);
+            let v_metrics = Arc::clone(&metrics);
+            let verifier =
+                std::thread::spawn(move || verify_batches(&verify_rx, &v_router, &v_metrics));
 
-        let h_router = Arc::clone(&router);
-        let h_rng = Arc::clone(&rng);
-        let h_metrics = Arc::clone(&metrics);
-        let h_verify_tx = verify_tx.clone();
-        let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
-            Arc::new(move |stream, _conn_id| {
-                serve(stream, &h_router, &h_rng, &h_metrics, &h_verify_tx, cfg);
-            });
-        let acceptor = Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
+            let h_metrics = Arc::clone(&metrics);
+            let h_verify_tx = verify_tx.clone();
+            let handler: Arc<dyn Fn(TcpStream, u64) + Send + Sync> =
+                Arc::new(move |stream, _conn_id| {
+                    serve(stream, &shared, &h_metrics, &h_verify_tx, cfg);
+                });
+            let acceptor =
+                Acceptor::spawn(bind, cfg.max_connections, Arc::clone(&metrics), handler)?;
+            Runtime::Blocking {
+                acceptor,
+                verify_tx,
+                verifier: Some(verifier),
+            }
+        } else {
+            Runtime::Event(EventLoop::spawn(bind, cfg, Service::Router(shared))?)
+        };
         Ok(Self {
             router,
             rng,
-            acceptor,
             metrics,
             cfg,
-            verify_tx,
-            verifier: Some(verifier),
+            runtime,
         })
     }
 
     /// The daemon's bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.acceptor.addr()
+        match &self.runtime {
+            Runtime::Blocking { acceptor, .. } => acceptor.addr(),
+            Runtime::Event(el) => el.addr(),
+        }
     }
 
-    /// A point-in-time copy of the daemon counters.
+    /// A point-in-time copy of the daemon counters (summed across every
+    /// shard under the event-loop runtime).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        if let Runtime::Event(el) = &self.runtime {
+            snap.merge(&el.metrics());
+        }
+        snap
     }
 
-    /// Full telemetry export: counters, the `net.access_verify_us`
-    /// histogram, and failure events.
+    /// Full telemetry export: counters, the handshake-leg and
+    /// `net.access_verify_us` histograms, and failure events — merged
+    /// across shards under the event-loop runtime.
     pub fn telemetry(&self) -> Snapshot {
-        self.metrics.telemetry()
+        let mut snap = self.metrics.telemetry();
+        if let Runtime::Event(el) = &self.runtime {
+            snap.merge(&el.telemetry());
+        }
+        snap
     }
 
     /// Live connection count.
     pub fn live_connections(&self) -> usize {
-        self.acceptor.live_connections()
+        match &self.runtime {
+            Runtime::Blocking { acceptor, .. } => acceptor.live_connections(),
+            Runtime::Event(el) => el.live_connections(),
+        }
     }
 
     /// Polls the NO bulletin server once and installs the served lists,
@@ -353,17 +406,31 @@ impl RouterDaemon {
     ///
     /// [`NetError::Unexpected`] if the entity is still shared (cannot
     /// happen through this API).
-    pub fn shutdown(mut self) -> Result<MeshRouter> {
-        self.acceptor.shutdown(self.cfg.drain);
-        drop(self.acceptor);
-        drop(self.rng);
-        // All handler threads are gone, so every sender clone is dropped
-        // once ours is; the verifier drains, exits, and releases its router
-        // handle before the unwrap below.
-        drop(self.verify_tx);
-        if let Some(verifier) = self.verifier.take() {
-            let _ = verifier.join();
+    pub fn shutdown(self) -> Result<MeshRouter> {
+        match self.runtime {
+            Runtime::Blocking {
+                mut acceptor,
+                verify_tx,
+                mut verifier,
+            } => {
+                acceptor.shutdown(self.cfg.drain);
+                drop(acceptor);
+                // All handler threads are gone, so every sender clone is
+                // dropped once ours is; the verifier drains, exits, and
+                // releases its router handle before the unwrap below.
+                drop(verify_tx);
+                if let Some(verifier) = verifier.take() {
+                    let _ = verifier.join();
+                }
+            }
+            Runtime::Event(mut el) => {
+                // Joins the accept thread, every shard, and the verify
+                // pool — after which no shard-held RouterShared survives.
+                el.shutdown(self.cfg.drain);
+                drop(el);
+            }
         }
+        drop(self.rng);
         Arc::try_unwrap(self.router)
             .map_err(|_| NetError::Unexpected("router still shared at shutdown"))
             .map(|m| match m.into_inner() {
@@ -404,22 +471,12 @@ fn verify_batches(
     }
 }
 
-/// Maps a protocol failure to the wire reject code the user agent keys its
-/// retry decision on: revocation is terminal, everything else is worth a
-/// fresh handshake (the request may simply have been mangled in flight).
-fn code_for(err: &ProtocolError) -> u16 {
-    match err {
-        ProtocolError::SignerRevoked | ProtocolError::CertificateRevoked => reject_code::REVOKED,
-        _ => reject_code::AUTH_FAILED,
-    }
-}
-
-/// Per-connection state machine: beacon requests and one M.2 → M.3
-/// handshake, then AEAD echo service on the established session.
+/// Blocking per-connection driver for the shared [`RouterSm`]: recv one
+/// envelope, feed the machine, act on its [`Step`] — with the verify
+/// offload performed synchronously against the shared verifier thread.
 fn serve(
     stream: TcpStream,
-    router: &Mutex<MeshRouter>,
-    rng: &Mutex<StdRng>,
+    shared: &RouterShared,
     metrics: &Arc<NetMetrics>,
     verify_tx: &mpsc::Sender<VerifyJob>,
     cfg: DaemonConfig,
@@ -427,41 +484,18 @@ fn serve(
     let Ok(mut conn) = Connection::new(stream, cfg.conn, Arc::clone(metrics)) else {
         return;
     };
-    let mut session: Option<Session> = None;
+    let mut sm = RouterSm::new(shared.clone());
     loop {
-        let msg = match conn.recv() {
-            Ok(m) => m,
-            Err(NetError::Malformed(_)) => {
-                // A mangled frame (fault proxy, hostile peer) is not worth
-                // killing the connection over before authentication; tell
-                // the peer and keep listening.
-                if conn
-                    .send(&NodeMessage::Reject {
-                        code: reject_code::MALFORMED,
-                        detail: "undecodable envelope".to_owned(),
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
+        let step = match conn.recv() {
+            Ok(msg) => sm.on_message(msg, metrics),
+            Err(NetError::Malformed(_)) => sm.on_decode_error(),
             Err(_) => return,
         };
-        match msg {
-            NodeMessage::GetBeacon => {
-                let beacon = {
-                    let mut r = lock_recover(router);
-                    let mut g = lock_recover(rng);
-                    r.beacon(wall_ms(), &mut *g)
-                };
-                if conn.send(&NodeMessage::Beacon(Box::new(beacon))).is_err() {
-                    return;
-                }
-            }
-            NodeMessage::AccessRequest(req) => {
-                // Hand the request to the shared verifier thread: bursts
-                // arriving across connections verify as one batch.
+        let step = match step {
+            Step::Offload(req) => {
+                // Synchronous offload: park this handler thread on the
+                // verifier's reply (bursts across handler threads still
+                // verify as one batch).
                 let (reply_tx, reply_rx) = mpsc::channel();
                 if verify_tx
                     .send(VerifyJob {
@@ -475,68 +509,22 @@ fn serve(
                 let Ok(outcome) = reply_rx.recv() else {
                     return; // verifier gone: daemon shutting down
                 };
-                match outcome {
-                    Ok((confirm, sess)) => {
-                        metrics.handshakes_ok.inc();
-                        session = Some(sess);
-                        if conn
-                            .send(&NodeMessage::AccessConfirm(Box::new(confirm)))
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                    Err(e) => {
-                        metrics.handshakes_fail.inc();
-                        metrics.event("handshake_fail", e.code());
-                        let reply = NodeMessage::Reject {
-                            code: code_for(&e),
-                            detail: e.code().to_owned(),
-                        };
-                        if conn.send(&reply).is_err() {
-                            return;
-                        }
-                    }
+                sm.on_verify(outcome, metrics)
+            }
+            other => other,
+        };
+        match step {
+            Step::Reply(m) => {
+                if conn.send(&m).is_err() {
+                    return;
                 }
             }
-            NodeMessage::Data(ciphertext) => match session.as_mut() {
-                Some(sess) => match sess.open_data(&ciphertext) {
-                    Ok(plain) => {
-                        let echo = sess.seal_data(&plain);
-                        if conn.send(&NodeMessage::Data(echo)).is_err() {
-                            return;
-                        }
-                    }
-                    Err(_) => {
-                        // Strict in-order AEAD: a bad record is fatal to
-                        // the session (no resync point).
-                        let _ = conn.send(&NodeMessage::Reject {
-                            code: reject_code::MALFORMED,
-                            detail: "AEAD record rejected".to_owned(),
-                        });
-                        return;
-                    }
-                },
-                None => {
-                    if conn
-                        .send(&NodeMessage::Reject {
-                            code: reject_code::NO_SESSION,
-                            detail: "data before handshake".to_owned(),
-                        })
-                        .is_err()
-                    {
-                        return;
-                    }
-                }
-            },
-            NodeMessage::Bye => return,
-            _ => {
-                let _ = conn.send(&NodeMessage::Reject {
-                    code: reject_code::MALFORMED,
-                    detail: "unexpected message for a router".to_owned(),
-                });
+            Step::ReplyClose(m) => {
+                let _ = conn.send(&m);
                 return;
             }
+            Step::Close => return,
+            Step::Offload(_) => return, // unreachable: resolved above
         }
     }
 }

@@ -38,14 +38,16 @@ pub mod error;
 pub mod frame;
 pub mod metrics;
 pub mod proxy;
+pub(crate) mod reactor;
 mod server;
+pub(crate) mod session;
 pub mod world;
 
 pub use conn::{ConnConfig, Connection, OutboundQueue};
 pub use daemon::{DaemonConfig, NoDaemon, PeerKeyResolver, RouterDaemon, UserAgent, UserSession};
 pub use envelope::{reject_code, Bulletin, NodeMessage};
 pub use error::{NetError, Result};
-pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN};
+pub use frame::{read_frame, write_frame, FrameDecoder, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN};
 pub use metrics::{ConnStats, MetricsSnapshot, NetMetrics};
 pub use peace_protocol::Transient;
 pub use proxy::{FaultProxy, ProxyConfig, ProxyStats};

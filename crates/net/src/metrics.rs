@@ -232,6 +232,38 @@ pub struct MetricsSnapshot {
     pub url_delta_fallbacks: u64,
 }
 
+impl MetricsSnapshot {
+    /// Sums `other` into `self`, field by field. The sharded event-loop
+    /// runtime keeps one [`NetMetrics`] per I/O shard (plus one for the
+    /// verify pool and one for daemon-initiated outbound dials) and
+    /// presents their sum as the daemon's counter view.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.handshakes_ok += other.handshakes_ok;
+        self.handshakes_fail += other.handshakes_fail;
+        self.timeouts += other.timeouts;
+        self.oversize_rejected += other.oversize_rejected;
+        self.decode_failures += other.decode_failures;
+        self.connections_accepted += other.connections_accepted;
+        self.connections_rejected += other.connections_rejected;
+        self.conn_rejected += other.conn_rejected;
+        self.backpressure_events += other.backpressure_events;
+        self.handler_panics += other.handler_panics;
+        self.ledger_errors += other.ledger_errors;
+        self.ledger_sessions += other.ledger_sessions;
+        self.repl_rounds += other.repl_rounds;
+        self.repl_ranges_out += other.repl_ranges_out;
+        self.repl_records_in += other.repl_records_in;
+        self.failovers += other.failovers;
+        self.transcripts_dropped += other.transcripts_dropped;
+        self.url_deltas_out += other.url_deltas_out;
+        self.url_delta_fallbacks += other.url_delta_fallbacks;
+    }
+}
+
 /// Per-connection statistics, kept as plain integers on the connection
 /// (single-threaded by construction) and snapshotted on demand.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

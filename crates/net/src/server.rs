@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::{self, Sender};
 use peace_wire::Encode;
 
 use crate::envelope::{reject_code, NodeMessage};
@@ -18,6 +19,12 @@ use crate::metrics::NetMetrics;
 /// How long a turned-away connection is serviced (one frame read, one
 /// reject write) before it is dropped regardless.
 const BUSY_REPLY_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Turned-away connections queued for the single reject-servicer thread.
+/// Overflow past this bound is dropped outright (a plain close instead of
+/// an explicit BUSY reject) — a reject storm must never grow daemon
+/// memory or thread count.
+const BUSY_QUEUE_CAP: usize = 64;
 
 /// The pre-framed `Reject { code: BUSY }` a daemon writes to connections
 /// turned away at its connection cap, so clients observe an explicit,
@@ -36,21 +43,19 @@ pub(crate) fn busy_frame() -> Vec<u8> {
     frame
 }
 
-/// Services one turned-away connection on its own short-lived thread:
-/// consume the client's first frame (so the close is a clean FIN, not a
-/// RST that could discard the reject in flight), write the pre-framed
-/// BUSY reject, and shut down. Every step is best-effort and bounded by
-/// [`BUSY_REPLY_TIMEOUT`].
-fn reject_busy(stream: TcpStream, busy: Arc<[u8]>) {
-    std::thread::spawn(move || {
-        let mut stream = stream;
-        let _ = stream.set_read_timeout(Some(BUSY_REPLY_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(BUSY_REPLY_TIMEOUT));
-        let _ = read_frame(&mut stream, crate::frame::DEFAULT_MAX_FRAME);
-        let _ = stream.write_all(&busy);
-        let _ = stream.flush();
-        let _ = stream.shutdown(Shutdown::Both);
-    });
+/// Services one turned-away connection: consume the client's first frame
+/// (so the close is a clean FIN, not a RST that could discard the reject
+/// in flight), write the pre-framed BUSY reject, and shut down. Every
+/// step is best-effort and bounded by [`BUSY_REPLY_TIMEOUT`]. Runs on
+/// the acceptor's single reject-servicer thread — rejections are never
+/// serviced by per-connection thread spawns.
+fn service_busy(mut stream: TcpStream, busy: &[u8]) {
+    let _ = stream.set_read_timeout(Some(BUSY_REPLY_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(BUSY_REPLY_TIMEOUT));
+    let _ = read_frame(&mut stream, crate::frame::DEFAULT_MAX_FRAME);
+    let _ = stream.write_all(busy);
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Handle to a running accept loop.
@@ -59,6 +64,7 @@ pub(crate) struct Acceptor {
     shutdown: Arc<AtomicBool>,
     live: Arc<AtomicUsize>,
     thread: Option<JoinHandle<()>>,
+    reject_thread: Option<JoinHandle<()>>,
 }
 
 impl Acceptor {
@@ -75,11 +81,22 @@ impl Acceptor {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let live = Arc::new(AtomicUsize::new(0));
-        let busy: Arc<[u8]> = busy_frame().into();
+        let busy = busy_frame();
+
+        // One servicer thread owns every turned-away connection, fed by
+        // a bounded queue: rejection cost is O(1) threads no matter how
+        // hard the cap is hammered.
+        let (reject_tx, reject_rx) = channel::bounded::<TcpStream>(BUSY_QUEUE_CAP);
+        let reject_thread = std::thread::spawn(move || {
+            while let Ok(stream) = reject_rx.recv() {
+                service_busy(stream, &busy);
+            }
+        });
 
         let t_shutdown = Arc::clone(&shutdown);
         let t_live = Arc::clone(&live);
         let thread = std::thread::spawn(move || {
+            let reject_tx: Sender<TcpStream> = reject_tx;
             let mut conn_id = 0u64;
             for stream in listener.incoming() {
                 if t_shutdown.load(Ordering::SeqCst) {
@@ -91,7 +108,8 @@ impl Acceptor {
                 };
                 if t_live.load(Ordering::SeqCst) >= max_connections {
                     metrics.connections_rejected.inc();
-                    reject_busy(stream, Arc::clone(&busy));
+                    // Queue full: drop without the courtesy reject.
+                    let _ = reject_tx.try_send(stream);
                     continue;
                 }
                 metrics.connections_accepted.inc();
@@ -116,6 +134,7 @@ impl Acceptor {
             shutdown,
             live,
             thread: Some(thread),
+            reject_thread: Some(reject_thread),
         })
     }
 
@@ -136,6 +155,11 @@ impl Acceptor {
         // Wake the accept loop with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        // The accept thread owned the only reject sender; the servicer
+        // drains what is queued and exits.
+        if let Some(t) = self.reject_thread.take() {
             let _ = t.join();
         }
         let deadline = Instant::now() + drain;

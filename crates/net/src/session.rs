@@ -1,0 +1,460 @@
+//! Transport-agnostic session state machines for the server roles.
+//!
+//! The protocol logic that used to live inline in the blocking
+//! per-connection `serve` loops of `daemon/{router,no}.rs` is factored
+//! here as pure message-in / [`Step`]-out state machines. Both runtimes
+//! drive the same machines:
+//!
+//! * the blocking thread-per-connection runtime calls
+//!   [`RouterSm::on_message`] after every `Connection::recv`, performing
+//!   the verify offload synchronously (send job, block on the reply);
+//! * the sharded event loop feeds decoded frames from its
+//!   [`FrameDecoder`](crate::frame::FrameDecoder), hands
+//!   [`Step::Offload`] to the crossbeam worker pool, and resumes the
+//!   machine with [`RouterSm::on_verify`] when the deferred outcome
+//!   comes back.
+//!
+//! Because the machine is the single source of protocol behavior, the
+//! two runtimes cannot drift: the fault-proxy and loopback integration
+//! suites exercise the same decisions regardless of runtime.
+//!
+//! The machines also own the **router-side per-leg handshake
+//! histograms** (`net.hs_beacon_us`, `net.hs_confirm_us`,
+//! `net.hs_total_us`): beacon service time, access-verify turnaround
+//! (request receipt → confirm ready, queueing included), and the whole
+//! router-observed handshake (beacon request receipt → confirm ready).
+//! Before this refactor only the *user* agent recorded these, so the
+//! router document in `BENCH_net.json` carried empty histograms.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use peace_ledger::{AccessRecord, LedgerRecord, ReplicatedLedger};
+use peace_protocol::entities::{MeshRouter, NetworkOperator};
+use peace_protocol::{AccessConfirm, ProtocolError, Session};
+use rand::rngs::StdRng;
+
+use crate::clock::wall_ms;
+use crate::envelope::{reject_code, Bulletin, NodeMessage};
+use crate::metrics::NetMetrics;
+
+use crate::daemon::lock_recover;
+
+/// What the runtime must do next with a connection after feeding its
+/// state machine one event.
+#[derive(Debug)]
+pub(crate) enum Step {
+    /// Send the reply; keep the connection open.
+    Reply(NodeMessage),
+    /// Send the reply, then close the connection.
+    ReplyClose(NodeMessage),
+    /// Hand the access request to the verify pool; the machine is now
+    /// awaiting [`RouterSm::on_verify`] and must not be fed further
+    /// messages until it fires.
+    Offload(Box<peace_protocol::AccessRequest>),
+    /// Close the connection without sending anything.
+    Close,
+}
+
+/// A deferred verification outcome, as produced by
+/// [`MeshRouter::process_access_requests`] for one request.
+pub(crate) type VerifyOutcome = Result<(AccessConfirm, Session), ProtocolError>;
+
+/// Shared router-daemon state the machine needs: the entity behind its
+/// mutex and the daemon RNG for beacon nonces.
+#[derive(Clone)]
+pub(crate) struct RouterShared {
+    pub(crate) router: Arc<Mutex<MeshRouter>>,
+    pub(crate) rng: Arc<Mutex<StdRng>>,
+}
+
+/// Maps a protocol failure to the wire reject code the user agent keys
+/// its retry decision on: revocation is terminal, everything else is
+/// worth a fresh handshake (the request may simply have been mangled in
+/// flight).
+pub(crate) fn code_for(err: &ProtocolError) -> u16 {
+    match err {
+        ProtocolError::SignerRevoked | ProtocolError::CertificateRevoked => reject_code::REVOKED,
+        _ => reject_code::AUTH_FAILED,
+    }
+}
+
+/// Router-side per-connection machine: beacon requests and one M.2 →
+/// M.3 handshake, then AEAD echo service on the established session.
+pub(crate) struct RouterSm {
+    shared: RouterShared,
+    session: Option<Session>,
+    /// Set when the connection's `GetBeacon` arrives; anchors
+    /// `net.hs_total_us`.
+    hs_started: Option<Instant>,
+    /// Set when an `AccessRequest` is offloaded; anchors
+    /// `net.hs_confirm_us` and marks the machine as awaiting a deferred
+    /// verify outcome.
+    verify_sent: Option<Instant>,
+}
+
+impl RouterSm {
+    pub(crate) fn new(shared: RouterShared) -> Self {
+        Self {
+            shared,
+            session: None,
+            hs_started: None,
+            verify_sent: None,
+        }
+    }
+
+    /// True while an offloaded verification is in flight: the runtime
+    /// must park inbound frames until [`Self::on_verify`] resolves it.
+    pub(crate) fn awaiting_verify(&self) -> bool {
+        self.verify_sent.is_some()
+    }
+
+    /// Abandons an in-flight offload without an outcome: the runtime
+    /// could not enqueue the job (verify pool saturated) and will send
+    /// its own transient BUSY reject. The machine returns to the
+    /// pre-request state so the peer may retry on the same connection.
+    pub(crate) fn abort_verify(&mut self) {
+        self.verify_sent = None;
+        self.hs_started = None;
+    }
+
+    /// True once the anonymous-access handshake has produced a session
+    /// key. Mid-handshake connections must never leave the fast sweep:
+    /// the next protocol leg arrives within the client's crypto time
+    /// (single-digit ms), and deferring it to the slow parked scan would
+    /// graft the park period onto every handshake's tail.
+    pub(crate) fn established(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// An undecodable frame before/after any message: not worth killing
+    /// the connection over before authentication (fault proxy, hostile
+    /// peer); tell the peer and keep listening.
+    pub(crate) fn on_decode_error(&self) -> Step {
+        Step::Reply(NodeMessage::Reject {
+            code: reject_code::MALFORMED,
+            detail: "undecodable envelope".to_owned(),
+        })
+    }
+
+    pub(crate) fn on_message(&mut self, msg: NodeMessage, metrics: &NetMetrics) -> Step {
+        match msg {
+            NodeMessage::GetBeacon => {
+                let t0 = Instant::now();
+                self.hs_started = Some(t0);
+                let beacon = {
+                    let mut r = lock_recover(&self.shared.router);
+                    let mut g = lock_recover(&self.shared.rng);
+                    r.beacon(wall_ms(), &mut *g)
+                };
+                metrics.hs_beacon_us.record_since(t0);
+                Step::Reply(NodeMessage::Beacon(Box::new(beacon)))
+            }
+            NodeMessage::AccessRequest(req) => {
+                self.verify_sent = Some(Instant::now());
+                Step::Offload(req)
+            }
+            NodeMessage::Data(ciphertext) => match self.session.as_mut() {
+                Some(sess) => match sess.open_data(&ciphertext) {
+                    Ok(plain) => {
+                        let echo = sess.seal_data(&plain);
+                        Step::Reply(NodeMessage::Data(echo))
+                    }
+                    Err(_) => {
+                        // Strict in-order AEAD: a bad record is fatal to
+                        // the session (no resync point).
+                        Step::ReplyClose(NodeMessage::Reject {
+                            code: reject_code::MALFORMED,
+                            detail: "AEAD record rejected".to_owned(),
+                        })
+                    }
+                },
+                None => Step::Reply(NodeMessage::Reject {
+                    code: reject_code::NO_SESSION,
+                    detail: "data before handshake".to_owned(),
+                }),
+            },
+            NodeMessage::Bye => Step::Close,
+            _ => Step::ReplyClose(NodeMessage::Reject {
+                code: reject_code::MALFORMED,
+                detail: "unexpected message for a router".to_owned(),
+            }),
+        }
+    }
+
+    /// Resumes the machine with the deferred verification outcome.
+    pub(crate) fn on_verify(&mut self, outcome: VerifyOutcome, metrics: &NetMetrics) -> Step {
+        if let Some(sent) = self.verify_sent.take() {
+            metrics.hs_confirm_us.record_since(sent);
+        }
+        match outcome {
+            Ok((confirm, sess)) => {
+                metrics.handshakes_ok.inc();
+                if let Some(t0) = self.hs_started.take() {
+                    metrics.hs_total_us.record_since(t0);
+                }
+                self.session = Some(sess);
+                Step::Reply(NodeMessage::AccessConfirm(Box::new(confirm)))
+            }
+            Err(e) => {
+                metrics.handshakes_fail.inc();
+                metrics.event("handshake_fail", e.code());
+                Step::Reply(NodeMessage::Reject {
+                    code: code_for(&e),
+                    detail: e.code().to_owned(),
+                })
+            }
+        }
+    }
+}
+
+/// Shared NO-daemon state the machine needs.
+#[derive(Clone)]
+pub(crate) struct NoShared {
+    pub(crate) no: Arc<Mutex<NetworkOperator>>,
+    pub(crate) ledger: Arc<Mutex<Option<ReplicatedLedger>>>,
+    pub(crate) auto_checkpoint: Arc<AtomicBool>,
+}
+
+/// NO-side per-connection machine: any number of bulletin requests,
+/// session reports, gossip digests, range pulls, and URL deltas until
+/// the peer says `Bye` or misbehaves. Stateless between messages — all
+/// durable state lives in the shared operator and ledger.
+pub(crate) struct NoSm {
+    shared: NoShared,
+}
+
+impl NoSm {
+    pub(crate) fn new(shared: NoShared) -> Self {
+        Self { shared }
+    }
+
+    /// NO drops peers that send garbage (the pre-refactor behavior: a
+    /// mangled frame ended the handler loop).
+    pub(crate) fn on_decode_error(&self) -> Step {
+        Step::Close
+    }
+
+    pub(crate) fn on_message(&mut self, msg: NodeMessage, metrics: &NetMetrics) -> Step {
+        match msg {
+            NodeMessage::GetBulletin => {
+                let bulletin = {
+                    let op = lock_recover(&self.shared.no);
+                    let now = wall_ms();
+                    Bulletin {
+                        epoch: op.epoch(),
+                        crl: op.publish_crl(now),
+                        url: op.publish_url(now),
+                    }
+                };
+                Step::Reply(NodeMessage::Bulletin(bulletin))
+            }
+            NodeMessage::ReportSessions { router, sessions } => {
+                let now = wall_ms();
+                let mut accepted: u32 = 0;
+                {
+                    // Lock order: operator, then ledger (same as the
+                    // daemon-side methods).
+                    let mut op = lock_recover(&self.shared.no);
+                    let mut slot = lock_recover(&self.shared.ledger);
+                    for session in sessions {
+                        if let Some(rl) = slot.as_mut() {
+                            // Idempotent ingestion: a router that retries a
+                            // report after a lost ack — or fails over to
+                            // this replica with a batch another replica
+                            // already mirrored here — must not duplicate
+                            // transcripts. Checked across every shard.
+                            let sid = session.session_id.to_bytes();
+                            if rl.find_session(&sid).is_some() {
+                                continue;
+                            }
+                            let rec = LedgerRecord::Access(AccessRecord {
+                                router: router.clone(),
+                                session: session.clone(),
+                            });
+                            if let Err(e) = rl.local_mut().append(rec, now) {
+                                metrics.ledger_errors.inc();
+                                metrics.event("ledger_error", e.code());
+                                continue;
+                            }
+                            metrics.ledger_sessions.inc();
+                        }
+                        op.record_session(session);
+                        accepted += 1;
+                    }
+                    if let Some(rl) = slot.as_mut() {
+                        // One durability point per report, not per record.
+                        if let Err(e) = rl.flush() {
+                            metrics.ledger_errors.inc();
+                            metrics.event("ledger_error", e.code());
+                        }
+                        // Federated mode: checkpoint the accepted batch so
+                        // peers can pull it on the next gossip round
+                        // (ranges only travel up to a signed checkpoint).
+                        if accepted > 0 && self.shared.auto_checkpoint.load(Ordering::Relaxed) {
+                            let signer = rl.local_id().to_owned();
+                            if let Err(e) =
+                                rl.local_mut().checkpoint(op.signing_key(), &signer, now)
+                            {
+                                metrics.ledger_errors.inc();
+                                metrics.event("ledger_error", e.code());
+                            }
+                        }
+                    }
+                }
+                Step::Reply(NodeMessage::ReportAck { accepted })
+            }
+            NodeMessage::CkptGossip { .. } => {
+                let digests = {
+                    let slot = lock_recover(&self.shared.ledger);
+                    slot.as_ref()
+                        .map(|rl| (rl.local_id().to_owned(), rl.digests()))
+                };
+                Step::Reply(match digests {
+                    Some((from_no, digests)) => NodeMessage::CkptGossip { from_no, digests },
+                    None => NodeMessage::Reject {
+                        code: reject_code::INTERNAL,
+                        detail: "no replica ledger attached".to_owned(),
+                    },
+                })
+            }
+            NodeMessage::RangePull { writer, from_seq } => {
+                let served = {
+                    let slot = lock_recover(&self.shared.ledger);
+                    slot.as_ref().map(|rl| rl.serve_range(&writer, from_seq))
+                };
+                Step::Reply(match served {
+                    Some(Ok(range)) => {
+                        if range.is_some() {
+                            metrics.repl_ranges_out.inc();
+                        }
+                        NodeMessage::RangePush {
+                            range: range.map(Box::new),
+                        }
+                    }
+                    Some(Err(e)) => {
+                        metrics.event("repl_refuse", e.code());
+                        NodeMessage::Reject {
+                            code: reject_code::INTERNAL,
+                            detail: e.code().to_owned(),
+                        }
+                    }
+                    None => NodeMessage::Reject {
+                        code: reject_code::INTERNAL,
+                        detail: "no replica ledger attached".to_owned(),
+                    },
+                })
+            }
+            NodeMessage::GetUrlDelta {
+                epoch,
+                have_version,
+            } => {
+                // O(churn) fast lane: a signed diff when one chains from
+                // the caller's (epoch, version), else None → full bulletin.
+                // A freshly-signed CRL and a detached URL re-stamp ride
+                // along either way: the CRL is router-scale (small) and
+                // the re-stamp is O(1), and the caller's beacons need
+                // both lists younger than list_max_age between full
+                // fetches.
+                let now = wall_ms();
+                let (crl, restamp, delta) = {
+                    let op = lock_recover(&self.shared.no);
+                    (
+                        op.publish_crl(now),
+                        op.restamp_url(now),
+                        op.publish_url_delta(epoch, have_version, now),
+                    )
+                };
+                if delta.is_some() {
+                    metrics.url_deltas_out.inc();
+                }
+                Step::Reply(NodeMessage::UrlDelta {
+                    crl: Box::new(crl),
+                    restamp,
+                    delta: delta.map(Box::new),
+                })
+            }
+            NodeMessage::Bye => Step::Close,
+            _ => Step::ReplyClose(NodeMessage::Reject {
+                code: reject_code::MALFORMED,
+                detail: "NO serves bulletins and session reports only".to_owned(),
+            }),
+        }
+    }
+}
+
+/// A role-generic machine, so the event loop can serve either daemon.
+/// The router machine carries per-handshake DH and timing state
+/// (~250 bytes), so it is boxed to keep the enum — and everything that
+/// embeds it per connection — small for the common established case.
+pub(crate) enum SessionSm {
+    Router(Box<RouterSm>),
+    No(NoSm),
+}
+
+impl SessionSm {
+    pub(crate) fn awaiting_verify(&self) -> bool {
+        match self {
+            SessionSm::Router(sm) => sm.awaiting_verify(),
+            SessionSm::No(_) => false,
+        }
+    }
+
+    pub(crate) fn abort_verify(&mut self) {
+        if let SessionSm::Router(sm) = self {
+            sm.abort_verify();
+        }
+    }
+
+    /// Whether the connection may be parked onto the slow sweep when
+    /// quiet. Router connections only after the handshake completes
+    /// (see [`RouterSm::established`]); NO connections always — their
+    /// traffic is periodic background sync where the added park-scan
+    /// latency is immaterial.
+    pub(crate) fn parkable(&self) -> bool {
+        match self {
+            SessionSm::Router(sm) => sm.established(),
+            SessionSm::No(_) => true,
+        }
+    }
+
+    pub(crate) fn on_decode_error(&self) -> Step {
+        match self {
+            SessionSm::Router(sm) => sm.on_decode_error(),
+            SessionSm::No(sm) => sm.on_decode_error(),
+        }
+    }
+
+    pub(crate) fn on_message(&mut self, msg: NodeMessage, metrics: &NetMetrics) -> Step {
+        match self {
+            SessionSm::Router(sm) => sm.on_message(msg, metrics),
+            SessionSm::No(sm) => sm.on_message(msg, metrics),
+        }
+    }
+
+    pub(crate) fn on_verify(&mut self, outcome: VerifyOutcome, metrics: &NetMetrics) -> Step {
+        match self {
+            SessionSm::Router(sm) => sm.on_verify(outcome, metrics),
+            // NO never offloads; a stray completion closes the conn.
+            SessionSm::No(_) => Step::Close,
+        }
+    }
+}
+
+/// The role a listener serves; [`Service::new_session`] mints the
+/// per-connection machine.
+#[derive(Clone)]
+pub(crate) enum Service {
+    Router(RouterShared),
+    No(NoShared),
+}
+
+impl Service {
+    pub(crate) fn new_session(&self) -> SessionSm {
+        match self {
+            Service::Router(shared) => SessionSm::Router(Box::new(RouterSm::new(shared.clone()))),
+            Service::No(shared) => SessionSm::No(NoSm::new(shared.clone())),
+        }
+    }
+}

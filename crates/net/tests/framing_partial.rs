@@ -1,0 +1,145 @@
+//! Fragmentation properties of the shared incremental frame decoder:
+//! no matter how the kernel splits the stream — 1-byte reads, a length
+//! prefix cut mid-header, several frames coalesced into one read — the
+//! decoded frames are byte-identical to whole-frame delivery and to the
+//! one-shot [`read_frame`] reader. Both runtimes (blocking connection
+//! and sharded event loop) sit on this decoder, so these properties are
+//! what makes their framing behavior provably the same.
+
+use std::io::Cursor;
+
+use peace_net::{read_frame, write_frame, FrameDecoder, NodeMessage, DEFAULT_MAX_FRAME};
+use peace_wire::Encode;
+use proptest::prelude::*;
+
+/// Decodes `wire` by feeding the decoder `widths`-sized fragments
+/// (cycled), pulling every completed frame after each feed.
+fn decode_fragmented(wire: &[u8], widths: &[usize]) -> Vec<Vec<u8>> {
+    let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+    let mut got = Vec::new();
+    let mut off = 0;
+    let mut wi = 0;
+    while off < wire.len() {
+        let w = widths[wi % widths.len()].max(1);
+        wi += 1;
+        let end = (off + w).min(wire.len());
+        dec.feed(&wire[off..end]);
+        off = end;
+        while let Some(f) = dec.next_frame().expect("valid stream") {
+            got.push(f);
+        }
+    }
+    assert_eq!(dec.buffered(), 0, "no residue after a whole stream");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary payload sequences under arbitrary fragment widths decode
+    /// to exactly the written payloads — matching a single coalesced feed
+    /// and the one-shot reader byte for byte.
+    #[test]
+    fn arbitrary_fragmentation_matches_whole_frame_delivery(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..8),
+        widths in proptest::collection::vec(1usize..64, 1..32),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p, DEFAULT_MAX_FRAME).unwrap();
+        }
+
+        // Arbitrary fragment widths (can split the length prefix).
+        let fragmented = decode_fragmented(&wire, &widths);
+        prop_assert_eq!(&fragmented, &payloads);
+
+        // Worst case: one byte at a time.
+        let byte_by_byte = decode_fragmented(&wire, &[1]);
+        prop_assert_eq!(&byte_by_byte, &payloads);
+
+        // Best case: every frame coalesced into one feed.
+        let coalesced = decode_fragmented(&wire, &[wire.len()]);
+        prop_assert_eq!(&coalesced, &payloads);
+
+        // And the one-shot blocking reader agrees.
+        let mut cur = Cursor::new(&wire);
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap(), p);
+        }
+    }
+
+    /// Real protocol envelopes survive arbitrary fragmentation: frames
+    /// re-decode byte-identically, so the envelope layer above sees the
+    /// same payloads either way.
+    #[test]
+    fn envelopes_survive_fragmentation(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        code in any::<u16>(),
+        widths in proptest::collection::vec(1usize..16, 1..16),
+    ) {
+        let msgs = [
+            NodeMessage::GetBulletin,
+            NodeMessage::GetBeacon,
+            NodeMessage::Data(data),
+            NodeMessage::Reject { code, detail: "detail".to_owned() },
+            NodeMessage::Bye,
+        ];
+        let mut wire = Vec::new();
+        let mut payloads = Vec::new();
+        for m in &msgs {
+            let bytes = m.try_to_wire().unwrap();
+            write_frame(&mut wire, &bytes, DEFAULT_MAX_FRAME).unwrap();
+            payloads.push(bytes);
+        }
+        let got = decode_fragmented(&wire, &widths);
+        prop_assert_eq!(got, payloads);
+    }
+
+    /// An oversized declared length poisons the decoder at the exact
+    /// frame where the one-shot reader fails, no matter where the feeds
+    /// split — and every frame before it is still delivered.
+    #[test]
+    fn oversize_mid_stream_poisons_at_same_point(
+        good in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 0..4),
+        widths in proptest::collection::vec(1usize..8, 1..8),
+    ) {
+        let max = 64usize;
+        let mut wire = Vec::new();
+        for p in &good {
+            write_frame(&mut wire, p, max).unwrap();
+        }
+        // A frame declaring max+1 bytes: hostile.
+        wire.extend_from_slice(&((max as u32) + 1).to_be_bytes());
+        wire.extend_from_slice(&[0xEE; 8]);
+
+        let mut dec = FrameDecoder::new(max);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut err = None;
+        let mut off = 0;
+        let mut wi = 0;
+        'outer: while off < wire.len() {
+            let w = widths[wi % widths.len()];
+            wi += 1;
+            let end = (off + w).min(wire.len());
+            dec.feed(&wire[off..end]);
+            off = end;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => got.push(f),
+                    Ok(None) => break,
+                    Err(e) => {
+                        err = Some(e);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(&got, &good, "frames before the bad one all delivered");
+        prop_assert!(err.is_some(), "oversized frame must fail");
+        // Poisoned forever after: the stream has no resync point.
+        dec.feed(&[0u8; 16]);
+        prop_assert!(dec.next_frame().is_err());
+    }
+}

@@ -158,6 +158,22 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Folds `other` into `self` under the *same* names: counters add,
+    /// histograms merge on the shared bucket grid, events append with
+    /// their codes unchanged. This is the merge the sharded event-loop
+    /// runtime uses at dump time — every I/O shard owns a private
+    /// registry (no cross-shard cache-line sharing on the hot path) and
+    /// the daemon presents one combined document.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+
     /// Folds `other` into `self` with every metric name (and event code)
     /// prefixed by `prefix.`. Used by `peace-noded` to publish the global
     /// registry plus every daemon's registry as one document.
@@ -285,6 +301,25 @@ mod tests {
         assert_eq!(top.counters["router-0.frames"], 5);
         assert!(top.histograms.contains_key("router-0.rtt_us"));
         assert_eq!(top.events[0].code, "router-0.oops");
+    }
+
+    #[test]
+    fn merge_unprefixed_adds_in_place() {
+        let a = Registry::new();
+        a.counter("frames").add(5);
+        a.histogram("rtt_us").record(10);
+        a.event("oops", "x", 1);
+        let b = Registry::new();
+        b.counter("frames").add(3);
+        b.counter("drops").add(1);
+        b.histogram("rtt_us").record(30);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counters["frames"], 8);
+        assert_eq!(m.counters["drops"], 1);
+        assert_eq!(m.histograms["rtt_us"].count, 2);
+        assert_eq!(m.events.len(), 1);
+        assert_eq!(m.events[0].code, "oops");
     }
 
     fn global_like() -> Snapshot {

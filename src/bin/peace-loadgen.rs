@@ -3,11 +3,15 @@
 //! `BENCH_load.json` (`peace-bench-v1`).
 //!
 //! ```text
-//! peace-loadgen sim [--users N] [--shards S] [--seed X] [--scenario NAME] [--end-ms T]
-//! peace-loadgen tcp [--rate R] [--duration-ms T] [--workers W] [--routers N]
-//!                   [--echo E] [--hold] [--uniform] [--seed X] [--target ADDR]...
-//! peace-loadgen smoke     # CI: >=1k sim users + >=200 TCP sessions, emits BENCH_load.json
-//! peace-loadgen full      # acceptance: 10^5 sim users + >=1k held TCP sessions
+//! peace-loadgen sim  [--users N] [--shards S] [--seed X] [--scenario NAME] [--end-ms T]
+//! peace-loadgen tcp  [--rate R] [--duration-ms T] [--workers W] [--routers N]
+//!                    [--echo E] [--hold] [--uniform] [--seed X] [--io-shards S]
+//!                    [--target ADDR]...
+//! peace-loadgen ramp [--slo-p99-ms B] [--min-rate R] [--max-rate R] [--probes P]
+//!                    [--duration-ms T] [--workers W] [--io-shards S] ...
+//!                    binary-search the max sustainable rate under a p99 SLO
+//! peace-loadgen smoke [--ramp]   # CI: sim + TCP smoke, emits BENCH_load.json
+//! peace-loadgen full  [--ramp]   # acceptance: 10^5 sim users + held TCP sessions
 //! ```
 //!
 //! Scenarios: `steady`, `crowd`, `revoke`, `rollover`, `partition`.
@@ -19,7 +23,8 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use peace::loadgen::{
-    build_report, run_open_loop, ArrivalProcess, LoadConfig, SimRunSummary, TcpRunSummary,
+    append_ramp, build_report, ramp_search, run_open_loop, ArrivalProcess, LoadConfig, RampConfig,
+    RampRunSummary, SimRunSummary, TcpRunSummary,
 };
 use peace::net::{build_world, ConnConfig, DaemonConfig, RouterDaemon, UserAgent, WorldSpec};
 use peace::sim::{run_city, CityConfig, CityReport, Scenario};
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
     match cmd {
         "sim" => cmd_sim(&args),
         "tcp" => cmd_tcp(&args),
+        "ramp" => cmd_ramp(&args),
         "smoke" => cmd_combined(&args, false),
         "full" => cmd_combined(&args, true),
         "help" | "--help" | "-h" => {
@@ -50,10 +56,15 @@ fn print_help() {
     println!("  sim    [--users N] [--shards S] [--seed X] [--scenario NAME] [--end-ms T]");
     println!("         run a sharded city scenario; verifies digest across shard counts");
     println!("  tcp    [--rate R] [--duration-ms T] [--workers W] [--routers N] [--echo E]");
-    println!("         [--hold] [--uniform] [--seed X] [--target ADDR]...");
+    println!("         [--hold] [--uniform] [--seed X] [--io-shards S] [--target ADDR]...");
     println!("         open-loop TCP load against loopback daemons (or --target daemons)");
-    println!("  smoke  short CI pass: >=1k sim users + >=200 TCP sessions -> BENCH_load.json");
-    println!("  full   acceptance pass: 10^5 sim users + >=1k held TCP sessions");
+    println!("  ramp   [--slo-p99-ms B] [--min-rate R] [--max-rate R] [--probes P]");
+    println!("         [--duration-ms T] [--workers W] [--routers N] [--io-shards S]");
+    println!("         binary-search the max sustainable arrival rate under a p99 SLO");
+    println!("  smoke  [--ramp] short CI pass: sim + TCP smoke -> BENCH_load.json");
+    println!("  full   [--ramp] acceptance pass: 10^5 sim users + held TCP sessions");
+    println!("\n--io-shards S: run target daemons on the sharded event-loop runtime");
+    println!("               (S I/O threads + a verify pool); 0 = blocking runtime");
     println!("\nscenarios: steady | crowd | revoke | rollover | partition");
 }
 
@@ -173,7 +184,7 @@ fn cmd_sim(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn daemon_cfg(max_connections: usize) -> DaemonConfig {
+fn daemon_cfg(max_connections: usize, io_shards: usize) -> DaemonConfig {
     DaemonConfig {
         conn: ConnConfig {
             read_timeout: Some(Duration::from_secs(20)),
@@ -183,7 +194,82 @@ fn daemon_cfg(max_connections: usize) -> DaemonConfig {
         max_connections,
         connect_timeout: Duration::from_secs(5),
         drain: Duration::from_secs(3),
+        shards: io_shards,
         ..DaemonConfig::default()
+    }
+}
+
+/// Loopback daemons (or `targets`) plus enrolled worker agents.
+struct Fleet {
+    daemons: Vec<RouterDaemon>,
+    addrs: Vec<SocketAddr>,
+    agents: Vec<UserAgent>,
+}
+
+impl Fleet {
+    /// Builds the deterministic world, spawns loopback router daemons
+    /// (pre-loaded with the NO's lists) unless `targets` is given, and
+    /// enrolls one agent per worker.
+    fn spawn(
+        workers: usize,
+        router_count: usize,
+        targets: &[SocketAddr],
+        world_seed: u64,
+        agent_seed: u64,
+        cap: usize,
+        io_shards: usize,
+    ) -> Self {
+        let spec = WorldSpec {
+            seed: world_seed,
+            users: workers,
+            routers: if targets.is_empty() {
+                router_count
+            } else {
+                targets.len()
+            },
+        };
+        eprintln!(
+            "tcp: enrolling {} worker agents (world seed {:#x})...",
+            workers, world_seed
+        );
+        let w = build_world(&spec).expect("world setup ceremony");
+        let cfg = daemon_cfg(cap, io_shards);
+
+        let mut daemons = Vec::new();
+        let addrs: Vec<SocketAddr> = if targets.is_empty() {
+            let now = peace::net::clock::wall_ms();
+            let crl = w.no.publish_crl(now);
+            let url = w.no.publish_url(now);
+            for (i, mut r) in w.routers.into_iter().enumerate() {
+                r.update_lists(crl.clone(), url.clone());
+                daemons.push(
+                    RouterDaemon::spawn(r, world_seed ^ (i as u64 + 1), "127.0.0.1:0", cfg)
+                        .expect("router daemon spawn"),
+                );
+            }
+            daemons.iter().map(|d| d.addr()).collect()
+        } else {
+            targets.to_vec()
+        };
+
+        let agents: Vec<UserAgent> = w
+            .users
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| UserAgent::new(u, agent_seed ^ (0xA6E57 + i as u64), cfg))
+            .collect();
+        Fleet {
+            daemons,
+            addrs,
+            agents,
+        }
+    }
+
+    fn teardown(self) {
+        for d in self.daemons {
+            assert_eq!(d.metrics().handler_panics, 0, "daemon handler panicked");
+            let _ = d.shutdown();
+        }
     }
 }
 
@@ -197,71 +283,41 @@ struct TcpRun {
 /// Builds the deterministic world, spawns loopback router daemons (or
 /// uses `targets`), enrolls one agent per worker, and drives the
 /// open-loop schedule.
-#[allow(clippy::too_many_arguments)]
 fn run_tcp(
     workers: usize,
     router_count: usize,
     targets: &[SocketAddr],
     world_seed: u64,
     load: LoadConfig,
+    io_shards: usize,
 ) -> TcpRun {
-    let spec = WorldSpec {
-        seed: world_seed,
-        users: workers,
-        routers: if targets.is_empty() {
-            router_count
-        } else {
-            targets.len()
-        },
-    };
-    eprintln!(
-        "tcp: enrolling {} worker agents (world seed {:#x})...",
-        workers, world_seed
-    );
-    let w = build_world(&spec).expect("world setup ceremony");
     // Size the cap for held sessions: every offered arrival may be open
     // at once in hold mode.
     let expected = (load.rate_per_sec * load.duration_ms as f64 / 1_000.0) as usize;
     let cap = (expected * 2 + workers + 64).max(256);
-    let cfg = daemon_cfg(cap);
-
-    let mut daemons = Vec::new();
-    let router_addrs: Vec<SocketAddr> = if targets.is_empty() {
-        let now = peace::net::clock::wall_ms();
-        let crl = w.no.publish_crl(now);
-        let url = w.no.publish_url(now);
-        for (i, mut r) in w.routers.into_iter().enumerate() {
-            r.update_lists(crl.clone(), url.clone());
-            daemons.push(
-                RouterDaemon::spawn(r, world_seed ^ (i as u64 + 1), "127.0.0.1:0", cfg)
-                    .expect("router daemon spawn"),
-            );
-        }
-        daemons.iter().map(|d| d.addr()).collect()
-    } else {
-        targets.to_vec()
-    };
-
-    let agents: Vec<UserAgent> = w
-        .users
-        .into_iter()
-        .enumerate()
-        .map(|(i, u)| UserAgent::new(u, load.seed ^ (0xA6E57 + i as u64), cfg))
-        .collect();
+    let mut fleet = Fleet::spawn(
+        workers,
+        router_count,
+        targets,
+        world_seed,
+        load.seed,
+        cap,
+        io_shards,
+    );
+    let router_addrs = fleet.addrs.clone();
 
     eprintln!(
-        "tcp: open-loop {} arrivals/s for {}ms over {} workers -> {} routers (hold={})",
+        "tcp: open-loop {} arrivals/s for {}ms over {} workers -> {} routers (hold={} io-shards={})",
         load.rate_per_sec,
         load.duration_ms,
         workers,
         router_addrs.len(),
-        load.hold_sessions
+        load.hold_sessions,
+        io_shards
     );
+    let agents = std::mem::take(&mut fleet.agents);
     let (outcome, _) = run_open_loop(agents, &router_addrs, &load);
-    for d in daemons {
-        assert_eq!(d.metrics().handler_panics, 0, "daemon handler panicked");
-        let _ = d.shutdown();
-    }
+    fleet.teardown();
     println!(
         "tcp: offered={} completed={} failed={} conn_rejected={} peak_concurrent={} in {}ms",
         outcome.offered,
@@ -284,6 +340,126 @@ fn run_tcp(
         outcome,
         workers: workers as u64,
         routers: router_addrs.len() as u64,
+    }
+}
+
+struct RampRun {
+    cfg: RampConfig,
+    outcome: peace::loadgen::RampOutcome,
+    workers: u64,
+    shards: u64,
+}
+
+/// Spawns a fleet sized for the search ceiling and binary-searches the
+/// max sustainable arrival rate under the p99 SLO.
+fn run_ramp(
+    workers: usize,
+    router_count: usize,
+    targets: &[SocketAddr],
+    world_seed: u64,
+    ramp: RampConfig,
+    io_shards: usize,
+) -> RampRun {
+    let expected = (ramp.max_rate * ramp.base.duration_ms as f64 / 1_000.0) as usize;
+    let cap = (expected * 2 + workers + 64).max(256);
+    let mut fleet = Fleet::spawn(
+        workers,
+        router_count,
+        targets,
+        world_seed,
+        ramp.base.seed,
+        cap,
+        io_shards,
+    );
+    let addrs = fleet.addrs.clone();
+    eprintln!(
+        "ramp: searching [{:.0}, {:.0}] arrivals/s, slo p99 <= {}ms, {}ms probes (io-shards={})",
+        ramp.min_rate,
+        ramp.max_rate,
+        ramp.slo_p99_us / 1_000,
+        ramp.base.duration_ms,
+        io_shards
+    );
+    let agents = std::mem::take(&mut fleet.agents);
+    let (outcome, _) = ramp_search(agents, &addrs, &ramp);
+    fleet.teardown();
+    for p in &outcome.probes {
+        println!(
+            "  probe {:>7.1}/s: {} offered={} completed={} failed={} session_p99={}us",
+            p.rate_per_sec,
+            if p.passed { "PASS" } else { "fail" },
+            p.offered,
+            p.completed,
+            p.failed,
+            p.session_p99_us
+        );
+    }
+    println!(
+        "ramp: max sustainable rate {:.1}/s under p99 <= {}us",
+        outcome.max_sustainable_rate, ramp.slo_p99_us
+    );
+    RampRun {
+        cfg: ramp,
+        outcome,
+        workers: workers as u64,
+        shards: io_shards as u64,
+    }
+}
+
+fn ramp_cfg(args: &[String]) -> RampConfig {
+    RampConfig {
+        base: LoadConfig {
+            duration_ms: flag(args, "--duration-ms", 3_000),
+            seed: flag(args, "--seed", 0x10AD_5EED),
+            echo_per_session: flag(args, "--echo", 1) as u32,
+            process: if has(args, "--uniform") {
+                ArrivalProcess::Uniform
+            } else {
+                ArrivalProcess::Poisson
+            },
+            ..LoadConfig::default()
+        },
+        slo_p99_us: flag(args, "--slo-p99-ms", 500) * 1_000,
+        min_rate: flag_f64(args, "--min-rate", 20.0),
+        max_rate: flag_f64(args, "--max-rate", 400.0),
+        probes: flag(args, "--probes", 4) as u32,
+        ..RampConfig::default()
+    }
+}
+
+fn cmd_ramp(args: &[String]) -> ExitCode {
+    let run = run_ramp(
+        flag(args, "--workers", 8) as usize,
+        flag(args, "--routers", 2) as usize,
+        &parse_targets(args),
+        flag(args, "--world-seed", 0xB00B1E5),
+        ramp_cfg(args),
+        flag(args, "--io-shards", 2) as usize,
+    );
+    let mut report = build_report(None, None);
+    append_ramp(
+        &mut report,
+        &RampRunSummary {
+            cfg: &run.cfg,
+            outcome: &run.outcome,
+            workers: run.workers,
+            shards: run.shards,
+        },
+    );
+    match report.emit("load") {
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            if run.outcome.max_sustainable_rate > 0.0 {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("even the floor rate violated the SLO");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write BENCH_load.json: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -319,6 +495,7 @@ fn cmd_tcp(args: &[String]) -> ExitCode {
         &parse_targets(args),
         flag(args, "--world-seed", 0xB00B1E5),
         load,
+        flag(args, "--io-shards", 2) as usize,
     );
     if run.outcome.completed == 0 {
         eprintln!("no session completed");
@@ -364,9 +541,10 @@ fn cmd_combined(args: &[String], full: bool) -> ExitCode {
         }
     };
     let workers = flag(args, "--workers", if full { 32 } else { 8 }) as usize;
-    let run = run_tcp(workers, 2, &parse_targets(args), 0xB00B1E5, load);
+    let io_shards = flag(args, "--io-shards", 2) as usize;
+    let run = run_tcp(workers, 2, &parse_targets(args), 0xB00B1E5, load, io_shards);
 
-    let report = build_report(
+    let mut report = build_report(
         Some(SimRunSummary {
             cfg: &sim_cfg,
             report: &sim_report,
@@ -379,6 +557,25 @@ fn cmd_combined(args: &[String], full: bool) -> ExitCode {
             routers: run.routers,
         }),
     );
+    if has(args, "--ramp") {
+        let ramp = run_ramp(
+            workers,
+            2,
+            &parse_targets(args),
+            0xB00B1E5 ^ 0x2A,
+            ramp_cfg(args),
+            io_shards,
+        );
+        append_ramp(
+            &mut report,
+            &RampRunSummary {
+                cfg: &ramp.cfg,
+                outcome: &ramp.outcome,
+                workers: ramp.workers,
+                shards: ramp.shards,
+            },
+        );
+    }
     match report.emit("load") {
         Ok(path) => {
             eprintln!("wrote {}", path.display());

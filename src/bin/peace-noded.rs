@@ -4,6 +4,7 @@
 //! peace-noded no     --bind 127.0.0.1:7100 [--seed N --users U --routers R --ledger DIR]
 //!                    [--no-id NO-0 --peers ADDR,ADDR --gossip-ms N]
 //! peace-noded router --bind 127.0.0.1:7200 --no ADDR[,ADDR...] --index K [--seed N ...]
+//!                    [--shards S]   # sharded event-loop runtime (0 = blocking)
 //! peace-noded user   --no ADDR --router ADDR --index J [--seed N ...]
 //! peace-noded demo   [--users U --rounds N --ledger DIR]
 //! ```
@@ -84,6 +85,7 @@ fn main() -> ExitCode {
             opt("--no-id").as_deref(),
             opt("--peers").as_deref(),
             flag("--gossip-ms", 2_000),
+            flag("--shards", 0) as usize,
             metrics_json.as_deref(),
         ),
         "router" => run_router(
@@ -92,6 +94,7 @@ fn main() -> ExitCode {
             &opt("--bind").unwrap_or_else(|| "127.0.0.1:7200".into()),
             opt("--no").as_deref(),
             flag("--index", 0) as usize,
+            flag("--shards", 0) as usize,
             metrics_json.as_deref(),
         ),
         "user" => run_user(
@@ -108,6 +111,7 @@ fn main() -> ExitCode {
             config,
             flag("--rounds", 3) as u32,
             opt("--ledger").as_deref(),
+            flag("--shards", 0) as usize,
             metrics_json.as_deref(),
         ),
         "help" | "--help" | "-h" => {
@@ -137,6 +141,8 @@ fn print_help() {
     println!("  user   --no A --router A         poll bulletin, authenticate, echo");
     println!("  demo   [--users U --rounds N]    full deployment on loopback");
     println!("\nshared flags: --seed N --users U --routers R (world replay spec)");
+    println!("              --shards S   no/router/demo: serve on the sharded event-loop");
+    println!("                           runtime with S I/O threads (0 = blocking, default)");
     println!("              --prefilter  fixed-bases signing + router-side Bloom");
     println!("              prefilter: O(1) revocation checks at metropolitan URL");
     println!("              sizes, at the cost of linkability for *listed* members.");
@@ -175,7 +181,7 @@ fn dump_metrics(path: Option<&str>, parts: &[(&str, Snapshot)]) {
     }
 }
 
-fn daemon_cfg() -> DaemonConfig {
+fn daemon_cfg(shards: usize) -> DaemonConfig {
     DaemonConfig {
         conn: ConnConfig {
             read_timeout: Some(Duration::from_secs(10)),
@@ -185,6 +191,7 @@ fn daemon_cfg() -> DaemonConfig {
         max_connections: 64,
         connect_timeout: Duration::from_secs(5),
         drain: Duration::from_secs(3),
+        shards,
         ..DaemonConfig::default()
     }
 }
@@ -242,11 +249,12 @@ fn run_no(
     no_id: Option<&str>,
     peers: Option<&str>,
     gossip_ms: u64,
+    shards: usize,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let w = build_world_with(spec, config).map_err(|e| e.to_string())?;
     let npk = *w.no.npk();
-    let no = NoDaemon::spawn(w.no, bind, daemon_cfg()).map_err(|e| e.to_string())?;
+    let no = NoDaemon::spawn(w.no, bind, daemon_cfg(shards)).map_err(|e| e.to_string())?;
     let federated = no_id.is_some() || peers.is_some();
     if federated {
         // Replica federation: the ledger becomes a per-writer shard
@@ -311,6 +319,7 @@ fn run_router(
     bind: &str,
     no_addr: Option<&str>,
     index: usize,
+    shards: usize,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let no_addrs = parse_addr_list("--no", no_addr)?;
@@ -325,8 +334,13 @@ fn run_router(
             spec.routers
         )
     })?;
-    let daemon = RouterDaemon::spawn(router, spec.seed ^ (index as u64 + 1), bind, daemon_cfg())
-        .map_err(|e| e.to_string())?;
+    let daemon = RouterDaemon::spawn(
+        router,
+        spec.seed ^ (index as u64 + 1),
+        bind,
+        daemon_cfg(shards),
+    )
+    .map_err(|e| e.to_string())?;
     println!("peace-noded: router MR-{index} on {}", daemon.addr());
     loop {
         // Lists come from whichever replica answers first — every replica
@@ -381,7 +395,7 @@ fn run_user(
             spec.users
         )
     })?;
-    let mut agent = UserAgent::new(user, spec.seed ^ 0xA6E0 ^ index as u64, daemon_cfg());
+    let mut agent = UserAgent::new(user, spec.seed ^ 0xA6E0 ^ index as u64, daemon_cfg(0));
 
     let v = agent.poll_bulletin(no_addr).map_err(|e| e.to_string())?;
     println!("bulletin adopted: URL v{v}, epoch {}", agent.last_epoch());
@@ -414,11 +428,12 @@ fn run_demo(
     config: ProtocolConfig,
     rounds: u32,
     ledger_dir: Option<&str>,
+    shards: usize,
     metrics_json: Option<&str>,
 ) -> Result<(), String> {
     let w = build_world_with(spec, config).map_err(|e| e.to_string())?;
     let npk = *w.no.npk();
-    let cfg = daemon_cfg();
+    let cfg = daemon_cfg(shards);
     let no = NoDaemon::spawn(w.no, "127.0.0.1:0", cfg).map_err(|e| e.to_string())?;
     if let Some(dir) = ledger_dir {
         no.attach_ledger(open_ledger(dir, npk)?);

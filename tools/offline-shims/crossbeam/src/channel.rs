@@ -1,0 +1,357 @@
+//! MPMC channels mirroring the `crossbeam-channel` API surface used by
+//! this workspace: `bounded` / `unbounded` constructors, cloneable
+//! `Sender` / `Receiver` halves, blocking + non-blocking + timed
+//! receives, and disconnect detection when one side's handles all drop.
+//!
+//! Implementation: one `Mutex<VecDeque>` plus two condvars (`not_empty`
+//! for receivers, `not_full` for bounded senders). Not as fast as real
+//! crossbeam's lock-free channels, but the workloads queued here are
+//! milliseconds of pairing crypto per item — queue overhead is noise.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when every receiver has dropped.
+/// The unsent message is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver has dropped.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender has dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty, disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Empty and every sender has dropped.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Deadline passed with nothing queued.
+    Timeout,
+    /// Empty and every sender has dropped.
+    Disconnected,
+}
+
+/// The producing half; cloneable (MPMC).
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// The consuming half; cloneable (MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Creates a channel with an unbounded buffer.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+/// Creates a channel holding at most `cap` queued messages; sends block
+/// (or `try_send` fails) when full. `cap = 0` degenerates to capacity 1
+/// (the shim has no rendezvous mode; nothing in this workspace uses it).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_cap(Some(cap.max(1)))
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            chan: Arc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+fn lock<T>(chan: &Chan<T>) -> std::sync::MutexGuard<'_, Inner<T>> {
+    // Poisoning only happens if a panic escaped while holding the lock;
+    // the queue itself is still structurally sound, so keep going (same
+    // policy as `lock_recover` in peace-net).
+    match chan.inner.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is queued, or returns it if every
+    /// receiver has dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut g = lock(&self.chan);
+        loop {
+            if g.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = g.cap.is_some_and(|c| g.queue.len() >= c);
+            if !full {
+                g.queue.push_back(msg);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            g = match self.chan.not_full.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Queues without blocking; fails on a full bounded channel or a
+    /// disconnected one.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut g = lock(&self.chan);
+        if g.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if g.cap.is_some_and(|c| g.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        g.queue.push_back(msg);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        lock(&self.chan).queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, or fails once the channel is
+    /// empty and every sender has dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut g = lock(&self.chan);
+        loop {
+            if let Some(msg) = g.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if g.senders == 0 {
+                return Err(RecvError);
+            }
+            g = match self.chan.not_empty.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut g = lock(&self.chan);
+        match g.queue.pop_front() {
+            Some(msg) => {
+                self.chan.not_full.notify_one();
+                Ok(msg)
+            }
+            None if g.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut g = lock(&self.chan);
+        loop {
+            if let Some(msg) = g.queue.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if g.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = match self.chan.not_empty.wait_timeout(g, deadline - now) {
+                Ok(r) => r,
+                Err(p) => {
+                    let (guard, timed) = p.into_inner();
+                    (guard, timed)
+                }
+            };
+            g = guard;
+        }
+    }
+
+    /// Queued message count.
+    pub fn len(&self) -> usize {
+        lock(&self.chan).queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.chan).senders += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.chan).receivers += 1;
+        Self {
+            chan: Arc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut g = lock(&self.chan);
+        g.senders -= 1;
+        if g.senders == 0 {
+            drop(g);
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut g = lock(&self.chan);
+        g.receivers -= 1;
+        if g.receivers == 0 {
+            drop(g);
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_disconnect() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_try_send_full_then_drains() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(4), Err(SendError(4)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(7).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn blocking_send_wakes_on_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(h.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn mpmc_clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let a = rx.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        assert_eq!(a + b, 3);
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx2.recv(), Err(RecvError));
+    }
+}

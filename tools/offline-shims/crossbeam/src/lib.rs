@@ -1,10 +1,13 @@
 //! Offline stand-in for `crossbeam` 0.8, used only when building without a
 //! crates.io index (see `tools/offline-shims/README.md`).
 //!
-//! Only `crossbeam::scope` is used by this workspace (the router-capacity
-//! bench); it is implemented over `std::thread::scope`, preserving the
-//! `Result`-returning signature and the scope argument passed to spawned
-//! closures.
+//! The workspace uses two slices of crossbeam: `crossbeam::scope` (the
+//! router-capacity bench), implemented over `std::thread::scope`, and
+//! `crossbeam::channel` (the event-loop verify worker pool in
+//! `peace-net`), implemented as a Mutex+Condvar MPMC queue preserving
+//! crossbeam-channel's clone/disconnect semantics.
+
+pub mod channel;
 
 /// Scoped-thread handle mirroring `crossbeam_utils::thread::Scope`.
 pub struct Scope<'scope, 'env: 'scope> {
